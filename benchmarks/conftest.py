@@ -1,0 +1,83 @@
+"""Shared infrastructure for the benchmark suite.
+
+* ``dataset`` — session-cached access to the Table II datasets (built
+  deterministically on first use; doc1-doc6).
+* ``report`` — a collector; every benchmark contributes one row to the
+  figure panel it reproduces, and the whole report is printed in the
+  terminal summary so the paper-vs-measured comparison can be read
+  straight off a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.datagen import make_dataset
+from repro.index.storage import Database
+
+_DATASET_CACHE: Dict[str, Database] = {}
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """Factory fixture: ``dataset("doc2")`` -> cached Database.
+
+    Built datasets are ``gc.freeze()``-d: their object graphs are
+    permanent for the session, and keeping millions of document nodes
+    out of the collector prevents full-GC pauses from landing inside
+    whichever query benchmark happens to allocate next.
+    """
+    def get(name: str) -> Database:
+        if name not in _DATASET_CACHE:
+            _DATASET_CACHE[name] = make_dataset(name)
+            gc.collect()
+            gc.freeze()
+        return _DATASET_CACHE[name]
+    return get
+
+
+@pytest.fixture(scope="session")
+def dataset_cache() -> Dict[str, Database]:
+    """Direct access to the session cache (the Table II benchmark seeds
+    it with the databases it just built)."""
+    return _DATASET_CACHE
+
+
+class ReportCollector:
+    """Accumulates (section -> header + rows) across benchmark tests."""
+
+    def __init__(self):
+        self.sections: Dict[str, Dict] = {}
+
+    def add_row(self, section: str, header: List[str],
+                row: List[object]) -> None:
+        entry = self.sections.setdefault(section,
+                                         {"header": header, "rows": []})
+        entry["rows"].append([str(cell) for cell in row])
+
+    def render(self) -> str:
+        blocks = []
+        for section in sorted(self.sections):
+            entry = self.sections[section]
+            blocks.append(format_table(section, entry["header"],
+                                       sorted(entry["rows"])))
+        return "\n\n".join(blocks)
+
+
+_COLLECTOR = ReportCollector()
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportCollector:
+    return _COLLECTOR
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _COLLECTOR.sections:
+        return
+    terminalreporter.write_sep("=", "reproduction report (paper Section V)")
+    terminalreporter.write_line(_COLLECTOR.render())

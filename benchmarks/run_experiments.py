@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of Section V as one text report.
+
+This is the standalone companion to the pytest benchmark suite: it
+builds the Table II datasets, runs all Figure 4/5/6 measurements, and
+prints paper-style series tables (the numbers recorded in
+EXPERIMENTS.md come from this script).
+
+Run:  python benchmarks/run_experiments.py [--quick]
+
+``--quick`` restricts the run to the smaller datasets (doc1, doc2,
+doc5) and two k values, finishing in well under a minute.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import (table2_rows, table3_rows, vary_k,
+                                     vary_query, vary_size)
+from repro.bench.tables import format_table
+from repro.datagen import DATASET_SPECS, make_dataset, queries_for_dataset
+
+
+def banner(text: str) -> None:
+    print(f"\n{text}")
+    print("=" * len(text))
+
+
+def measurement_rows(per_query):
+    rows = []
+    for query_id, by_algorithm in per_query.items():
+        for algorithm, measurement in by_algorithm.items():
+            rows.append([query_id, algorithm,
+                         f"{measurement.response_time_ms:.2f}",
+                         f"{measurement.peak_memory_mb:.3f}",
+                         measurement.result_count])
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small datasets and fewer k values")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions per cell (default 3)")
+    options = parser.parse_args(argv)
+
+    names = (["doc1", "doc2", "doc5"] if options.quick
+             else list(DATASET_SPECS))
+    k_values = (10, 20) if options.quick else (10, 20, 30, 40)
+
+    started = time.perf_counter()
+    print("building datasets:", ", ".join(names))
+    databases = {name: make_dataset(name) for name in names}
+
+    banner("Table II - dataset properties")
+    print(format_table(
+        "", ["dataset", "total", "#IND", "#MUX", "#Ordinary"],
+        table2_rows(databases)))
+
+    banner("Table III - keyword queries")
+    print(format_table("", ["id", "keywords"], table3_rows()))
+
+    figure4_panels = {
+        "doc2": "Figure 4(a,b) XMark",
+        "doc5": "Figure 4(c,d) Mondial",
+        "doc6": "Figure 4(e,f) DBLP",
+    }
+    for name, title in figure4_panels.items():
+        if name not in databases:
+            continue
+        family = DATASET_SPECS[name].family
+        banner(f"{title} - time/memory per query, k=10")
+        data = vary_query(databases[name], queries_for_dataset(family),
+                          k=10, repeats=options.repeats)
+        print(format_table(
+            "", ["query", "algorithm", "time_ms", "memory_mb",
+                 "results"],
+            measurement_rows(data)))
+
+    figure5_panels = {
+        "doc2": ("Figure 5(a,b) XMark", ("X1", "X2")),
+        "doc5": ("Figure 5(c,d) Mondial", ("M1", "M2")),
+        "doc6": ("Figure 5(e,f) DBLP", ("D1", "D2")),
+    }
+    for name, (title, query_ids) in figure5_panels.items():
+        if name not in databases:
+            continue
+        banner(f"{title} - time/memory vs k")
+        data = vary_k(databases[name], query_ids, k_values,
+                      repeats=options.repeats)
+        rows = []
+        for query_id, by_k in data.items():
+            for k, by_algorithm in by_k.items():
+                for algorithm, measurement in by_algorithm.items():
+                    rows.append([query_id, k, algorithm,
+                                 f"{measurement.response_time_ms:.2f}",
+                                 f"{measurement.peak_memory_mb:.3f}"])
+        print(format_table(
+            "", ["query", "k", "algorithm", "time_ms", "memory_mb"],
+            rows))
+
+    size_names = [name for name in ("doc1", "doc2", "doc3", "doc4")
+                  if name in databases]
+    if len(size_names) >= 2:
+        banner("Figure 6(a,b) - XMark size scaling, k=10")
+        scaled = {name: databases[name] for name in size_names}
+        data = vary_size(scaled, ("X1", "X2"), k=10,
+                         repeats=options.repeats)
+        rows = []
+        for query_id, by_size in data.items():
+            for name, by_algorithm in by_size.items():
+                for algorithm, measurement in by_algorithm.items():
+                    rows.append([query_id, name, algorithm,
+                                 f"{measurement.response_time_ms:.2f}",
+                                 f"{measurement.peak_memory_mb:.3f}"])
+        print(format_table(
+            "", ["query", "dataset", "algorithm", "time_ms",
+                 "memory_mb"],
+            rows))
+
+    print(f"\nreport complete in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

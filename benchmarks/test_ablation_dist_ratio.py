@@ -1,0 +1,45 @@
+"""Ablation: sensitivity to the distributional-node ratio.
+
+The paper fixes the ratio at 10-20% of all nodes; this sweep varies it
+from 5% to 35% on the XMark corpus to show how distributional density
+affects both algorithms (more MUX/IND nodes mean deeper Dewey codes,
+more table promotions, and lower result probabilities).
+"""
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.datagen import generate_xmark, make_probabilistic, query_keywords
+from repro.index.storage import Database
+
+RATIOS = (0.05, 0.15, 0.25, 0.35)
+_BASE = {}
+_CACHE = {}
+
+
+def database_for(ratio: float) -> Database:
+    if ratio not in _CACHE:
+        if "doc" not in _BASE:
+            _BASE["doc"] = generate_xmark(scale=1)
+        probabilistic = make_probabilistic(
+            _BASE["doc"], distributional_ratio=ratio, seed=673)
+        _CACHE[ratio] = Database.from_document(probabilistic)
+    return _CACHE[ratio]
+
+
+@pytest.mark.parametrize("ratio", RATIOS)
+@pytest.mark.parametrize("algorithm", ["prstack", "eager"])
+def test_dist_ratio_sweep(benchmark, report, ratio, algorithm):
+    database = database_for(ratio)
+    keywords = query_keywords("X1")
+
+    measurement = benchmark.pedantic(
+        run_query, args=(database, keywords, 10, algorithm),
+        kwargs={"repeats": 1}, rounds=1, iterations=1)
+
+    report.add_row(
+        "Ablation - distributional-node ratio (XMark x1, X1)",
+        ["ratio", "algorithm", "time_ms", "results", "nodes"],
+        [f"{ratio:.2f}", algorithm,
+         f"{measurement.response_time_ms:9.2f}",
+         measurement.result_count, len(database.document)])

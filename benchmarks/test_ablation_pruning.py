@@ -1,0 +1,57 @@
+"""Ablation: how much do EagerTopK's two pruning devices buy?
+
+Runs EagerTopK with path bounds (DeleteSet) and node bounds
+(suspension) independently disabled — the design choices Section IV-B
+motivates.  Expected shape: both devices cut consumed match entries;
+with both disabled EagerTopK degenerates to a region-by-region full
+evaluation and loses to PrStack.
+"""
+
+import pytest
+
+from repro.bench.runner import measure_callable
+from repro.core.eager import eager_topk_search
+from repro.datagen import query_keywords
+
+VARIANTS = [
+    ("full", True, True, True),
+    ("no-path-bounds", False, True, True),
+    ("no-node-bounds", True, False, True),
+    ("no-pruning", False, False, True),
+    ("paper-ties", True, True, False),
+]
+CELLS = [
+    (doc, query_id, variant)
+    for doc, query_id in (("doc2", "X1"), ("doc2", "X5"),
+                          ("doc6", "D2"), ("doc6", "D4"))
+    for variant in VARIANTS
+]
+
+
+@pytest.mark.parametrize(
+    "doc,query_id,variant", CELLS,
+    ids=[f"{doc}-{query_id}-{variant[0]}"
+         for doc, query_id, variant in CELLS])
+def test_pruning_ablation(benchmark, dataset, report, doc, query_id,
+                          variant):
+    name, path_bounds, node_bounds, exact_ties = variant
+    database = dataset(doc)
+    keywords = query_keywords(query_id)
+
+    def search():
+        return eager_topk_search(database.index, keywords, 10,
+                                 use_path_bounds=path_bounds,
+                                 use_node_bounds=node_bounds,
+                                 exact_ties=exact_ties)
+
+    benchmark.pedantic(search, rounds=3, iterations=1)
+    measurement = measure_callable(search, repeats=1)
+
+    stats = measurement.stats
+    report.add_row(
+        "Ablation - EagerTopK pruning devices",
+        ["dataset", "query", "variant", "time_ms", "consumed",
+         "matches", "pruned", "suspended"],
+        [doc, query_id, name, f"{measurement.response_time_ms:9.2f}",
+         stats["entries_consumed"], stats["match_entries"],
+         stats["candidates_pruned"], stats["candidates_suspended"]])

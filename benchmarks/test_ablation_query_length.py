@@ -1,0 +1,39 @@
+"""Ablation: sensitivity to the number of query keywords.
+
+Table III queries have 2-4 terms; this sweep runs 1-4 term prefixes of
+an XMark query to expose how the ``2**|Q|`` distribution-table width
+and the shrinking seed count interact.  Expected shape: PrStack's cost
+grows mildly with terms (larger tables, more matches); EagerTopK
+benefits from rarer full co-occurrence (fewer seeds to evaluate).
+"""
+
+import pytest
+
+from repro.bench.runner import run_query
+
+# Prefixes of an X2-style query: united, states, credit, ship.
+TERM_SETS = [
+    ("1-term", ["united"]),
+    ("2-term", ["united", "states"]),
+    ("3-term", ["united", "states", "credit"]),
+    ("4-term", ["united", "states", "credit", "ship"]),
+]
+
+
+@pytest.mark.parametrize("label,keywords", TERM_SETS,
+                         ids=[label for label, _ in TERM_SETS])
+@pytest.mark.parametrize("algorithm", ["prstack", "eager"])
+def test_query_length_sweep(benchmark, dataset, report, label, keywords,
+                            algorithm):
+    database = dataset("doc2")
+
+    measurement = benchmark.pedantic(
+        run_query, args=(database, keywords, 10, algorithm),
+        kwargs={"repeats": 1}, rounds=2, iterations=1)
+
+    report.add_row(
+        "Ablation - query length (XMark doc2)",
+        ["terms", "algorithm", "time_ms", "matches", "results"],
+        [label, algorithm, f"{measurement.response_time_ms:9.2f}",
+         measurement.stats.get("match_entries", "-"),
+         measurement.result_count])

@@ -1,0 +1,51 @@
+"""Figure 4: response time and memory per query, k = 10.
+
+Panels (a,b) run X1-X5 on Doc2, (c,d) M1-M5 on Doc5, (e,f) D1-D5 on
+Doc6 — one benchmark per (query, algorithm) cell.  The terminal report
+prints each panel as a series table; the paper's shape to verify is
+EagerTopK at least ~50% faster than PrStack on most queries (up to >5x
+when matches are plentiful but results few), at slightly higher memory.
+"""
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.core.api import topk_search
+from repro.datagen import query_keywords, queries_for_dataset
+
+K = 10
+PANELS = [
+    ("doc2", "xmark", "Figure 4(a,b) - XMark Doc2"),
+    ("doc5", "mondial", "Figure 4(c,d) - Mondial Doc5"),
+    ("doc6", "dblp", "Figure 4(e,f) - DBLP Doc6"),
+]
+CELLS = [
+    (doc, family, section, query_id, algorithm)
+    for doc, family, section in PANELS
+    for query_id in queries_for_dataset(family)
+    for algorithm in ("prstack", "eager")
+]
+
+
+@pytest.mark.parametrize(
+    "doc,family,section,query_id,algorithm", CELLS,
+    ids=[f"{doc}-{query_id}-{algorithm}"
+         for doc, _, _, query_id, algorithm in CELLS])
+def test_fig4_cell(benchmark, dataset, report, doc, family, section,
+                   query_id, algorithm):
+    database = dataset(doc)
+    keywords = query_keywords(query_id)
+
+    benchmark.pedantic(topk_search, args=(database, keywords, K,
+                                          algorithm),
+                       rounds=3, iterations=1)
+    measurement = run_query(database, keywords, K, algorithm, repeats=1)
+
+    assert measurement.result_count <= K
+    report.add_row(
+        section,
+        ["query", "algorithm", "time_ms", "memory_mb", "results",
+         "matches"],
+        [query_id, algorithm, f"{measurement.response_time_ms:9.2f}",
+         f"{measurement.peak_memory_mb:7.3f}", measurement.result_count,
+         measurement.stats.get("match_entries", "-")])

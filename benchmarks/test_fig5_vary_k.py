@@ -1,0 +1,52 @@
+"""Figure 5: response time and memory as the requested k grows.
+
+Panels (a,b) X1/X2 on Doc2, (c,d) M1/M2 on Doc5, (e,f) D1/D2 on Doc6,
+with k in {10, 20, 30, 40}.  The paper's shape: both algorithms grow
+with k, PrStack barely (it always scans everything once) while
+EagerTopK's advantage narrows — a sharp EagerTopK increase appears once
+k exceeds the number of clearly-separated high-probability answers.
+"""
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.core.api import topk_search
+from repro.datagen import query_keywords
+
+K_VALUES = (10, 20, 30, 40)
+PANELS = [
+    ("doc2", "Figure 5(a,b) - XMark Doc2", ("X1", "X2")),
+    ("doc5", "Figure 5(c,d) - Mondial Doc5", ("M1", "M2")),
+    ("doc6", "Figure 5(e,f) - DBLP Doc6", ("D1", "D2")),
+]
+CELLS = [
+    (doc, section, query_id, k, algorithm)
+    for doc, section, queries in PANELS
+    for query_id in queries
+    for k in K_VALUES
+    for algorithm in ("prstack", "eager")
+]
+
+
+@pytest.mark.parametrize(
+    "doc,section,query_id,k,algorithm", CELLS,
+    ids=[f"{doc}-{query_id}-k{k}-{algorithm}"
+         for doc, _, query_id, k, algorithm in CELLS])
+def test_fig5_cell(benchmark, dataset, report, doc, section, query_id,
+                   k, algorithm):
+    database = dataset(doc)
+    keywords = query_keywords(query_id)
+
+    benchmark.pedantic(topk_search, args=(database, keywords, k,
+                                          algorithm),
+                       rounds=3, iterations=1)
+    measurement = run_query(database, keywords, k, algorithm, repeats=1)
+
+    assert measurement.result_count <= k
+    report.add_row(
+        section,
+        ["query", "k", "algorithm", "time_ms", "memory_mb", "results"],
+        [query_id, f"{k:02d}", algorithm,
+         f"{measurement.response_time_ms:9.2f}",
+         f"{measurement.peak_memory_mb:7.3f}",
+         measurement.result_count])

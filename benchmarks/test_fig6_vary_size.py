@@ -1,0 +1,44 @@
+"""Figure 6: scalability in document size (XMark x1/x2/x4/x8), k = 10.
+
+The paper's shape: both algorithms grow linearly with document size;
+EagerTopK grows distinctly slower, so the gap widens with scale.
+"""
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.core.api import topk_search
+from repro.datagen import query_keywords
+
+K = 10
+SIZES = [("doc1", 1), ("doc2", 2), ("doc3", 4), ("doc4", 8)]
+CELLS = [
+    (doc, scale, query_id, algorithm)
+    for doc, scale in SIZES
+    for query_id in ("X1", "X2")
+    for algorithm in ("prstack", "eager")
+]
+
+
+@pytest.mark.parametrize(
+    "doc,scale,query_id,algorithm", CELLS,
+    ids=[f"{doc}-x{scale}-{query_id}-{algorithm}"
+         for doc, scale, query_id, algorithm in CELLS])
+def test_fig6_cell(benchmark, dataset, report, doc, scale, query_id,
+                   algorithm):
+    database = dataset(doc)
+    keywords = query_keywords(query_id)
+
+    benchmark.pedantic(topk_search, args=(database, keywords, K,
+                                          algorithm),
+                       rounds=3, iterations=1)
+    measurement = run_query(database, keywords, K, algorithm, repeats=1)
+
+    report.add_row(
+        "Figure 6(a,b) - XMark size scaling",
+        ["query", "scale", "algorithm", "time_ms", "memory_mb",
+         "nodes"],
+        [query_id, f"x{scale}", algorithm,
+         f"{measurement.response_time_ms:9.2f}",
+         f"{measurement.peak_memory_mb:7.3f}",
+         len(database.document)])

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the substrate components.
+
+Not a paper figure — these isolate the building blocks (encoding,
+index construction, the three deterministic SLCA algorithms) so that a
+regression in any layer is visible independently of the end-to-end
+numbers.
+"""
+
+import pytest
+
+from repro import build_index, encode_document
+from repro.datagen import generate_mondial, make_probabilistic
+from repro.index.matchlist import build_match_entries, keyword_code_lists
+from repro.slca import indexed_lookup_eager, scan_eager, stack_based_slca
+
+_STATE = {}
+
+
+def prepared():
+    if not _STATE:
+        document = make_probabilistic(generate_mondial(), seed=673)
+        encoded = encode_document(document)
+        index = build_index(encoded)
+        keywords = ["united states", "organization"]
+        _, code_lists = keyword_code_lists(index, keywords)
+        _, entries = build_match_entries(index, keywords)
+        _STATE.update(document=document, encoded=encoded, index=index,
+                      code_lists=code_lists, entries=entries)
+    return _STATE
+
+
+def test_encode_document(benchmark, report):
+    state = prepared()
+    encoded = benchmark(encode_document, state["document"])
+    report.add_row("Micro - substrate components",
+                   ["component", "size"],
+                   ["encode_document", len(encoded)])
+
+
+def test_build_inverted_index(benchmark, report):
+    state = prepared()
+    index = benchmark(build_index, state["encoded"])
+    report.add_row("Micro - substrate components",
+                   ["component", "size"],
+                   ["build_index", len(index)])
+
+
+@pytest.mark.parametrize("name,algorithm", [
+    ("indexed_lookup_eager", indexed_lookup_eager),
+    ("scan_eager", scan_eager),
+])
+def test_deterministic_slca(benchmark, report, name, algorithm):
+    state = prepared()
+    answers = benchmark(algorithm, state["code_lists"])
+    report.add_row("Micro - substrate components",
+                   ["component", "size"],
+                   [name, len(answers)])
+
+
+def test_stack_based_slca(benchmark, report):
+    state = prepared()
+    answers = benchmark(stack_based_slca, state["entries"], 3)
+    report.add_row("Micro - substrate components",
+                   ["component", "size"],
+                   ["stack_based_slca", len(answers)])

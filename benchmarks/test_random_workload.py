@@ -1,0 +1,48 @@
+"""Random-workload study (beyond Table III's hand-picked queries).
+
+Samples reproducible 2- and 3-term workloads from the XMark corpus in
+a mid-selectivity band and reports aggregate response times, so the
+Figure 4 conclusions can be checked against queries nobody cherry-
+picked.  Expected shape: EagerTopK's median win holds across the
+workload, with its worst case (few-answer queries) approaching parity.
+"""
+
+import random
+import statistics
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.datagen.workload import WorkloadSpec, sample_workload
+
+SPECS = [
+    ("2-term", WorkloadSpec(queries=12, terms_per_query=2,
+                            min_frequency=20, max_frequency=2000)),
+    ("3-term", WorkloadSpec(queries=12, terms_per_query=3,
+                            min_frequency=20, max_frequency=2000)),
+]
+
+
+@pytest.mark.parametrize("label,spec", SPECS,
+                         ids=[label for label, _ in SPECS])
+@pytest.mark.parametrize("algorithm", ["prstack", "eager"])
+def test_random_workload(benchmark, dataset, report, label, spec,
+                         algorithm):
+    database = dataset("doc1")
+    workload = sample_workload(database.index, spec,
+                               rng=random.Random(673))
+
+    def run_all():
+        return [run_query(database, query, 10, algorithm, repeats=1)
+                for query in workload]
+
+    measurements = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    times = sorted(m.response_time_ms for m in measurements)
+    report.add_row(
+        "Random workload (XMark x1, sampled queries)",
+        ["workload", "algorithm", "median_ms", "p90_ms", "max_ms",
+         "queries"],
+        [label, algorithm,
+         f"{statistics.median(times):9.2f}",
+         f"{times[int(len(times) * 0.9) - 1]:9.2f}",
+         f"{times[-1]:9.2f}", len(times)])

@@ -1,0 +1,31 @@
+"""Table II: properties of the experimental p-documents.
+
+Benchmarks dataset construction (generation + probabilistic injection +
+encoding + indexing) once per dataset and reports the node-type
+breakdown rows the paper tabulates.
+"""
+
+import pytest
+
+from repro.datagen import DATASET_SPECS, make_dataset
+from repro.prxml.stats import document_stats
+
+HEADER = ["dataset", "family", "total", "#IND", "#MUX", "#Ordinary",
+          "dist%", "height"]
+
+
+@pytest.mark.parametrize("name", list(DATASET_SPECS))
+def test_table2_dataset(benchmark, name, dataset_cache, report):
+    database = benchmark.pedantic(make_dataset, args=(name,),
+                                  rounds=1, iterations=1)
+    # Register in the shared cache so figure benchmarks reuse it.
+    dataset_cache.setdefault(name, database)
+
+    stats = document_stats(database.document)
+    assert stats.total_nodes > 1000
+    assert 0.08 <= stats.distributional_ratio <= 0.25
+    report.add_row(
+        "Table II - dataset properties", HEADER,
+        [name, DATASET_SPECS[name].family, stats.total_nodes,
+         stats.ind_nodes, stats.mux_nodes, stats.ordinary_nodes,
+         f"{stats.distributional_ratio:.1%}", stats.height])

@@ -1,0 +1,22 @@
+"""Table III: the experiment's keyword queries.
+
+Reports the query table and micro-benchmarks query normalisation (the
+only per-query preprocessing both algorithms share).
+"""
+
+from repro.datagen import QUERIES
+from repro.index.tokenizer import normalize_query
+
+
+def test_table3_queries(benchmark, report):
+    def normalise_all():
+        return [normalize_query(keywords)
+                for keywords in QUERIES.values()]
+
+    terms = benchmark(normalise_all)
+    assert len(terms) == 15
+    for (query_id, keywords), normalised in zip(QUERIES.items(), terms):
+        report.add_row(
+            "Table III - keyword queries",
+            ["id", "keywords", "terms"],
+            [query_id, ", ".join(keywords), " ".join(normalised)])

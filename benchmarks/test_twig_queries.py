@@ -1,0 +1,52 @@
+"""Benchmarks for the probabilistic twig engine (DESIGN.md extension).
+
+Structured queries on the Mondial-like corpus: per-pattern response
+time of the direct DP, against pattern size and selectivity.  Shape to
+verify: cost tracks the candidate count (selective labels are fast,
+wildcard steps force full scans), not the 2^(2 * steps) state width.
+"""
+
+import pytest
+
+from repro.bench.runner import measure_callable
+from repro.datagen import generate_mondial, make_probabilistic
+from repro.index.storage import Database
+from repro.twig import topk_twig_search
+
+_CACHE = {}
+
+
+def mondial_db() -> Database:
+    if "db" not in _CACHE:
+        document = make_probabilistic(generate_mondial(), seed=673)
+        _CACHE["db"] = Database.from_document(document)
+    return _CACHE["db"]
+
+
+PATTERNS = [
+    ("1-step", 'religion[name ~ "muslim"]'),
+    ("2-step", 'country[government ~ "multiparty"]'),
+    ("3-step", 'country[religion/name ~ "muslim"]'
+               '[government ~ "multiparty"]'),
+    ("deep", "country/province/city/located_at/coordinates"),
+    ("desc-axis", 'country[//name ~ "muslim"][//name ~ "chinese"]'),
+]
+
+
+@pytest.mark.parametrize("label,pattern", PATTERNS,
+                         ids=[label for label, _ in PATTERNS])
+def test_twig_pattern(benchmark, report, label, pattern):
+    database = mondial_db()
+
+    def search():
+        return topk_twig_search(database.index, pattern, 10)
+
+    benchmark.pedantic(search, rounds=3, iterations=1)
+    measurement = measure_callable(search, repeats=1)
+
+    report.add_row(
+        "Extension - twig queries (Mondial)",
+        ["pattern", "time_ms", "candidates", "bindings"],
+        [label, f"{measurement.response_time_ms:9.2f}",
+         measurement.stats.get("candidates", "-"),
+         measurement.result_count])

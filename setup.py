@@ -1,0 +1,9 @@
+"""Setup shim (pyproject.toml carries the metadata).
+
+Kept so editable installs work in offline environments without the
+``wheel`` package: ``python setup.py develop`` or ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — Top-k keyword search over probabilistic XML data.
+
+A complete, from-scratch reproduction of Li, Liu, Zhou & Wang,
+"Top-k Keyword Search over Probabilistic XML Data" (ICDE 2011):
+the PrXML{ind,mux} document model, extended Dewey encoding, inverted
+keyword indexing, the PrStack and EagerTopK top-k SLCA algorithms with
+their pruning properties, the possible-world oracle, and generators for
+the XMark/Mondial/DBLP-style experimental workloads.
+
+Quickstart::
+
+    from repro import parse_pxml, topk_search
+
+    doc = parse_pxml('''
+        <library>
+          <book><title>keyword search</title>
+            <mux><year prob="0.7">2010</year>
+                 <year prob="0.3">2011</year></mux>
+          </book>
+        </library>''')
+    for result in topk_search(doc, ["keyword", "2010"], k=3):
+        print(result)
+"""
+
+from repro.core import (Algorithm, Explanation, SearchOutcome, SLCAResult,
+                        eager_topk_search, explain_result,
+                        monte_carlo_search, possible_worlds_search,
+                        prstack_search, threshold_search, topk_search)
+from repro.encoding import DeweyCode, EncodedDocument, encode_document
+from repro.exceptions import (EncodingError, IndexError_, ModelError,
+                              ParseError, QueryError, ReproError,
+                              StorageError)
+from repro.index import (Database, InvertedIndex, build_index,
+                         load_database, save_database)
+from repro.prxml import (DocumentBuilder, NodeType, PDocument, PNode,
+                         document_stats, enumerate_possible_worlds,
+                         parse_pxml, parse_pxml_file, sample_possible_world,
+                         serialize_pxml, validate_document, write_pxml_file)
+from repro.twig import (TwigPattern, parse_twig, topk_twig_search,
+                        twig_match_probability)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # search
+    "Algorithm", "topk_search", "prstack_search", "eager_topk_search",
+    "possible_worlds_search", "monte_carlo_search", "threshold_search",
+    "explain_result", "Explanation", "SearchOutcome", "SLCAResult",
+    # model
+    "PDocument", "PNode", "NodeType", "DocumentBuilder",
+    "parse_pxml", "parse_pxml_file", "serialize_pxml", "write_pxml_file",
+    "validate_document", "document_stats",
+    "enumerate_possible_worlds", "sample_possible_world",
+    # encoding / index
+    "DeweyCode", "EncodedDocument", "encode_document",
+    "InvertedIndex", "build_index", "Database",
+    "save_database", "load_database",
+    # twig queries
+    "TwigPattern", "parse_twig", "topk_twig_search",
+    "twig_match_probability",
+    # errors
+    "ReproError", "ModelError", "ParseError", "EncodingError",
+    "IndexError_", "QueryError", "StorageError",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Measurement harness shared by the ``benchmarks/`` suite.
+
+:mod:`repro.bench.runner` measures response time and peak memory of a
+query the way Section V reports them; :mod:`repro.bench.tables` formats
+figure-like series; :mod:`repro.bench.experiments` regenerates the data
+behind every table and figure of the paper.
+"""
+
+from repro.bench.runner import Measurement, measure_callable, run_query
+from repro.bench.tables import format_series, format_table
+from repro.bench.experiments import (table2_rows, table3_rows, vary_k,
+                                     vary_query, vary_size)
+
+__all__ = [
+    "Measurement",
+    "measure_callable",
+    "run_query",
+    "format_series",
+    "format_table",
+    "table2_rows",
+    "table3_rows",
+    "vary_query",
+    "vary_k",
+    "vary_size",
+]

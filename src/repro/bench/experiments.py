@@ -1,0 +1,95 @@
+"""Data generation for every table and figure of Section V.
+
+Each function regenerates the measurements behind one experiment:
+
+* :func:`table2_rows` — dataset properties (Table II);
+* :func:`table3_rows` — the keyword queries (Table III);
+* :func:`vary_query` — response time & memory per query at fixed k
+  (Figure 4, panels a-f);
+* :func:`vary_k` — response time & memory as k grows (Figure 5);
+* :func:`vary_size` — response time & memory as the document scales
+  (Figure 6).
+
+All of them return plain data; the benchmark suite and the
+``benchmarks/run_experiments.py`` report script format it with
+:mod:`repro.bench.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.bench.runner import Measurement, run_query
+from repro.datagen.queries import QUERIES, query_keywords
+from repro.index.storage import Database
+from repro.prxml.stats import document_stats
+
+ALGORITHMS = ("prstack", "eager")
+
+
+def table2_rows(databases: Mapping[str, Database]
+                ) -> List[Tuple[str, int, int, int, int]]:
+    """(name, total, #IND, #MUX, #ordinary) per dataset — Table II."""
+    rows = []
+    for name, database in databases.items():
+        stats = document_stats(database.document)
+        rows.append((name, stats.total_nodes, stats.ind_nodes,
+                     stats.mux_nodes, stats.ordinary_nodes))
+    return rows
+
+
+def table3_rows() -> List[Tuple[str, str]]:
+    """(query id, keywords) — Table III."""
+    return [(query_id, ", ".join(keywords))
+            for query_id, keywords in QUERIES.items()]
+
+
+def vary_query(database: Database, query_ids: Sequence[str], k: int = 10,
+               repeats: int = 3
+               ) -> Dict[str, Dict[str, Measurement]]:
+    """Figure 4: one measurement per (query, algorithm) at fixed ``k``."""
+    results: Dict[str, Dict[str, Measurement]] = {}
+    for query_id in query_ids:
+        keywords = query_keywords(query_id)
+        results[query_id] = {
+            algorithm: run_query(database, keywords, k, algorithm, repeats)
+            for algorithm in ALGORITHMS
+        }
+    return results
+
+
+def vary_k(database: Database, query_ids: Sequence[str],
+           k_values: Iterable[int] = (10, 20, 30, 40),
+           repeats: int = 3
+           ) -> Dict[str, Dict[int, Dict[str, Measurement]]]:
+    """Figure 5: measurements across ``k`` for selected queries."""
+    results: Dict[str, Dict[int, Dict[str, Measurement]]] = {}
+    for query_id in query_ids:
+        keywords = query_keywords(query_id)
+        results[query_id] = {
+            k: {algorithm: run_query(database, keywords, k, algorithm,
+                                     repeats)
+                for algorithm in ALGORITHMS}
+            for k in k_values
+        }
+    return results
+
+
+def vary_size(databases: Mapping[object, Database],
+              query_ids: Sequence[str], k: int = 10, repeats: int = 3
+              ) -> Dict[str, Dict[object, Dict[str, Measurement]]]:
+    """Figure 6: measurements across document sizes for selected queries.
+
+    ``databases`` maps a size label (e.g. the XMark scale) to the
+    database of that size.
+    """
+    results: Dict[str, Dict[object, Dict[str, Measurement]]] = {}
+    for query_id in query_ids:
+        keywords = query_keywords(query_id)
+        results[query_id] = {
+            label: {algorithm: run_query(database, keywords, k, algorithm,
+                                         repeats)
+                    for algorithm in ALGORITHMS}
+            for label, database in databases.items()
+        }
+    return results

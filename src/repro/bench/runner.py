@@ -1,0 +1,84 @@
+"""Measuring queries: response time and peak memory.
+
+The paper reports two per-query quantities (Figures 4-6): response
+time in milliseconds (seconds for DBLP) and memory usage in MB.  We
+measure time as the best of ``repeats`` undisturbed runs of the whole
+search call, and peak memory with one additional run under
+``tracemalloc`` (instrumented runs are slower, so timing and memory are
+never taken from the same run).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Union
+
+from repro.core.api import Algorithm, topk_search
+from repro.core.result import SearchOutcome
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import Database
+
+
+@dataclass
+class Measurement:
+    """One measured query execution."""
+
+    response_time_ms: float
+    peak_memory_mb: float
+    result_count: int
+    stats: dict = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        """One-line rendering for ad-hoc printing."""
+        return (f"{self.response_time_ms:10.2f} ms  "
+                f"{self.peak_memory_mb:8.3f} MB  "
+                f"results={self.result_count}")
+
+
+def measure_callable(call: Callable[[], SearchOutcome],
+                     repeats: int = 3) -> Measurement:
+    """Measure any zero-argument search callable.
+
+    One untimed warmup call runs first: the first allocation burst
+    after building a large dataset triggers a full generational GC pass
+    over the document's object graph (hundreds of milliseconds on the
+    DBLP corpus), which would otherwise be misattributed to whichever
+    query happens to run first.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    call()
+    best = float("inf")
+    outcome = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = call()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+
+    tracemalloc.start()
+    try:
+        call()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    return Measurement(
+        response_time_ms=best * 1000.0,
+        peak_memory_mb=peak / (1024.0 * 1024.0),
+        result_count=len(outcome),
+        stats=dict(outcome.stats),
+    )
+
+
+def run_query(database: Union[Database, InvertedIndex],
+              keywords: Iterable[str], k: int,
+              algorithm: Union[Algorithm, str],
+              repeats: int = 3) -> Measurement:
+    """Measure one (dataset, query, k, algorithm) cell of a figure."""
+    keywords = list(keywords)
+    return measure_callable(
+        lambda: topk_search(database, keywords, k, algorithm),
+        repeats=repeats)

@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment series and tables.
+
+The benchmark suite prints every figure it reproduces as an aligned
+text table — one row per x-axis point, one column per series — so the
+shape comparison against the paper's charts (who wins, by what factor,
+where the crossovers fall) can be read straight off the pytest output
+and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned table with a title rule."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(name.ljust(width)
+                           for name, width in zip(header, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend("  ".join(cell.ljust(width)
+                           for cell, width in zip(row, widths))
+                 for row in cells)
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, x_values: Sequence[object],
+                  series: Mapping[str, Sequence[float]],
+                  unit: str = "") -> str:
+    """Render one figure panel: x column plus one column per series."""
+    header: List[str] = [x_label]
+    header.extend(f"{name}{f' ({unit})' if unit else ''}"
+                  for name in series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: List[object] = [x_value]
+        row.extend(f"{values[index]:.3f}" for values in series.values())
+        rows.append(row)
+    return format_table(title, header, rows)

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate xmark --scale 1 --ratio 0.15 -o site.pxml
+    repro index site.pxml site.db
+    repro stats site.db
+    repro search site.db united states graduate -k 10
+    repro explain site.db --code 1.2.3 united states graduate
+    repro twig site.db 'person[profile/education ~ "graduate"]'
+    repro worlds small.pxml
+
+``python -m repro ...`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.api import Algorithm, topk_search
+from repro.core.explain import explain_result
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.mondial import generate_mondial
+from repro.datagen.probabilistic import make_probabilistic
+from repro.datagen.xmark import generate_xmark
+from repro.encoding.dewey import DeweyCode
+from repro.exceptions import ReproError
+from repro.index.storage import Database, load_database, save_database
+from repro.prxml.parser import parse_pxml_file
+from repro.prxml.possible_worlds import enumerate_possible_worlds
+from repro.prxml.serializer import write_pxml_file
+from repro.prxml.stats import document_stats
+from repro.prxml.validate import validate_document
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k keyword search over probabilistic XML data "
+                    "(ICDE 2011 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="emit a synthetic p-document")
+    generate.add_argument("corpus",
+                          choices=("xmark", "mondial", "dblp"))
+    generate.add_argument("--scale", type=int, default=1,
+                          help="XMark size factor (default 1)")
+    generate.add_argument("--publications", type=int, default=5000,
+                          help="DBLP record count (default 5000)")
+    generate.add_argument("--ratio", type=float, default=0.15,
+                          help="distributional-node ratio (default 0.15)")
+    generate.add_argument("--seed", type=int, default=673)
+    generate.add_argument("-o", "--output", required=True,
+                          help="output .pxml path")
+
+    index = commands.add_parser(
+        "index", help="encode and index a p-document into a database dir")
+    index.add_argument("document", help="input .pxml file")
+    index.add_argument("database", help="output database directory")
+
+    stats = commands.add_parser(
+        "stats", help="node-type breakdown (Table II row)")
+    stats.add_argument("source", help="database directory or .pxml file")
+
+    search = commands.add_parser(
+        "search", help="top-k probabilistic SLCA keyword search")
+    search.add_argument("source", help="database directory or .pxml file")
+    search.add_argument("keywords", nargs="+")
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--algorithm", default="eager",
+                        choices=[choice.value for choice in Algorithm])
+    search.add_argument("--semantics", default="slca",
+                        choices=("slca", "elca"),
+                        help="result semantics (elca needs --algorithm "
+                             "prstack or possible_worlds)")
+
+    explain = commands.add_parser(
+        "explain", help="decompose one node's SLCA probability")
+    explain.add_argument("source", help="database directory or .pxml file")
+    explain.add_argument("keywords", nargs="+")
+    explain.add_argument("--code", required=True,
+                         help="extended Dewey code, e.g. 1.M1.I2.1")
+
+    twig = commands.add_parser(
+        "twig", help="probabilistic twig (tree-pattern) query")
+    twig.add_argument("source", help="database directory or .pxml file")
+    twig.add_argument("pattern",
+                      help='e.g. \'movie[title ~ "texas"]//actor\'')
+    twig.add_argument("-k", type=int, default=10)
+
+    worlds = commands.add_parser(
+        "worlds", help="enumerate the possible worlds of a small p-doc")
+    worlds.add_argument("document", help="input .pxml file")
+    worlds.add_argument("--limit", type=int, default=20,
+                        help="print at most this many worlds")
+    return parser
+
+
+def _open_database(source: str) -> Database:
+    if source.endswith(".pxml"):
+        document = parse_pxml_file(source)
+        return Database.from_document(document)
+    return load_database(source)
+
+
+def _cmd_generate(options) -> int:
+    if options.corpus == "xmark":
+        document = generate_xmark(scale=options.scale, seed=options.seed)
+    elif options.corpus == "mondial":
+        document = generate_mondial(seed=options.seed)
+    else:
+        document = generate_dblp(publications=options.publications,
+                                 seed=options.seed)
+    probabilistic = make_probabilistic(
+        document, distributional_ratio=options.ratio, seed=options.seed)
+    validate_document(probabilistic)
+    write_pxml_file(probabilistic, options.output)
+    stats = document_stats(probabilistic)
+    print(stats.as_table_row(options.output))
+    return 0
+
+
+def _cmd_index(options) -> int:
+    started = time.perf_counter()
+    document = parse_pxml_file(options.document)
+    database = Database.from_document(document)
+    save_database(database, options.database)
+    print(f"indexed {len(document)} nodes, "
+          f"{len(database.index)} terms into {options.database} "
+          f"in {time.perf_counter() - started:.2f}s")
+    return 0
+
+
+def _cmd_stats(options) -> int:
+    database = _open_database(options.source)
+    stats = document_stats(database.document)
+    print(stats.as_table_row(options.source))
+    print(f"height={stats.height} leaves={stats.leaf_nodes:,} "
+          f"max_fanout={stats.max_fanout} "
+          f"distributional={stats.distributional_ratio:.1%}")
+    return 0
+
+
+def _cmd_search(options) -> int:
+    database = _open_database(options.source)
+    started = time.perf_counter()
+    outcome = topk_search(database, options.keywords, options.k,
+                          options.algorithm,
+                          semantics=options.semantics)
+    elapsed = (time.perf_counter() - started) * 1000
+    print(f"{len(outcome)} answer(s) in {elapsed:.1f} ms "
+          f"({options.algorithm}, {options.semantics})")
+    for rank, result in enumerate(outcome, start=1):
+        print(f"{rank:3d}. Pr={result.probability:.6f}  "
+              f"<{result.label}> {result.code}")
+    return 0
+
+
+def _cmd_explain(options) -> int:
+    database = _open_database(options.source)
+    code = DeweyCode.parse(options.code)
+    explanation = explain_result(database.index, options.keywords, code)
+    print("\n".join(explanation.lines()))
+    return 0
+
+
+def _cmd_twig(options) -> int:
+    from repro.twig import topk_twig_search, twig_match_probability
+    database = _open_database(options.source)
+    started = time.perf_counter()
+    outcome = topk_twig_search(database.index, options.pattern,
+                               options.k)
+    elapsed = (time.perf_counter() - started) * 1000
+    anywhere = twig_match_probability(database.index, options.pattern)
+    print(f"{len(outcome)} binding(s) in {elapsed:.1f} ms; "
+          f"P(matches anywhere) = {anywhere:.6f}")
+    for rank, result in enumerate(outcome, start=1):
+        print(f"{rank:3d}. Pr={result.probability:.6f}  "
+              f"<{result.label}> {result.code}")
+    return 0
+
+
+def _cmd_worlds(options) -> int:
+    document = parse_pxml_file(options.document)
+    worlds = enumerate_possible_worlds(document)
+    print(f"{len(worlds)} distinct possible worlds "
+          f"(raw {document.theoretical_world_count()})")
+    for world in worlds[:options.limit]:
+        labels = [node.label for node in world.root.iter_subtree()]
+        print(f"  p={world.probability:.6g}  nodes={len(labels)}  "
+              f"{' '.join(labels[:12])}"
+              f"{' ...' if len(labels) > 12 else ''}")
+    if len(worlds) > options.limit:
+        print(f"  ... and {len(worlds) - options.limit} more")
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "index": _cmd_index,
+    "stats": _cmd_stats,
+    "search": _cmd_search,
+    "explain": _cmd_explain,
+    "twig": _cmd_twig,
+    "worlds": _cmd_worlds,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    options = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[options.command](options)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: top-k probabilistic SLCA keyword search.
+
+* :mod:`repro.core.distribution` — keyword distribution tables and the
+  IND / MUX / ordinary promotion-and-merge rules (Section III-B);
+* :mod:`repro.core.prstack` — the PrStack algorithm (Algorithm 1);
+* :mod:`repro.core.eager` — the EagerTopK algorithm (Algorithm 2);
+* :mod:`repro.core.bounds` — the five pruning properties (Section IV-B);
+* :mod:`repro.core.possible_worlds_search` — the naive baseline;
+* :mod:`repro.core.api` — the public entry point :func:`topk_search`.
+"""
+
+from repro.core.result import SLCAResult, SearchOutcome
+from repro.core.distribution import DistTable
+from repro.core.heap import TopKHeap
+from repro.core.prstack import prstack_search
+from repro.core.eager import eager_topk_search
+from repro.core.possible_worlds_search import possible_worlds_search
+from repro.core.monte_carlo import EstimatedResult, monte_carlo_search
+from repro.core.threshold import threshold_search
+from repro.core.explain import Explanation, explain_result
+from repro.core.api import Algorithm, topk_search
+
+__all__ = [
+    "SLCAResult",
+    "SearchOutcome",
+    "DistTable",
+    "TopKHeap",
+    "prstack_search",
+    "eager_topk_search",
+    "possible_worlds_search",
+    "monte_carlo_search",
+    "EstimatedResult",
+    "threshold_search",
+    "explain_result",
+    "Explanation",
+    "Algorithm",
+    "topk_search",
+]

@@ -1,0 +1,110 @@
+"""Public entry point: :func:`topk_search`.
+
+Accepts a raw :class:`~repro.prxml.model.PDocument`, a prepared
+:class:`~repro.index.storage.Database`, or a bare
+:class:`~repro.index.inverted.InvertedIndex`, and dispatches to the
+requested algorithm.  Results come back hydrated with the actual
+p-document nodes so callers can inspect labels and text directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from enum import Enum
+from typing import Iterable, Union
+
+from repro.core.eager import eager_topk_search
+from repro.core.possible_worlds_search import possible_worlds_search
+from repro.core.prstack import prstack_search
+from repro.core.result import SearchOutcome
+from repro.exceptions import QueryError
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import Database
+from repro.prxml.model import PDocument
+
+
+class Algorithm(Enum):
+    """Selectable search strategies."""
+
+    PRSTACK = "prstack"
+    EAGER = "eager"
+    POSSIBLE_WORLDS = "possible_worlds"
+
+
+Source = Union[PDocument, Database, InvertedIndex]
+
+
+def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
+                algorithm: Union[Algorithm, str] = Algorithm.EAGER,
+                semantics: str = "slca") -> SearchOutcome:
+    """Find the ``k`` ordinary nodes most likely to be SLCAs.
+
+    Args:
+        source: a p-document (indexed on the fly), a loaded
+            :class:`Database`, or an :class:`InvertedIndex`.
+        keywords: query keywords; multi-word strings contribute all
+            their words, and every word is required (AND semantics).
+        k: how many answers to return (fewer come back when fewer nodes
+            have non-zero probability).
+        algorithm: an :class:`Algorithm` or its string value.  The
+            default, EagerTopK, is the paper's fastest; PrStack gives
+            the same answers with a simpler single-scan strategy;
+            ``possible_worlds`` is the exponential oracle for tiny
+            documents.
+        semantics: ``"slca"`` (the paper) or ``"elca"`` (an extension
+            after reference [23]).  EagerTopK's pruning properties are
+            SLCA-specific — coverage below a node excludes its
+            ancestors, which is false under ELCA — so ``"elca"`` is
+            served by PrStack or the oracle only.
+
+    Returns:
+        A :class:`SearchOutcome`; ``outcome.results`` are sorted by
+        descending probability with document order breaking ties, and
+        each result carries its p-document ``node``.
+    """
+    index = _as_index(source)
+    try:
+        algorithm = Algorithm(algorithm)
+    except ValueError:
+        names = ", ".join(choice.value for choice in Algorithm)
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; choose one of: {names}"
+        ) from None
+    if semantics not in ("slca", "elca"):
+        raise QueryError(
+            f"unknown semantics {semantics!r}; choose 'slca' or 'elca'")
+    elca = semantics == "elca"
+    if elca and algorithm is Algorithm.EAGER:
+        raise QueryError(
+            "EagerTopK's pruning bounds are SLCA-specific; use "
+            "algorithm='prstack' (or 'possible_worlds') for ELCA")
+
+    if algorithm is Algorithm.PRSTACK:
+        outcome = prstack_search(index, keywords, k, elca=elca)
+    elif algorithm is Algorithm.EAGER:
+        outcome = eager_topk_search(index, keywords, k)
+    else:
+        outcome = possible_worlds_search(index, keywords, k, elca=elca)
+    return _hydrate(outcome, index)
+
+
+def _as_index(source: Source) -> InvertedIndex:
+    if isinstance(source, InvertedIndex):
+        return source
+    if isinstance(source, Database):
+        return source.index
+    if isinstance(source, PDocument):
+        return Database.from_document(source).index
+    raise QueryError(
+        f"unsupported search source type: {type(source).__name__}")
+
+
+def _hydrate(outcome: SearchOutcome, index: InvertedIndex) -> SearchOutcome:
+    """Attach p-document nodes to results that lack them."""
+    encoded = index.encoded
+    outcome.results = [
+        result if result.node is not None
+        else replace(result, node=encoded.node_at(result.code))
+        for result in outcome.results
+    ]
+    return outcome

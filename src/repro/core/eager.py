@@ -1,0 +1,366 @@
+"""EagerTopK (Algorithm 2): bound-driven top-k probabilistic SLCA search.
+
+The algorithm seeds from the *traditional* SLCAs of the query — computed
+by Indexed Lookup Eager [12] over the Dewey lists with node types and
+probabilities ignored.  Those seeds are exactly the lowest nodes whose
+subtrees can ever contain all keywords (possible worlds only remove
+nodes), so the true probabilistic answers are the seeds and their
+ancestors, and every ancestor of a seed is visited as a *candidate*
+while climbing towards the root.
+
+Evaluating a candidate turns its subtree into a finished *region*: the
+shared stack engine sweeps the unconsumed match entries plus previously
+finished regions inside it (the paper's ``ComputeSLCAProbability``),
+harvesting every SLCA answer on the way.  All finished regions live in
+one sorted, pairwise-incomparable registry — the single source of truth
+for bound computation — where an evaluated ancestor *collapses* the
+regions it covers (the exact form of the paper's Property 3 "tricky
+step").
+
+The climb always expands the candidate with the highest potential
+(``UBMap``) and prunes with two sound bounds (see
+:mod:`repro.core.bounds`, which documents the correction to the paper's
+printed Properties 1-3):
+
+* the **path bound** kills a candidate and its whole root path
+  (``DeleteSet``) when even the combined SLCA mass of that path cannot
+  reach the current k-th probability;
+* the **node bound** *suspends* a candidate that cannot itself reach
+  the top-k — its subtree stays unswept and only its parent keeps
+  climbing, so the work is deferred and often avoided entirely.
+
+Bound comparisons are strict (<) so that document-order ties at the k
+boundary resolve identically to PrStack: both algorithms return exactly
+the same answer set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.bounds import RegionBound, candidate_bounds
+from repro.core.distribution import DistTable
+from repro.core.engine import StackEngine, StackItem
+from repro.core.heap import TopKHeap
+from repro.core.result import SearchOutcome
+from repro.encoding.dewey import DeweyCode
+from repro.encoding.prlink import PrLink
+from repro.exceptions import ReproError
+from repro.index.inverted import InvertedIndex
+from repro.index.matchlist import (MatchList, build_match_entries,
+                                   keyword_code_lists)
+from repro.prxml.model import NodeType
+from repro.slca.indexed_lookup import indexed_lookup_eager
+
+
+class _Region:
+    """A fully evaluated subtree: its table and coverage numbers.
+
+    Two coverage probabilities matter for bounds (both conditioned on
+    the region's root existing):
+
+    * ``harvested`` — some *ordinary* node inside the region covers all
+      keywords (the table's ``lost`` mass).  Such a node is a real node
+      of every possible world it covers in, so it forbids every
+      ancestor from being an SLCA.
+    * ``all_cover`` — the subtree covers all keywords at all, including
+      the surviving full-mask mass at a distributional region root.
+      That surviving mass does *not* by itself forbid ancestors (the
+      distributional node vanishes and its children splice upward), but
+      it is harvested by — and therefore forbids everything above — the
+      first ordinary node on the way up.
+    """
+
+    __slots__ = ("code", "link", "table", "path_prob", "harvested",
+                 "all_cover")
+
+    def __init__(self, code: DeweyCode, link: PrLink, table: DistTable,
+                 full_mask: int):
+        self.code = code
+        self.link = link
+        self.table = table
+        self.path_prob = math.prod(link)
+        self.harvested = table.lost
+        self.all_cover = table.all_probability(full_mask)
+
+    def bound_for(self, candidate: DeweyCode,
+                  candidate_path_prob: float) -> RegionBound:
+        """This region's contribution to a candidate-ancestor's bounds.
+
+        The exclusion probability is ``harvested``, upgraded to
+        ``all_cover`` when an ordinary node lies strictly between the
+        region and the candidate — that node harvests the surviving
+        full mass, which then forbids the candidate and its path.
+        """
+        exclusion = self.harvested
+        between = self.code.kinds[len(candidate):len(self.code) - 1]
+        if any(kind is NodeType.ORDINARY for kind in between):
+            exclusion = self.all_cover
+        cover = exclusion * (self.path_prob / candidate_path_prob)
+        return RegionBound(self.code.positions[len(candidate)], cover)
+
+
+class _RegionRegistry:
+    """Sorted registry of pairwise-incomparable finished regions.
+
+    Regions are kept in document order, so the regions inside any
+    subtree form one contiguous slice found by binary search.  Adding a
+    region collapses (removes) every region it covers.
+    """
+
+    def __init__(self):
+        self._positions: List[Tuple[int, ...]] = []
+        self._regions: List[_Region] = []
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def _slice(self, code: DeweyCode) -> Tuple[int, int]:
+        lo = bisect_left(self._positions, code.positions)
+        hi = bisect_left(self._positions, code.subtree_upper_bound())
+        return lo, hi
+
+    def add(self, region: _Region) -> None:
+        """Insert, collapsing the regions the newcomer covers."""
+        lo, hi = self._slice(region.code)
+        self._positions[lo:hi] = [region.code.positions]
+        self._regions[lo:hi] = [region]
+
+    def under(self, code: DeweyCode) -> List[_Region]:
+        """Regions whose root lies in ``code``'s subtree (incl. itself)."""
+        lo, hi = self._slice(code)
+        return self._regions[lo:hi]
+
+
+def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
+                      k: int = 10, use_path_bounds: bool = True,
+                      use_node_bounds: bool = True,
+                      exact_ties: bool = True) -> SearchOutcome:
+    """Top-k SLCA answers by probability, with eager bound pruning.
+
+    Same contract and identical answers as
+    :func:`repro.core.prstack.prstack_search`; usually faster because
+    high-probability candidates surface early and the bound machinery
+    skips low-probability regions without ever sweeping them.
+
+    Args:
+        use_path_bounds: disable DeleteSet path pruning (ablation).
+        use_node_bounds: disable candidate suspension (ablation).
+        exact_ties: with the default True, probability ties at the k
+            boundary resolve by document order exactly like PrStack —
+            which requires evaluating every document-earlier candidate
+            whose bound *equals* the k-th probability, so workloads
+            with large tie plateaus (siblings sharing one injected
+            ancestor edge) degrade towards a full scan.  False prunes
+            at equality like the paper's Algorithm 2: faster there, but
+            the returned tie subset is arbitrary (probabilities are
+            still exact and identical as a multiset).
+    """
+    search = _EagerSearch(index, keywords, k, use_path_bounds,
+                          use_node_bounds, exact_ties)
+    return search.run()
+
+
+class _EagerSearch:
+    """One EagerTopK execution (state is per query)."""
+
+    def __init__(self, index: InvertedIndex, keywords: Iterable[str],
+                 k: int, use_path_bounds: bool, use_node_bounds: bool,
+                 exact_ties: bool = True):
+        self.index = index
+        self.keywords = list(keywords)
+        self.heap = TopKHeap(k)
+        self.use_path_bounds = use_path_bounds
+        self.use_node_bounds = use_node_bounds
+        self.exact_ties = exact_ties
+        self.regions = _RegionRegistry()
+        # UBMap: the open candidates.  The dict is the source of truth;
+        # the heap orders them by the node potential computed when they
+        # were inserted (lazy priorities: a stale entry is skipped at
+        # pop time if its candidate is gone, and pruning never relies
+        # on the ordering, only on bounds recomputed at pop).
+        self.candidates: Dict[DeweyCode, None] = {}
+        self._queue: List[Tuple[float, int, Tuple[int, ...], DeweyCode]] = []
+        # DeleteSet: codes whose whole root path is out of the top-k.
+        self.delete_list: List[DeweyCode] = []
+        self.full_mask = 0
+        self.matches: Optional[MatchList] = None
+        self._path_prob_cache: Dict[DeweyCode, float] = {}
+        self.stats = {
+            "algorithm": "eager_topk",
+            "seeds": 0,
+            "candidates_processed": 0,
+            "candidates_suspended": 0,
+            "candidates_pruned": 0,
+            "entries_consumed": 0,
+            "results_emitted": 0,
+        }
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self) -> SearchOutcome:
+        """Execute the search: seeds, climb, pruned evaluation."""
+        terms, entries = build_match_entries(self.index, self.keywords)
+        self.stats["terms"] = len(terms)
+        self.stats["match_entries"] = len(entries)
+        if any(not self.index.postings(term) for term in terms):
+            return SearchOutcome(stats=self.stats)
+        self.full_mask = (1 << len(terms)) - 1
+        self.matches = MatchList(entries)
+
+        _, code_lists = keyword_code_lists(self.index, terms)
+        seeds = indexed_lookup_eager(code_lists)
+        self.stats["seeds"] = len(seeds)
+        # Most promising seeds first: their results fill the heap early,
+        # so later seeds that cannot beat the k-th probability (a seed's
+        # answer is capped by its path probability) are suspended
+        # without ever sweeping their subtrees.
+        seeds.sort(key=lambda code: (-self._path_prob(code),
+                                     code.positions))
+        for seed in seeds:
+            # A seed's own answer is capped by its path probability.
+            seed_cap = self._path_prob(seed)
+            if self.use_node_bounds and not self._worth_scoring(seed,
+                                                                seed_cap):
+                self.stats["candidates_suspended"] += 1
+                self._add_parent_candidate(seed)
+                continue
+            self._process(seed)
+
+        while self.candidates:
+            code = self._pop_most_promising()
+            if self._is_dead(code):
+                continue
+            path_bound, node_bound = self._bounds(code)
+            if self.use_path_bounds and self._path_prunable(path_bound):
+                self.delete_list.append(code)
+                self.stats["candidates_pruned"] += 1
+                continue
+            if (self.use_node_bounds
+                    and not self._worth_scoring(code, node_bound)):
+                # The candidate itself cannot score (in exact-ties mode:
+                # even a boundary tie loses the document-order
+                # tiebreak): defer its subtree and keep climbing.
+                self.stats["candidates_suspended"] += 1
+                self._add_parent_candidate(code)
+                continue
+            self._process(code)
+
+        return SearchOutcome(results=self.heap.results(), stats=self.stats)
+
+    # -- candidate selection ---------------------------------------------------
+
+    def _pop_most_promising(self) -> DeweyCode:
+        """Highest node potential first, deeper on ties: deep candidates
+        are cheap to evaluate and raise the pruning threshold early."""
+        while self._queue:
+            _, _, _, code = heapq.heappop(self._queue)
+            if code in self.candidates:
+                del self.candidates[code]
+                return code
+        # The queue and the candidate dict are kept in sync; reaching
+        # here would mean a candidate was inserted without queueing.
+        raise ReproError("candidate queue out of sync with UBMap")
+
+    def _bounds(self, code: DeweyCode) -> Tuple[float, float]:
+        path_prob = self._path_prob(code)
+        return candidate_bounds(
+            code.node_type, path_prob,
+            (region.bound_for(code, path_prob)
+             for region in self.regions.under(code)))
+
+    def _worth_scoring(self, code: DeweyCode, bound: float) -> bool:
+        """Could a result of up to ``bound`` at ``code`` enter the heap?
+
+        Exact-ties mode delegates to the heap's tie-aware acceptance
+        test; the paper-faithful mode prunes at equality (Algorithm 2's
+        "equal to or less than the k-th largest value").
+        """
+        if self.exact_ties:
+            return self.heap.would_accept(code, bound)
+        if len(self.heap) < self.heap.k:
+            return bound > 0.0
+        return bound > self.heap.threshold
+
+    def _path_prunable(self, path_bound: float) -> bool:
+        """Whether the whole root path is provably out of the top-k."""
+        threshold = self.heap.threshold
+        if self.exact_ties:
+            return path_bound < threshold
+        return len(self.heap) >= self.heap.k and path_bound <= threshold
+
+    def _is_dead(self, code: DeweyCode) -> bool:
+        """Whether path pruning already killed this root path: a
+        DeleteSet entry ``d`` rules out every node on the path
+        root -> ``d``, so ``code`` is dead iff it is an
+        ancestor-or-self of some deleted code."""
+        return any(code.is_ancestor_or_self_of(dead)
+                   for dead in self.delete_list)
+
+    def _add_parent_candidate(self, code: DeweyCode) -> None:
+        if len(code) == 1:
+            return  # the root has no parent
+        parent = code.parent()
+        if parent not in self.candidates and not self._is_dead(parent):
+            self.candidates[parent] = None
+            _, node_bound = self._bounds(parent)
+            # Min-heap: negate the potential; deeper first on ties, then
+            # document order for full determinism.
+            heapq.heappush(self._queue,
+                           (-node_bound, -len(parent), parent.positions,
+                            parent))
+
+    # -- candidate evaluation -----------------------------------------------------
+
+    def _process(self, code: DeweyCode) -> None:
+        """ComputeSLCAProbability: sweep the candidate's subtree (left-over
+        match entries plus finished regions inside it) through the stack
+        engine, harvest answers, and continue the climb with the exact
+        region that replaces everything swept."""
+        taken = self.matches.consume_subtree(code)
+        self.stats["entries_consumed"] += len(taken)
+        inner_regions = self.regions.under(code)
+        items = [StackItem(entry.code, entry.link, entry.mask)
+                 for entry in taken]
+        items.extend(
+            StackItem(region.code, region.link, table=region.table)
+            for region in inner_regions)
+        items.sort(key=lambda item: item.code.positions)
+
+        engine = StackEngine(
+            self.full_mask, self._sink, context_length=len(code) - 1,
+            exp_resolver=self.index.encoded.exp_subsets_at)
+        for item in items:
+            engine.feed(item)
+        table = engine.finish_candidate()
+        self.stats["candidates_processed"] += 1
+
+        # Candidates strictly inside the swept subtree are superseded:
+        # their answers were just harvested and their regions collapsed.
+        for stale in [cand for cand in self.candidates
+                      if code.is_ancestor_of(cand)]:
+            del self.candidates[stale]
+
+        self.regions.add(_Region(code, self._link_of(code), table,
+                                 self.full_mask))
+        self._add_parent_candidate(code)
+
+    def _sink(self, code: DeweyCode, probability: float) -> None:
+        self.stats["results_emitted"] += 1
+        self.heap.offer(code, probability)
+
+    # -- encoding helpers -----------------------------------------------------------------
+
+    def _link_of(self, code: DeweyCode) -> PrLink:
+        node = self.index.encoded.node_at(code)
+        return self.index.encoded.links[node.node_id]
+
+    def _path_prob(self, code: DeweyCode) -> float:
+        probability = self._path_prob_cache.get(code)
+        if probability is None:
+            probability = math.prod(self._link_of(code))
+            self._path_prob_cache[code] = probability
+        return probability

@@ -1,0 +1,251 @@
+"""The shared bottom-up stack engine.
+
+Both algorithms compute SLCA probabilities the same way (Section III-B):
+walk keyword-matching items in document order with a stack of path
+frames; when a frame pops, finalise its node's keyword distribution
+table (MUX residue, self mask, ordinary-node harvesting) and promote it
+into the parent frame with the rule matching the parent's type.
+
+PrStack feeds *every* match entry and runs the stack to the root
+(:meth:`StackEngine.finish`).  EagerTopK runs one engine per candidate
+over just that candidate's subtree items — unconsumed match entries plus
+the precomputed ("preset") tables of already-processed descendant
+regions — and stops at the candidate itself
+(:meth:`StackEngine.finish_candidate`), which is exactly the paper's
+``ComputeSLCAProbability``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from repro.core.distribution import DistTable
+from repro.encoding.dewey import DeweyCode, common_prefix_length
+from repro.encoding.prlink import PrLink
+from repro.exceptions import ReproError
+from repro.prxml.model import NodeType
+
+#: Callback invoked for every harvested SLCA result:
+#: ``(code, global_probability)``.
+ResultSink = Callable[[DeweyCode, float], None]
+
+
+class StackItem:
+    """One unit of input: a match entry or a preset descendant table."""
+
+    __slots__ = ("code", "link", "mask", "table")
+
+    def __init__(self, code: DeweyCode, link: PrLink, mask: int = 0,
+                 table: Optional[DistTable] = None):
+        if table is not None and mask:
+            raise ReproError("a preset item cannot also carry a self mask")
+        self.code = code
+        self.link = link
+        self.mask = mask
+        self.table = table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "preset" if self.table is not None else f"mask={self.mask:b}"
+        return f"StackItem({self.code}, {kind})"
+
+
+class _Frame:
+    """State of one node on the current root path."""
+
+    __slots__ = ("kind", "edge_prob", "path_prob", "self_mask", "table",
+                 "lambda_merged", "preset", "child_tables")
+
+    def __init__(self, kind: NodeType, edge_prob: float, path_prob: float):
+        self.kind = kind
+        self.edge_prob = edge_prob
+        self.path_prob = path_prob
+        self.self_mask = 0
+        # IND/ordinary frames accumulate by convolution starting from the
+        # "contains nothing" unit; MUX frames accumulate a plain sum whose
+        # missing mass is restored by the Equation 8 residue at pop time;
+        # EXP frames keep each child's table separate (keyed by sibling
+        # position) until the subset distribution combines them.
+        if kind is NodeType.MUX:
+            self.table = DistTable()
+        else:
+            self.table = DistTable.unit()
+        self.lambda_merged = 0.0
+        self.preset = False
+        self.child_tables = {} if kind is NodeType.EXP else None
+
+
+class StackEngine:
+    """Document-order stack evaluator for keyword distribution tables."""
+
+    def __init__(self, full_mask: int, sink: ResultSink,
+                 context_length: int = 0, elca: bool = False,
+                 exp_resolver: Optional[Callable] = None):
+        """
+        Args:
+            full_mask: ``2**n - 1`` for an ``n``-keyword query.
+            sink: receives every harvested ``(code, Pr^G_slca)`` result.
+            context_length: number of leading Dewey components outside
+                this engine's responsibility — 0 for a whole-document
+                run (PrStack), ``len(candidate) - 1`` when evaluating one
+                candidate's subtree (EagerTopK pops stop above it).
+            elca: evaluate Exclusive-LCA semantics instead of SLCA —
+                full-mask mass at an answer node is consumed (keywords
+                used up, ancestors may still answer from other
+                occurrences) rather than excluded from the whole path.
+            exp_resolver: ``code -> [(child positions, probability)]``
+                returning the subset distribution of an EXP node; only
+                needed when the document contains EXP nodes (typically
+                ``EncodedDocument.exp_subsets_at``).
+        """
+        if full_mask <= 0:
+            raise ReproError("full_mask must cover at least one keyword")
+        self.full_mask = full_mask
+        self.sink = sink
+        self.context_length = context_length
+        self.elca = elca
+        self.exp_resolver = exp_resolver
+        self._frames: List[_Frame] = []
+        self._current: Optional[DeweyCode] = None
+        self.frames_pushed = 0
+        self.results_emitted = 0
+
+    # -- feeding ---------------------------------------------------------------
+
+    def feed(self, item: StackItem) -> None:
+        """Process the next item; items must arrive in document order."""
+        code = item.code
+        if len(code) <= self.context_length:
+            raise ReproError(
+                f"item {code} is outside the engine context "
+                f"(length {self.context_length})")
+        if self._current is None:
+            self._push_components(item, self.context_length)
+        else:
+            if code.positions <= self._current.positions:
+                raise ReproError(
+                    f"items out of document order: {code} after "
+                    f"{self._current}")
+            shared = common_prefix_length(self._current, code)
+            self._pop_to(max(shared, self.context_length))
+            self._push_components(item, max(shared, self.context_length))
+        self._current = code
+        frame = self._frames[-1]
+        if item.table is not None:
+            if frame.self_mask or frame.lambda_merged or frame.table.masks \
+                    not in ({}, {0: 1.0}):
+                raise ReproError(
+                    f"preset table for {code} collides with live state")
+            frame.table = item.table
+            frame.preset = True
+        else:
+            frame.self_mask |= item.mask
+
+    def _push_components(self, item: StackItem, from_length: int) -> None:
+        code, link = item.code, item.link
+        path_prob = math.prod(link[:from_length])
+        for depth in range(from_length, len(code)):
+            edge_prob = link[depth]
+            path_prob *= edge_prob
+            self._frames.append(
+                _Frame(code.kinds[depth], edge_prob, path_prob))
+            self.frames_pushed += 1
+
+    # -- popping ---------------------------------------------------------------
+
+    def _pop_to(self, keep: int) -> None:
+        while len(self._frames) + self.context_length > keep:
+            self._pop_frame()
+
+    def _pop_frame(self) -> None:
+        frame = self._frames.pop()
+        depth = self.context_length + len(self._frames) + 1
+        table = self._finalize(frame, depth)
+        if not self._frames:
+            return
+        parent = self._frames[-1]
+        if parent.kind is NodeType.EXP:
+            # EXP parents combine children per explicit subset at their
+            # own finalisation; keep the child's table unpromoted.
+            position = self._current.positions[depth - 1]
+            parent.child_tables[position] = table
+        elif parent.kind is NodeType.MUX:
+            parent.table.merge_mux(table.promoted_mux(frame.edge_prob))
+            parent.lambda_merged += frame.edge_prob
+        else:
+            parent.table.merge_ind(table.promoted_ind(frame.edge_prob))
+
+    def _finalize(self, frame: _Frame, depth: int) -> DistTable:
+        """Close a frame's table: residue / subset combination for
+        distributional kinds, then the ordinary-node hook."""
+        if frame.preset:
+            return frame.table
+        table = frame.table
+        if frame.kind is NodeType.MUX:
+            table.add_mux_residue(frame.lambda_merged)
+        elif frame.kind is NodeType.EXP:
+            table = self._combine_exp(frame, depth)
+        if frame.kind is NodeType.ORDINARY:
+            table = self._finalize_ordinary(frame, table, depth)
+        return table
+
+    def _finalize_ordinary(self, frame: _Frame, table: DistTable,
+                           depth: int) -> DistTable:
+        """Keyword semantics at an ordinary node: OR the node's own
+        keyword mask in, then harvest (SLCA) or consume (ELCA) the full
+        mask as this node's answer.  The twig engine overrides this with
+        its pattern-state transform."""
+        table.apply_self_mask(frame.self_mask)
+        if self.elca:
+            local = table.consume(self.full_mask)
+        else:
+            local = table.harvest(self.full_mask)
+        if local > 0.0:
+            code = self._current.prefix(depth)
+            self.sink(code, frame.path_prob * local)
+            self.results_emitted += 1
+        return table
+
+    def _combine_exp(self, frame: _Frame, depth: int) -> DistTable:
+        """Combine an EXP frame's child tables per its explicit subset
+        distribution: ``tab = sum_S q_S * conv(tab_c for c in S)`` plus
+        the no-subset residue on mask 0.  Children without keyword
+        matches have the unit table and drop out of the convolution."""
+        if self.exp_resolver is None:
+            raise ReproError(
+                "document contains EXP nodes; construct the engine with "
+                "an exp_resolver (EncodedDocument.exp_subsets_at)")
+        code = self._current.prefix(depth)
+        combined = DistTable()
+        total = 0.0
+        for positions, probability in self.exp_resolver(code):
+            convolution = DistTable.unit()
+            for position in positions:
+                child_table = frame.child_tables.get(position)
+                if child_table is not None:
+                    convolution.merge_ind(child_table)
+            combined.merge_mux(convolution.promoted_mux(probability))
+            total += probability
+        combined.add_mux_residue(total)
+        return combined
+
+    # -- termination ------------------------------------------------------------
+
+    def finish(self) -> None:
+        """Pop every frame (whole-document mode); results flow to the sink."""
+        self._pop_to(self.context_length)
+
+    def finish_candidate(self) -> DistTable:
+        """Pop down to the candidate frame, finalise it *without*
+        promotion, and return its table (EagerTopK mode).
+
+        The candidate sits at depth ``context_length + 1``; its harvested
+        result (if any) has already been delivered to the sink.  Returns
+        the unit table when the engine was fed nothing (an empty subtree
+        contains no keywords).
+        """
+        if self._current is None:
+            return DistTable.unit()
+        self._pop_to(self.context_length + 1)
+        frame = self._frames.pop()
+        return self._finalize(frame, self.context_length + 1)

@@ -1,0 +1,128 @@
+"""Bounded top-k result heap with per-node deduplication.
+
+Both algorithms stream ``(node, probability)`` results and keep only the
+``k`` best.  EagerTopK additionally needs the current k-th highest
+probability as its pruning threshold: :meth:`TopKHeap.threshold` is 0
+until the heap fills, after which it is the smallest retained
+probability — so comparisons against it are always conservative.
+
+Probability ties at the k boundary are broken by document order
+(earlier nodes win), making the retained set a pure function of the
+offered results — PrStack and EagerTopK therefore return *identical*
+answers even when several nodes share the k-th probability, despite
+discovering results in different orders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.core.result import SLCAResult
+from repro.encoding.dewey import DeweyCode
+from repro.exceptions import QueryError
+
+
+class _Entry:
+    """Heap entry ordered worst-first: lowest probability, then latest
+    document order (so eviction keeps document-order-earliest nodes)."""
+
+    __slots__ = ("probability", "code")
+
+    def __init__(self, probability: float, code: DeweyCode):
+        self.probability = probability
+        self.code = code
+
+    def __lt__(self, other: "_Entry") -> bool:
+        if self.probability != other.probability:
+            return self.probability < other.probability
+        return self.code.positions > other.code.positions
+
+
+class TopKHeap:
+    """Min-heap of the k highest-probability (code, probability) pairs."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        self.k = k
+        self._heap: List[_Entry] = []
+        self._best: Dict[DeweyCode, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    @property
+    def threshold(self) -> float:
+        """The current k-th highest probability (0 until k answers exist).
+
+        A candidate whose probability or upper bound is *strictly below*
+        this value can never enter the result set.  An equal-probability
+        candidate may still enter on the document-order tiebreak, so
+        pruning decisions must compare strictly (``bound < threshold``)
+        to keep PrStack and EagerTopK answer sets identical.
+        """
+        if len(self._best) < self.k:
+            return 0.0
+        return self._heap[0].probability
+
+    def would_accept(self, code: DeweyCode, probability: float) -> bool:
+        """Whether an offer of ``(code, probability)`` would enter the
+        heap right now — the tie-aware form of a threshold comparison.
+
+        EagerTopK suspends a candidate when even its upper bound would
+        not be accepted: a bound *equal* to the k-th probability still
+        loses if the candidate's code falls after the current boundary
+        entry in document order, which is exactly the tiebreak
+        :meth:`offer` applies.  Using this test keeps the pruned search
+        result-identical to PrStack while pruning ties aggressively.
+        """
+        if probability <= 0.0:
+            return False
+        known = self._best.get(code)
+        if known is not None:
+            return probability > known
+        if len(self._best) >= self.k:
+            return not _Entry(probability, code) < self._heap[0]
+        return True
+
+    def offer(self, code: DeweyCode, probability: float) -> bool:
+        """Insert a result if it belongs in the top-k; returns acceptance.
+
+        Zero-probability results are rejected outright: the paper only
+        returns nodes with non-zero probability.  Re-offering a node
+        keeps the higher probability (the algorithms compute each node's
+        probability once, so this is purely defensive).
+        """
+        if probability <= 0.0:
+            return False
+        known = self._best.get(code)
+        if known is not None and probability <= known:
+            return False
+        if known is None and len(self._best) >= self.k:
+            if _Entry(probability, code) < self._heap[0]:
+                return False
+        self._best[code] = probability
+        heapq.heappush(self._heap, _Entry(probability, code))
+        self._shrink()
+        return True
+
+    def _shrink(self) -> None:
+        """Drop superseded and evicted entries from the heap top."""
+        while len(self._best) > self.k:
+            entry = heapq.heappop(self._heap)
+            if self._best.get(entry.code) == entry.probability:
+                del self._best[entry.code]
+        # Clean stale heads so threshold() reads a live value.
+        while self._heap:
+            entry = self._heap[0]
+            if self._best.get(entry.code) == entry.probability:
+                break
+            heapq.heappop(self._heap)
+
+    def results(self) -> List[SLCAResult]:
+        """Answers sorted by probability descending, document order on ties."""
+        ordered = sorted(self._best.items(),
+                         key=lambda item: (-item[1], item[0].positions))
+        return [SLCAResult(code=code, probability=probability)
+                for code, probability in ordered]

@@ -1,0 +1,67 @@
+"""PrStack (Algorithm 1): single-scan top-k probabilistic SLCA search.
+
+Reads the merged keyword match entries once in document order, maintains
+a stack of path frames whose tables are finalised bottom-up, and offers
+every harvested ordinary-node probability to a k-size result heap.  The
+SLCA probability of a node is therefore determined exactly when all of
+its descendants' contributions are known — the invariant the paper's
+postorder ``O*`` numbering in Figure 1(a) illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.engine import StackEngine, StackItem
+from repro.core.heap import TopKHeap
+from repro.core.result import SearchOutcome
+from repro.index.inverted import InvertedIndex
+from repro.index.matchlist import build_match_entries
+
+
+def prstack_search(index: InvertedIndex, keywords: Iterable[str],
+                   k: int = 10, elca: bool = False) -> SearchOutcome:
+    """Top-k SLCA answers by probability, via one document-order scan.
+
+    Args:
+        index: inverted index over an encoded p-document.
+        keywords: query keywords (multi-word strings are split; all
+            resulting terms are required, AND semantics).
+        k: number of answers wanted; fewer are returned when fewer nodes
+            have non-zero SLCA probability.
+        elca: rank by Exclusive-LCA probability instead of SLCA — an
+            extension after the paper's reference [23]; see
+            :class:`repro.core.engine.StackEngine`.
+
+    Returns:
+        A :class:`SearchOutcome` with ranked results and scan counters.
+    """
+    terms, entries = build_match_entries(index, keywords)
+    heap = TopKHeap(k)
+    outcome = SearchOutcome(stats={
+        "algorithm": "prstack",
+        "semantics": "elca" if elca else "slca",
+        "terms": len(terms),
+        "match_entries": len(entries),
+        "entries_scanned": 0,
+        "frames_pushed": 0,
+        "results_emitted": 0,
+    })
+
+    # AND semantics: a term with no match anywhere makes the full mask
+    # unreachable, so no node can be an answer.
+    if any(not index.postings(term) for term in terms):
+        return outcome
+
+    full_mask = (1 << len(terms)) - 1
+    engine = StackEngine(full_mask, heap.offer, elca=elca,
+                         exp_resolver=index.encoded.exp_subsets_at)
+    for entry in entries:
+        engine.feed(StackItem(entry.code, entry.link, entry.mask))
+        outcome.stats["entries_scanned"] += 1
+    engine.finish()
+
+    outcome.results = heap.results()
+    outcome.stats["frames_pushed"] = engine.frames_pushed
+    outcome.stats["results_emitted"] = engine.results_emitted
+    return outcome

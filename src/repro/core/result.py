@@ -1,0 +1,61 @@
+"""Result types of a top-k probabilistic SLCA search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.encoding.dewey import DeweyCode
+from repro.prxml.model import PNode
+
+
+@dataclass(frozen=True)
+class SLCAResult:
+    """One answer: an ordinary node and its global SLCA probability.
+
+    ``probability`` is ``Pr^G_slca(v)`` of Equation 1 — the total
+    probability of the possible worlds in which the node is an SLCA.
+    """
+
+    code: DeweyCode
+    probability: float
+    node: Optional[PNode] = None
+
+    @property
+    def label(self) -> str:
+        """The answer node's tag (falls back to its code)."""
+        return self.node.label if self.node is not None else str(self.code)
+
+    def __str__(self) -> str:
+        return f"{self.label} [{self.code}] p={self.probability:.6g}"
+
+
+@dataclass
+class SearchOutcome:
+    """Top-k answers plus the counters the experiments report.
+
+    Attributes:
+        results: answers sorted by descending probability (ties broken
+            by document order); at most ``k``, fewer when fewer nodes
+            have non-zero probability (the paper returns only those).
+        stats: free-form instrumentation counters (entries scanned,
+            candidates pruned, tables merged, ...), filled in by each
+            algorithm and consumed by the benchmark harness.
+    """
+
+    results: List[SLCAResult] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def probabilities(self) -> List[float]:
+        """Result probabilities, best first."""
+        return [result.probability for result in self.results]
+
+    def codes(self) -> List[DeweyCode]:
+        """Result codes, best first."""
+        return [result.code for result in self.results]

@@ -1,0 +1,63 @@
+"""Threshold-based probabilistic SLCA search.
+
+The paper's introduction discusses the alternative to top-k: return
+every node whose SLCA probability reaches a user threshold, and notes
+why it is awkward ("the answer set may be empty or too large if we do
+not set a proper probability threshold... such a threshold is likely to
+be different for different datasets").  We provide it anyway as an
+extension — it reuses the PrStack engine with an unbounded collector,
+so it costs one document-order scan like PrStack itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.engine import StackEngine, StackItem
+from repro.core.result import SearchOutcome, SLCAResult
+from repro.exceptions import QueryError
+from repro.index.inverted import InvertedIndex
+from repro.index.matchlist import build_match_entries
+
+
+def threshold_search(index: InvertedIndex, keywords: Iterable[str],
+                     threshold: float) -> SearchOutcome:
+    """All nodes with ``Pr_slca >= threshold``, best first.
+
+    Args:
+        index: inverted index over an encoded p-document.
+        keywords: query keywords (AND semantics, like the top-k API).
+        threshold: minimum SLCA probability, in ``(0, 1]``.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise QueryError(
+            f"threshold must be in (0, 1], got {threshold!r}")
+    terms, entries = build_match_entries(index, keywords)
+    outcome = SearchOutcome(stats={
+        "algorithm": "threshold",
+        "threshold": threshold,
+        "terms": len(terms),
+        "match_entries": len(entries),
+        "results_emitted": 0,
+    })
+    if any(not index.postings(term) for term in terms):
+        return outcome
+
+    collected: List[SLCAResult] = []
+
+    def sink(code, probability):
+        outcome.stats["results_emitted"] += 1
+        if probability >= threshold:
+            collected.append(SLCAResult(code=code,
+                                        probability=probability))
+
+    engine = StackEngine((1 << len(terms)) - 1, sink,
+                         exp_resolver=index.encoded.exp_subsets_at)
+    for entry in entries:
+        engine.feed(StackItem(entry.code, entry.link, entry.mask))
+    engine.finish()
+
+    collected.sort(key=lambda result: (-result.probability,
+                                       result.code.positions))
+    outcome.results = collected
+    return outcome

@@ -1,0 +1,41 @@
+"""Workload generation for the paper's experiments.
+
+Real XMark/Mondial/DBLP corpora are not redistributable here, so this
+subpackage builds deterministic synthetic stand-ins that preserve the
+structural signatures the algorithms are sensitive to (see DESIGN.md,
+"Substitutions"): XMark-like balanced auction trees of scalable size,
+a small-but-deep Mondial-like geography tree, and a huge-but-shallow
+DBLP-like bibliography.  :func:`make_probabilistic` then injects IND and
+MUX distributional nodes exactly the way the paper describes (random
+pre-order injection, 10-20% distributional nodes), and
+:mod:`repro.datagen.queries` carries the Table III keyword queries.
+"""
+
+from repro.datagen.probabilistic import make_probabilistic
+from repro.datagen.xmark import generate_xmark
+from repro.datagen.mondial import generate_mondial
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.queries import (QUERIES, QUERY_SETS, query_keywords,
+                                   queries_for_dataset)
+from repro.datagen.datasets import (DATASET_SPECS, dataset_names,
+                                    make_dataset, make_document)
+from repro.datagen.workload import (WorkloadSpec, eligible_terms,
+                                    sample_workload)
+
+__all__ = [
+    "make_probabilistic",
+    "generate_xmark",
+    "generate_mondial",
+    "generate_dblp",
+    "QUERIES",
+    "QUERY_SETS",
+    "query_keywords",
+    "queries_for_dataset",
+    "DATASET_SPECS",
+    "dataset_names",
+    "make_dataset",
+    "make_document",
+    "WorkloadSpec",
+    "eligible_terms",
+    "sample_workload",
+]

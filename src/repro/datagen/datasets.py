@@ -1,0 +1,83 @@
+"""The six experimental p-documents of Table II.
+
+================  ==========================  ======================
+paper dataset     paper source                this library
+================  ==========================  ======================
+Doc1              XMark 10 MB                 XMark-like, scale 1
+Doc2              XMark 20 MB                 XMark-like, scale 2
+Doc3              XMark 40 MB                 XMark-like, scale 4
+Doc4              XMark 80 MB                 XMark-like, scale 8
+Doc5              Mondial 1.2 MB              Mondial-like
+Doc6              DBLP 156 MB                 DBLP-like
+================  ==========================  ======================
+
+Absolute sizes are scaled down for the pure-Python substrate (see
+DESIGN.md, "Substitutions"); the 1:2:4:8 XMark progression, Mondial's
+small-and-deep shape and DBLP's huge-and-shallow shape are preserved,
+which is what the experiments measure.  All builds are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.mondial import generate_mondial
+from repro.datagen.probabilistic import make_probabilistic
+from repro.datagen.xmark import generate_xmark
+from repro.exceptions import QueryError
+from repro.index.storage import Database
+from repro.prxml.model import PDocument
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one experimental dataset."""
+
+    name: str
+    family: str  # which Table III query set applies
+    build: Callable[[], PDocument]
+    distributional_ratio: float = 0.15
+    seed: int = 673  # first page number of the paper, for determinism
+
+
+def _spec(name: str, family: str, build: Callable[[], PDocument]
+          ) -> DatasetSpec:
+    return DatasetSpec(name=name, family=family, build=build)
+
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    "doc1": _spec("doc1", "xmark", lambda: generate_xmark(scale=1)),
+    "doc2": _spec("doc2", "xmark", lambda: generate_xmark(scale=2)),
+    "doc3": _spec("doc3", "xmark", lambda: generate_xmark(scale=4)),
+    "doc4": _spec("doc4", "xmark", lambda: generate_xmark(scale=8)),
+    "doc5": _spec("doc5", "mondial", lambda: generate_mondial()),
+    "doc6": _spec("doc6", "dblp", lambda: generate_dblp()),
+}
+
+
+def dataset_names() -> List[str]:
+    """The Table II dataset identifiers, doc1..doc6."""
+    return list(DATASET_SPECS)
+
+
+def make_document(name: str) -> PDocument:
+    """Build the probabilistic document for one dataset name."""
+    try:
+        spec = DATASET_SPECS[name.lower()]
+    except KeyError:
+        known = ", ".join(DATASET_SPECS)
+        raise QueryError(
+            f"unknown dataset {name!r}; known: {known}") from None
+    deterministic = spec.build()
+    return make_probabilistic(
+        deterministic,
+        distributional_ratio=spec.distributional_ratio,
+        seed=spec.seed)
+
+
+def make_dataset(name: str) -> Database:
+    """Build, encode and index one dataset (deterministic, no caching;
+    the benchmark harness adds on-disk caching on top)."""
+    return Database.from_document(make_document(name))

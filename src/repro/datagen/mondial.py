@@ -1,0 +1,125 @@
+"""Mondial-like geography documents.
+
+Mondial's signature — small overall size but deep, complex nesting
+(country / province / city chains, organization memberships, seas,
+islands) — is what stresses the stack depth and the distributional-node
+interplay in the paper's M1-M5 queries.  The default build lands near
+30k deterministic nodes with height around 10.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen import words
+from repro.prxml.builder import DocumentBuilder
+from repro.prxml.model import PDocument
+
+_COUNTRY_COUNT = 110
+_ORGANIZATION_COUNT = 70
+_SEA_COUNT = 28
+_DESERT_COUNT = 20
+
+
+def generate_mondial(seed: int = 19980901) -> PDocument:
+    """Build the deterministic Mondial-like document."""
+    rng = random.Random(seed)
+    builder = DocumentBuilder("mondial")
+
+    country_names = [f"{name} land" for name in
+                     words.unique_names(rng, _COUNTRY_COUNT,
+                                        words.FILLER_WORDS)]
+    country_names[0] = "united states"  # the marquee M2/M3 query term
+
+    for number, name in enumerate(country_names):
+        _country(builder, rng, name, number)
+
+    for number in range(_ORGANIZATION_COUNT):
+        _organization(builder, rng, number, country_names)
+
+    for _ in range(_SEA_COUNT):
+        with builder.element("sea"):
+            builder.leaf("name", f"{words.pick(rng, words.FILLER_WORDS)} sea")
+            builder.leaf("depth", str(rng.randint(100, 11000)))
+            if rng.random() < 0.5:
+                with builder.element("located"):
+                    builder.leaf("country",
+                                 rng.choice(country_names))
+
+    for _ in range(_DESERT_COUNT):
+        with builder.element("desert"):
+            builder.leaf("name",
+                         f"{words.pick(rng, words.FILLER_WORDS)} desert")
+            builder.leaf("area", str(rng.randint(1000, 900000)))
+
+    return builder.build()
+
+
+def _country(builder: DocumentBuilder, rng: random.Random, name: str,
+             number: int) -> None:
+    with builder.element("country"):
+        builder.leaf("name", name)
+        builder.leaf("population", str(rng.randint(100000, 900000000)))
+        builder.leaf("government",
+                     words.skewed_pick(rng, words.GOVERNMENTS))
+        builder.leaf("infant_mortality", f"{rng.uniform(2, 90):.1f}")
+        for _ in range(rng.randint(1, 4)):
+            with builder.element("ethnicgroup"):
+                builder.leaf("name",
+                             words.skewed_pick(rng, words.ETHNIC_GROUPS))
+                builder.leaf("percentage", f"{rng.uniform(1, 80):.1f}")
+        for _ in range(rng.randint(1, 3)):
+            with builder.element("religion"):
+                builder.leaf("name", words.skewed_pick(rng, words.RELIGIONS))
+                builder.leaf("percentage", f"{rng.uniform(1, 90):.1f}")
+        for province_number in range(rng.randint(2, 6)):
+            _province(builder, rng, number, province_number)
+        if rng.random() < 0.35:
+            for _ in range(rng.randint(1, 3)):
+                with builder.element("island"):
+                    builder.leaf("name",
+                                 f"{words.pick(rng, words.FILLER_WORDS)} "
+                                 "islands")
+                    builder.leaf("area", str(rng.randint(10, 200000)))
+                    if rng.random() < 0.5:
+                        builder.leaf("located",
+                                     rng.choice(("pacific ocean",
+                                                 "atlantic ocean",
+                                                 "indian ocean")))
+
+
+def _province(builder: DocumentBuilder, rng: random.Random,
+              country_number: int, province_number: int) -> None:
+    with builder.element("province"):
+        builder.leaf("name",
+                     f"{words.pick(rng, words.FILLER_WORDS)} province")
+        builder.leaf("area", str(rng.randint(500, 300000)))
+        for city_number in range(rng.randint(1, 5)):
+            with builder.element("city"):
+                builder.leaf("name", words.pick(rng, words.FILLER_WORDS))
+                builder.leaf("population",
+                             str(rng.randint(10000, 20000000)))
+                if rng.random() < 0.4:
+                    with builder.element("located_at"):
+                        builder.leaf("watertype",
+                                     rng.choice(("sea", "river", "lake")))
+                        with builder.element("coordinates"):
+                            builder.leaf("longitude",
+                                         f"{rng.uniform(-180, 180):.2f}")
+                            builder.leaf("latitude",
+                                         f"{rng.uniform(-90, 90):.2f}")
+
+
+def _organization(builder: DocumentBuilder, rng: random.Random,
+                  number: int, country_names) -> None:
+    with builder.element("organization"):
+        builder.leaf("name", words.skewed_pick(rng, words.ORGANIZATIONS))
+        builder.leaf("abbrev",
+                     "".join(words.pick(rng, words.FILLER_WORDS)[0]
+                             for _ in range(3)).upper())
+        builder.leaf("established", str(rng.randint(1900, 2005)))
+        for _ in range(rng.randint(2, 10)):
+            with builder.element("members"):
+                builder.leaf("type",
+                             rng.choice(("member", "observer", "applicant")))
+                builder.leaf("country", rng.choice(country_names))

@@ -1,0 +1,169 @@
+"""Random injection of distributional nodes (the paper's procedure).
+
+Section V-A: "We visit the nodes in the original XML tree in pre-order
+way.  For each node v visited, we randomly generate some distributional
+nodes with IND or MUX types as children of v.  Then, for the original
+children of v, we choose some of them as the children of the new
+generated distributional nodes and assign random probability
+distributions to these children with the restriction that the sum of
+them for a MUX node is no greater than 1.  For each dataset, the
+percentage of the distributional nodes is controlled in about 10% - 20%
+of the total nodes."
+
+:func:`make_probabilistic` reproduces exactly that, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.exceptions import ModelError
+from repro.prxml.model import NodeType, PDocument, PNode
+
+
+def make_probabilistic(document: PDocument,
+                       distributional_ratio: float = 0.15,
+                       mux_fraction: float = 0.5,
+                       exp_fraction: float = 0.0,
+                       seed: int = 0) -> PDocument:
+    """Return a probabilistic copy of a deterministic document.
+
+    Args:
+        document: source tree (left untouched; a deep copy is modified).
+        distributional_ratio: target fraction of distributional nodes in
+            the result (the paper keeps 10-20%).
+        mux_fraction: fraction of injected nodes that are MUX (the rest
+            are IND); the paper's Table II has them near 50/50.
+        exp_fraction: fraction of injected nodes that are EXP instead
+            (random explicit subset distributions) — 0 reproduces the
+            paper's PrXML{ind,mux} setup exactly; positive values
+            exercise the model extension.
+        seed: RNG seed; identical arguments give identical output.
+
+    Raises:
+        ModelError: if ``distributional_ratio`` is not in ``[0, 0.5)``
+            or the kind fractions exceed 1 combined.
+    """
+    if not 0.0 <= distributional_ratio < 0.5:
+        raise ModelError(
+            f"distributional_ratio {distributional_ratio!r} outside [0, 0.5)")
+    if exp_fraction < 0.0 or mux_fraction < 0.0 \
+            or exp_fraction + mux_fraction > 1.0:
+        raise ModelError(
+            "mux_fraction and exp_fraction must be non-negative and sum "
+            "to at most 1")
+    result = document.copy()
+    if distributional_ratio == 0.0:
+        return result
+
+    rng = random.Random((seed, distributional_ratio, mux_fraction,
+                         exp_fraction).__hash__())
+    nodes = list(result)  # snapshot: new nodes need no visit
+    internal = [node for node in nodes if node.children]
+    if not internal:
+        return result
+
+    # D distributional nodes among N + D total must hit the ratio.
+    target = distributional_ratio * len(nodes) / (1.0 - distributional_ratio)
+    rate = target / len(internal)
+
+    for node in internal:
+        wraps = int(rate)
+        if rng.random() < rate - wraps:
+            wraps += 1
+        for _ in range(min(wraps, len(node.children))):
+            _wrap_some_children(node, rng, mux_fraction, exp_fraction)
+
+    result.refresh()
+    return result
+
+
+def _wrap_some_children(node: PNode, rng: random.Random,
+                        mux_fraction: float, exp_fraction: float) -> None:
+    """Move a random subset of ``node``'s non-distributional children
+    under a fresh IND, MUX or EXP node with random probabilities."""
+    eligible = [child for child in node.children
+                if not child.is_distributional]
+    if not eligible:
+        return
+    group_size = min(len(eligible), rng.randint(1, 3))
+    chosen = rng.sample(eligible, group_size)
+    chosen_set = set(map(id, chosen))
+    chosen.sort(key=lambda child: node.children.index(child))
+
+    pick = rng.random()
+    if pick < mux_fraction:
+        kind = NodeType.MUX
+    elif pick < mux_fraction + exp_fraction:
+        kind = NodeType.EXP
+    else:
+        kind = NodeType.IND
+    wrapper = PNode(kind.name, kind)
+
+    # Replace the first chosen child with the wrapper, drop the rest.
+    insert_at = node.children.index(chosen[0])
+    node.children = [child for child in node.children
+                     if id(child) not in chosen_set]
+    node.children.insert(insert_at, wrapper)
+    wrapper.parent = node
+
+    if kind is NodeType.EXP:
+        for child in chosen:
+            child.parent = wrapper
+            wrapper.children.append(child)
+        wrapper.set_exp_subsets(_random_subsets(rng, len(chosen)))
+        return
+    probabilities = _random_distribution(rng, len(chosen),
+                                         kind is NodeType.MUX)
+    for child, probability in zip(chosen, probabilities):
+        child.parent = None
+        child.edge_prob = probability
+        child.parent = wrapper
+        wrapper.children.append(child)
+
+
+def _random_subsets(rng: random.Random, child_count: int):
+    """A random explicit subset distribution over ``child_count``
+    children with total mass below 1 (residue = no child)."""
+    all_subsets = [
+        set(position for position in range(1, child_count + 1)
+            if mask & (1 << (position - 1)))
+        for mask in range(1, 1 << child_count)
+    ]
+    rng.shuffle(all_subsets)
+    picked = all_subsets[:rng.randint(1, min(3, len(all_subsets)))]
+    # Every child must appear in some subset (a child with marginal 0
+    # would not belong under the EXP node at all).
+    for position in range(1, child_count + 1):
+        if not any(position in subset for subset in picked):
+            rng.choice(picked).add(position)
+    picked = _dedupe_subsets(picked)
+    weights = [rng.uniform(0.1, 1.0) for _ in picked]
+    scale = rng.uniform(0.7, 0.98) / sum(weights)
+    return [(tuple(sorted(subset)), round(weight * scale, 6))
+            for subset, weight in zip(picked, weights)]
+
+
+def _dedupe_subsets(picked):
+    """Coverage fixing can create duplicate subsets; keep the first."""
+    unique = []
+    seen = set()
+    for subset in picked:
+        key = tuple(sorted(subset))
+        if key not in seen:
+            seen.add(key)
+            unique.append(subset)
+    return unique
+
+
+def _random_distribution(rng: random.Random, count: int,
+                         mux: bool) -> List[float]:
+    """Random edge probabilities: independent draws for IND children,
+    weights normalised to a sub-1 total for MUX children."""
+    if not mux:
+        return [round(rng.uniform(0.2, 0.95), 3) for _ in range(count)]
+    weights = [rng.uniform(0.1, 1.0) for _ in range(count)]
+    total_mass = rng.uniform(0.75, 0.98)
+    scale = total_mass / sum(weights)
+    return [round(weight * scale, 6) for weight in weights]

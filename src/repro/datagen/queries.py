@@ -1,0 +1,63 @@
+"""The keyword queries of Table III.
+
+Five queries per dataset: X1-X5 on XMark, M1-M5 on Mondial, D1-D5 on
+DBLP, exactly as printed in the paper.  Multi-word entries like
+"United States" contribute every word as a required term (AND
+semantics), matching the library's tokenizer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import QueryError
+
+#: Table III, verbatim.
+QUERIES: Dict[str, Tuple[str, ...]] = {
+    "X1": ("United States", "Graduate"),
+    "X2": ("United States", "Credit", "ship"),
+    "X3": ("Personal", "Check", "alexas"),
+    "X4": ("Alexas", "ship"),
+    "X5": ("internationally", "ship"),
+    "M1": ("muslim", "multiparty"),
+    "M2": ("organization", "United States"),
+    "M3": ("united states", "islands"),
+    "M4": ("organization", "pacific"),
+    "M5": ("chinese", "polish"),
+    "D1": ("Information", "Retrieval", "Database"),
+    "D2": ("XML", "Keyword", "Query"),
+    "D3": ("Query", "Relational", "Database"),
+    "D4": ("probabilistic", "Query"),
+    "D5": ("stream", "Query"),
+}
+
+#: Query ids grouped by the dataset family they run on.
+QUERY_SETS: Dict[str, Tuple[str, ...]] = {
+    "xmark": ("X1", "X2", "X3", "X4", "X5"),
+    "mondial": ("M1", "M2", "M3", "M4", "M5"),
+    "dblp": ("D1", "D2", "D3", "D4", "D5"),
+}
+
+
+def query_keywords(query_id: str) -> List[str]:
+    """Keywords of one Table III query.
+
+    Raises:
+        QueryError: for an unknown query id.
+    """
+    try:
+        return list(QUERIES[query_id.upper()])
+    except KeyError:
+        known = ", ".join(sorted(QUERIES))
+        raise QueryError(
+            f"unknown query id {query_id!r}; known: {known}") from None
+
+
+def queries_for_dataset(family: str) -> List[str]:
+    """Query ids for a dataset family ("xmark", "mondial", "dblp")."""
+    try:
+        return list(QUERY_SETS[family.lower()])
+    except KeyError:
+        known = ", ".join(sorted(QUERY_SETS))
+        raise QueryError(
+            f"unknown dataset family {family!r}; known: {known}") from None

@@ -1,0 +1,148 @@
+"""Vocabulary for the synthetic corpora.
+
+A compact word pool for filler text, plus the query terms of Table III
+planted with controlled frequencies so the paper's queries have
+realistic selectivities (some terms frequent, some rare — the regime
+that separates Indexed Lookup Eager from Scan Eager, and PrStack from
+EagerTopK).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: General filler vocabulary (used for descriptions, names, titles).
+FILLER_WORDS = (
+    "amber ancient anchor autumn basket beacon bridge canvas cedar "
+    "charter cobalt copper coral crescent crystal delta drift ember "
+    "falcon fathom federal feather flint garnet glacier granite grove "
+    "harbor hazel horizon indigo iron ivory jade juniper keel kernel "
+    "lantern ledger linden lunar maple marble meadow mercury mirror "
+    "molten mosaic north ocean olive onyx opal orchard oriole pearl "
+    "pine plateau prairie prism quarry quartz raven ridge river russet "
+    "saffron sage salt sand sapphire scarlet shadow silver slate "
+    "solstice sparrow spruce steel stone summit thistle timber topaz "
+    "tundra umber valley velvet vertex walnut willow winter zephyr"
+).split()
+
+#: Person given names (XMark-style); "alexas" is a Table III term.
+PERSON_NAMES = (
+    "alexas benedikt cecilia dominic eleanor farrell gudrun heinrich "
+    "isolde jasper katrina leopold miriam norbert ottilie pavel quentin "
+    "rosalind sigurd theresa ulrich viviane wilhelm xenia yolanda zacharias"
+).split()
+
+#: Countries; "united states" is the multi-word Table III term.
+COUNTRIES = (
+    "united states", "germany", "france", "japan", "brazil", "canada",
+    "australia", "india", "china", "italy", "spain", "netherlands",
+    "poland", "sweden", "norway", "mexico", "argentina", "egypt",
+    "kenya", "vietnam",
+)
+
+#: Payment phrases ("credit", "personal", "check" are query terms).
+PAYMENT_PHRASES = (
+    "money order", "creditcard", "personal check", "cash",
+    "credit transfer", "check on delivery",
+)
+
+#: Shipping phrases ("ship", "internationally" are query terms).
+SHIPPING_PHRASES = (
+    "will ship only within country",
+    "will ship internationally",
+    "buyer pays fixed shipping charges",
+    "see description for charges",
+    "will ship internationally, see description",
+)
+
+#: Education levels ("graduate" is a query term).
+EDUCATION_LEVELS = (
+    "high school", "college", "graduate school", "other",
+    "graduate diploma",
+)
+
+#: Religions for Mondial ("muslim" is a query term).
+RELIGIONS = (
+    "muslim", "christian", "buddhist", "hindu", "jewish", "sikh",
+    "shinto", "taoist",
+)
+
+#: Government forms ("multiparty" is a query term).
+GOVERNMENTS = (
+    "federal republic", "multiparty democracy", "constitutional monarchy",
+    "multiparty republic", "parliamentary democracy", "federation",
+)
+
+#: Ethnic groups ("chinese" and "polish" are query terms).
+ETHNIC_GROUPS = (
+    "chinese", "polish", "arab", "malay", "german", "russian", "zulu",
+    "quechua", "tatar", "berber",
+)
+
+#: Organization names ("organization", "united", "pacific" appear).
+ORGANIZATIONS = (
+    "united nations organization",
+    "pacific islands forum",
+    "world trade organization",
+    "organization of american states",
+    "african union",
+    "asia pacific economic cooperation",
+    "islands development organization",
+)
+
+#: Topical title vocabulary with per-title inclusion probabilities.
+#: Terms appear in titles *independently*, mimicking real DBLP: each
+#: query term is individually frequent but full co-occurrence (a
+#: traditional SLCA seed) is rare — the regime where EagerTopK's
+#: pruning wins (Figure 4(e)).
+TITLE_TERMS = (
+    ("query", 0.30), ("data", 0.25), ("database", 0.18),
+    ("system", 0.15), ("search", 0.12), ("xml", 0.10),
+    ("information", 0.09), ("processing", 0.08), ("keyword", 0.07),
+    ("retrieval", 0.06), ("optimization", 0.06), ("web", 0.06),
+    ("relational", 0.05), ("mining", 0.05), ("index", 0.05),
+    ("distributed", 0.05), ("probabilistic", 0.04), ("stream", 0.04),
+    ("graph", 0.04), ("semantic", 0.03),
+)
+
+VENUES = (
+    "sigmod", "vldb", "icde", "edbt", "cikm", "www", "kdd", "pods",
+)
+
+
+def sentence(rng: random.Random, words: int,
+             pool: Sequence[str] = FILLER_WORDS) -> str:
+    """A space-joined random sentence of ``words`` pool words."""
+    return " ".join(rng.choice(pool) for _ in range(words))
+
+
+def pick(rng: random.Random, pool: Sequence[str]) -> str:
+    """Uniform choice from a pool."""
+    return rng.choice(pool)
+
+
+def skewed_pick(rng: random.Random, pool: Sequence[str],
+                skew: float = 1.6) -> str:
+    """Pick with a Zipf-ish skew so early pool entries dominate —
+    giving query terms realistic, unequal document frequencies."""
+    index = min(int(rng.paretovariate(skew)) - 1, len(pool) - 1)
+    return pool[index]
+
+
+def title(rng: random.Random) -> str:
+    """A publication title: independently included topical terms plus
+    filler words, so term document-frequencies are controlled and
+    co-occurrence factors multiply."""
+    parts = [term for term, probability in TITLE_TERMS
+             if rng.random() < probability]
+    parts.extend(rng.choice(FILLER_WORDS)
+                 for _ in range(rng.randint(1, 3)))
+    rng.shuffle(parts)
+    return " ".join(parts)
+
+
+def unique_names(rng: random.Random, count: int,
+                 pool: Sequence[str] = PERSON_NAMES) -> List[str]:
+    """``count`` distinct-ish person names ("<given><number>")."""
+    return [f"{rng.choice(pool)}{index}" for index in range(count)]

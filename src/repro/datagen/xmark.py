@@ -1,0 +1,169 @@
+"""XMark-like auction-site documents.
+
+Mirrors the XMark benchmark schema (site / regions / categories /
+people / open_auctions / closed_auctions) with balanced depth, varied
+fan-out and text planted so the Table III queries X1-X5 have realistic
+selectivities.  ``scale=1`` yields roughly 40k deterministic nodes; the
+node count grows linearly with ``scale``, matching the paper's
+10/20/40/80 MB progression at reduced absolute size (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen import words
+from repro.prxml.builder import DocumentBuilder
+from repro.prxml.model import PDocument
+
+_REGIONS = ("africa", "asia", "australia", "europe",
+            "namerica", "samerica")
+
+# Per-scale-unit entity counts (chosen to land near 40k nodes/unit).
+_ITEMS_PER_REGION = 90
+_PEOPLE = 420
+_OPEN_AUCTIONS = 260
+_CLOSED_AUCTIONS = 180
+_CATEGORIES = 60
+
+
+def generate_xmark(scale: int = 1, seed: int = 20110411) -> PDocument:
+    """Build a deterministic XMark-like document.
+
+    Args:
+        scale: linear size factor (paper uses 1, 2, 4, 8).
+        seed: RNG seed; identical arguments give identical documents.
+    """
+    rng = random.Random((seed, scale).__hash__())
+    builder = DocumentBuilder("site")
+
+    with builder.element("regions"):
+        for region in _REGIONS:
+            with builder.element(region):
+                for item_number in range(_ITEMS_PER_REGION * scale):
+                    _item(builder, rng, region, item_number)
+
+    with builder.element("categories"):
+        for category_number in range(_CATEGORIES * scale):
+            with builder.element("category"):
+                builder.leaf("name", words.sentence(rng, 2))
+                builder.leaf("description", words.sentence(rng, 6))
+
+    with builder.element("people"):
+        for person_number in range(_PEOPLE * scale):
+            _person(builder, rng, person_number)
+
+    with builder.element("open_auctions"):
+        for auction_number in range(_OPEN_AUCTIONS * scale):
+            _open_auction(builder, rng, auction_number, scale)
+
+    with builder.element("closed_auctions"):
+        for auction_number in range(_CLOSED_AUCTIONS * scale):
+            _closed_auction(builder, rng, auction_number, scale)
+
+    return builder.build()
+
+
+def _item(builder: DocumentBuilder, rng: random.Random, region: str,
+          number: int) -> None:
+    with builder.element("item"):
+        builder.leaf("location", words.skewed_pick(rng, words.COUNTRIES))
+        builder.leaf("quantity", str(rng.randint(1, 10)))
+        builder.leaf("name", words.sentence(rng, 2))
+        builder.leaf("payment",
+                     words.skewed_pick(rng, words.PAYMENT_PHRASES))
+        with builder.element("description"):
+            builder.leaf("text", words.sentence(rng, rng.randint(6, 16)))
+        builder.leaf("shipping",
+                     words.skewed_pick(rng, words.SHIPPING_PHRASES))
+        for _ in range(rng.randint(1, 3)):
+            builder.leaf("incategory",
+                         f"category{rng.randint(0, 9)}")
+        if rng.random() < 0.5:
+            with builder.element("mailbox"):
+                for _ in range(rng.randint(1, 3)):
+                    with builder.element("mail"):
+                        builder.leaf("from", words.pick(
+                            rng, words.PERSON_NAMES))
+                        builder.leaf("date", _date(rng))
+                        builder.leaf("text",
+                                     words.sentence(rng, rng.randint(4, 10)))
+
+
+def _person(builder: DocumentBuilder, rng: random.Random,
+            number: int) -> None:
+    with builder.element("person"):
+        builder.leaf("name",
+                     f"{words.skewed_pick(rng, words.PERSON_NAMES)} "
+                     f"{words.pick(rng, words.FILLER_WORDS)}")
+        builder.leaf("emailaddress",
+                     f"mailto:person{number}@example.net")
+        if rng.random() < 0.6:
+            builder.leaf("phone", f"+{rng.randint(1, 99)} "
+                                  f"{rng.randint(1000000, 9999999)}")
+        if rng.random() < 0.7:
+            with builder.element("address"):
+                builder.leaf("street",
+                             f"{rng.randint(1, 99)} "
+                             f"{words.pick(rng, words.FILLER_WORDS)} st")
+                builder.leaf("city", words.pick(rng, words.FILLER_WORDS))
+                builder.leaf("country",
+                             words.skewed_pick(rng, words.COUNTRIES))
+        if rng.random() < 0.4:
+            builder.leaf("creditcard",
+                         " ".join(str(rng.randint(1000, 9999))
+                                  for _ in range(4)))
+        with builder.element("profile"):
+            for _ in range(rng.randint(0, 3)):
+                builder.leaf("interest", f"category{rng.randint(0, 9)}")
+            if rng.random() < 0.6:
+                builder.leaf("education",
+                             words.pick(rng, words.EDUCATION_LEVELS))
+            builder.leaf("gender", rng.choice(("male", "female")))
+            builder.leaf("age", str(rng.randint(18, 80)))
+
+
+def _open_auction(builder: DocumentBuilder, rng: random.Random,
+                  number: int, scale: int) -> None:
+    with builder.element("open_auction"):
+        builder.leaf("initial", _money(rng))
+        for _ in range(rng.randint(0, 4)):
+            with builder.element("bidder"):
+                builder.leaf("date", _date(rng))
+                builder.leaf("increase", _money(rng))
+        builder.leaf("current", _money(rng))
+        builder.leaf("itemref",
+                     f"item{rng.randint(0, _ITEMS_PER_REGION * scale - 1)}")
+        builder.leaf("seller", f"person{rng.randint(0, _PEOPLE - 1)}")
+        with builder.element("annotation"):
+            builder.leaf("author", words.pick(rng, words.PERSON_NAMES))
+            builder.leaf("description",
+                         words.sentence(rng, rng.randint(4, 12)))
+        builder.leaf("quantity", str(rng.randint(1, 5)))
+        builder.leaf("type", rng.choice(("regular", "featured")))
+
+
+def _closed_auction(builder: DocumentBuilder, rng: random.Random,
+                    number: int, scale: int) -> None:
+    with builder.element("closed_auction"):
+        builder.leaf("seller", f"person{rng.randint(0, _PEOPLE - 1)}")
+        builder.leaf("buyer", f"person{rng.randint(0, _PEOPLE - 1)}")
+        builder.leaf("itemref",
+                     f"item{rng.randint(0, _ITEMS_PER_REGION * scale - 1)}")
+        builder.leaf("price", _money(rng))
+        builder.leaf("date", _date(rng))
+        builder.leaf("quantity", str(rng.randint(1, 5)))
+        builder.leaf("type", rng.choice(("regular", "featured")))
+        with builder.element("annotation"):
+            builder.leaf("author", words.pick(rng, words.PERSON_NAMES))
+            builder.leaf("description",
+                         words.sentence(rng, rng.randint(4, 12)))
+
+
+def _money(rng: random.Random) -> str:
+    return f"{rng.randint(1, 400)}.{rng.randint(0, 99):02d}"
+
+
+def _date(rng: random.Random) -> str:
+    return (f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/"
+            f"{rng.randint(1998, 2010)}")

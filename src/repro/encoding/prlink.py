@@ -1,0 +1,57 @@
+"""Probability links (the gamma index of Section IV-A).
+
+A *PrLink* is the tuple of conditional edge probabilities along a node's
+root path, aligned component-by-component with its Dewey code: entry 0
+is the root's probability (always 1), entry ``i`` is the probability of
+the edge onto the node at code prefix length ``i + 1``.  The paper keeps
+one such link per keyword node, e.g. ``1, 0.25, 0.6, 1, 0.5`` for D1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.exceptions import EncodingError
+
+#: Conditional probabilities root -> node, one entry per Dewey component.
+PrLink = Tuple[float, ...]
+
+
+def path_probability(link: PrLink, length: int = -1) -> float:
+    """``Pr(path_root->v)`` for the node at component ``length``.
+
+    With the default ``length=-1`` the full link is used (the node the
+    link belongs to); shorter lengths give the path probability of the
+    node's ancestors, which PrStack needs when it finalises stack frames.
+    """
+    if length == -1:
+        length = len(link)
+    if not 0 <= length <= len(link):
+        raise EncodingError(
+            f"path length {length} out of range for link of {len(link)}")
+    return math.prod(link[:length])
+
+
+def prefix_probabilities(link: PrLink) -> Tuple[float, ...]:
+    """All cumulative path probabilities, index ``i`` covering ``i + 1``
+    components (index 0 is the root's existence probability, 1)."""
+    cumulative = []
+    running = 1.0
+    for probability in link:
+        running *= probability
+        cumulative.append(running)
+    return tuple(cumulative)
+
+
+def validate_link(link: PrLink) -> None:
+    """Raise :class:`EncodingError` unless every entry lies in ``(0, 1]``
+    and the root entry is 1."""
+    if not link:
+        raise EncodingError("a PrLink cannot be empty")
+    if link[0] != 1.0:
+        raise EncodingError(f"root probability must be 1, got {link[0]!r}")
+    for position, probability in enumerate(link):
+        if not 0.0 < probability <= 1.0:
+            raise EncodingError(
+                f"link[{position}] = {probability!r} outside (0, 1]")

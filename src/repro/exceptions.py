@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type and be sure nothing library-specific escapes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A probabilistic XML document violates the PrXML{ind,mux} model.
+
+    Examples: an edge probability outside ``(0, 1]``, a MUX node whose
+    child probabilities sum to more than 1, or a node attached to two
+    parents.
+    """
+
+
+class ParseError(ReproError):
+    """A p-document text representation could not be parsed."""
+
+
+class EncodingError(ReproError):
+    """An extended Dewey code is malformed or inconsistent."""
+
+
+class IndexError_(ReproError):
+    """An inverted index is missing, stale, or internally inconsistent.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class QueryError(ReproError):
+    """A keyword query is invalid (empty, non-positive ``k``, ...)."""
+
+
+class StorageError(ReproError):
+    """Persisted index data could not be written or read back."""

@@ -1,0 +1,132 @@
+"""The inverted keyword index.
+
+Maps every term to the document-ordered list of ordinary nodes whose tag
+or text contains it.  Node ids are preorder positions, so ascending id
+order *is* document (Dewey) order — the scan order PrStack relies on.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Tuple
+
+from repro.encoding.encoder import EncodedDocument
+from repro.exceptions import IndexError_, QueryError
+from repro.index.tokenizer import node_terms, normalize_query
+
+
+class InvertedIndex:
+    """Term -> sorted node-id postings over one encoded document.
+
+    Besides the tokenised term postings the index keeps *exact-label*
+    postings (tag name -> ordinary node ids), which the twig engine
+    uses to find its candidate nodes.
+    """
+
+    def __init__(self, encoded: EncodedDocument,
+                 postings: Dict[str, array],
+                 label_postings: Dict[str, array] = None):
+        self.encoded = encoded
+        self._postings = postings
+        if label_postings is None:
+            label_postings = _label_postings_of(encoded)
+        self._labels = label_postings
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_document(cls, encoded: EncodedDocument) -> "InvertedIndex":
+        """Build postings over every ordinary node's tag and text."""
+        postings: Dict[str, List[int]] = {}
+        for node in encoded.document.iter_preorder():
+            for term in set(node_terms(node)):
+                postings.setdefault(term, []).append(node.node_id)
+        packed = {term: array("q", ids) for term, ids in postings.items()}
+        return cls(encoded, packed)
+
+    # -- queries ----------------------------------------------------------------
+
+    def postings(self, term: str) -> array:
+        """Document-ordered node ids matching ``term`` (empty if absent)."""
+        return self._postings.get(term.lower(), array("q"))
+
+    def label_postings(self, label: str) -> array:
+        """Document-ordered ids of ordinary nodes with exactly this tag
+        (case-sensitive, unlike term postings)."""
+        return self._labels.get(label, array("q"))
+
+    def ordinary_ids(self) -> array:
+        """All ordinary node ids in document order (twig wildcard
+        steps fall back to this)."""
+        return array("q", (node.node_id
+                           for node in self.encoded.document.iter_ordinary()))
+
+    def document_frequency(self, term: str) -> int:
+        """How many nodes match ``term``."""
+        return len(self.postings(term))
+
+    def vocabulary(self) -> List[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._postings)
+
+    def __contains__(self, term: str) -> bool:
+        return term.lower() in self._postings
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def query_terms(self, keywords: Iterable[str]) -> List[str]:
+        """Normalise a keyword query against this index.
+
+        Raises:
+            QueryError: if the query has no terms at all.
+        """
+        terms = normalize_query(keywords)
+        if not terms:
+            raise QueryError("keyword query contains no terms")
+        return terms
+
+    def keyword_lists(self, keywords: Iterable[str]
+                      ) -> Tuple[List[str], List[array]]:
+        """The per-term posting lists for a query, shortest-first metadata
+        left to callers.  Terms missing from the index yield empty lists
+        (the query then has zero answers everywhere)."""
+        terms = self.query_terms(keywords)
+        return terms, [self.postings(term) for term in terms]
+
+    # -- integrity ---------------------------------------------------------------
+
+    def check_integrity(self) -> None:
+        """Verify postings are strictly increasing and ids are in range.
+
+        Raises:
+            IndexError_: on any inconsistency (e.g. a stale index loaded
+                against a different document).
+        """
+        size = len(self.encoded.document)
+        for term, ids in self._postings.items():
+            previous = -1
+            for node_id in ids:
+                if not 0 <= node_id < size:
+                    raise IndexError_(
+                        f"term {term!r}: node id {node_id} out of range")
+                if node_id <= previous:
+                    raise IndexError_(
+                        f"term {term!r}: postings not strictly increasing")
+                previous = node_id
+
+    def raw_postings(self) -> Dict[str, array]:
+        """Internal postings map (used by storage)."""
+        return self._postings
+
+
+def _label_postings_of(encoded: EncodedDocument) -> Dict[str, array]:
+    labels: Dict[str, List[int]] = {}
+    for node in encoded.document.iter_ordinary():
+        labels.setdefault(node.label, []).append(node.node_id)
+    return {label: array("q", ids) for label, ids in labels.items()}
+
+
+def build_index(encoded: EncodedDocument) -> InvertedIndex:
+    """Convenience wrapper over :meth:`InvertedIndex.from_document`."""
+    return InvertedIndex.from_document(encoded)

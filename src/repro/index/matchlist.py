@@ -1,0 +1,127 @@
+"""Match-list machinery shared by the search algorithms.
+
+Both algorithms consume *match entries*: one entry per distinct node
+that matches at least one query term, carrying the node's Dewey code,
+its PrLink, and a bitmask of which query keywords it matches (bit ``i``
+set means keyword ``i`` present — the binary representation of
+Section III-B).  Entries are kept in document order.
+
+:class:`MatchList` adds the bookkeeping EagerTopK needs: binary-searched
+subtree ranges and consumption flags, so a candidate can "access and
+remove the relevant keyword nodes" (Section IV-B) in logarithmic +
+output time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.encoding.dewey import DeweyCode
+from repro.encoding.prlink import PrLink
+from repro.index.inverted import InvertedIndex
+
+
+class MatchEntry:
+    """One keyword-matching node: code, probability link, keyword mask."""
+
+    __slots__ = ("node_id", "code", "link", "mask")
+
+    def __init__(self, node_id: int, code: DeweyCode, link: PrLink,
+                 mask: int):
+        self.node_id = node_id
+        self.code = code
+        self.link = link
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MatchEntry({self.code}, mask={self.mask:b})"
+
+
+def build_match_entries(index: InvertedIndex, keywords: Sequence[str]
+                        ) -> Tuple[List[str], List[MatchEntry]]:
+    """Merge per-term postings into per-node masked entries.
+
+    Returns the normalised term list (defining bit positions) and the
+    document-ordered entries.  A node matched by several terms appears
+    once with the OR of its bits — this implements the "if v' is not
+    promoted ... " duplicate handling of Algorithm 1 up front.
+    """
+    terms, postings = index.keyword_lists(keywords)
+    masks: Dict[int, int] = {}
+    for bit, ids in enumerate(postings):
+        flag = 1 << bit
+        for node_id in ids:
+            masks[node_id] = masks.get(node_id, 0) | flag
+    encoded = index.encoded
+    entries = [
+        MatchEntry(node_id, encoded.codes[node_id], encoded.links[node_id],
+                   masks[node_id])
+        for node_id in sorted(masks)
+    ]
+    return terms, entries
+
+
+def keyword_code_lists(index: InvertedIndex, keywords: Sequence[str]
+                       ) -> Tuple[List[str], List[List[DeweyCode]]]:
+    """Per-keyword Dewey lists (the input shape of the deterministic
+    SLCA algorithms of [12] that EagerTopK seeds from)."""
+    terms, postings = index.keyword_lists(keywords)
+    codes = index.encoded.codes
+    return terms, [[codes[node_id] for node_id in ids] for ids in postings]
+
+
+class MatchList:
+    """Document-ordered match entries with consumption tracking.
+
+    EagerTopK processes candidates out of document order; every time a
+    candidate's subtree is evaluated, the entries inside it are consumed
+    so an ancestor evaluated later only sweeps what is left.
+    """
+
+    def __init__(self, entries: List[MatchEntry]):
+        self.entries = entries
+        self._positions = [entry.code.positions for entry in entries]
+        self._consumed = bytearray(len(entries))
+        self._remaining = len(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def remaining(self) -> int:
+        """How many entries are still unconsumed."""
+        return self._remaining
+
+    def subtree_slice(self, code: DeweyCode) -> Tuple[int, int]:
+        """Index range ``[lo, hi)`` of entries inside ``code``'s subtree."""
+        lo = bisect_left(self._positions, code.positions)
+        hi = bisect_left(self._positions, code.subtree_upper_bound())
+        return lo, hi
+
+    def iter_subtree(self, code: DeweyCode,
+                     unconsumed_only: bool = True) -> Iterator[MatchEntry]:
+        """Entries within ``code``'s subtree, in document order."""
+        lo, hi = self.subtree_slice(code)
+        for position in range(lo, hi):
+            if unconsumed_only and self._consumed[position]:
+                continue
+            yield self.entries[position]
+
+    def consume_subtree(self, code: DeweyCode) -> List[MatchEntry]:
+        """Return and mark consumed all unconsumed entries under ``code``."""
+        lo, hi = self.subtree_slice(code)
+        taken: List[MatchEntry] = []
+        for position in range(lo, hi):
+            if not self._consumed[position]:
+                self._consumed[position] = 1
+                self._remaining -= 1
+                taken.append(self.entries[position])
+        return taken
+
+    def unconsumed_mask_union(self, code: DeweyCode) -> int:
+        """OR of the masks of unconsumed entries under ``code``."""
+        union = 0
+        for entry in self.iter_subtree(code):
+            union |= entry.mask
+        return union

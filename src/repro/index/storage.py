@@ -1,0 +1,119 @@
+"""Persistence: save and load a document + its inverted index.
+
+A *database directory* contains:
+
+* ``document.pxml`` — the p-document in the XML text format;
+* ``postings.jsonl`` — one JSON object per line: ``{"t": term, "ids": [...]}``;
+* ``meta.json`` — format version and integrity counters.
+
+Loading re-encodes the document (Dewey codes are deterministic, so they
+never need to be stored) and verifies the posting lists against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from array import array
+from typing import Dict
+
+from repro.encoding.encoder import EncodedDocument, encode_document
+from repro.exceptions import StorageError
+from repro.index.inverted import InvertedIndex
+from repro.prxml.parser import parse_pxml_file
+from repro.prxml.serializer import write_pxml_file
+
+FORMAT_VERSION = 1
+
+_DOCUMENT_FILE = "document.pxml"
+_POSTINGS_FILE = "postings.jsonl"
+_META_FILE = "meta.json"
+
+
+class Database:
+    """A loaded document + encoding + inverted index bundle."""
+
+    def __init__(self, encoded: EncodedDocument, index: InvertedIndex):
+        self.encoded = encoded
+        self.index = index
+
+    @property
+    def document(self):
+        """The underlying :class:`PDocument`."""
+        return self.encoded.document
+
+    @classmethod
+    def from_document(cls, document) -> "Database":
+        """Encode and index an in-memory document."""
+        encoded = encode_document(document)
+        return cls(encoded, InvertedIndex.from_document(encoded))
+
+
+def save_database(database: Database, directory) -> None:
+    """Write a database directory (created if missing)."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+        write_pxml_file(database.document,
+                        os.path.join(directory, _DOCUMENT_FILE))
+        with open(os.path.join(directory, _POSTINGS_FILE), "w",
+                  encoding="utf-8") as handle:
+            for term, ids in sorted(database.index.raw_postings().items()):
+                json.dump({"t": term, "ids": list(ids)}, handle)
+                handle.write("\n")
+        meta = {
+            "version": FORMAT_VERSION,
+            "nodes": len(database.document),
+            "terms": len(database.index),
+        }
+        with open(os.path.join(directory, _META_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=2)
+    except OSError as exc:
+        raise StorageError(f"cannot write database to {directory}: {exc}"
+                           ) from exc
+
+
+def load_database(directory) -> Database:
+    """Load a database directory written by :func:`save_database`."""
+    meta_path = os.path.join(directory, _META_FILE)
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read {meta_path}: {exc}") from exc
+    if meta.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported database version {meta.get('version')!r} "
+            f"(expected {FORMAT_VERSION})")
+
+    document = parse_pxml_file(os.path.join(directory, _DOCUMENT_FILE))
+    if len(document) != meta.get("nodes"):
+        raise StorageError(
+            f"document has {len(document)} nodes but metadata recorded "
+            f"{meta.get('nodes')}")
+    encoded = encode_document(document)
+
+    postings: Dict[str, array] = {}
+    postings_path = os.path.join(directory, _POSTINGS_FILE)
+    try:
+        with open(postings_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                    postings[record["t"]] = array("q", record["ids"])
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    raise StorageError(
+                        f"{postings_path}:{line_number}: bad record: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise StorageError(f"cannot read {postings_path}: {exc}") from exc
+
+    if len(postings) != meta.get("terms"):
+        raise StorageError(
+            f"index has {len(postings)} terms but metadata recorded "
+            f"{meta.get('terms')}")
+    index = InvertedIndex(encoded, postings)
+    index.check_integrity()
+    return Database(encoded, index)

@@ -1,0 +1,48 @@
+"""Tokenisation of node labels and text into indexable terms.
+
+Keyword matching in the paper is case-insensitive word matching over tag
+names and text values (queries such as ``{United States, Graduate}``
+match element content).  We tokenise on runs of letters and digits and
+lowercase everything; multi-word query strings like ``"united states"``
+simply become several required terms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.prxml.model import PNode
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercased alphanumeric tokens of ``text`` (order preserved)."""
+    return [match.group(0).lower() for match in _TOKEN_PATTERN.finditer(text)]
+
+
+def node_terms(node: PNode) -> List[str]:
+    """Terms a node matches: its tag tokens plus its text tokens.
+
+    Distributional nodes never match keywords — they do not exist in
+    possible worlds — so they yield no terms.
+    """
+    if node.is_distributional:
+        return []
+    terms = tokenize(node.label)
+    if node.text:
+        terms.extend(tokenize(node.text))
+    return terms
+
+
+def normalize_query(keywords: Iterable[str]) -> List[str]:
+    """Flatten query strings into unique lowercase terms, order-preserving.
+
+    ``["United States", "ship"]`` becomes ``["united", "states", "ship"]``.
+    """
+    seen = {}
+    for keyword in keywords:
+        for term in tokenize(keyword):
+            seen.setdefault(term, None)
+    return list(seen)

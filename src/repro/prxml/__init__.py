@@ -1,0 +1,38 @@
+"""PrXML{ind,mux} probabilistic XML documents.
+
+This subpackage implements the data substrate of the paper: the
+p-document tree model (ordinary, IND and MUX nodes with conditional edge
+probabilities), a text parser/serializer, model validation, exact
+possible-world enumeration, and dataset statistics.
+"""
+
+from repro.prxml.model import NodeType, PNode, PDocument
+from repro.prxml.builder import DocumentBuilder
+from repro.prxml.parser import parse_pxml, parse_pxml_file
+from repro.prxml.serializer import serialize_pxml, write_pxml_file
+from repro.prxml.validate import validate_document
+from repro.prxml.possible_worlds import (
+    PossibleWorld,
+    enumerate_possible_worlds,
+    count_possible_worlds,
+    sample_possible_world,
+)
+from repro.prxml.stats import DocumentStats, document_stats
+
+__all__ = [
+    "NodeType",
+    "PNode",
+    "PDocument",
+    "DocumentBuilder",
+    "parse_pxml",
+    "parse_pxml_file",
+    "serialize_pxml",
+    "write_pxml_file",
+    "validate_document",
+    "PossibleWorld",
+    "enumerate_possible_worlds",
+    "count_possible_worlds",
+    "sample_possible_world",
+    "DocumentStats",
+    "document_stats",
+]

@@ -1,0 +1,103 @@
+"""Fluent construction of p-documents.
+
+:class:`DocumentBuilder` lets tests and examples write p-document shapes
+declaratively::
+
+    builder = DocumentBuilder("movies")
+    with builder.element("movie"):
+        builder.leaf("title", text="Paris, Texas")
+        with builder.mux():
+            builder.leaf("year", text="1984", prob=0.8)
+            builder.leaf("year", text="1985", prob=0.2)
+    document = builder.build()
+
+Distributional nodes are opened with :meth:`ind` / :meth:`mux`; all
+``with`` blocks nest naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from repro.exceptions import ModelError
+from repro.prxml.model import NodeType, PDocument, PNode
+
+
+class DocumentBuilder:
+    """Incrementally builds a :class:`PDocument` with a cursor stack."""
+
+    def __init__(self, root_label: str = "root", root_text: Optional[str] = None):
+        self._root = PNode(root_label, NodeType.ORDINARY, root_text)
+        self._stack = [self._root]
+        self._built = False
+
+    # -- internal -----------------------------------------------------------
+
+    def _attach(self, node: PNode) -> PNode:
+        if self._built:
+            raise ModelError("builder already produced a document")
+        self._stack[-1].add_child(node)
+        return node
+
+    @contextlib.contextmanager
+    def _opened(self, node: PNode) -> Iterator[PNode]:
+        self._attach(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            popped = self._stack.pop()
+            assert popped is node
+
+    # -- public construction methods ------------------------------------------
+
+    def element(self, label: str, text: Optional[str] = None,
+                prob: float = 1.0):
+        """Open an ordinary element as a context manager."""
+        return self._opened(PNode(label, NodeType.ORDINARY, text, prob))
+
+    def ind(self, prob: float = 1.0):
+        """Open an IND distributional node as a context manager."""
+        return self._opened(PNode("IND", NodeType.IND, None, prob))
+
+    def mux(self, prob: float = 1.0):
+        """Open a MUX distributional node as a context manager."""
+        return self._opened(PNode("MUX", NodeType.MUX, None, prob))
+
+    def exp(self, subsets, prob: float = 1.0):
+        """Open an EXP distributional node as a context manager.
+
+        ``subsets`` is the explicit subset distribution over the
+        children created inside the block — ``[(positions, prob), ...]``
+        with 1-based child positions; it is validated and installed
+        when the block closes (children must exist by then).
+        """
+        node = PNode("EXP", NodeType.EXP, None, prob)
+        return self._opened_exp(node, list(subsets))
+
+    @contextlib.contextmanager
+    def _opened_exp(self, node: PNode, subsets):
+        with self._opened(node):
+            yield node
+        node.set_exp_subsets(subsets)
+
+    def leaf(self, label: str, text: Optional[str] = None,
+             prob: float = 1.0) -> PNode:
+        """Attach an ordinary leaf under the current cursor."""
+        return self._attach(PNode(label, NodeType.ORDINARY, text, prob))
+
+    def node(self, node: PNode) -> PNode:
+        """Attach an externally constructed subtree under the cursor."""
+        return self._attach(node)
+
+    # -- finalisation -----------------------------------------------------------
+
+    def build(self) -> PDocument:
+        """Close the builder and return the finished document."""
+        if len(self._stack) != 1:
+            raise ModelError(
+                f"{len(self._stack) - 1} element(s) still open; "
+                "exit their 'with' blocks before build()")
+        self._built = True
+        return PDocument(self._root)

@@ -1,0 +1,156 @@
+"""Parsing p-documents from an XML text representation.
+
+The on-disk format is plain XML with two reserved element names:
+
+* ``<ind>`` — an IND distributional node;
+* ``<mux>`` — a MUX distributional node.
+
+Any element may carry a ``prob`` attribute in ``(0, 1]`` giving the
+conditional probability of the edge from its parent; omitted means 1.
+Example (the movie-year fragment from the library README)::
+
+    <movie>
+      <title>Paris, Texas</title>
+      <mux>
+        <year prob="0.8">1984</year>
+        <year prob="0.2">1985</year>
+      </mux>
+    </movie>
+
+:func:`parse_pxml` turns such text into a :class:`PDocument`;
+:mod:`repro.prxml.serializer` provides the inverse.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.exceptions import ModelError, ParseError
+from repro.prxml.model import NodeType, PDocument, PNode
+
+#: Reserved tags marking distributional nodes in the text format.
+DISTRIBUTIONAL_TAGS = {"ind": NodeType.IND, "mux": NodeType.MUX,
+                       "exp": NodeType.EXP}
+
+#: Attribute holding the conditional edge probability.
+PROB_ATTRIBUTE = "prob"
+
+#: Attribute holding an EXP node's subset distribution, e.g.
+#: ``subsets="1+2:0.5 1:0.3"`` (1-based child positions; the residue
+#: probability is implicit).
+SUBSETS_ATTRIBUTE = "subsets"
+
+
+def parse_pxml(text: str) -> PDocument:
+    """Parse p-document XML text into a :class:`PDocument`.
+
+    Raises:
+        ParseError: on malformed XML, bad ``prob`` values, or a
+            distributional root.
+    """
+    try:
+        root_element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML: {exc}") from exc
+    return _document_from_element(root_element)
+
+
+def parse_pxml_file(path) -> PDocument:
+    """Parse a p-document from a file path."""
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise ParseError(f"malformed XML in {path}: {exc}") from exc
+    except OSError as exc:
+        raise ParseError(f"cannot read {path}: {exc}") from exc
+    return _document_from_element(tree.getroot())
+
+
+def _document_from_element(root_element: ET.Element) -> PDocument:
+    if root_element.tag.lower() in DISTRIBUTIONAL_TAGS:
+        raise ParseError("the document root cannot be a distributional node")
+    root = _node_from_element(root_element)
+    if root.edge_prob != 1.0:
+        raise ParseError("the document root cannot carry a 'prob' attribute")
+    # Convert iteratively: (element, already-built parent node) pairs.
+    # EXP subset specs apply only once children exist, so they are
+    # collected and installed after the whole tree is built.
+    exp_specs = []
+    stack = [(root_element, root)]
+    while stack:
+        element, node = stack.pop()
+        if node.node_type is NodeType.EXP:
+            spec = element.get(SUBSETS_ATTRIBUTE)
+            if spec is None:
+                raise ParseError(
+                    "<exp> element is missing its 'subsets' attribute")
+            exp_specs.append((node, spec))
+        for child_element in element:
+            child = _node_from_element(child_element)
+            node.add_child(child)
+            stack.append((child_element, child))
+    for node, spec in exp_specs:
+        try:
+            node.set_exp_subsets(_parse_subsets(spec))
+        except ModelError as exc:
+            raise ParseError(f"bad <exp> distribution: {exc}") from exc
+    return PDocument(root)
+
+
+def _parse_subsets(spec: str):
+    """Parse ``"1+2:0.5 1:0.3"`` into ``[((1, 2), 0.5), ((1,), 0.3)]``."""
+    subsets = []
+    for entry in spec.split():
+        positions_text, _, probability_text = entry.partition(":")
+        try:
+            positions = tuple(int(piece)
+                              for piece in positions_text.split("+"))
+            probability = float(probability_text)
+        except ValueError:
+            raise ParseError(
+                f"bad subset entry {entry!r}; expected "
+                "'pos[+pos...]:probability'") from None
+        subsets.append((positions, probability))
+    if not subsets:
+        raise ParseError("empty 'subsets' attribute on <exp>")
+    return subsets
+
+
+def _node_from_element(element: ET.Element) -> PNode:
+    tag = element.tag
+    node_type = DISTRIBUTIONAL_TAGS.get(tag.lower(), NodeType.ORDINARY)
+    prob = _read_probability(element)
+    text: Optional[str] = None
+    if node_type is NodeType.ORDINARY:
+        text = _gather_text(element)
+    elif _gather_text(element):
+        raise ParseError(f"distributional <{tag}> element carries text")
+    label = (node_type.name if node_type.is_distributional else tag)
+    return PNode(label, node_type, text, prob)
+
+
+def _read_probability(element: ET.Element) -> float:
+    raw = element.get(PROB_ATTRIBUTE)
+    if raw is None:
+        return 1.0
+    try:
+        prob = float(raw)
+    except ValueError:
+        raise ParseError(
+            f"<{element.tag}>: prob={raw!r} is not a number") from None
+    if not 0.0 < prob <= 1.0:
+        raise ParseError(
+            f"<{element.tag}>: prob={prob!r} outside (0, 1]")
+    return prob
+
+
+def _gather_text(element: ET.Element) -> Optional[str]:
+    """Collect the element's own text plus its children's tail text."""
+    pieces = []
+    if element.text and element.text.strip():
+        pieces.append(element.text.strip())
+    for child in element:
+        if child.tail and child.tail.strip():
+            pieces.append(child.tail.strip())
+    return " ".join(pieces) or None

@@ -1,0 +1,247 @@
+"""Exact possible-world semantics for p-documents.
+
+This is the semantic ground truth of the paper (Section II): a
+p-document encodes a probability distribution over deterministic XML
+documents.  :func:`enumerate_possible_worlds` materialises that
+distribution exactly, following the top-down generation procedure —
+
+* an IND node with ``m`` children spawns ``2**m`` copies, one per child
+  subset, each child kept with its edge probability independently;
+* a MUX node with ``m`` children spawns ``m + 1`` copies: one per single
+  child (with that child's edge probability) and one with no child
+  (probability ``1 - sum``);
+* distributional nodes are deleted and their surviving children are
+  spliced onto the closest ordinary ancestor;
+* identical copies are merged, summing their probabilities.
+
+Ordinary-parent edges with probability below 1 (allowed in lenient
+documents) are treated with independent-existence semantics, matching
+how Section III's computation treats ordinary parents.
+
+Enumeration is exponential by nature; it exists as the correctness
+oracle for tests and as the naive baseline the paper argues against.
+Use :func:`sample_possible_world` for Monte-Carlo work on large trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ModelError
+from repro.prxml.model import NodeType, PDocument, PNode
+
+#: Safety valve for exact enumeration: raise rather than grind forever.
+DEFAULT_MAX_WORLDS = 1_000_000
+
+
+class DetNode:
+    """A node of a deterministic instance document.
+
+    ``source_id`` is the ``node_id`` of the originating ordinary p-node,
+    which is how SLCA answers found in a world are mapped back to the
+    p-document.
+    """
+
+    __slots__ = ("label", "text", "children", "source_id")
+
+    def __init__(self, label: str, text: Optional[str], source_id: int):
+        self.label = label
+        self.text = text
+        self.source_id = source_id
+        self.children: List[DetNode] = []
+
+    def iter_subtree(self) -> Iterator["DetNode"]:
+        """This instance node and its descendants, document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DetNode({self.label!r}, source={self.source_id})"
+
+
+class PossibleWorld:
+    """One deterministic document plus its probability of being generated."""
+
+    __slots__ = ("root", "probability", "node_ids")
+
+    def __init__(self, root: DetNode, probability: float):
+        self.root = root
+        self.probability = probability
+        self.node_ids: FrozenSet[int] = frozenset(
+            node.source_id for node in root.iter_subtree())
+
+    def contains(self, node: PNode) -> bool:
+        """Whether the given ordinary p-node survives in this world."""
+        return node.node_id in self.node_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PossibleWorld(p={self.probability:.6g}, "
+                f"nodes={len(self.node_ids)})")
+
+
+# A "forest option" is the tuple of instance subtrees a p-node resolves
+# to, together with the probability of that resolution (conditioned on
+# the node existing).
+_ForestOption = Tuple[Tuple[DetNode, ...], float]
+
+
+def enumerate_possible_worlds(document: PDocument,
+                              max_worlds: int = DEFAULT_MAX_WORLDS
+                              ) -> List[PossibleWorld]:
+    """Return every possible world of ``document`` with merged duplicates.
+
+    Worlds that materialise the same set of ordinary nodes are identical
+    documents, so they are merged and their probabilities summed.  The
+    returned probabilities sum to 1 (up to float rounding).
+
+    Raises:
+        ModelError: if the document encodes more than ``max_worlds`` raw
+            instance copies (see :meth:`PDocument.theoretical_world_count`).
+    """
+    raw_count = document.theoretical_world_count()
+    if raw_count > max_worlds:
+        raise ModelError(
+            f"document encodes {raw_count} raw possible worlds, more than "
+            f"max_worlds={max_worlds}; use sample_possible_world() instead")
+
+    merged: Dict[FrozenSet[int], PossibleWorld] = {}
+    for forest, probability in _options(document.root):
+        root = forest[0]
+        world = PossibleWorld(root, probability)
+        existing = merged.get(world.node_ids)
+        if existing is None:
+            merged[world.node_ids] = world
+        else:
+            existing.probability += probability
+    return sorted(merged.values(), key=lambda world: -world.probability)
+
+
+def count_possible_worlds(document: PDocument,
+                          max_worlds: int = DEFAULT_MAX_WORLDS) -> int:
+    """Number of *distinct* possible worlds (after merging duplicates)."""
+    return len(enumerate_possible_worlds(document, max_worlds))
+
+
+def _options(node: PNode) -> List[_ForestOption]:
+    """All resolutions of ``node``'s subtree, conditioned on ``node``.
+
+    Ordinary nodes resolve to a single-tree forest; distributional nodes
+    resolve to the forest of their surviving (spliced-up) children.
+    """
+    child_choices: List[List[_ForestOption]] = []
+    if node.node_type is NodeType.MUX:
+        absent_prob = 1.0 - sum(child.edge_prob for child in node.children)
+        options: List[_ForestOption] = []
+        if absent_prob > 0.0:
+            options.append(((), absent_prob))
+        for child in node.children:
+            options.extend(
+                (forest, child.edge_prob * prob)
+                for forest, prob in _options(child))
+        return options
+
+    if node.node_type is NodeType.EXP:
+        subsets = node.exp_subsets or []
+        absent_prob = 1.0 - sum(prob for _, prob in subsets)
+        options = []
+        if absent_prob > 1e-12:
+            options.append(((), absent_prob))
+        for positions, subset_prob in subsets:
+            chosen = [node.children[position - 1]
+                      for position in positions]
+            # Children of a chosen subset exist with certainty; each
+            # still resolves its own subtree independently.
+            for combo in itertools.product(
+                    *(_options(child) for child in chosen)):
+                forest = tuple(itertools.chain.from_iterable(
+                    part for part, _ in combo))
+                probability = subset_prob
+                for _, part_prob in combo:
+                    probability *= part_prob
+                options.append((forest, probability))
+        return options
+
+    # IND and ordinary parents: children are independent; each child is
+    # either absent (1 - edge_prob) or resolves to one of its options.
+    for child in node.children:
+        choices: List[_ForestOption] = []
+        if child.edge_prob < 1.0:
+            choices.append(((), 1.0 - child.edge_prob))
+        choices.extend((forest, child.edge_prob * prob)
+                       for forest, prob in _options(child))
+        child_choices.append(choices)
+
+    combined: List[_ForestOption] = []
+    for combo in itertools.product(*child_choices):
+        forest: Tuple[DetNode, ...] = tuple(
+            itertools.chain.from_iterable(part for part, _ in combo))
+        probability = 1.0
+        for _, part_prob in combo:
+            probability *= part_prob
+        combined.append((forest, probability))
+
+    if node.node_type is NodeType.IND:
+        return combined
+
+    resolved: List[_ForestOption] = []
+    for forest, probability in combined:
+        det = DetNode(node.label, node.text, node.node_id)
+        det.children = list(forest)
+        resolved.append(((det,), probability))
+    return resolved
+
+
+def sample_possible_world(document: PDocument,
+                          rng: Optional[random.Random] = None
+                          ) -> PossibleWorld:
+    """Draw one possible world according to the document's distribution.
+
+    Useful as a Monte-Carlo estimator of SLCA probabilities on documents
+    too large for exact enumeration (the library's statistical tests use
+    it to validate the direct computation at scale).
+    """
+    rng = rng or random.Random()
+
+    def realise(node: PNode) -> Tuple[DetNode, ...]:
+        if node.node_type is NodeType.MUX:
+            pick = rng.random()
+            cumulative = 0.0
+            for child in node.children:
+                cumulative += child.edge_prob
+                if pick < cumulative:
+                    return realise(child)
+            return ()
+        if node.node_type is NodeType.EXP:
+            pick = rng.random()
+            cumulative = 0.0
+            for positions, probability in node.exp_subsets or []:
+                cumulative += probability
+                if pick < cumulative:
+                    survivors: List[DetNode] = []
+                    for position in positions:
+                        survivors.extend(
+                            realise(node.children[position - 1]))
+                    return tuple(survivors)
+            return ()
+        survivors: List[DetNode] = []
+        for child in node.children:
+            if child.edge_prob >= 1.0 or rng.random() < child.edge_prob:
+                survivors.extend(realise(child))
+        if node.node_type is NodeType.IND:
+            return tuple(survivors)
+        det = DetNode(node.label, node.text, node.node_id)
+        det.children = survivors
+        return (det,)
+
+    forest = realise(document.root)
+    return PossibleWorld(forest[0], probability=1.0)
+
+
+def world_probability_total(worlds: Sequence[PossibleWorld]) -> float:
+    """Sum of world probabilities — should be 1 for a valid document."""
+    return sum(world.probability for world in worlds)

@@ -1,0 +1,75 @@
+"""Serialising p-documents back to the XML text format.
+
+The output round-trips through :func:`repro.prxml.parser.parse_pxml`:
+ordinary nodes keep their labels, IND/MUX nodes become ``<ind>`` /
+``<mux>`` elements, and edge probabilities below 1 are emitted as
+``prob`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.prxml.model import NodeType, PDocument, PNode
+
+_TAGS = {NodeType.IND: "ind", NodeType.MUX: "mux", NodeType.EXP: "exp"}
+
+
+def _subsets_attribute(node: PNode) -> str:
+    """Render an EXP distribution as ``1+2:0.5 1:0.3``."""
+    return " ".join(
+        f"{'+'.join(str(p) for p in positions)}:{probability:g}"
+        for positions, probability in node.exp_subsets or [])
+
+
+def serialize_pxml(document: PDocument, indent: int = 2) -> str:
+    """Render ``document`` as indented p-document XML text."""
+    pieces: List[str] = []
+    # Iterative rendering: each stack entry is either a node to open (with
+    # its depth) or a ready-made closing tag string.
+    stack: List[object] = [(document.root, 0)]
+    while stack:
+        entry = stack.pop()
+        if isinstance(entry, str):
+            pieces.append(entry)
+            continue
+        node, depth = entry
+        pad = " " * (indent * depth)
+        tag = _TAGS.get(node.node_type, node.label)
+        attrs = ""
+        if node.edge_prob != 1.0 and node.parent is not None \
+                and node.parent.node_type is not NodeType.EXP:
+            attrs = f" prob={quoteattr(f'{node.edge_prob:g}')}"
+        if node.node_type is NodeType.EXP:
+            attrs += f" subsets={quoteattr(_subsets_attribute(node))}"
+        if not node.children and node.text is None:
+            pieces.append(f"{pad}<{tag}{attrs}/>")
+        elif not node.children:
+            pieces.append(
+                f"{pad}<{tag}{attrs}>{escape(node.text)}</{tag}>")
+        else:
+            text = escape(node.text) if node.text else ""
+            pieces.append(f"{pad}<{tag}{attrs}>{text}")
+            stack.append(f"{pad}</{tag}>")
+            stack.extend((child, depth + 1)
+                         for child in reversed(node.children))
+    return "\n".join(pieces) + "\n"
+
+
+def write_pxml_file(document: PDocument, path) -> None:
+    """Serialize ``document`` to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize_pxml(document))
+
+
+def node_to_fragment(node: PNode) -> str:
+    """Render a single subtree (used in error messages and examples)."""
+    return serialize_pxml(_SubtreeView(node))
+
+
+class _SubtreeView:
+    """Duck-typed minimal stand-in for PDocument over one subtree."""
+
+    def __init__(self, root: PNode):
+        self.root = root

@@ -1,0 +1,63 @@
+"""Dataset statistics (the quantities reported in Table II of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prxml.model import NodeType, PDocument
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Node-type breakdown and shape statistics of a p-document."""
+
+    total_nodes: int
+    ordinary_nodes: int
+    ind_nodes: int
+    mux_nodes: int
+    height: int
+    leaf_nodes: int
+    max_fanout: int
+
+    @property
+    def distributional_nodes(self) -> int:
+        """Total IND + MUX (+ EXP) node count."""
+        return self.ind_nodes + self.mux_nodes
+
+    @property
+    def distributional_ratio(self) -> float:
+        """Fraction of nodes that are distributional (paper keeps 10-20%)."""
+        if self.total_nodes == 0:
+            return 0.0
+        return self.distributional_nodes / self.total_nodes
+
+    def as_table_row(self, name: str = "") -> str:
+        """Format like a row of Table II: name, #IND, #MUX, #Ordinary."""
+        return (f"{name:<12} nodes={self.total_nodes:>9,} "
+                f"#IND={self.ind_nodes:>8,} #MUX={self.mux_nodes:>8,} "
+                f"#Ordinary={self.ordinary_nodes:>9,}")
+
+
+def document_stats(document: PDocument) -> DocumentStats:
+    """Compute :class:`DocumentStats` in one pass over the document."""
+    ordinary = ind = mux = leaves = 0
+    max_fanout = 0
+    for node in document.iter_preorder():
+        if node.node_type is NodeType.ORDINARY:
+            ordinary += 1
+        elif node.node_type is NodeType.IND:
+            ind += 1
+        else:
+            mux += 1
+        if node.is_leaf:
+            leaves += 1
+        max_fanout = max(max_fanout, len(node.children))
+    return DocumentStats(
+        total_nodes=len(document),
+        ordinary_nodes=ordinary,
+        ind_nodes=ind,
+        mux_nodes=mux,
+        height=document.height,
+        leaf_nodes=leaves,
+        max_fanout=max_fanout,
+    )

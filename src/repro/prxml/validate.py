@@ -1,0 +1,113 @@
+"""Validation of p-documents against the PrXML{ind,mux} model.
+
+:func:`validate_document` checks the structural and probabilistic
+constraints of Section II of the paper:
+
+* every edge probability lies in ``(0, 1]``;
+* the probabilities on a MUX node's outgoing edges sum to at most 1
+  (the residue is the probability that no child is chosen);
+* distributional nodes carry no text and have at least one child
+  (a childless distributional node encodes nothing);
+* in *strict* mode, edges leaving ordinary nodes must have probability
+  exactly 1 — the paper only places probabilities under distributional
+  nodes.  The default lenient mode permits ``p < 1`` on ordinary edges
+  and interprets them with independent-existence (IND) semantics, which
+  is how Section III's computation treats ordinary parents anyway.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ModelError
+from repro.prxml.model import NodeType, PDocument
+
+# Summed MUX probabilities may exceed 1 by this much before we call it a
+# violation, so documents built from float arithmetic do not false-alarm.
+_MUX_SUM_TOLERANCE = 1e-9
+
+
+def validate_document(document: PDocument, strict: bool = False) -> None:
+    """Raise :class:`ModelError` if ``document`` violates the model.
+
+    Args:
+        document: the p-document to check.
+        strict: additionally require ordinary-parent edges to carry
+            probability 1 (paper-conformant placement of probabilities).
+    """
+    problems = collect_violations(document, strict=strict)
+    if problems:
+        shown = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        raise ModelError(f"invalid p-document: {shown}{more}")
+
+
+def collect_violations(document: PDocument, strict: bool = False) -> List[str]:
+    """Return human-readable descriptions of every model violation."""
+    problems: List[str] = []
+    for node in document.iter_preorder():
+        where = f"node #{node.node_id} ({node.label!r})"
+        if not 0.0 < node.edge_prob <= 1.0:
+            problems.append(
+                f"{where}: edge probability {node.edge_prob!r} "
+                "outside (0, 1]")
+        if node.is_distributional:
+            if node.text is not None:
+                problems.append(f"{where}: distributional node has text")
+            if not node.children:
+                problems.append(
+                    f"{where}: distributional node without children")
+        if node.node_type is NodeType.MUX and node.children:
+            total = sum(child.edge_prob for child in node.children)
+            if total > 1.0 + _MUX_SUM_TOLERANCE:
+                problems.append(
+                    f"{where}: MUX child probabilities sum to {total:.6f} > 1")
+        if node.node_type is NodeType.EXP:
+            problems.extend(f"{where}: {text}"
+                            for text in _exp_violations(node))
+        elif node.exp_subsets is not None:
+            problems.append(
+                f"{where}: non-EXP node carries an EXP distribution")
+        if strict and node.is_ordinary:
+            for child in node.children:
+                if child.edge_prob != 1.0:
+                    problems.append(
+                        f"{where}: strict mode forbids probability "
+                        f"{child.edge_prob!r} on edge to ordinary parent's "
+                        f"child {child.label!r}")
+    return problems
+
+
+def _exp_violations(node) -> List[str]:
+    """Checks specific to EXP nodes and their subset distributions."""
+    if node.exp_subsets is None:
+        return ["EXP node without a subset distribution "
+                "(call set_exp_subsets)"]
+    problems = []
+    total = 0.0
+    seen = set()
+    for positions, probability in node.exp_subsets:
+        if not positions:
+            problems.append("explicit empty subset (the residue is "
+                            "implicit)")
+        if positions in seen:
+            problems.append(f"duplicate subset {positions}")
+        seen.add(positions)
+        if any(not 1 <= p <= len(node.children) for p in positions):
+            problems.append(f"subset {positions} references missing "
+                            "children")
+        if not 0.0 < probability <= 1.0:
+            problems.append(
+                f"subset probability {probability!r} outside (0, 1]")
+        total += probability
+    if total > 1.0 + _MUX_SUM_TOLERANCE:
+        problems.append(f"subset probabilities sum to {total:.6f} > 1")
+    for index, child in enumerate(node.children, start=1):
+        marginal = sum(probability
+                       for positions, probability in node.exp_subsets
+                       if index in positions)
+        if abs(marginal - child.edge_prob) > 1e-9:
+            problems.append(
+                f"child #{index} edge probability {child.edge_prob!r} "
+                f"differs from its subset marginal {marginal:.6g}")
+    return problems

@@ -1,0 +1,36 @@
+"""Deterministic SLCA computation (substrate, after Xu & Papakonstantinou).
+
+The paper's EagerTopK algorithm seeds from ``get_slca`` — a classical
+keyword-search pass that treats every node (distributional included) as
+ordinary and ignores probabilities.  This subpackage implements that
+substrate three ways:
+
+* :mod:`repro.slca.indexed_lookup` — Indexed Lookup Eager, binary
+  searches over the longer lists (best when frequencies differ a lot);
+* :mod:`repro.slca.scan_eager` — Scan Eager, cursor advancement over
+  all lists (best when frequencies are similar);
+* :mod:`repro.slca.stack_based` — XRANK-style stack scan over merged
+  match entries (also the reference implementation the others are
+  tested against).
+
+:mod:`repro.slca.deterministic` computes SLCAs on materialised instance
+trees, which the possible-world baseline evaluates per world.
+"""
+
+from repro.slca.deterministic import (elca_of_world,
+                                      keyword_mask_of_det_node,
+                                      slca_of_world)
+from repro.slca.indexed_lookup import indexed_lookup_eager
+from repro.slca.scan_eager import scan_eager
+from repro.slca.stack_based import stack_based_slca
+from repro.slca.base import remove_ancestors
+
+__all__ = [
+    "slca_of_world",
+    "elca_of_world",
+    "keyword_mask_of_det_node",
+    "indexed_lookup_eager",
+    "scan_eager",
+    "stack_based_slca",
+    "remove_ancestors",
+]

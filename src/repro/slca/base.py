@@ -1,0 +1,27 @@
+"""Shared helpers for the deterministic SLCA algorithms."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.encoding.dewey import DeweyCode
+
+
+def remove_ancestors(candidates: Iterable[DeweyCode]) -> List[DeweyCode]:
+    """Keep only candidates that have no candidate descendant.
+
+    Every SLCA is among the candidates, and a candidate with a candidate
+    descendant cannot be smallest, so filtering ancestors yields exactly
+    the SLCA set.  Candidates are sorted into document order first, so a
+    single last-kept comparison suffices (an ancestor precedes all of its
+    descendants in document order).
+    """
+    kept: List[DeweyCode] = []
+    for candidate in sorted(candidates):
+        while kept and kept[-1].is_ancestor_or_self_of(candidate):
+            if kept[-1] == candidate:
+                break
+            kept.pop()
+        if not kept or kept[-1] != candidate:
+            kept.append(candidate)
+    return kept

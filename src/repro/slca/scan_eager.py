@@ -1,0 +1,55 @@
+"""Scan Eager SLCA over Dewey posting lists.
+
+The sibling of Indexed Lookup Eager in [12]: instead of binary searching
+the longer lists per anchor, it advances one forward cursor per list in
+lockstep with the (sorted) anchor list — the right choice when keyword
+frequencies are similar, because every list is read once.
+
+For an anchor ``v`` the candidate is ``v.prefix(min_i best_i)`` where
+``best_i`` is the deepest common-prefix length of ``v`` with any node of
+list ``i``; that equals the chained-LCA candidate of Indexed Lookup
+Eager because ``cpl(v.prefix(L), m) = min(L, cpl(v, m))``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.encoding.dewey import DeweyCode, common_prefix_length
+from repro.slca.base import remove_ancestors
+
+
+def scan_eager(keyword_lists: Sequence[Sequence[DeweyCode]]
+               ) -> List[DeweyCode]:
+    """SLCA codes; same contract as
+    :func:`repro.slca.indexed_lookup.indexed_lookup_eager`."""
+    if not keyword_lists or any(not lst for lst in keyword_lists):
+        return []
+    if len(keyword_lists) == 1:
+        return remove_ancestors(keyword_lists[0])
+
+    ordered = sorted(keyword_lists, key=len)
+    shortest, rest = ordered[0], ordered[1:]
+    cursors = [0] * len(rest)
+
+    candidates: List[DeweyCode] = []
+    for anchor in shortest:
+        depth = len(anchor)
+        for which, lst in enumerate(rest):
+            cursor = cursors[which]
+            # Advance to the first entry at or after the anchor; the
+            # anchor stream ascends, so cursors never back up.
+            while cursor < len(lst) and lst[cursor] < anchor:
+                cursor += 1
+            cursors[which] = cursor
+            best = 0
+            if cursor > 0:
+                best = common_prefix_length(anchor, lst[cursor - 1])
+            if cursor < len(lst):
+                best = max(best, common_prefix_length(anchor, lst[cursor]))
+            depth = min(depth, best)
+            if depth == 0:
+                break
+        if depth > 0:
+            candidates.append(anchor.prefix(depth))
+    return remove_ancestors(candidates)

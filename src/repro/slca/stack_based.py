@@ -1,0 +1,59 @@
+"""Stack-based SLCA over merged match entries (XRANK-style).
+
+One pass over all match entries in document order with a stack of path
+components; each frame accumulates the keyword mask of its subtree.
+When a frame pops with a full mask and no full-mask child, its node is
+an SLCA.  This mirrors PrStack's control flow minus probabilities and is
+the reference the other deterministic algorithms are cross-checked
+against in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.encoding.dewey import DeweyCode, common_prefix_length
+from repro.index.matchlist import MatchEntry
+
+
+def stack_based_slca(entries: Sequence[MatchEntry], keyword_count: int
+                     ) -> List[DeweyCode]:
+    """SLCA codes from document-ordered masked match entries.
+
+    Args:
+        entries: one entry per matching node, document order, masks OR'd.
+        keyword_count: number of query keywords (defines the full mask).
+    """
+    full = (1 << keyword_count) - 1
+    if full == 0 or not entries:
+        return []
+
+    answers: List[DeweyCode] = []
+    # Each frame: [subtree mask, child-had-full flag]; frame i describes
+    # the node at code prefix length i+1 of the current path.
+    frames: List[List[object]] = []
+    current: DeweyCode = entries[0].code
+
+    def pop_to(keep: int) -> None:
+        nonlocal current
+        while len(frames) > keep:
+            mask, child_full = frames.pop()
+            node_code = current.prefix(len(frames) + 1)
+            if mask == full and not child_full:
+                answers.append(node_code)
+            if frames:
+                frames[-1][0] |= mask
+                if mask == full:
+                    frames[-1][1] = True
+        if keep:
+            current = current.prefix(keep)
+
+    for entry in entries:
+        shared = common_prefix_length(current, entry.code) if frames else 0
+        pop_to(shared)
+        current = entry.code
+        while len(frames) < len(entry.code):
+            frames.append([0, False])
+        frames[-1][0] |= entry.mask
+    pop_to(0)
+    return sorted(answers)

@@ -1,0 +1,35 @@
+"""Probabilistic twig (tree-pattern) queries.
+
+The structured-query counterpart the paper positions keyword search
+against (references [8] and [10]: twig matching and answer ranking over
+probabilistic XML).  A twig is a small tree of label/text tests joined
+by child (``/``) and descendant (``//``) axes, e.g.::
+
+    movie[title ~ "texas"][year ~ "1984"]//actor
+
+This subpackage provides the pattern model and parser
+(:mod:`repro.twig.pattern`), deterministic embedding evaluation on
+instance documents — the possible-world oracle
+(:mod:`repro.twig.matching`) — and the direct probability computation
+(:mod:`repro.twig.probability`): one document-order scan that, without
+enumerating worlds, ranks the nodes most likely to root an embedding
+and computes the overall match probability, using the same
+distribution-table algebra as the keyword algorithms with pattern-state
+bitmasks instead of keyword bitmasks.
+"""
+
+from repro.twig.pattern import TwigNode, TwigPattern, parse_twig
+from repro.twig.matching import match_twig_in_world, world_has_match
+from repro.twig.probability import (TwigResult, topk_twig_search,
+                                    twig_match_probability)
+
+__all__ = [
+    "TwigNode",
+    "TwigPattern",
+    "parse_twig",
+    "match_twig_in_world",
+    "world_has_match",
+    "TwigResult",
+    "topk_twig_search",
+    "twig_match_probability",
+]

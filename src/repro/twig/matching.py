@@ -1,0 +1,70 @@
+"""Deterministic twig evaluation on instance documents.
+
+The possible-world oracle for twig probabilities: one postorder pass
+computes, for every instance node, which pattern steps can embed *at*
+it and which can embed at-or-below it — the boolean form of the
+probability DP in :mod:`repro.twig.probability`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.prxml.possible_worlds import DetNode
+from repro.twig.pattern import CHILD, TwigPattern
+
+
+def match_twig_in_world(root: DetNode, pattern: TwigPattern
+                        ) -> List[DetNode]:
+    """Instance nodes at which the whole pattern embeds (pattern-root
+    bindings), in document order."""
+    bindings: List[DetNode] = []
+    # For each node: (at_mask, exists_mask) over pattern indices.
+    states: Dict[int, int] = {}
+
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((child, False) for child in reversed(node.children))
+            continue
+        child_at = 0
+        child_exists = 0
+        for child in node.children:
+            at_mask, exists_mask = divmod(states[id(child)], 1 << 16)
+            child_at |= at_mask
+            child_exists |= exists_mask
+        at_mask = _at_mask(node, pattern, child_at, child_exists)
+        exists_mask = at_mask | child_exists
+        states[id(node)] = (at_mask << 16) | exists_mask
+        if at_mask & (1 << pattern.root.index):
+            bindings.append(node)
+    bindings.sort(key=lambda node: node.source_id)
+    return bindings
+
+
+def world_has_match(root: DetNode, pattern: TwigPattern) -> bool:
+    """Whether the pattern embeds anywhere in the instance document."""
+    return bool(match_twig_in_world(root, pattern))
+
+
+def _at_mask(node: DetNode, pattern: TwigPattern, child_at: int,
+             child_exists: int) -> int:
+    """Pattern steps embeddable with their root mapped exactly here."""
+    at_mask = 0
+    # Steps are numbered in preorder, so iterating in reverse handles
+    # pattern leaves before their parents; but _at_ bits only depend on
+    # *document* children's bits, so order does not actually matter.
+    for step in pattern.nodes:
+        if not step.matches(node):
+            continue
+        satisfied = True
+        for branch in step.children:
+            required = child_at if branch.axis == CHILD else child_exists
+            if not required & (1 << branch.index):
+                satisfied = False
+                break
+        if satisfied:
+            at_mask |= 1 << step.index
+    return at_mask

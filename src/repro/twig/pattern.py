@@ -1,0 +1,247 @@
+"""Twig pattern model and parser.
+
+A pattern is a small rooted tree of *steps*.  Each step tests one
+document node (tag label, ``*`` for any; optionally a text condition)
+and is connected to its parent step by the child (``/``) or descendant
+(``//``) axis.  The textual syntax is a compact XPath subset::
+
+    pattern  := "//"? step
+    step     := name predicate*
+    name     := identifier | "*"
+    predicate:= "[" relpath "]"            a required branch
+              | "[~" string "]"            text contains the word
+              | "[=" string "]"            text equals the string
+    relpath  := ("/" | "//")? step ("/" | "//") step ...
+
+Examples::
+
+    movie[title ~ "texas"]//actor
+    site//person[profile/education ~ "graduate"]
+    country[//city ~ "pacific"][government ~ "multiparty"]
+
+Pattern size is capped (default 8 steps) because the probability
+computation tracks two state bits per step.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.exceptions import QueryError
+from repro.index.tokenizer import tokenize
+from repro.prxml.model import PNode
+
+#: Two bits per step in the probability DP, so keep patterns small.
+MAX_PATTERN_NODES = 8
+
+CHILD, DESCENDANT = "/", "//"
+
+
+class TwigNode:
+    """One pattern step: node tests plus axis-labelled children."""
+
+    __slots__ = ("label", "text_term", "text_exact", "axis", "children",
+                 "index")
+
+    def __init__(self, label: str = "*", text_term: Optional[str] = None,
+                 text_exact: Optional[str] = None, axis: str = DESCENDANT):
+        if axis not in (CHILD, DESCENDANT):
+            raise QueryError(f"bad axis {axis!r}")
+        self.label = label
+        self.text_term = text_term.lower() if text_term else None
+        self.text_exact = text_exact
+        self.axis = axis
+        self.children: List[TwigNode] = []
+        self.index = -1  # assigned by TwigPattern
+
+    def add_child(self, child: "TwigNode") -> "TwigNode":
+        """Attach a branch step and return it."""
+        self.children.append(child)
+        return child
+
+    @property
+    def is_wildcard(self) -> bool:
+        """Whether the step has no selective test at all (matches every
+        ordinary node) — forces a full-document scan."""
+        return (self.label == "*" and self.text_term is None
+                and self.text_exact is None)
+
+    def matches(self, node: PNode) -> bool:
+        """Node-local test against an ordinary document node (also used
+        on instance nodes, which share .label/.text)."""
+        if self.label != "*" and node.label != self.label:
+            return False
+        if self.text_exact is not None:
+            return (node.text or "") == self.text_exact
+        if self.text_term is not None:
+            if not node.text:
+                return False
+            return self.text_term in tokenize(node.text)
+        return True
+
+    def __str__(self) -> str:
+        out = self.label
+        if self.text_term is not None:
+            out += f'[~"{self.text_term}"]'
+        if self.text_exact is not None:
+            out += f'[="{self.text_exact}"]'
+        for child in self.children:
+            out += f"[{child.axis}{child}]"
+        return out
+
+
+class TwigPattern:
+    """A parsed twig: the root step plus a stable step numbering."""
+
+    def __init__(self, root: TwigNode):
+        self.root = root
+        self.nodes: List[TwigNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.index = len(self.nodes)
+            self.nodes.append(node)
+            stack.extend(reversed(node.children))
+        if len(self.nodes) > MAX_PATTERN_NODES:
+            raise QueryError(
+                f"pattern has {len(self.nodes)} steps; at most "
+                f"{MAX_PATTERN_NODES} are supported")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __str__(self) -> str:
+        return str(self.root)
+
+    def has_wildcard_step(self) -> bool:
+        """Whether any step matches every node (forces a full scan)."""
+        return any(node.is_wildcard for node in self.nodes)
+
+
+_TOKEN = re.compile(r"""
+    \s*(?:
+        (?P<dslash>//)
+      | (?P<slash>/)
+      | (?P<lbracket>\[)
+      | (?P<rbracket>\])
+      | (?P<tilde>~)
+      | (?P<equals>=)
+      | (?P<string>"[^"]*")
+      | (?P<name>[A-Za-z_][A-Za-z0-9_.-]*|\*)
+    )""", re.VERBOSE)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None or match.end() == position:
+                if text[position:].strip():
+                    raise QueryError(
+                        f"cannot tokenise twig at: {text[position:]!r}")
+                break
+            position = match.end()
+            kind = match.lastgroup
+            value = match.group(kind)
+            self.tokens.append((kind, value))
+        self.at = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.at][0] if self.at < len(self.tokens) \
+            else None
+
+    def take(self, kind: str) -> str:
+        if self.peek() != kind:
+            found = self.tokens[self.at] if self.at < len(self.tokens) \
+                else ("end", "")
+            raise QueryError(
+                f"twig syntax error: expected {kind}, found {found[1]!r}")
+        value = self.tokens[self.at][1]
+        self.at += 1
+        return value
+
+    def parse(self) -> TwigNode:
+        if self.peek() == "dslash":
+            self.take("dslash")  # a leading // is implicit anyway
+        root = self.parse_step(DESCENDANT)
+        rest = self.parse_path_tail(root)
+        if self.at != len(self.tokens):
+            raise QueryError(
+                f"trailing twig tokens: {self.tokens[self.at:]}")
+        del rest
+        return root
+
+    def parse_step(self, axis: str) -> TwigNode:
+        label = self.take("name")
+        step = TwigNode(label=label, axis=axis)
+        while self.peek() == "lbracket":
+            self.take("lbracket")
+            self.parse_predicate(step)
+            self.take("rbracket")
+        return step
+
+    def parse_predicate(self, step: TwigNode) -> None:
+        kind = self.peek()
+        if kind == "tilde":
+            self.take("tilde")
+            term = self.take("string").strip('"')
+            terms = tokenize(term)
+            if len(terms) != 1:
+                raise QueryError(
+                    f'[~ "{term}"] must contain exactly one word; use '
+                    "nested predicates for several")
+            if step.text_term is not None:
+                raise QueryError("a step can have only one ~ predicate")
+            step.text_term = terms[0]
+        elif kind == "equals":
+            self.take("equals")
+            if step.text_exact is not None:
+                raise QueryError("a step can have only one = predicate")
+            step.text_exact = self.take("string").strip('"')
+        else:
+            axis = DESCENDANT if self.peek() == "dslash" else CHILD
+            if self.peek() in ("dslash", "slash"):
+                self.take(self.peek())
+            branch = self.parse_step(axis)
+            deepest = self.parse_path_tail(branch)
+            # Allow the XPath-flavoured "[title ~ "texas"]" inline form:
+            # the text test applies to the branch's last step.
+            if self.peek() == "tilde":
+                self.take("tilde")
+                term = self.take("string").strip('"')
+                terms = tokenize(term)
+                if len(terms) != 1:
+                    raise QueryError(
+                        f'~ "{term}" must contain exactly one word')
+                deepest.text_term = terms[0]
+            elif self.peek() == "equals":
+                self.take("equals")
+                deepest.text_exact = self.take("string").strip('"')
+            step.add_child(branch)
+
+    def parse_path_tail(self, step: TwigNode) -> TwigNode:
+        """``/a//b`` continuations: each becomes the single child of the
+        previous step."""
+        current = step
+        while self.peek() in ("slash", "dslash"):
+            axis = DESCENDANT if self.peek() == "dslash" else CHILD
+            self.take(self.peek())
+            current = current.add_child(self.parse_step(axis))
+        return current
+
+
+def parse_twig(text: str) -> TwigPattern:
+    """Parse the XPath-subset syntax into a :class:`TwigPattern`.
+
+    Raises:
+        QueryError: on syntax errors or oversized patterns.
+    """
+    if not text or not text.strip():
+        raise QueryError("empty twig pattern")
+    return TwigPattern(_Parser(text).parse())

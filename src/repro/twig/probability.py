@@ -1,0 +1,193 @@
+"""Direct twig probability computation (no possible worlds).
+
+The same bottom-up machinery as the keyword algorithms, with a richer
+state: instead of "which keywords does the subtree contain", each
+document node's table tracks the distribution of a *pattern-state
+vector* with two bits per pattern step ``q``:
+
+* ``at(q)``  — the pattern subtree rooted at ``q`` embeds with ``q``
+  mapped exactly at this node;
+* ``ex(q)``  — it embeds with ``q`` mapped at-or-below this node.
+
+Sibling subtrees combine exactly like keyword masks (OR-convolution
+under IND/ordinary parents, addition under MUX, subset combination
+under EXP) because both bits aggregate across siblings by OR.  At an
+ordinary node the aggregate is then passed through a deterministic
+transform: ``at`` bits are re-derived from the node's own tests and the
+children's bits (child axis reads the children's ``at``, descendant
+axis their ``ex``), and ``ex`` bits are carried upward.  Distributional
+nodes apply no transform — their children splice up to the closest
+ordinary ancestor, so their aggregates pass through untouched, which is
+exactly what the possible-world semantics requires.
+
+Ranked answers follow reference [10]'s semantics: each ordinary node is
+scored with the probability that the whole pattern embeds *rooted at
+it*, independently of other bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.distribution import DistTable
+from repro.core.engine import StackEngine, StackItem
+from repro.core.heap import TopKHeap
+from repro.core.result import SearchOutcome, SLCAResult
+from repro.exceptions import QueryError
+from repro.index.inverted import InvertedIndex
+from repro.twig.pattern import CHILD, TwigPattern, parse_twig
+
+#: Twig answers reuse the generic result record.
+TwigResult = SLCAResult
+
+
+class _TwigEngine(StackEngine):
+    """Stack engine whose ordinary-node step is the pattern transform.
+
+    ``self_mask`` holds the node's *test mask* (which steps' node-local
+    tests it satisfies); the sink receives every node whose post-
+    transform state gives the pattern root's ``at`` bit positive mass.
+    """
+
+    def __init__(self, pattern: TwigPattern, sink, exp_resolver=None):
+        state_bits = (1 << (2 * len(pattern))) - 1
+        super().__init__(state_bits, sink, exp_resolver=exp_resolver)
+        self.pattern = pattern
+        self._root_at_bit = 1 << (2 * pattern.root.index)
+        self._transform_cache: Dict[Tuple[int, int], int] = {}
+
+    def _finalize_ordinary(self, frame, table: DistTable,
+                           depth: int) -> DistTable:
+        test_mask = frame.self_mask
+        cache = self._transform_cache
+
+        def remap(aggregate: int) -> int:
+            key = (aggregate, test_mask)
+            value = cache.get(key)
+            if value is None:
+                value = cache[key] = self._transform(aggregate, test_mask)
+            return value
+
+        table.transform(remap)
+        root_at = sum(probability for mask, probability in table.items()
+                      if mask & self._root_at_bit)
+        if root_at > 0.0:
+            self.sink(self._current.prefix(depth),
+                      frame.path_prob * root_at)
+            self.results_emitted += 1
+        return table
+
+    def _transform(self, aggregate: int, test_mask: int) -> int:
+        """One node's output state from its children's OR-aggregate."""
+        out = 0
+        for step in self.pattern.nodes:
+            at_bit = 1 << (2 * step.index)
+            ex_bit = at_bit << 1
+            if test_mask & (1 << step.index):
+                satisfied = True
+                for branch in step.children:
+                    branch_at = 1 << (2 * branch.index)
+                    needed = branch_at if branch.axis == CHILD \
+                        else branch_at << 1
+                    if not aggregate & needed:
+                        satisfied = False
+                        break
+                if satisfied:
+                    out |= at_bit
+            if out & at_bit or aggregate & ex_bit:
+                out |= ex_bit
+        return out
+
+    def finish_root(self) -> DistTable:
+        """Pop everything and return the document root's state table."""
+        if self._current is None:
+            return DistTable.unit()
+        self._pop_to(self.context_length + 1)
+        frame = self._frames.pop()
+        return self._finalize(frame, self.context_length + 1)
+
+
+def _candidate_entries(index: InvertedIndex, pattern: TwigPattern
+                       ) -> List[Tuple[int, int]]:
+    """(node_id, test mask) for every node matching some step test."""
+    masks: Dict[int, int] = {}
+    document = index.encoded.document
+    for step in pattern.nodes:
+        if step.is_wildcard:
+            ids: Iterable[int] = index.ordinary_ids()
+        elif step.label != "*":
+            ids = index.label_postings(step.label)
+        else:
+            # '*' with a text test: term postings over-approximate.
+            ids = index.postings(step.text_term or "")
+        bit = 1 << step.index
+        for node_id in ids:
+            node = document.node_by_id(node_id)
+            if node.is_ordinary and step.matches(node):
+                masks[node_id] = masks.get(node_id, 0) | bit
+    return sorted(masks.items())
+
+
+def topk_twig_search(index: InvertedIndex, pattern, k: int = 10
+                     ) -> SearchOutcome:
+    """The ``k`` nodes most likely to root an embedding of ``pattern``.
+
+    Args:
+        index: inverted index over an encoded p-document.
+        pattern: a :class:`TwigPattern` or its textual form.
+        k: number of bindings wanted.
+
+    Returns:
+        A :class:`SearchOutcome` of binding nodes scored by
+        ``P(pattern embeds rooted at the node)``, hydrated with the
+        p-document nodes.
+    """
+    pattern = _as_pattern(pattern)
+    heap = TopKHeap(k)
+    outcome = SearchOutcome(stats={
+        "algorithm": "twig",
+        "pattern": str(pattern),
+        "steps": len(pattern),
+        "candidates": 0,
+    })
+    engine = _TwigEngine(pattern, heap.offer,
+                         exp_resolver=index.encoded.exp_subsets_at)
+    encoded = index.encoded
+    for node_id, test_mask in _candidate_entries(index, pattern):
+        engine.feed(StackItem(encoded.codes[node_id],
+                              encoded.links[node_id], test_mask))
+        outcome.stats["candidates"] += 1
+    engine.finish()
+
+    outcome.results = [
+        TwigResult(code=result.code, probability=result.probability,
+                   node=encoded.node_at(result.code))
+        for result in heap.results()
+    ]
+    return outcome
+
+
+def twig_match_probability(index: InvertedIndex, pattern) -> float:
+    """Probability that the pattern embeds *anywhere* in a random
+    possible world (the twig-matching probability of reference [8])."""
+    pattern = _as_pattern(pattern)
+    engine = _TwigEngine(pattern, lambda code, probability: None,
+                         exp_resolver=index.encoded.exp_subsets_at)
+    encoded = index.encoded
+    for node_id, test_mask in _candidate_entries(index, pattern):
+        engine.feed(StackItem(encoded.codes[node_id],
+                              encoded.links[node_id], test_mask))
+    table = engine.finish_root()
+    root_ex_bit = 1 << (2 * pattern.root.index + 1)
+    return sum(probability for mask, probability in table.items()
+               if mask & root_ex_bit)
+
+
+def _as_pattern(pattern) -> TwigPattern:
+    if isinstance(pattern, TwigPattern):
+        return pattern
+    if isinstance(pattern, str):
+        return parse_twig(pattern)
+    raise QueryError(
+        f"expected a TwigPattern or pattern string, got "
+        f"{type(pattern).__name__}")

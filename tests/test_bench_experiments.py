@@ -1,0 +1,41 @@
+"""Unit tests for the per-figure experiment data generators."""
+
+import pytest
+
+from repro.bench.experiments import vary_k, vary_query, vary_size
+from repro.datagen import generate_mondial, make_probabilistic
+from repro.index.storage import Database
+
+
+@pytest.fixture(scope="module")
+def mondial_db():
+    document = make_probabilistic(generate_mondial(), seed=673)
+    return Database.from_document(document)
+
+
+class TestExperimentGenerators:
+    def test_vary_query_shape(self, mondial_db):
+        data = vary_query(mondial_db, ["M1", "M2"], k=5, repeats=1)
+        assert set(data) == {"M1", "M2"}
+        for per_algorithm in data.values():
+            assert set(per_algorithm) == {"prstack", "eager"}
+            for measurement in per_algorithm.values():
+                assert measurement.response_time_ms >= 0.0
+                assert measurement.peak_memory_mb > 0.0
+
+    def test_vary_query_algorithms_agree_on_results(self, mondial_db):
+        data = vary_query(mondial_db, ["M1"], k=5, repeats=1)
+        counts = {algorithm: measurement.result_count
+                  for algorithm, measurement in data["M1"].items()}
+        assert counts["prstack"] == counts["eager"]
+
+    def test_vary_k_shape(self, mondial_db):
+        data = vary_k(mondial_db, ["M1"], k_values=(2, 4), repeats=1)
+        assert set(data["M1"]) == {2, 4}
+        assert data["M1"][2]["prstack"].result_count <= 2
+        assert data["M1"][4]["prstack"].result_count <= 4
+
+    def test_vary_size_shape(self, mondial_db):
+        data = vary_size({"s1": mondial_db, "s2": mondial_db},
+                         ["M2"], k=3, repeats=1)
+        assert set(data["M2"]) == {"s1", "s2"}

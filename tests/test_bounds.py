@@ -1,0 +1,78 @@
+"""Unit tests for the sound pruning bounds (corrected Properties 1-5)."""
+
+import pytest
+
+from repro import NodeType
+from repro.core.bounds import (RegionBound, candidate_bounds,
+                               coverage_complement)
+
+
+def region(group, cover):
+    return RegionBound(group, cover)
+
+
+class TestCoverageComplement:
+    def test_no_regions_is_one(self):
+        assert coverage_complement(NodeType.ORDINARY, []) == 1.0
+
+    def test_ind_groups_multiply(self):
+        value = coverage_complement(
+            NodeType.IND, [region(1, 0.5), region(2, 0.2)])
+        assert value == pytest.approx(0.5 * 0.8)
+
+    def test_ordinary_same_as_ind(self):
+        regions = [region(1, 0.5), region(2, 0.2)]
+        assert coverage_complement(NodeType.ORDINARY, regions) == \
+            coverage_complement(NodeType.IND, regions)
+
+    def test_same_group_takes_strongest_only(self):
+        """Regions sharing a child subtree may be positively correlated
+        (the soundness fix): only the maximum counts."""
+        value = coverage_complement(
+            NodeType.ORDINARY, [region(1, 0.5), region(1, 0.4)])
+        assert value == pytest.approx(0.5)
+
+    def test_mux_groups_add(self):
+        value = coverage_complement(
+            NodeType.MUX, [region(1, 0.5), region(2, 0.3)])
+        assert value == pytest.approx(0.2)
+
+    def test_mux_clamped_at_zero(self):
+        value = coverage_complement(
+            NodeType.MUX, [region(1, 0.7), region(2, 0.6)])
+        assert value == 0.0
+
+
+class TestCandidateBounds:
+    def test_node_bound_scales_with_path(self):
+        path_bound, node_bound = candidate_bounds(
+            NodeType.ORDINARY, 0.4, [region(1, 0.5)])
+        assert node_bound == pytest.approx(0.4 * 0.5)
+        assert path_bound == pytest.approx(0.6 + 0.2)
+
+    def test_paper_counterexample_stays_sound(self):
+        """Two perfectly correlated sibling regions under one shared
+        0.42 edge: the paper's printed product bound gives 0.3364, but
+        the true path mass is 0.58.  Our bound conditions on the IND
+        candidate and yields a value >= 0.58."""
+        # Both regions hang under the same IND candidate whose own path
+        # probability is 0.42; given the candidate exists, each covers
+        # with probability 1 (different child groups).
+        path_bound, _ = candidate_bounds(
+            NodeType.IND, 0.42, [region(1, 1.0), region(2, 1.0)])
+        assert path_bound == pytest.approx(0.58)
+        assert path_bound >= 0.58 - 1e-12
+
+    def test_certain_candidate_with_no_regions(self):
+        path_bound, node_bound = candidate_bounds(NodeType.ORDINARY,
+                                                  1.0, [])
+        assert path_bound == 1.0
+        assert node_bound == 1.0
+
+    def test_bounds_monotone_in_coverage(self):
+        weak = candidate_bounds(NodeType.ORDINARY, 0.8,
+                                [region(1, 0.2)])
+        strong = candidate_bounds(NodeType.ORDINARY, 0.8,
+                                  [region(1, 0.9)])
+        assert strong[0] <= weak[0]
+        assert strong[1] <= weak[1]

@@ -1,0 +1,63 @@
+"""Unit tests for the fluent document builder."""
+
+import pytest
+
+from repro import DocumentBuilder, NodeType, PNode
+from repro.exceptions import ModelError
+
+
+class TestDocumentBuilder:
+    def test_flat_leaves(self):
+        builder = DocumentBuilder("root")
+        builder.leaf("a", text="one")
+        builder.leaf("b", text="two", prob=1.0)
+        doc = builder.build()
+        assert [n.label for n in doc] == ["root", "a", "b"]
+        assert doc.node_by_id(1).text == "one"
+
+    def test_nested_elements_and_distributional(self):
+        builder = DocumentBuilder("root")
+        with builder.element("box"):
+            with builder.ind(prob=0.9):
+                builder.leaf("x", prob=0.5)
+            with builder.mux():
+                builder.leaf("y", prob=0.4)
+                builder.leaf("z", prob=0.6)
+        doc = builder.build()
+        kinds = [n.node_type for n in doc]
+        assert kinds.count(NodeType.IND) == 1
+        assert kinds.count(NodeType.MUX) == 1
+        ind = doc.find_first(lambda n: n.node_type is NodeType.IND)
+        assert ind.edge_prob == 0.9
+        assert ind.children[0].edge_prob == 0.5
+
+    def test_attach_external_subtree(self):
+        external = PNode("sub")
+        external.add_child(PNode("inner"))
+        builder = DocumentBuilder("root")
+        builder.node(external)
+        doc = builder.build()
+        assert [n.label for n in doc] == ["root", "sub", "inner"]
+
+    def test_build_with_open_element_fails(self):
+        builder = DocumentBuilder("root")
+        context = builder.element("open")
+        context.__enter__()
+        with pytest.raises(ModelError, match="still open"):
+            builder.build()
+
+    def test_builder_single_use(self):
+        builder = DocumentBuilder("root")
+        builder.build()
+        with pytest.raises(ModelError):
+            builder.leaf("late")
+
+    def test_cursor_restored_after_exception(self):
+        builder = DocumentBuilder("root")
+        with pytest.raises(RuntimeError):
+            with builder.element("a"):
+                raise RuntimeError("boom")
+        builder.leaf("b")
+        doc = builder.build()
+        root_children = [child.label for child in doc.root.children]
+        assert root_children == ["a", "b"]

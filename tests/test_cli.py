@@ -1,0 +1,71 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def pxml_file(tmp_path, figure1_doc):
+    from repro import write_pxml_file
+    path = tmp_path / "doc.pxml"
+    write_pxml_file(figure1_doc, path)
+    return str(path)
+
+
+class TestCli:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        output = str(tmp_path / "mini.pxml")
+        assert main(["generate", "dblp", "--publications", "50",
+                     "-o", output]) == 0
+        assert main(["stats", output]) == 0
+        captured = capsys.readouterr().out
+        assert "#IND" in captured and "height=" in captured
+
+    def test_index_then_search(self, tmp_path, pxml_file, capsys):
+        database_dir = str(tmp_path / "db")
+        assert main(["index", pxml_file, database_dir]) == 0
+        assert main(["search", database_dir, "k1", "k2",
+                     "-k", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "answer(s)" in captured
+        assert "Pr=" in captured
+
+    def test_search_directly_on_pxml(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "k1",
+                     "--algorithm", "prstack"]) == 0
+        assert "prstack" in capsys.readouterr().out
+
+    def test_explain(self, pxml_file, capsys):
+        assert main(["explain", pxml_file, "k1", "k2",
+                     "--code", "1.M1.I2.1"]) == 0
+        captured = capsys.readouterr().out
+        assert "Equation 2" in captured
+
+    def test_twig(self, pxml_file, capsys):
+        assert main(["twig", pxml_file, "C1"]) == 0
+        captured = capsys.readouterr().out
+        assert "binding(s)" in captured
+        assert "P(matches anywhere)" in captured
+
+    def test_worlds(self, tmp_path, fragment_doc, capsys):
+        from repro import write_pxml_file
+        path = tmp_path / "frag.pxml"
+        write_pxml_file(fragment_doc, path)
+        assert main(["worlds", str(path)]) == 0
+        captured = capsys.readouterr().out
+        assert "7 distinct possible worlds" in captured
+
+    def test_error_reported_cleanly(self, pxml_file, capsys):
+        assert main(["explain", pxml_file, "k1",
+                     "--code", "1.9.9"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_invocation(self, pxml_file):
+        import subprocess
+        import sys
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "search", pxml_file, "k1"],
+            capture_output=True, text=True, timeout=120)
+        assert completed.returncode == 0
+        assert "answer(s)" in completed.stdout

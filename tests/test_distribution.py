@@ -1,0 +1,155 @@
+"""Unit tests for keyword distribution tables (Equations 4-8).
+
+The exact numbers of the paper's Examples 4 and 5 are pinned here.
+"""
+
+import pytest
+
+from repro.core.distribution import DistTable
+from repro.exceptions import ModelError
+
+FULL = 0b11
+
+
+def approx_table(table, expected_masks, expected_lost=0.0):
+    for mask, probability in expected_masks.items():
+        assert table.probability(mask) == pytest.approx(probability), mask
+    assert sum(table.masks.values()) == pytest.approx(
+        sum(expected_masks.values()))
+    assert table.lost == pytest.approx(expected_lost)
+
+
+class TestConstruction:
+    def test_unit(self):
+        table = DistTable.unit()
+        assert table.probability(0) == 1.0
+        assert table.total() == pytest.approx(1.0)
+
+    def test_for_match(self):
+        table = DistTable.for_match(0b10)
+        assert table.probability(0b10) == 1.0
+        assert table.probability(0) == 0.0
+
+    def test_copy_independent(self):
+        table = DistTable.for_match(1)
+        twin = table.copy()
+        twin.masks[1] = 0.5
+        assert table.probability(1) == 1.0
+
+
+class TestPromotion:
+    def test_promoted_ind_adds_absence_to_zero(self):
+        # Example 4: D2 {10 -> 1} with lambda 0.7 (paper's bit order
+        # has k1 first; ours indexes keywords by query position, the
+        # algebra is identical).
+        table = DistTable.for_match(0b01).promoted_ind(0.7)
+        approx_table(table, {0b01: 0.7, 0b00: 0.3})
+
+    def test_promoted_ind_keeps_mass_one(self):
+        table = DistTable({0b01: 0.4, 0b10: 0.6}).promoted_ind(0.5)
+        assert table.total() == pytest.approx(1.0)
+
+    def test_promoted_mux_no_absence_term(self):
+        table = DistTable.for_match(0b01).promoted_mux(0.5)
+        approx_table(table, {0b01: 0.5})
+        assert table.total() == pytest.approx(0.5)
+
+    def test_promotion_scales_lost(self):
+        table = DistTable({0b01: 0.5}, lost=0.5)
+        promoted = table.promoted_ind(0.8)
+        assert promoted.lost == pytest.approx(0.4)
+        promoted_mux = table.promoted_mux(0.8)
+        assert promoted_mux.lost == pytest.approx(0.4)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DistTable.unit().promoted_ind(0.0)
+        with pytest.raises(ModelError):
+            DistTable.unit().promoted_mux(1.5)
+
+
+class TestIndMerge:
+    def test_paper_example_4(self):
+        """IND3 combines D2 (k1, 0.7) and E1 (k2, 0.9) into
+        {11: 0.63, 10: 0.07, 01: 0.27, 00: 0.03}."""
+        d2 = DistTable.for_match(0b01).promoted_ind(0.7)   # k1 = bit 0
+        e1 = DistTable.for_match(0b10).promoted_ind(0.9)   # k2 = bit 1
+        table = DistTable()
+        table.merge_ind(d2)
+        table.merge_ind(e1)
+        approx_table(table, {0b11: 0.63, 0b01: 0.07, 0b10: 0.27,
+                             0b00: 0.03})
+
+    def test_merge_into_fresh_assigns(self):
+        table = DistTable()
+        table.merge_ind(DistTable.for_match(0b01))
+        approx_table(table, {0b01: 1.0})
+
+    def test_lost_mass_composes_multiplicatively(self):
+        left = DistTable({0b01: 0.5}, lost=0.5)
+        right = DistTable({0b10: 0.75}, lost=0.25)
+        left.merge_ind(right)
+        assert left.lost == pytest.approx(1 - 0.5 * 0.75)
+        assert left.total() == pytest.approx(1.0)
+
+    def test_fully_lost_table_absorbs(self):
+        left = DistTable({}, lost=1.0)
+        left.merge_ind(DistTable.for_match(0b01))
+        assert left.masks == {}
+        assert left.lost == pytest.approx(1.0)
+
+
+class TestMuxMerge:
+    def test_paper_example_5(self):
+        """MUX2 combines D1 (k1, 0.5), IND3's table (0.1) and E2
+        (k2, 0.3) into {11: 0.063, 10: 0.507, 01: 0.327, 00: 0.103}."""
+        ind3 = DistTable({0b11: 0.63, 0b01: 0.07, 0b10: 0.27, 0b00: 0.03})
+        table = DistTable()
+        table.merge_mux(DistTable.for_match(0b01).promoted_mux(0.5))
+        table.merge_mux(ind3.promoted_mux(0.1))
+        table.merge_mux(DistTable.for_match(0b10).promoted_mux(0.3))
+        table.add_mux_residue(0.5 + 0.1 + 0.3)
+        approx_table(table, {0b11: 0.063, 0b01: 0.507, 0b10: 0.327,
+                             0b00: 0.103})
+        assert table.total() == pytest.approx(1.0)
+
+    def test_residue_overflow_rejected(self):
+        table = DistTable()
+        with pytest.raises(ModelError):
+            table.add_mux_residue(1.2)
+
+    def test_lost_mass_adds(self):
+        table = DistTable()
+        table.merge_mux(DistTable({0b01: 0.2}, lost=0.3).promoted_mux(1.0))
+        assert table.lost == pytest.approx(0.3)
+
+
+class TestNodeLocalOps:
+    def test_apply_self_mask(self):
+        table = DistTable({0b01: 0.4, 0b00: 0.6})
+        table.apply_self_mask(0b10)
+        approx_table(table, {0b11: 0.4, 0b10: 0.6})
+
+    def test_apply_zero_mask_noop(self):
+        table = DistTable({0b01: 0.4})
+        table.apply_self_mask(0)
+        approx_table(table, {0b01: 0.4})
+
+    def test_self_mask_merges_colliding_entries(self):
+        table = DistTable({0b01: 0.4, 0b11: 0.1})
+        table.apply_self_mask(0b10)
+        approx_table(table, {0b11: 0.5})
+
+    def test_harvest_moves_mass_to_lost(self):
+        table = DistTable({0b11: 0.3, 0b01: 0.7})
+        harvested = table.harvest(FULL)
+        assert harvested == pytest.approx(0.3)
+        assert table.probability(FULL) == 0.0
+        assert table.lost == pytest.approx(0.3)
+        assert table.all_probability(FULL) == pytest.approx(0.3)
+        assert table.total() == pytest.approx(1.0)
+
+    def test_harvest_empty(self):
+        table = DistTable({0b01: 1.0})
+        assert table.harvest(FULL) == 0.0
+        assert table.lost == 0.0

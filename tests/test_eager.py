@@ -1,0 +1,146 @@
+"""Unit tests for the EagerTopK algorithm (Algorithm 2)."""
+
+import random
+
+import pytest
+
+from repro import Database, eager_topk_search, prstack_search
+from tests.conftest import random_pdoc
+
+
+def results_key(outcome):
+    return [(str(r.code), round(r.probability, 10)) for r in outcome]
+
+
+class TestEagerOnPaperFixtures:
+    def test_example_6_value(self, fragment_db):
+        outcome = eager_topk_search(fragment_db.index, ["k1", "k2"], k=5)
+        assert results_key(outcome) == [("1.M1.I1.1", 0.00945)]
+
+    def test_matches_prstack_on_figure1(self, figure1_db):
+        for keywords in (["k1", "k2"], ["k1"], ["k2"]):
+            for k in (1, 2, 3, 50):
+                eager = eager_topk_search(figure1_db.index, keywords, k)
+                stack = prstack_search(figure1_db.index, keywords, k)
+                assert results_key(eager) == results_key(stack), \
+                    (keywords, k)
+
+    def test_missing_keyword_returns_empty(self, figure1_db):
+        outcome = eager_topk_search(figure1_db.index, ["k1", "zebra"], 5)
+        assert len(outcome) == 0
+        assert outcome.stats["seeds"] == 0
+
+    def test_stats_populated(self, figure1_db):
+        outcome = eager_topk_search(figure1_db.index, ["k1", "k2"], k=2)
+        stats = outcome.stats
+        assert stats["algorithm"] == "eager_topk"
+        assert stats["seeds"] >= 1
+        assert stats["candidates_processed"] >= stats["seeds"] - \
+            stats["candidates_suspended"]
+        assert stats["entries_consumed"] <= stats["match_entries"]
+
+
+class TestPruningFlags:
+    @pytest.mark.parametrize("path_bounds,node_bounds", [
+        (True, True), (True, False), (False, True), (False, False),
+    ])
+    def test_flags_do_not_change_answers(self, figure1_db, path_bounds,
+                                         node_bounds):
+        reference = prstack_search(figure1_db.index, ["k1", "k2"], k=3)
+        outcome = eager_topk_search(
+            figure1_db.index, ["k1", "k2"], k=3,
+            use_path_bounds=path_bounds, use_node_bounds=node_bounds)
+        assert results_key(outcome) == results_key(reference)
+
+    def test_disabled_bounds_do_more_work(self, figure1_db):
+        pruned = eager_topk_search(figure1_db.index, ["k1", "k2"], k=1)
+        exhaustive = eager_topk_search(
+            figure1_db.index, ["k1", "k2"], k=1,
+            use_path_bounds=False, use_node_bounds=False)
+        assert exhaustive.stats["entries_consumed"] >= \
+            pruned.stats["entries_consumed"]
+        assert exhaustive.stats["candidates_pruned"] == 0
+        assert exhaustive.stats["candidates_suspended"] == 0
+
+
+class TestTieModes:
+    def test_paper_tie_mode_probabilities_match(self, figure1_db):
+        exact = eager_topk_search(figure1_db.index, ["k1", "k2"], k=3)
+        paper = eager_topk_search(figure1_db.index, ["k1", "k2"], k=3,
+                                  exact_ties=False)
+        assert sorted(round(r.probability, 10) for r in paper) == \
+            sorted(round(r.probability, 10) for r in exact)
+
+    def test_both_modes_prune_plateaus(self):
+        """On a plateau of identical answers, document-later ties lose
+        the tiebreak in both modes, so neither sweeps the tail."""
+        from repro import Database, DocumentBuilder
+        builder = DocumentBuilder("root")
+        for _ in range(40):
+            with builder.element("group", prob=0.5):
+                builder.leaf("a", text="k1")
+                builder.leaf("b", text="k2")
+        database = Database.from_document(builder.build())
+        exact = eager_topk_search(database.index, ["k1", "k2"], k=5)
+        paper = eager_topk_search(database.index, ["k1", "k2"], k=5,
+                                  exact_ties=False)
+        assert exact.probabilities() == paper.probabilities()
+        for outcome in (exact, paper):
+            assert outcome.stats["entries_consumed"] < \
+                outcome.stats["match_entries"]
+        # Exact mode returns the document-order-first ties.
+        assert [str(r.code) for r in exact] == \
+            ["1.1", "1.2", "1.3", "1.4", "1.5"]
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_paper_tie_mode_randomised_compatibility(self, seed):
+        rng = random.Random(seed * 53 + 1)
+        document = random_pdoc(rng, max_nodes=40)
+        database = Database.from_document(document)
+        for k in (1, 3, 10):
+            exact = eager_topk_search(database.index, ["k1", "k2"], k)
+            paper = eager_topk_search(database.index, ["k1", "k2"], k,
+                                      exact_ties=False)
+            exact_probs = [round(r.probability, 9) for r in exact]
+            paper_probs = [round(r.probability, 9) for r in paper]
+            assert paper_probs == exact_probs, (seed, k)
+            # Codes agree strictly above the tie boundary.
+            if exact_probs:
+                boundary = exact_probs[-1]
+                above = {str(r.code) for r in exact
+                         if round(r.probability, 9) > boundary}
+                assert above == {str(r.code) for r in paper
+                                 if round(r.probability, 9) > boundary}
+
+
+class TestEagerEqualsPrStackRandomised:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_documents(self, seed):
+        rng = random.Random(seed * 31 + 5)
+        document = random_pdoc(rng, max_nodes=45,
+                               keywords=("k1", "k2", "k3"))
+        database = Database.from_document(document)
+        for keywords in (["k1", "k2"], ["k1"], ["k1", "k2", "k3"]):
+            for k in (1, 3, 10):
+                eager = eager_topk_search(database.index, keywords, k)
+                stack = prstack_search(database.index, keywords, k)
+                assert results_key(eager) == results_key(stack), \
+                    (seed, keywords, k)
+
+    def test_early_termination_skips_matches(self):
+        """On a wide document with one dominant answer and k=1, eager
+        terminates without consuming every match entry."""
+        from repro import DocumentBuilder
+        builder = DocumentBuilder("root")
+        with builder.element("winner"):
+            builder.leaf("hit", text="k1 k2")
+        for index in range(50):
+            with builder.element("filler", prob=1.0):
+                with builder.ind():
+                    builder.leaf("a", text="k1", prob=0.2)
+                    builder.leaf("b", text="k2", prob=0.2)
+        database = Database.from_document(builder.build())
+        outcome = eager_topk_search(database.index, ["k1", "k2"], k=1)
+        assert outcome.results[0].probability == pytest.approx(1.0)
+        assert outcome.stats["entries_consumed"] < \
+            outcome.stats["match_entries"]

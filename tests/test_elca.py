@@ -1,0 +1,117 @@
+"""Tests for the ELCA-semantics extension (after reference [23])."""
+
+import random
+
+import pytest
+
+from repro import Database, DocumentBuilder, topk_search
+from repro.exceptions import QueryError
+from repro.prxml.possible_worlds import DetNode
+from repro.slca.deterministic import elca_of_world, slca_of_world
+from tests.conftest import random_pdoc
+
+
+def det(label, text=None, children=(), source_id=0):
+    node = DetNode(label, text, source_id)
+    node.children = list(children)
+    return node
+
+
+class TestDeterministicElca:
+    def test_ancestor_can_also_answer(self):
+        """The classic ELCA-vs-SLCA separation: a deep full match plus
+        independent occurrences at the ancestor."""
+        leaf = det("leaf", "k1 k2", source_id=3)
+        extra1 = det("x", "k1", source_id=4)
+        extra2 = det("y", "k2", source_id=5)
+        root = det("r", None, [leaf, extra1, extra2], source_id=1)
+        assert [n.source_id for n in slca_of_world(root, ["k1", "k2"])] \
+            == [3]
+        assert sorted(n.source_id
+                      for n in elca_of_world(root, ["k1", "k2"])) == [1, 3]
+
+    def test_consumed_occurrences_do_not_witness_ancestors(self):
+        leaf = det("leaf", "k1 k2", source_id=3)
+        extra = det("x", "k1", source_id=4)  # k2 is only below the leaf
+        root = det("r", None, [leaf, extra], source_id=1)
+        assert [n.source_id for n in elca_of_world(root, ["k1", "k2"])] \
+            == [3]
+
+    def test_elca_equals_slca_without_nesting(self):
+        left = det("a", "k1", source_id=2)
+        right = det("b", "k2", source_id=3)
+        root = det("r", None, [left, right], source_id=1)
+        assert [n.source_id for n in elca_of_world(root, ["k1", "k2"])] \
+            == [n.source_id for n in slca_of_world(root, ["k1", "k2"])]
+
+
+class TestProbabilisticElca:
+    def build_separating_document(self):
+        """deep <hit> carries both keywords; the root also sees k1/k2
+        from independent siblings."""
+        builder = DocumentBuilder("root")
+        with builder.element("record"):
+            builder.leaf("hit", text="k1 k2")
+        with builder.ind():
+            builder.leaf("a", text="k1", prob=0.5)
+            builder.leaf("b", text="k2", prob=0.4)
+        return Database.from_document(builder.build())
+
+    def test_prstack_matches_world_enumeration(self):
+        database = self.build_separating_document()
+        oracle = topk_search(database, ["k1", "k2"], 10,
+                             "possible_worlds", semantics="elca")
+        stack = topk_search(database, ["k1", "k2"], 10, "prstack",
+                            semantics="elca")
+        assert [(str(r.code), round(r.probability, 10)) for r in stack] \
+            == [(str(r.code), round(r.probability, 10)) for r in oracle]
+        # The root answers with probability 0.2 (both extras present)
+        # even though <hit> always answers below it.
+        by_code = {str(r.code): r.probability for r in stack}
+        assert by_code["1.1.1"] == pytest.approx(1.0)
+        assert by_code["1"] == pytest.approx(0.2)
+
+    def test_elca_never_below_slca_probability(self, figure1_db):
+        """Consuming instead of excluding can only help ancestors:
+        every node's ELCA probability >= its SLCA probability."""
+        slca = topk_search(figure1_db, ["k1", "k2"], 100, "prstack")
+        elca = topk_search(figure1_db, ["k1", "k2"], 100, "prstack",
+                           semantics="elca")
+        slca_by_code = {str(r.code): r.probability for r in slca}
+        elca_by_code = {str(r.code): r.probability for r in elca}
+        for code, probability in slca_by_code.items():
+            assert elca_by_code.get(code, 0.0) >= probability - 1e-12
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_documents_match_oracle(self, seed):
+        rng = random.Random(seed * 193 + 7)
+        document = random_pdoc(rng, max_nodes=16)
+        if document.theoretical_world_count() > 50_000:
+            pytest.skip("world space too large")
+        database = Database.from_document(document)
+        for keywords in (["k1", "k2"], ["k1"]):
+            oracle = topk_search(database, keywords, 50,
+                                 "possible_worlds", semantics="elca")
+            stack = topk_search(database, keywords, 50, "prstack",
+                                semantics="elca")
+            assert [(str(r.code), round(r.probability, 9))
+                    for r in stack] == \
+                [(str(r.code), round(r.probability, 9))
+                 for r in oracle], (seed, keywords)
+
+
+class TestApiSurface:
+    def test_eager_rejects_elca(self, figure1_db):
+        with pytest.raises(QueryError, match="SLCA-specific"):
+            topk_search(figure1_db, ["k1"], 3, "eager",
+                        semantics="elca")
+
+    def test_unknown_semantics(self, figure1_db):
+        with pytest.raises(QueryError, match="semantics"):
+            topk_search(figure1_db, ["k1"], 3, "prstack",
+                        semantics="vlca")
+
+    def test_stats_record_semantics(self, figure1_db):
+        outcome = topk_search(figure1_db, ["k1"], 3, "prstack",
+                              semantics="elca")
+        assert outcome.stats["semantics"] == "elca"

@@ -1,0 +1,71 @@
+"""Unit tests for document encoding (Dewey codes + PrLinks)."""
+
+import pytest
+
+from repro import NodeType, PNode, encode_document
+from repro.exceptions import EncodingError
+
+
+class TestEncodeDocument:
+    def test_codes_follow_figure_1b_convention(self, fragment_doc):
+        encoded = encode_document(fragment_doc)
+        by_label = {node.label: str(encoded.code_of(node))
+                    for node in fragment_doc if node.is_ordinary}
+        assert by_label["A"] == "1"
+        assert by_label["C1"] == "1.M1.I1.1"
+        assert by_label["D1"] == "1.M1.I1.1.M1.1"
+        assert by_label["D2"] == "1.M1.I1.1.M1.I2.1"
+        assert by_label["E1"] == "1.M1.I1.1.M1.I2.2"
+        assert by_label["E2"] == "1.M1.I1.1.M1.3"
+
+    def test_prlink_matches_paper_example(self, fragment_doc):
+        """The paper stores D1's link as 1, 0.25, 0.6, 1, 0.5 (our
+        fragment uses the same probabilities)."""
+        encoded = encode_document(fragment_doc)
+        d1 = fragment_doc.find_by_label("D1")[0]
+        assert encoded.link_of(d1) == (1.0, 1.0, 0.25, 0.6, 1.0, 0.5)
+
+    def test_path_probability(self, fragment_doc):
+        encoded = encode_document(fragment_doc)
+        c1 = fragment_doc.find_by_label("C1")[0]
+        assert encoded.path_probability(encoded.code_of(c1)) == \
+            pytest.approx(0.15)
+
+    def test_codes_sorted_like_node_ids(self, figure1_doc):
+        encoded = encode_document(figure1_doc)
+        positions = [code.positions for code in encoded.iter_codes()]
+        assert positions == sorted(positions)
+
+    def test_node_at_round_trip(self, figure1_doc):
+        encoded = encode_document(figure1_doc)
+        for node in figure1_doc:
+            assert encoded.node_at(encoded.code_of(node)) is node
+
+    def test_node_at_unknown_code(self, fragment_doc):
+        from repro import DeweyCode
+        encoded = encode_document(fragment_doc)
+        with pytest.raises(EncodingError, match="no node"):
+            encoded.node_at(DeweyCode.parse("1.9.9"))
+        assert not encoded.has_code(DeweyCode.parse("1.9.9"))
+
+    def test_links_aligned_with_codes(self, figure1_doc):
+        encoded = encode_document(figure1_doc)
+        for node in figure1_doc:
+            code = encoded.code_of(node)
+            link = encoded.link_of(node)
+            assert len(link) == len(code)
+            assert link[0] == 1.0
+            assert link[-1] == node.edge_prob
+
+    def test_stale_document_detected(self, fragment_doc):
+        fragment_doc.root.add_child(PNode("late"))
+        # refresh() not called: the new node is unnumbered.
+        with pytest.raises(EncodingError):
+            encode_document(fragment_doc)
+
+    def test_distributional_kinds_in_codes(self, fragment_doc):
+        encoded = encode_document(fragment_doc)
+        for node in fragment_doc:
+            assert encoded.code_of(node).node_type is node.node_type
+            if node.node_type is NodeType.MUX:
+                assert str(encoded.code_of(node)).split(".")[-1][0] == "M"

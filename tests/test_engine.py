@@ -1,0 +1,113 @@
+"""Unit tests for the shared bottom-up stack engine."""
+
+import pytest
+
+from repro import DeweyCode, build_index, encode_document
+from repro.core.distribution import DistTable
+from repro.core.engine import StackEngine, StackItem
+from repro.exceptions import ReproError
+from repro.index.matchlist import build_match_entries
+
+
+def collect_sink():
+    results = []
+    return results, lambda code, prob: results.append((str(code), prob))
+
+
+def fragment_items(fragment_doc, keywords=("k1", "k2")):
+    index = build_index(encode_document(fragment_doc))
+    _, entries = build_match_entries(index, list(keywords))
+    return [StackItem(e.code, e.link, e.mask) for e in entries]
+
+
+class TestWholeDocumentRuns:
+    def test_fragment_harvests_c1(self, fragment_doc):
+        results, sink = collect_sink()
+        engine = StackEngine(0b11, sink)
+        for item in fragment_items(fragment_doc):
+            engine.feed(item)
+        engine.finish()
+        assert results == [("1.M1.I1.1", pytest.approx(0.00945))]
+        assert engine.results_emitted == 1
+
+    def test_no_items_no_results(self):
+        results, sink = collect_sink()
+        engine = StackEngine(0b1, sink)
+        engine.finish()
+        assert results == []
+
+    def test_single_match_at_root(self):
+        results, sink = collect_sink()
+        engine = StackEngine(0b1, sink)
+        engine.feed(StackItem(DeweyCode.parse("1"), (1.0,), 0b1))
+        engine.finish()
+        assert results == [("1", pytest.approx(1.0))]
+
+
+class TestInputValidation:
+    def test_out_of_order_rejected(self):
+        _, sink = collect_sink()
+        engine = StackEngine(0b1, sink)
+        engine.feed(StackItem(DeweyCode.parse("1.2"), (1.0, 1.0), 0b1))
+        with pytest.raises(ReproError, match="document order"):
+            engine.feed(StackItem(DeweyCode.parse("1.1"), (1.0, 1.0), 0b1))
+
+    def test_duplicate_rejected(self):
+        _, sink = collect_sink()
+        engine = StackEngine(0b1, sink)
+        engine.feed(StackItem(DeweyCode.parse("1.2"), (1.0, 1.0), 0b1))
+        with pytest.raises(ReproError, match="document order"):
+            engine.feed(StackItem(DeweyCode.parse("1.2"), (1.0, 1.0), 0b1))
+
+    def test_item_outside_context_rejected(self):
+        _, sink = collect_sink()
+        engine = StackEngine(0b1, sink, context_length=2)
+        with pytest.raises(ReproError, match="outside"):
+            engine.feed(StackItem(DeweyCode.parse("1.2"), (1.0, 1.0), 0b1))
+
+    def test_preset_with_mask_rejected(self):
+        with pytest.raises(ReproError):
+            StackItem(DeweyCode.parse("1.2"), (1.0, 1.0), 0b1,
+                      DistTable.unit())
+
+    def test_zero_full_mask_rejected(self):
+        with pytest.raises(ReproError):
+            StackEngine(0, lambda code, prob: None)
+
+
+class TestCandidateRuns:
+    def test_finish_candidate_returns_unpromoted_table(self, fragment_doc):
+        """Evaluating C1 as an EagerTopK candidate yields the paper's
+        MUX2 table (Example 5) with the full mask harvested."""
+        results, sink = collect_sink()
+        c1 = DeweyCode.parse("1.M1.I1.1")
+        engine = StackEngine(0b11, sink, context_length=len(c1) - 1)
+        for item in fragment_items(fragment_doc):
+            engine.feed(item)
+        table = engine.finish_candidate()
+        assert results == [("1.M1.I1.1", pytest.approx(0.00945))]
+        assert table.probability(0b11) == 0.0  # harvested
+        assert table.lost == pytest.approx(0.063)
+        assert table.probability(0b01) == pytest.approx(0.507)
+        assert table.probability(0b10) == pytest.approx(0.327)
+        assert table.probability(0b00) == pytest.approx(0.103)
+
+    def test_finish_candidate_empty_returns_unit(self):
+        _, sink = collect_sink()
+        engine = StackEngine(0b11, sink, context_length=1)
+        table = engine.finish_candidate()
+        assert table.probability(0) == 1.0
+
+    def test_preset_table_used_verbatim(self):
+        """Feeding a preset region table reproduces the same parent
+        table as feeding the region's raw matches."""
+        results, sink = collect_sink()
+        preset = DistTable({0b11: 0.5, 0b01: 0.5})
+        engine = StackEngine(0b11, sink, context_length=0)
+        engine.feed(StackItem(DeweyCode.parse("1.2"), (1.0, 0.4),
+                              table=preset))
+        table = engine.finish_candidate()
+        # Root (ordinary) harvests 0.4 * 0.5 of full mass.
+        assert results == [("1", pytest.approx(0.2))]
+        assert table.probability(0b01) == pytest.approx(0.2)
+        assert table.probability(0b00) == pytest.approx(0.6)

@@ -1,0 +1,34 @@
+"""The example scripts must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "all algorithms agree",
+    "movie_integration.py": "same answers",
+    "information_extraction.py": "possible-world Equation 1",
+    "bibliography_search.py": "top answers for D2",
+    "twig_queries.py": "keyword coverage adds the award path",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True,
+        timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_SNIPPETS[script] in completed.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {name for name in os.listdir(EXAMPLES_DIR)
+               if name.endswith(".py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

@@ -1,0 +1,161 @@
+"""Tests for the PrXML{exp} model extension."""
+
+import random
+
+import pytest
+
+from repro import (Database, DocumentBuilder, NodeType, PNode, parse_pxml,
+                   serialize_pxml, topk_search, validate_document)
+from repro.exceptions import ModelError, ParseError
+from repro.prxml.possible_worlds import enumerate_possible_worlds
+from tests.conftest import random_pdoc
+
+
+def exp_doc():
+    """root -> EXP{a(k1), b(k2)} with P({a,b})=0.4, P({a})=0.3,
+    residue 0.3."""
+    builder = DocumentBuilder("root")
+    with builder.exp([((1, 2), 0.4), ((1,), 0.3)]):
+        builder.leaf("a", text="k1")
+        builder.leaf("b", text="k2")
+    return builder.build()
+
+
+class TestModel:
+    def test_marginals_installed(self):
+        document = exp_doc()
+        exp = document.find_first(
+            lambda node: node.node_type is NodeType.EXP)
+        a, b = exp.children
+        assert a.edge_prob == pytest.approx(0.7)   # in both subsets
+        assert b.edge_prob == pytest.approx(0.4)   # in {a, b} only
+
+    def test_validation_passes(self):
+        validate_document(exp_doc())
+
+    def test_set_subsets_rejects_bad_input(self):
+        exp = PNode("EXP", NodeType.EXP)
+        exp.add_child(PNode("a"))
+        with pytest.raises(ModelError, match="missing children"):
+            exp.set_exp_subsets([((1, 2), 0.5)])
+        with pytest.raises(ModelError, match="outside"):
+            exp.set_exp_subsets([((1,), 1.5)])
+        with pytest.raises(ModelError, match="duplicate"):
+            exp.set_exp_subsets([((1,), 0.3), ((1,), 0.3)])
+
+    def test_overweight_distribution_rejected(self):
+        exp = PNode("EXP", NodeType.EXP)
+        exp.add_child(PNode("a"))
+        exp.add_child(PNode("b"))
+        with pytest.raises(ModelError, match="sum"):
+            exp.set_exp_subsets([((1,), 0.7), ((2,), 0.6)])
+
+    def test_set_subsets_on_non_exp_rejected(self):
+        node = PNode("IND", NodeType.IND)
+        with pytest.raises(ModelError):
+            node.set_exp_subsets([((1,), 0.5)])
+
+    def test_validation_detects_marginal_drift(self):
+        document = exp_doc()
+        exp = document.find_first(
+            lambda node: node.node_type is NodeType.EXP)
+        exp.children[0].edge_prob = 0.9  # break the invariant
+        with pytest.raises(ModelError, match="marginal"):
+            validate_document(document)
+
+    def test_copy_preserves_subsets(self):
+        twin = exp_doc().copy()
+        exp = twin.find_first(
+            lambda node: node.node_type is NodeType.EXP)
+        assert exp.exp_subsets == [((1, 2), 0.4), ((1,), 0.3)]
+        validate_document(twin)
+
+
+class TestPossibleWorlds:
+    def test_world_distribution(self):
+        worlds = enumerate_possible_worlds(exp_doc())
+        by_size = sorted((len(w.node_ids), round(w.probability, 6))
+                         for w in worlds)
+        # {root}, {root, a}, {root, a, b}
+        assert by_size == [(1, 0.3), (2, 0.3), (3, 0.4)]
+
+    def test_correlation_differs_from_ind_marginals(self):
+        """The subset distribution is *not* the product of marginals:
+        P(root covers both) = 0.4, not 0.7 * 0.4 = 0.28."""
+        outcome = topk_search(exp_doc(), ["k1", "k2"], 3, "prstack")
+        assert outcome.results[0].probability == pytest.approx(0.4)
+
+
+class TestSearchAlgorithms:
+    def test_all_algorithms_agree_on_exp_doc(self):
+        document = exp_doc()
+        reference = None
+        for algorithm in ("possible_worlds", "prstack", "eager"):
+            outcome = topk_search(document, ["k1", "k2"], 5, algorithm)
+            key = [(str(r.code), round(r.probability, 10))
+                   for r in outcome]
+            reference = key if reference is None else reference
+            assert key == reference, algorithm
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_exp_documents_match_oracle(self, seed):
+        rng = random.Random(seed * 7919 + 3)
+        document = random_pdoc(rng, max_nodes=16, with_exp=True)
+        if document.theoretical_world_count() > 50_000:
+            pytest.skip("world space too large")
+        database = Database.from_document(document)
+        for keywords in (["k1", "k2"], ["k1"]):
+            oracle = topk_search(database, keywords, 10,
+                                 "possible_worlds")
+            stack = topk_search(database, keywords, 10, "prstack")
+            eager = topk_search(database, keywords, 10, "eager")
+            assert stack.probabilities() == pytest.approx(
+                oracle.probabilities(), abs=1e-7), (seed, keywords)
+            assert [(str(r.code), round(r.probability, 9))
+                    for r in eager] == \
+                [(str(r.code), round(r.probability, 9))
+                 for r in stack], (seed, keywords)
+
+
+class TestTextFormat:
+    def test_round_trip(self):
+        document = exp_doc()
+        again = parse_pxml(serialize_pxml(document))
+        validate_document(again)
+        exp = again.find_first(
+            lambda node: node.node_type is NodeType.EXP)
+        assert exp.exp_subsets == [((1, 2), 0.4), ((1,), 0.3)]
+
+    def test_missing_subsets_attribute(self):
+        with pytest.raises(ParseError, match="subsets"):
+            parse_pxml("<a><exp><b/></exp></a>")
+
+    def test_bad_subset_entry(self):
+        with pytest.raises(ParseError, match="subset entry"):
+            parse_pxml('<a><exp subsets="x:0.5"><b/></exp></a>')
+
+    def test_overweight_distribution_rejected(self):
+        with pytest.raises(ParseError, match="distribution"):
+            parse_pxml('<a><exp subsets="1:0.7 1+1:0.6"><b/></exp></a>')
+
+
+class TestDatagen:
+    def test_exp_injection(self):
+        from repro.datagen import generate_dblp, make_probabilistic
+        base = generate_dblp(publications=300, seed=9)
+        prob = make_probabilistic(base, exp_fraction=0.3,
+                                  mux_fraction=0.3, seed=9)
+        validate_document(prob)
+        kinds = [node.node_type for node in prob]
+        assert kinds.count(NodeType.EXP) > 0
+        database = Database.from_document(prob)
+        stack = topk_search(database, ["query", "xml"], 10, "prstack")
+        eager = topk_search(database, ["query", "xml"], 10, "eager")
+        assert [(str(r.code), round(r.probability, 9)) for r in stack] \
+            == [(str(r.code), round(r.probability, 9)) for r in eager]
+
+    def test_invalid_fractions(self):
+        from repro.datagen import generate_dblp, make_probabilistic
+        base = generate_dblp(publications=10, seed=9)
+        with pytest.raises(ModelError):
+            make_probabilistic(base, mux_fraction=0.8, exp_fraction=0.4)

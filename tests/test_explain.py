@@ -1,0 +1,67 @@
+"""Unit tests for the result explainer."""
+
+import pytest
+
+from repro import DeweyCode, explain_result
+from repro.exceptions import QueryError
+
+
+class TestExplainResult:
+    def test_paper_example_6_decomposition(self, fragment_db):
+        """C1: Pr(path) = 0.15, Pr_local = 0.063, Pr_global = 0.00945,
+        and the Example 5 distribution table."""
+        code = DeweyCode.parse("1.M1.I1.1")
+        explanation = explain_result(fragment_db.index, ["k1", "k2"],
+                                     code)
+        assert explanation.node.label == "C1"
+        assert explanation.path_probability == pytest.approx(0.15)
+        assert explanation.local_slca_probability == \
+            pytest.approx(0.063)
+        assert explanation.global_slca_probability == \
+            pytest.approx(0.00945)
+        distribution = explanation.distribution
+        assert distribution[("k1",)] == pytest.approx(0.507)
+        assert distribution[("k2",)] == pytest.approx(0.327)
+        assert distribution[()] == pytest.approx(0.103)
+        assert ("k1", "k2") not in distribution or \
+            distribution[("k1", "k2")] == 0.0
+
+    def test_equation_2_consistency(self, figure1_db):
+        """Pr_global = Pr(path) * Pr_local for every answer."""
+        from repro import prstack_search
+        outcome = prstack_search(figure1_db.index, ["k1", "k2"], k=10)
+        for result in outcome:
+            explanation = explain_result(figure1_db.index,
+                                         ["k1", "k2"], result.code)
+            assert explanation.global_slca_probability == \
+                pytest.approx(result.probability)
+            assert explanation.global_slca_probability == pytest.approx(
+                explanation.path_probability
+                * explanation.local_slca_probability)
+
+    def test_non_answer_node_explained_as_zero(self, fragment_db):
+        root = DeweyCode.parse("1")
+        explanation = explain_result(fragment_db.index, ["k1", "k2"],
+                                     root)
+        assert explanation.global_slca_probability < \
+            explain_result(fragment_db.index, ["k1", "k2"],
+                           DeweyCode.parse("1.M1.I1.1")
+                           ).global_slca_probability + 1
+
+    def test_distributional_node_rejected(self, fragment_db):
+        with pytest.raises(QueryError, match="ordinary"):
+            explain_result(fragment_db.index, ["k1"],
+                           DeweyCode.parse("1.M1"))
+
+    def test_unknown_code_rejected(self, fragment_db):
+        with pytest.raises(QueryError, match="no node"):
+            explain_result(fragment_db.index, ["k1"],
+                           DeweyCode.parse("1.9.9"))
+
+    def test_lines_render(self, fragment_db):
+        explanation = explain_result(fragment_db.index, ["k1", "k2"],
+                                     DeweyCode.parse("1.M1.I1.1"))
+        text = "\n".join(explanation.lines())
+        assert "Equation 2" in text
+        assert "C1" in text
+        assert "0.00945" in text

@@ -1,0 +1,102 @@
+"""Integration tests: the full pipeline on scaled-down experiment data.
+
+Generator -> probabilistic injection -> encoding -> index -> both
+algorithms, on miniature versions of the Table II corpora, with the
+Table III queries.
+"""
+
+import pytest
+
+from repro import Database, document_stats, topk_search, validate_document
+from repro.datagen import (generate_dblp, generate_mondial, generate_xmark,
+                           make_probabilistic, query_keywords,
+                           queries_for_dataset)
+
+
+@pytest.fixture(scope="module")
+def mini_databases():
+    corpora = {
+        "xmark": generate_xmark(scale=1),
+        "mondial": generate_mondial(),
+        "dblp": generate_dblp(publications=4000),
+    }
+    databases = {}
+    for family, document in corpora.items():
+        probabilistic = make_probabilistic(document, seed=673)
+        validate_document(probabilistic)
+        databases[family] = Database.from_document(probabilistic)
+    return databases
+
+
+class TestPipeline:
+    def test_distributional_ratio_in_paper_range(self, mini_databases):
+        for family, database in mini_databases.items():
+            stats = document_stats(database.document)
+            assert 0.08 <= stats.distributional_ratio <= 0.25, family
+
+    @pytest.mark.parametrize("family", ["xmark", "mondial", "dblp"])
+    def test_algorithms_agree_on_every_query(self, mini_databases,
+                                             family):
+        database = mini_databases[family]
+        for query_id in queries_for_dataset(family):
+            keywords = query_keywords(query_id)
+            stack = topk_search(database, keywords, 10, "prstack")
+            eager = topk_search(database, keywords, 10, "eager")
+            assert [(str(r.code), round(r.probability, 9))
+                    for r in stack] == \
+                [(str(r.code), round(r.probability, 9))
+                 for r in eager], query_id
+
+    @pytest.mark.parametrize("family", ["xmark", "mondial", "dblp"])
+    def test_queries_return_results(self, mini_databases, family):
+        """Every Table III query has at least one non-zero answer on
+        its corpus (the paper's workloads are never empty)."""
+        database = mini_databases[family]
+        for query_id in queries_for_dataset(family):
+            outcome = topk_search(database, query_keywords(query_id), 10,
+                                  "prstack")
+            assert len(outcome) >= 1, query_id
+
+    def test_vary_k_monotone(self, mini_databases):
+        database = mini_databases["mondial"]
+        keywords = query_keywords("M1")
+        previous = []
+        for k in (1, 5, 10, 20):
+            outcome = topk_search(database, keywords, k, "eager")
+            probabilities = outcome.probabilities()
+            assert probabilities[:len(previous)] == previous
+            previous = probabilities
+
+    def test_results_are_ordinary_nodes_with_valid_probabilities(
+            self, mini_databases):
+        for family, database in mini_databases.items():
+            for query_id in queries_for_dataset(family)[:2]:
+                outcome = topk_search(database,
+                                      query_keywords(query_id), 10)
+                for result in outcome:
+                    assert result.node.is_ordinary
+                    assert 0.0 < result.probability <= 1.0 + 1e-9
+
+    def test_eager_consumes_no_more_than_available(self, mini_databases):
+        database = mini_databases["xmark"]
+        for query_id in queries_for_dataset("xmark"):
+            outcome = topk_search(database, query_keywords(query_id), 10,
+                                  "eager")
+            stats = outcome.stats
+            assert stats["entries_consumed"] <= stats["match_entries"]
+
+
+class TestPersistenceIntegration:
+    def test_save_load_query_cycle(self, mini_databases, tmp_path):
+        from repro import load_database, save_database
+        database = mini_databases["mondial"]
+        save_database(database, tmp_path / "mondial")
+        loaded = load_database(tmp_path / "mondial")
+        for query_id in queries_for_dataset("mondial"):
+            keywords = query_keywords(query_id)
+            original = topk_search(database, keywords, 5, "prstack")
+            reloaded = topk_search(loaded, keywords, 5, "prstack")
+            assert [(str(r.code), round(r.probability, 9))
+                    for r in original] == \
+                [(str(r.code), round(r.probability, 9))
+                 for r in reloaded], query_id

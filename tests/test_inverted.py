@@ -1,0 +1,99 @@
+"""Unit tests for the inverted keyword index."""
+
+from array import array
+
+import pytest
+
+from repro import DocumentBuilder, build_index, encode_document
+from repro.exceptions import IndexError_, QueryError
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture
+def library_index():
+    builder = DocumentBuilder("library")
+    with builder.element("book"):
+        builder.leaf("title", text="xml keyword query")
+        builder.leaf("author", text="li")
+    with builder.element("book"):
+        builder.leaf("title", text="probabilistic query")
+        builder.leaf("author", text="liu")
+    return build_index(encode_document(builder.build()))
+
+
+class TestInvertedIndex:
+    def test_postings_in_document_order(self, library_index):
+        ids = list(library_index.postings("query"))
+        assert ids == sorted(ids)
+        assert len(ids) == 2
+
+    def test_tag_terms_indexed(self, library_index):
+        assert library_index.document_frequency("book") == 2
+        assert library_index.document_frequency("title") == 2
+
+    def test_missing_term_empty(self, library_index):
+        assert len(library_index.postings("zebra")) == 0
+        assert "zebra" not in library_index
+
+    def test_case_insensitive_lookup(self, library_index):
+        assert library_index.document_frequency("XML") == 1
+
+    def test_node_matched_once_per_term(self, library_index):
+        # "query query" style duplicates within one node collapse.
+        for term in library_index.vocabulary():
+            ids = list(library_index.postings(term))
+            assert len(ids) == len(set(ids))
+
+    def test_vocabulary_sorted(self, library_index):
+        vocabulary = library_index.vocabulary()
+        assert vocabulary == sorted(vocabulary)
+        assert "keyword" in vocabulary
+
+    def test_query_terms_validation(self, library_index):
+        assert library_index.query_terms(["XML Keyword"]) == \
+            ["xml", "keyword"]
+        with pytest.raises(QueryError):
+            library_index.query_terms([])
+        with pytest.raises(QueryError):
+            library_index.query_terms(["..."])
+
+    def test_keyword_lists_align_with_terms(self, library_index):
+        terms, lists = library_index.keyword_lists(["query", "zebra"])
+        assert terms == ["query", "zebra"]
+        assert len(lists[0]) == 2
+        assert len(lists[1]) == 0
+
+    def test_label_postings_exact_match(self, library_index):
+        assert len(library_index.label_postings("book")) == 2
+        assert len(library_index.label_postings("title")) == 2
+        # Exact tags only: tokenised sub-terms do not count.
+        assert len(library_index.label_postings("boo")) == 0
+
+    def test_label_postings_excludes_distributional(self):
+        from repro import DocumentBuilder, encode_document
+        builder = DocumentBuilder("r")
+        with builder.mux():
+            builder.leaf("MUX", prob=0.5)  # ordinary node named "MUX"
+        index = build_index(encode_document(builder.build()))
+        ids = list(index.label_postings("MUX"))
+        assert len(ids) == 1  # only the ordinary one
+
+    def test_ordinary_ids_in_document_order(self, library_index):
+        ids = list(library_index.ordinary_ids())
+        assert ids == sorted(ids)
+        assert len(ids) == len(library_index.encoded.document)
+
+    def test_integrity_check_passes(self, library_index):
+        library_index.check_integrity()
+
+    def test_integrity_detects_out_of_range(self, library_index):
+        broken = InvertedIndex(library_index.encoded,
+                               {"bad": array("q", [999])})
+        with pytest.raises(IndexError_, match="out of range"):
+            broken.check_integrity()
+
+    def test_integrity_detects_disorder(self, library_index):
+        broken = InvertedIndex(library_index.encoded,
+                               {"bad": array("q", [3, 2])})
+        with pytest.raises(IndexError_, match="increasing"):
+            broken.check_integrity()

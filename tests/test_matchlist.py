@@ -1,0 +1,77 @@
+"""Unit tests for match entries and the consuming match list."""
+
+import pytest
+
+from repro import DeweyCode, build_index, encode_document
+from repro.index.matchlist import (MatchList, build_match_entries,
+                                   keyword_code_lists)
+
+
+@pytest.fixture
+def fragment_index(fragment_doc):
+    return build_index(encode_document(fragment_doc))
+
+
+class TestBuildMatchEntries:
+    def test_masks_merge_per_node(self, fragment_index):
+        terms, entries = build_match_entries(fragment_index, ["k1", "k2"])
+        assert terms == ["k1", "k2"]
+        by_code = {str(e.code): e.mask for e in entries}
+        assert by_code["1.M1.I1.1.M1.1"] == 0b01        # D1: k1 only
+        assert by_code["1.M1.I1.1.M1.I2.2"] == 0b10     # E1: k2 only
+
+    def test_document_order(self, fragment_index):
+        _, entries = build_match_entries(fragment_index, ["k1", "k2"])
+        positions = [e.code.positions for e in entries]
+        assert positions == sorted(positions)
+
+    def test_node_matching_both_terms(self, figure1_db):
+        # C1's fragment has no dual-match node; craft the query so one
+        # node matches twice: label and text.
+        _, entries = build_match_entries(figure1_db.index, ["B3", "k1"])
+        dual = [e for e in entries if bin(e.mask).count("1") == 2]
+        assert dual, "B3 matches both its tag and its text term"
+
+    def test_keyword_code_lists(self, fragment_index):
+        terms, lists = keyword_code_lists(fragment_index, ["k1", "k2"])
+        assert [len(lst) for lst in lists] == [2, 2]
+        for lst in lists:
+            assert [c.positions for c in lst] == \
+                sorted(c.positions for c in lst)
+
+
+class TestMatchList:
+    def build(self, fragment_index):
+        _, entries = build_match_entries(fragment_index, ["k1", "k2"])
+        return MatchList(entries)
+
+    def test_subtree_slice(self, fragment_index):
+        matches = self.build(fragment_index)
+        c1 = DeweyCode.parse("1.M1.I1.1")
+        inside = list(matches.iter_subtree(c1))
+        assert len(inside) == 4  # D1, D2, E1, E2
+
+    def test_consume_marks_and_removes(self, fragment_index):
+        matches = self.build(fragment_index)
+        c1 = DeweyCode.parse("1.M1.I1.1")
+        taken = matches.consume_subtree(c1)
+        assert len(taken) == 4
+        assert matches.remaining == len(matches) - 4
+        assert list(matches.iter_subtree(c1)) == []
+        assert matches.consume_subtree(c1) == []
+
+    def test_consumption_outside_subtree_untouched(self, fragment_index):
+        matches = self.build(fragment_index)
+        ind3 = DeweyCode.parse("1.M1.I1.1.M1.I2")
+        taken = matches.consume_subtree(ind3)
+        assert len(taken) == 2  # D2, E1
+        root = DeweyCode.parse("1")
+        rest = list(matches.iter_subtree(root))
+        assert len(rest) == 2  # D1, E2 remain
+
+    def test_unconsumed_mask_union(self, fragment_index):
+        matches = self.build(fragment_index)
+        root = DeweyCode.parse("1")
+        assert matches.unconsumed_mask_union(root) == 0b11
+        matches.consume_subtree(root)
+        assert matches.unconsumed_mask_union(root) == 0

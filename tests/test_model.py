@@ -1,0 +1,152 @@
+"""Unit tests for the PrXML tree model."""
+
+import pytest
+
+from repro import NodeType, PDocument, PNode
+from repro.exceptions import ModelError
+from repro.prxml.model import iter_edges
+
+
+def small_doc():
+    root = PNode("a")
+    b = root.add_child(PNode("b", text="hello"))
+    ind = root.add_child(PNode("IND", NodeType.IND, edge_prob=1.0))
+    c = ind.add_child(PNode("c", edge_prob=0.5))
+    mux = c.add_child(PNode("MUX", NodeType.MUX))
+    mux.add_child(PNode("d", edge_prob=0.3))
+    mux.add_child(PNode("e", edge_prob=0.6))
+    return PDocument(root), root, b, ind, c, mux
+
+
+class TestPNode:
+    def test_ordinary_node_defaults(self):
+        node = PNode("item")
+        assert node.is_ordinary
+        assert not node.is_distributional
+        assert node.edge_prob == 1.0
+        assert node.text is None
+        assert node.is_leaf
+
+    def test_distributional_node_rejects_text(self):
+        with pytest.raises(ModelError):
+            PNode("IND", NodeType.IND, text="boom")
+
+    def test_add_child_sets_parent(self):
+        parent = PNode("p")
+        child = parent.add_child(PNode("c"), edge_prob=0.4)
+        assert child.parent is parent
+        assert child.edge_prob == 0.4
+        assert parent.children == [child]
+
+    def test_add_child_twice_rejected(self):
+        parent, other = PNode("p"), PNode("q")
+        child = parent.add_child(PNode("c"))
+        with pytest.raises(ModelError):
+            other.add_child(child)
+
+    def test_depth_and_ancestors(self):
+        _, root, b, ind, c, mux = small_doc()
+        assert root.depth == 0
+        assert b.depth == 1
+        assert mux.depth == 3
+        assert list(mux.ancestors()) == [c, ind, root]
+
+    def test_path_probability_multiplies_edges(self):
+        _, _, _, _, c, mux = small_doc()
+        assert c.path_probability() == pytest.approx(0.5)
+        assert mux.children[0].path_probability() == pytest.approx(0.15)
+
+    def test_iter_subtree_is_preorder(self):
+        doc, root, b, ind, c, mux = small_doc()
+        labels = [node.label for node in root.iter_subtree()]
+        assert labels == ["a", "b", "IND", "c", "MUX", "d", "e"]
+
+
+class TestPDocument:
+    def test_root_constraints(self):
+        with pytest.raises(ModelError):
+            PDocument(PNode("IND", NodeType.IND))
+        with pytest.raises(ModelError):
+            PDocument(PNode("a", edge_prob=0.5))
+        parent = PNode("p")
+        child = parent.add_child(PNode("c"))
+        with pytest.raises(ModelError):
+            PDocument(child)
+
+    def test_node_ids_are_preorder_positions(self):
+        doc, *_ = small_doc()
+        for position, node in enumerate(doc):
+            assert node.node_id == position
+            assert doc.node_by_id(position) is node
+
+    def test_node_by_id_out_of_range(self):
+        doc, *_ = small_doc()
+        with pytest.raises(ModelError):
+            doc.node_by_id(len(doc))
+
+    def test_refresh_after_mutation(self):
+        doc, root, *_ = small_doc()
+        before = len(doc)
+        root.add_child(PNode("extra"))
+        doc.refresh()
+        assert len(doc) == before + 1
+        assert doc.node_by_id(len(doc) - 1).label in {"extra", "e"}
+
+    def test_postorder_visits_children_first(self):
+        doc, *_ = small_doc()
+        seen = set()
+        for node in doc.iter_postorder():
+            for child in node.children:
+                assert child.node_id in seen
+            seen.add(node.node_id)
+        assert len(seen) == len(doc)
+
+    def test_height_and_fanout(self):
+        doc, *_ = small_doc()
+        assert doc.height == 4
+
+    def test_find_helpers(self):
+        doc, *_ = small_doc()
+        assert doc.find_first(lambda n: n.label == "c").label == "c"
+        assert doc.find_first(lambda n: n.label == "zz") is None
+        assert len(doc.find_by_label("d")) == 1
+        assert len(doc.find_all(lambda n: n.is_distributional)) == 2
+
+    def test_iter_ordinary_skips_distributional(self):
+        doc, *_ = small_doc()
+        labels = {node.label for node in doc.iter_ordinary()}
+        assert labels == {"a", "b", "c", "d", "e"}
+
+    def test_theoretical_world_count(self):
+        doc, *_ = small_doc()
+        # IND with 1 child doubles; MUX with 2 children triples.
+        assert doc.theoretical_world_count() == 2 * 3
+
+    def test_copy_is_deep_and_equal_shape(self):
+        doc, root, *_ = small_doc()
+        twin = doc.copy()
+        assert len(twin) == len(doc)
+        assert [n.label for n in twin] == [n.label for n in doc]
+        assert [n.edge_prob for n in twin] == [n.edge_prob for n in doc]
+        twin.root.children[0].label = "changed"
+        assert doc.root.children[0].label == "b"
+
+    def test_iter_edges_covers_every_child(self):
+        doc, *_ = small_doc()
+        edges = list(iter_edges(doc))
+        assert len(edges) == len(doc) - 1
+        for parent, child in edges:
+            assert child.parent is parent
+
+
+class TestDeepDocuments:
+    def test_very_deep_document_does_not_recurse(self):
+        root = PNode("n0")
+        node = root
+        for depth in range(1, 5000):
+            node = node.add_child(PNode(f"n{depth}"))
+        doc = PDocument(root)
+        assert len(doc) == 5000
+        assert doc.height == 4999
+        assert doc.copy().height == 4999
+        assert sum(1 for _ in doc.iter_postorder()) == 5000

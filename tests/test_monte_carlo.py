@@ -1,0 +1,85 @@
+"""Unit tests for the Monte-Carlo estimator extension."""
+
+import random
+
+import pytest
+
+from repro import monte_carlo_search, topk_search
+from repro.exceptions import QueryError
+
+
+class TestMonteCarloSearch:
+    def test_converges_to_exact_probability(self, fragment_db):
+        exact = topk_search(fragment_db, ["k1", "k2"], 1, "prstack")
+        outcome = monte_carlo_search(
+            fragment_db.index, ["k1", "k2"], k=1, samples=20000,
+            rng=random.Random(1))
+        assert len(outcome) == 1
+        assert str(outcome.results[0].code) == \
+            str(exact.results[0].code)
+        assert outcome.results[0].probability == pytest.approx(
+            exact.results[0].probability, abs=0.01)
+
+    def test_estimates_carry_standard_errors(self, figure1_db):
+        outcome = monte_carlo_search(
+            figure1_db.index, ["k1"], k=5, samples=500,
+            rng=random.Random(7))
+        estimates = outcome.stats["estimates"]
+        assert len(estimates) == len(outcome.results)
+        for estimate in estimates:
+            assert estimate.samples == 500
+            assert 0 < estimate.hits <= 500
+            assert 0.0 <= estimate.standard_error < 0.5
+
+    def test_reproducible_with_seed(self, figure1_db):
+        first = monte_carlo_search(figure1_db.index, ["k1"], 5,
+                                   samples=200, rng=random.Random(3))
+        second = monte_carlo_search(figure1_db.index, ["k1"], 5,
+                                    samples=200, rng=random.Random(3))
+        assert [r.probability for r in first] == \
+            [r.probability for r in second]
+
+    def test_ranking_matches_exact_on_separated_answers(self,
+                                                        figure1_db):
+        exact = topk_search(figure1_db, ["k1", "k2"], 2, "prstack")
+        estimated = monte_carlo_search(
+            figure1_db.index, ["k1", "k2"], k=2, samples=30000,
+            rng=random.Random(11))
+        exact_probs = exact.probabilities()
+        if len(exact_probs) >= 2 and \
+                exact_probs[0] - exact_probs[1] > 0.05:
+            assert str(estimated.results[0].code) == \
+                str(exact.results[0].code)
+
+    def test_invalid_parameters(self, fragment_db):
+        with pytest.raises(QueryError):
+            monte_carlo_search(fragment_db.index, ["k1"], k=0)
+        with pytest.raises(QueryError):
+            monte_carlo_search(fragment_db.index, ["k1"], k=1,
+                               samples=0)
+
+    def test_no_matches_no_answers(self, fragment_db):
+        outcome = monte_carlo_search(fragment_db.index, ["zebra"], k=3,
+                                     samples=50,
+                                     rng=random.Random(5))
+        assert len(outcome) == 0
+
+    def test_statistical_agreement_beyond_oracle_scale(self):
+        """On a document far too large for exact enumeration, the
+        estimator must agree with PrStack within 5 standard errors —
+        an independent check of the direct computation at scale."""
+        from repro import Database, prstack_search
+        from tests.conftest import random_pdoc
+        document = random_pdoc(random.Random(4242), max_nodes=800,
+                               keywords=("k1", "k2"), with_exp=True)
+        database = Database.from_document(document)
+        exact = {str(r.code): r.probability
+                 for r in prstack_search(database.index,
+                                         ["k1", "k2"], 1000)}
+        estimated = monte_carlo_search(database.index, ["k1", "k2"],
+                                       k=10, samples=4000,
+                                       rng=random.Random(9))
+        for estimate in estimated.stats["estimates"]:
+            truth = exact.get(str(estimate.result.code), 0.0)
+            slack = 5 * max(estimate.standard_error, 2e-3)
+            assert abs(estimate.result.probability - truth) <= slack

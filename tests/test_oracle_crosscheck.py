@@ -1,0 +1,57 @@
+"""Randomised oracle cross-check: both paper algorithms against exact
+possible-world enumeration, with tie-tolerant comparison.
+
+This is the library's strongest correctness gate — the test that caught
+the unsoundness of the paper's printed Properties 1-3 during
+development (see repro/core/bounds.py).
+"""
+
+import random
+
+import pytest
+
+from repro import Database, topk_search
+from tests.conftest import random_pdoc
+
+EPS = 1e-7
+
+
+def compatible(reference, observed):
+    """Same probability multiset; same codes strictly above boundary."""
+    ref_probs = [result.probability for result in reference]
+    got_probs = [result.probability for result in observed]
+    if len(ref_probs) != len(got_probs):
+        return False
+    if any(abs(a - b) > EPS for a, b in zip(ref_probs, got_probs)):
+        return False
+    if not ref_probs:
+        return True
+    boundary = ref_probs[-1]
+    ref_codes = {str(result.code) for result in reference
+                 if result.probability > boundary + EPS}
+    got_codes = {str(result.code) for result in observed
+                 if result.probability > boundary + EPS}
+    return ref_codes == got_codes
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_algorithms_match_oracle(seed):
+    rng = random.Random(seed * 977 + 13)
+    document = random_pdoc(rng, max_nodes=18)
+    if document.theoretical_world_count() > 100_000:
+        pytest.skip("world space too large for the oracle")
+    database = Database.from_document(document)
+    for keywords in (["k1", "k2"], ["k1"], ["k1", "k2", "zz"]):
+        for k in (1, 2, 3, 10):
+            oracle = topk_search(database, keywords, k,
+                                 "possible_worlds").results
+            stack = topk_search(database, keywords, k, "prstack").results
+            eager = topk_search(database, keywords, k, "eager").results
+            assert compatible(oracle, stack), (seed, keywords, k)
+            assert compatible(oracle, eager), (seed, keywords, k)
+            # The two paper algorithms must agree *exactly* (shared
+            # deterministic tie handling), not just compatibly.
+            assert [(str(r.code), round(r.probability, 10))
+                    for r in stack] == \
+                [(str(r.code), round(r.probability, 10))
+                 for r in eager], (seed, keywords, k)

@@ -1,0 +1,112 @@
+"""Unit tests for the p-document XML parser and serializer."""
+
+import pytest
+
+from repro import NodeType, parse_pxml, parse_pxml_file, serialize_pxml
+from repro import write_pxml_file
+from repro.exceptions import ParseError
+
+SAMPLE = """
+<movies>
+  <movie>
+    <title>paris texas</title>
+    <mux>
+      <year prob="0.8">1984</year>
+      <year prob="0.2">1985</year>
+    </mux>
+    <ind prob="0.9">
+      <award prob="0.5">palme d'or</award>
+    </ind>
+  </movie>
+</movies>
+"""
+
+
+class TestParse:
+    def test_basic_structure(self):
+        doc = parse_pxml(SAMPLE)
+        labels = [node.label for node in doc]
+        assert labels == ["movies", "movie", "title", "MUX", "year",
+                          "year", "IND", "award"]
+
+    def test_node_types_from_reserved_tags(self):
+        doc = parse_pxml(SAMPLE)
+        kinds = [node.node_type for node in doc]
+        assert kinds[3] is NodeType.MUX
+        assert kinds[6] is NodeType.IND
+
+    def test_probabilities(self):
+        doc = parse_pxml(SAMPLE)
+        years = doc.find_by_label("year")
+        assert [year.edge_prob for year in years] == [0.8, 0.2]
+        ind = doc.find_first(lambda node: node.node_type is NodeType.IND)
+        assert ind.edge_prob == 0.9
+        assert ind.children[0].edge_prob == 0.5
+
+    def test_text_content(self):
+        doc = parse_pxml(SAMPLE)
+        assert doc.find_by_label("title")[0].text == "paris texas"
+
+    def test_mixed_content_gathers_tails(self):
+        doc = parse_pxml("<a>head<b>inner</b>tail</a>")
+        assert doc.root.text == "head tail"
+        assert doc.root.children[0].text == "inner"
+
+    def test_malformed_xml(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse_pxml("<a><b></a>")
+
+    def test_bad_probability_value(self):
+        with pytest.raises(ParseError, match="not a number"):
+            parse_pxml('<a><b prob="high"/></a>')
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ParseError, match="outside"):
+            parse_pxml('<a><b prob="1.5"/></a>')
+        with pytest.raises(ParseError, match="outside"):
+            parse_pxml('<a><b prob="0"/></a>')
+
+    def test_distributional_root_rejected(self):
+        with pytest.raises(ParseError, match="root"):
+            parse_pxml('<ind><a/></ind>')
+
+    def test_root_with_probability_rejected(self):
+        with pytest.raises(ParseError, match="root"):
+            parse_pxml('<a prob="0.5"><b/></a>')
+
+    def test_distributional_with_text_rejected(self):
+        with pytest.raises(ParseError, match="text"):
+            parse_pxml('<a><mux>boom<b prob="0.5"/></mux></a>')
+
+
+class TestSerialize:
+    def test_round_trip(self):
+        doc = parse_pxml(SAMPLE)
+        text = serialize_pxml(doc)
+        again = parse_pxml(text)
+        assert [n.label for n in again] == [n.label for n in doc]
+        assert [n.node_type for n in again] == [n.node_type for n in doc]
+        assert [n.edge_prob for n in again] == [n.edge_prob for n in doc]
+        assert [n.text for n in again] == [n.text for n in doc]
+
+    def test_round_trip_figure1(self, figure1_doc):
+        again = parse_pxml(serialize_pxml(figure1_doc))
+        assert [n.label for n in again] == [n.label for n in figure1_doc]
+        assert ([n.edge_prob for n in again]
+                == [n.edge_prob for n in figure1_doc])
+
+    def test_escaping(self):
+        doc = parse_pxml("<a><b>x &lt; y &amp; z</b></a>")
+        assert doc.root.children[0].text == "x < y & z"
+        again = parse_pxml(serialize_pxml(doc))
+        assert again.root.children[0].text == "x < y & z"
+
+    def test_file_round_trip(self, tmp_path, fragment_doc):
+        path = tmp_path / "doc.pxml"
+        write_pxml_file(fragment_doc, path)
+        again = parse_pxml_file(path)
+        assert len(again) == len(fragment_doc)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParseError, match="cannot read"):
+            parse_pxml_file(tmp_path / "missing.pxml")

@@ -1,0 +1,56 @@
+"""Unit tests for the naive possible-world baseline search."""
+
+import pytest
+
+from repro import Database, possible_worlds_search
+from repro.exceptions import ModelError, QueryError
+
+
+class TestPossibleWorldsSearch:
+    def test_example_6_value(self, fragment_db):
+        outcome = possible_worlds_search(fragment_db.index,
+                                         ["k1", "k2"], k=5)
+        assert len(outcome) == 1
+        assert str(outcome.results[0].code) == "1.M1.I1.1"
+        assert outcome.results[0].probability == pytest.approx(0.00945)
+
+    def test_world_count_reported(self, fragment_db):
+        outcome = possible_worlds_search(fragment_db.index, ["k1"], k=3)
+        # Figure 2's six C1-subtree worlds plus the merged no-C1 world.
+        assert outcome.stats["worlds"] == 7
+
+    def test_manual_two_branch_document(self):
+        """Root with independent k1 (p=0.5) and k2 (p=0.4) leaves: the
+        root is the SLCA exactly when both leaves exist."""
+        from repro import DocumentBuilder
+        builder = DocumentBuilder("r")
+        with builder.ind():
+            builder.leaf("a", text="k1", prob=0.5)
+            builder.leaf("b", text="k2", prob=0.4)
+        database = Database.from_document(builder.build())
+        outcome = possible_worlds_search(database.index, ["k1", "k2"], 5)
+        assert len(outcome) == 1
+        assert str(outcome.results[0].code) == "1"
+        assert outcome.results[0].probability == pytest.approx(0.2)
+
+    def test_k_truncation(self, figure1_db):
+        full = possible_worlds_search(figure1_db.index, ["k1"], k=100)
+        top = possible_worlds_search(figure1_db.index, ["k1"], k=2)
+        assert len(top) == 2
+        assert top.probabilities() == full.probabilities()[:2]
+        assert full.stats["distinct_answers"] >= 2
+
+    def test_invalid_k(self, fragment_db):
+        with pytest.raises(QueryError):
+            possible_worlds_search(fragment_db.index, ["k1"], k=0)
+
+    def test_max_worlds_guard(self, fragment_db):
+        with pytest.raises(ModelError, match="max_worlds"):
+            possible_worlds_search(fragment_db.index, ["k1"], k=1,
+                                   max_worlds=2)
+
+    def test_results_carry_nodes(self, fragment_db):
+        outcome = possible_worlds_search(fragment_db.index,
+                                         ["k1", "k2"], k=1)
+        assert outcome.results[0].node is not None
+        assert outcome.results[0].node.label == "C1"

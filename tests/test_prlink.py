@@ -1,0 +1,49 @@
+"""Unit tests for probability links."""
+
+import pytest
+
+from repro.encoding.prlink import (path_probability, prefix_probabilities,
+                                   validate_link)
+from repro.exceptions import EncodingError
+
+
+class TestPathProbability:
+    def test_full_link(self):
+        # D1's link from the paper: 1, 0.25, 0.6, 1, 0.5.
+        link = (1.0, 0.25, 0.6, 1.0, 0.5)
+        assert path_probability(link) == pytest.approx(0.075)
+
+    def test_prefix_lengths(self):
+        link = (1.0, 0.25, 0.6)
+        assert path_probability(link, 0) == 1.0
+        assert path_probability(link, 1) == 1.0
+        assert path_probability(link, 2) == pytest.approx(0.25)
+        assert path_probability(link, 3) == pytest.approx(0.15)
+
+    def test_length_out_of_range(self):
+        with pytest.raises(EncodingError):
+            path_probability((1.0,), 2)
+
+    def test_prefix_probabilities(self):
+        link = (1.0, 0.25, 0.6, 1.0, 0.5)
+        assert prefix_probabilities(link) == pytest.approx(
+            (1.0, 0.25, 0.15, 0.15, 0.075))
+
+
+class TestValidateLink:
+    def test_valid(self):
+        validate_link((1.0, 0.5, 1.0))
+
+    def test_empty(self):
+        with pytest.raises(EncodingError):
+            validate_link(())
+
+    def test_root_must_be_one(self):
+        with pytest.raises(EncodingError, match="root"):
+            validate_link((0.5, 0.5))
+
+    def test_out_of_range_entry(self):
+        with pytest.raises(EncodingError, match="outside"):
+            validate_link((1.0, 1.5))
+        with pytest.raises(EncodingError, match="outside"):
+            validate_link((1.0, 0.0))

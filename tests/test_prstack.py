@@ -1,0 +1,69 @@
+"""Unit tests for the PrStack algorithm (Algorithm 1)."""
+
+import pytest
+
+from repro import Database, prstack_search
+
+
+class TestPrStackOnPaperFixtures:
+    def test_example_6_value(self, fragment_db):
+        """Pr_slca(C1) = Pr(path) * tab[11] = 0.15 * 0.063 = 0.00945."""
+        outcome = prstack_search(fragment_db.index, ["k1", "k2"], k=5)
+        assert len(outcome) == 1
+        result = outcome.results[0]
+        assert str(result.code) == "1.M1.I1.1"
+        assert result.probability == pytest.approx(0.00945)
+
+    def test_figure1_results_all_ordinary(self, figure1_db):
+        outcome = prstack_search(figure1_db.index, ["k1", "k2"], k=20)
+        assert len(outcome) >= 2
+        for result in outcome:
+            node = figure1_db.encoded.node_at(result.code)
+            assert node.is_ordinary
+            assert 0.0 < result.probability <= 1.0
+
+    def test_results_sorted_by_probability(self, figure1_db):
+        outcome = prstack_search(figure1_db.index, ["k1", "k2"], k=20)
+        probabilities = outcome.probabilities()
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_k_truncates(self, figure1_db):
+        full = prstack_search(figure1_db.index, ["k1", "k2"], k=20)
+        top2 = prstack_search(figure1_db.index, ["k1", "k2"], k=2)
+        assert len(top2) == min(2, len(full))
+        assert top2.probabilities() == full.probabilities()[:2]
+
+    def test_missing_keyword_returns_empty(self, figure1_db):
+        outcome = prstack_search(figure1_db.index, ["k1", "zebra"], k=5)
+        assert len(outcome) == 0
+        assert outcome.stats["entries_scanned"] == 0
+
+    def test_single_keyword(self, fragment_db):
+        outcome = prstack_search(fragment_db.index, ["k1"], k=10)
+        codes = {str(r.code) for r in outcome}
+        # D1, D2 match k1 directly; their ancestors may also score.
+        assert "1.M1.I1.1.M1.1" in codes
+        by_code = {str(r.code): r.probability for r in outcome}
+        # D1 exists with probability 0.15 * 0.5 and, existing, is
+        # always its own SLCA (leaf).
+        assert by_code["1.M1.I1.1.M1.1"] == pytest.approx(0.075)
+
+    def test_stats_populated(self, figure1_db):
+        outcome = prstack_search(figure1_db.index, ["k1", "k2"], k=5)
+        stats = outcome.stats
+        assert stats["algorithm"] == "prstack"
+        assert stats["terms"] == 2
+        assert stats["match_entries"] > 0
+        assert stats["entries_scanned"] == stats["match_entries"]
+        assert stats["frames_pushed"] > 0
+
+    def test_probability_never_exceeds_path_probability(self, figure1_db):
+        outcome = prstack_search(figure1_db.index, ["k1", "k2"], k=50)
+        for result in outcome:
+            node = figure1_db.encoded.node_at(result.code)
+            assert result.probability <= node.path_probability() + 1e-12
+
+    def test_accepts_database_index(self, figure1_doc):
+        database = Database.from_document(figure1_doc)
+        outcome = prstack_search(database.index, ["k1"], k=3)
+        assert len(outcome) == 3

@@ -1,0 +1,44 @@
+"""Unit tests for serializer details not covered by the parser tests."""
+
+from repro import NodeType, parse_pxml, serialize_pxml
+from repro.prxml.serializer import node_to_fragment
+
+
+class TestSerializerDetails:
+    def test_node_to_fragment_renders_subtree(self, fragment_doc):
+        c1 = fragment_doc.find_by_label("C1")[0]
+        fragment = node_to_fragment(c1)
+        assert fragment.startswith("<C1")
+        assert "<mux>" in fragment
+        assert 'prob="0.7"' in fragment
+
+    def test_certain_edges_have_no_prob_attribute(self):
+        text = serialize_pxml(parse_pxml("<a><b>x</b></a>"))
+        assert "prob" not in text
+
+    def test_exp_children_omit_prob_attribute(self):
+        """EXP children's edge probabilities are subset marginals and
+        must not be re-emitted (the parser recomputes them)."""
+        document = parse_pxml(
+            '<a><exp subsets="1:0.5 2:0.25"><b/><c/></exp></a>')
+        text = serialize_pxml(document)
+        assert 'subsets="1:0.5 2:0.25"' in text
+        # The only prob-like attribute is the subsets spec itself.
+        assert "prob=" not in text
+
+    def test_empty_elements_self_close(self):
+        text = serialize_pxml(parse_pxml("<a><b/></a>"))
+        assert "<b/>" in text
+
+    def test_indentation_reflects_depth(self, fragment_doc):
+        lines = serialize_pxml(fragment_doc).splitlines()
+        assert lines[0].startswith("<A")
+        assert lines[1].startswith("  <")
+        assert lines[2].startswith("    <")
+
+    def test_distributional_tags_lowercase(self, fragment_doc):
+        text = serialize_pxml(fragment_doc)
+        assert "<mux>" in text or "<mux " in text
+        assert "<MUX" not in text
+        kinds = {node.node_type for node in fragment_doc}
+        assert NodeType.MUX in kinds

@@ -1,0 +1,65 @@
+"""Unit tests for SLCA on deterministic instance trees."""
+
+from repro.prxml.possible_worlds import DetNode
+from repro.slca.deterministic import keyword_mask_of_det_node, slca_of_world
+
+
+def det(label, text=None, children=(), source_id=0):
+    node = DetNode(label, text, source_id)
+    node.children = list(children)
+    return node
+
+
+class TestKeywordMask:
+    def test_label_and_text(self):
+        node = det("title", "xml query")
+        assert keyword_mask_of_det_node(node, ["xml", "title"]) == 0b11
+        assert keyword_mask_of_det_node(node, ["zebra"]) == 0
+
+    def test_case_insensitive(self):
+        node = det("Title", "XML")
+        assert keyword_mask_of_det_node(node, ["xml"]) == 0b1
+
+
+class TestSlcaOfWorld:
+    def test_single_node_covering_all(self):
+        root = det("r", "k1 k2", source_id=1)
+        answers = slca_of_world(root, ["k1", "k2"])
+        assert [n.source_id for n in answers] == [1]
+
+    def test_lowest_node_wins(self):
+        leaf = det("leaf", "k1 k2", source_id=3)
+        mid = det("mid", None, [leaf], source_id=2)
+        root = det("r", None, [mid], source_id=1)
+        answers = slca_of_world(root, ["k1", "k2"])
+        assert [n.source_id for n in answers] == [3]
+
+    def test_combined_children(self):
+        left = det("a", "k1", source_id=2)
+        right = det("b", "k2", source_id=3)
+        root = det("r", None, [left, right], source_id=1)
+        answers = slca_of_world(root, ["k1", "k2"])
+        assert [n.source_id for n in answers] == [1]
+
+    def test_multiple_slcas(self):
+        group1 = det("g", None,
+                     [det("a", "k1", source_id=3),
+                      det("b", "k2", source_id=4)], source_id=2)
+        group2 = det("g", "k1 k2", source_id=5)
+        root = det("r", None, [group1, group2], source_id=1)
+        answers = slca_of_world(root, ["k1", "k2"])
+        assert sorted(n.source_id for n in answers) == [2, 5]
+
+    def test_partial_coverage_no_answer(self):
+        root = det("r", "k1", source_id=1)
+        assert slca_of_world(root, ["k1", "k2"]) == []
+
+    def test_empty_query(self):
+        assert slca_of_world(det("r", "k1"), []) == []
+
+    def test_ancestor_of_slca_excluded(self):
+        leaf = det("leaf", "k1 k2", source_id=3)
+        mid = det("mid", "k1", [leaf], source_id=2)
+        root = det("r", "k2", [mid], source_id=1)
+        answers = slca_of_world(root, ["k1", "k2"])
+        assert [n.source_id for n in answers] == [3]

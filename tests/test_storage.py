@@ -1,0 +1,83 @@
+"""Unit tests for database persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro import Database, load_database, save_database
+from repro.exceptions import StorageError
+
+
+@pytest.fixture
+def database(figure1_doc):
+    return Database.from_document(figure1_doc)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        loaded = load_database(directory)
+        assert len(loaded.document) == len(database.document)
+        assert loaded.index.vocabulary() == database.index.vocabulary()
+        for term in database.index.vocabulary():
+            assert list(loaded.index.postings(term)) == \
+                list(database.index.postings(term))
+
+    def test_round_trip_preserves_search_results(self, database, tmp_path):
+        from repro import topk_search
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        loaded = load_database(directory)
+        original = topk_search(database, ["k1", "k2"], 5, "prstack")
+        reloaded = topk_search(loaded, ["k1", "k2"], 5, "prstack")
+        assert [(str(r.code), round(r.probability, 12)) for r in original] \
+            == [(str(r.code), round(r.probability, 12)) for r in reloaded]
+
+    def test_creates_directory(self, database, tmp_path):
+        directory = tmp_path / "nested" / "db"
+        save_database(database, directory)
+        assert (directory / "meta.json").exists()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(tmp_path / "absent")
+
+    def test_version_mismatch(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        meta_path = directory / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StorageError, match="version"):
+            load_database(directory)
+
+    def test_node_count_mismatch(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        meta_path = directory / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["nodes"] += 1
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(StorageError, match="nodes"):
+            load_database(directory)
+
+    def test_corrupt_postings_line(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        postings_path = os.path.join(directory, "postings.jsonl")
+        with open(postings_path, "a", encoding="utf-8") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(StorageError, match="bad record"):
+            load_database(directory)
+
+    def test_term_count_mismatch(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        postings_path = os.path.join(directory, "postings.jsonl")
+        with open(postings_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"t": "extra", "ids": [0]}) + "\n")
+        with pytest.raises(StorageError, match="terms"):
+            load_database(directory)

@@ -1,0 +1,45 @@
+"""Unit tests for the threshold-search extension."""
+
+import pytest
+
+from repro import prstack_search, threshold_search
+from repro.exceptions import QueryError
+
+
+class TestThresholdSearch:
+    def test_matches_prstack_above_cutoff(self, figure1_db):
+        everything = prstack_search(figure1_db.index, ["k1", "k2"],
+                                    k=1000)
+        cutoff = 0.05
+        expected = [(str(r.code), round(r.probability, 10))
+                    for r in everything if r.probability >= cutoff]
+        outcome = threshold_search(figure1_db.index, ["k1", "k2"],
+                                   cutoff)
+        assert [(str(r.code), round(r.probability, 10))
+                for r in outcome] == expected
+
+    def test_low_threshold_returns_all_nonzero(self, figure1_db):
+        everything = prstack_search(figure1_db.index, ["k1"], k=1000)
+        outcome = threshold_search(figure1_db.index, ["k1"], 1e-12)
+        assert len(outcome) == len(everything)
+
+    def test_high_threshold_may_be_empty(self, fragment_db):
+        outcome = threshold_search(fragment_db.index, ["k1", "k2"],
+                                   0.99)
+        assert len(outcome) == 0
+        assert outcome.stats["results_emitted"] >= 1
+
+    def test_threshold_validation(self, fragment_db):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(QueryError):
+                threshold_search(fragment_db.index, ["k1"], bad)
+
+    def test_missing_keyword(self, fragment_db):
+        outcome = threshold_search(fragment_db.index,
+                                   ["k1", "zebra"], 0.1)
+        assert len(outcome) == 0
+
+    def test_sorted_output(self, figure1_db):
+        outcome = threshold_search(figure1_db.index, ["k2"], 0.01)
+        probabilities = outcome.probabilities()
+        assert probabilities == sorted(probabilities, reverse=True)

@@ -1,0 +1,48 @@
+"""Unit tests for tokenisation and query normalisation."""
+
+from repro import NodeType, PNode
+from repro.index.tokenizer import node_terms, normalize_query, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("United States, Graduate!") == \
+            ["united", "states", "graduate"]
+
+    def test_digits_kept(self):
+        assert tokenize("year 1984") == ["year", "1984"]
+
+    def test_empty_and_punctuation_only(self):
+        assert tokenize("") == []
+        assert tokenize("... --- !!!") == []
+
+    def test_mixed_alnum_runs(self):
+        assert tokenize("top-k x2, a_b") == ["top", "k", "x2", "a", "b"]
+
+
+class TestNodeTerms:
+    def test_tag_and_text_both_match(self):
+        node = PNode("title", text="keyword Search")
+        assert node_terms(node) == ["title", "keyword", "search"]
+
+    def test_distributional_nodes_never_match(self):
+        assert node_terms(PNode("IND", NodeType.IND)) == []
+        assert node_terms(PNode("MUX", NodeType.MUX)) == []
+
+    def test_tag_tokenized_too(self):
+        node = PNode("open_auction")
+        assert node_terms(node) == ["open", "auction"]
+
+
+class TestNormalizeQuery:
+    def test_multiword_keywords_flatten(self):
+        assert normalize_query(["United States", "ship"]) == \
+            ["united", "states", "ship"]
+
+    def test_duplicates_removed_order_kept(self):
+        assert normalize_query(["Query", "query", "xml query"]) == \
+            ["query", "xml"]
+
+    def test_empty_query(self):
+        assert normalize_query([]) == []
+        assert normalize_query(["..."]) == []

@@ -1,0 +1,175 @@
+"""Tests for the probabilistic twig-query engine."""
+
+import random
+
+import pytest
+
+from repro import Database, DocumentBuilder
+from repro.exceptions import QueryError
+from repro.prxml.possible_worlds import enumerate_possible_worlds
+from repro.twig import (match_twig_in_world, parse_twig, topk_twig_search,
+                        twig_match_probability, world_has_match)
+from tests.conftest import random_pdoc
+
+
+@pytest.fixture
+def movie_db():
+    builder = DocumentBuilder("movies")
+    with builder.element("movie"):
+        builder.leaf("title", text="paris texas")
+        with builder.mux():
+            builder.leaf("year", text="1984", prob=0.8)
+            builder.leaf("year", text="1985", prob=0.2)
+        with builder.ind():
+            builder.leaf("actor", text="stanton", prob=0.6)
+    with builder.element("movie"):
+        builder.leaf("title", text="texas chainsaw")
+        builder.leaf("year", text="1974")
+    return Database.from_document(builder.build())
+
+
+class TestParser:
+    def test_single_step(self):
+        pattern = parse_twig("movie")
+        assert len(pattern) == 1
+        assert pattern.root.label == "movie"
+
+    def test_branches_and_axes(self):
+        pattern = parse_twig('a[b/c][//d ~ "x"]/e')
+        assert len(pattern) == 5
+        root = pattern.root
+        assert [child.label for child in root.children] == ["b", "d", "e"]
+        assert root.children[0].axis == "/"
+        assert root.children[1].axis == "//"
+        assert root.children[1].text_term == "x"
+        assert root.children[0].children[0].label == "c"
+
+    def test_inline_and_nested_text_predicates_equivalent(self):
+        inline = parse_twig('m[t ~ "x"]')
+        nested = parse_twig('m[t[~ "x"]]')
+        assert str(inline) == str(nested)
+
+    def test_exact_text(self):
+        pattern = parse_twig('y[= "1984"]')
+        assert pattern.root.text_exact == "1984"
+
+    def test_wildcard(self):
+        pattern = parse_twig('*[~ "k1"]')
+        assert pattern.root.label == "*"
+        assert not pattern.root.is_wildcard  # has a text test
+        assert parse_twig("*").root.is_wildcard
+
+    def test_leading_descendant_marker_ignored(self):
+        assert str(parse_twig("//a/b")) == str(parse_twig("a/b"))
+
+    def test_syntax_errors(self):
+        for bad in ("", "a[", "a]", 'a[~ "two words"]', "a//", "/",
+                    'a[~ 5]'):
+            with pytest.raises(QueryError):
+                parse_twig(bad)
+
+    def test_pattern_size_cap(self):
+        deep = "a" + "/a" * 10
+        with pytest.raises(QueryError, match="steps"):
+            parse_twig(deep)
+
+    def test_round_trippable_str(self):
+        pattern = parse_twig('a[b ~ "x"]//c')
+        again = parse_twig(str(pattern))
+        assert str(again) == str(pattern)
+
+
+class TestDeterministicMatching:
+    def test_match_on_certain_world(self, movie_db):
+        worlds = enumerate_possible_worlds(movie_db.document)
+        pattern = parse_twig('movie[title ~ "texas"]')
+        for world in worlds:
+            assert world_has_match(world.root, pattern)
+            assert len(match_twig_in_world(world.root, pattern)) == 2
+
+    def test_child_vs_descendant_axis(self):
+        builder = DocumentBuilder("r")
+        with builder.element("a"):
+            with builder.element("mid"):
+                builder.leaf("b", text="deep")
+        database = Database.from_document(builder.build())
+        world = enumerate_possible_worlds(database.document)[0]
+        assert not world_has_match(world.root, parse_twig("a/b"))
+        assert world_has_match(world.root, parse_twig("a//b"))
+        assert world_has_match(world.root, parse_twig("a/mid/b"))
+
+
+class TestProbabilities:
+    def test_mux_branch_probability(self, movie_db):
+        pattern = parse_twig('movie[title ~ "texas"][year ~ "1984"]')
+        outcome = topk_twig_search(movie_db.index, pattern, 5)
+        assert len(outcome) == 1
+        assert outcome.results[0].probability == pytest.approx(0.8)
+        assert outcome.results[0].node.label == "movie"
+
+    def test_ind_branch_probability(self, movie_db):
+        outcome = topk_twig_search(movie_db.index, "movie/actor", 5)
+        assert outcome.results[0].probability == pytest.approx(0.6)
+
+    def test_certain_match(self, movie_db):
+        outcome = topk_twig_search(movie_db.index,
+                                   'movie[year = "1974"]', 5)
+        assert outcome.results[0].probability == pytest.approx(1.0)
+
+    def test_no_match(self, movie_db):
+        outcome = topk_twig_search(movie_db.index, "movie/zebra", 5)
+        assert len(outcome) == 0
+        assert twig_match_probability(movie_db.index,
+                                      "movie/zebra") == 0.0
+
+    def test_match_probability_joins_bindings(self, movie_db):
+        """Two certain bindings -> document-level probability 1."""
+        assert twig_match_probability(
+            movie_db.index, 'movie[title ~ "texas"]') == pytest.approx(1.0)
+
+    def test_pattern_string_accepted(self, movie_db):
+        by_string = topk_twig_search(movie_db.index, "movie/actor", 5)
+        by_pattern = topk_twig_search(movie_db.index,
+                                      parse_twig("movie/actor"), 5)
+        assert by_string.probabilities() == by_pattern.probabilities()
+
+    def test_bad_pattern_type(self, movie_db):
+        with pytest.raises(QueryError):
+            topk_twig_search(movie_db.index, 42, 5)
+
+
+class TestAgainstOracle:
+    PATTERNS = ('n[~ "k1"]', 'n[n ~ "k1"]', 'r//n[~ "k1"]',
+                'n[//n ~ "k1"][/n ~ "k2"]', '*[~ "k1"]',
+                'n/n//n[~ "k2"]')
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_documents(self, seed):
+        rng = random.Random(seed * 101 + 7)
+        document = random_pdoc(rng, max_nodes=14,
+                               with_exp=seed % 2 == 0)
+        if document.theoretical_world_count() > 30_000:
+            pytest.skip("world space too large")
+        database = Database.from_document(document)
+        worlds = enumerate_possible_worlds(document)
+        encoded = database.encoded
+        for text in self.PATTERNS:
+            pattern = parse_twig(text)
+            expected = {}
+            match_anywhere = 0.0
+            for world in worlds:
+                bindings = match_twig_in_world(world.root, pattern)
+                if bindings:
+                    match_anywhere += world.probability
+                for node in bindings:
+                    expected[node.source_id] = expected.get(
+                        node.source_id, 0.0) + world.probability
+            outcome = topk_twig_search(database.index, pattern, 1000)
+            got = {encoded.node_at(result.code).node_id:
+                   result.probability for result in outcome}
+            assert set(got) == set(expected), (seed, text)
+            for node_id, probability in expected.items():
+                assert got[node_id] == pytest.approx(probability), \
+                    (seed, text, node_id)
+            assert twig_match_probability(database.index, pattern) == \
+                pytest.approx(match_anywhere), (seed, text)

@@ -1,0 +1,90 @@
+"""Unit tests for p-document validation."""
+
+import pytest
+
+from repro import NodeType, PDocument, PNode, validate_document
+from repro.exceptions import ModelError
+from repro.prxml.validate import collect_violations
+
+
+def doc_with(child_builder):
+    root = PNode("root")
+    child_builder(root)
+    return PDocument(root)
+
+
+class TestValidateDocument:
+    def test_valid_document_passes(self, figure1_doc):
+        validate_document(figure1_doc)
+
+    def test_mux_sum_above_one_rejected(self):
+        def build(root):
+            mux = root.add_child(PNode("MUX", NodeType.MUX))
+            mux.add_child(PNode("a", edge_prob=0.7))
+            mux.add_child(PNode("b", edge_prob=0.5))
+        doc = doc_with(build)
+        with pytest.raises(ModelError, match="MUX"):
+            validate_document(doc)
+
+    def test_mux_sum_exactly_one_allowed(self):
+        def build(root):
+            mux = root.add_child(PNode("MUX", NodeType.MUX))
+            mux.add_child(PNode("a", edge_prob=0.5))
+            mux.add_child(PNode("b", edge_prob=0.5))
+        validate_document(doc_with(build))
+
+    def test_mux_sum_tolerates_float_noise(self):
+        def build(root):
+            mux = root.add_child(PNode("MUX", NodeType.MUX))
+            for _ in range(10):
+                mux.add_child(PNode("x", edge_prob=0.1))
+        validate_document(doc_with(build))
+
+    def test_probability_out_of_range(self):
+        def build(root):
+            child = PNode("a")
+            child.edge_prob = 1.5
+            root.add_child(child)
+        doc = doc_with(build)
+        problems = collect_violations(doc)
+        assert any("outside (0, 1]" in p for p in problems)
+
+    def test_zero_probability_rejected(self):
+        def build(root):
+            child = PNode("a")
+            child.edge_prob = 0.0
+            root.add_child(child)
+        with pytest.raises(ModelError):
+            validate_document(doc_with(build))
+
+    def test_childless_distributional_rejected(self):
+        def build(root):
+            ind = PNode("IND", NodeType.IND)
+            root.add_child(ind)
+        with pytest.raises(ModelError, match="without children"):
+            validate_document(doc_with(build))
+
+    def test_distributional_text_reported(self):
+        def build(root):
+            ind = root.add_child(PNode("IND", NodeType.IND))
+            ind.add_child(PNode("a"))
+            ind.text = "sneaky"  # bypass the constructor check
+        problems = collect_violations(doc_with(build))
+        assert any("has text" in p for p in problems)
+
+    def test_strict_mode_rejects_probability_under_ordinary_parent(self):
+        def build(root):
+            root.add_child(PNode("a", edge_prob=0.5))
+        doc = doc_with(build)
+        validate_document(doc)  # lenient: fine
+        with pytest.raises(ModelError, match="strict"):
+            validate_document(doc, strict=True)
+
+    def test_error_message_caps_listed_problems(self):
+        def build(root):
+            for _ in range(8):
+                child = PNode("a")
+                child.edge_prob = 2.0
+                root.add_child(child)
+        with pytest.raises(ModelError, match=r"\+3 more"):
+            validate_document(doc_with(build))

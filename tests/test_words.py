@@ -1,0 +1,63 @@
+"""Unit tests for the datagen vocabulary helpers."""
+
+import random
+
+from repro.datagen import words
+
+
+class TestSentence:
+    def test_length_and_pool(self):
+        rng = random.Random(1)
+        text = words.sentence(rng, 5)
+        parts = text.split()
+        assert len(parts) == 5
+        assert all(part in words.FILLER_WORDS for part in parts)
+
+
+class TestSkewedPick:
+    def test_front_of_pool_dominates(self):
+        rng = random.Random(2)
+        pool = [f"w{i}" for i in range(20)]
+        counts = {}
+        for _ in range(4000):
+            pick = words.skewed_pick(rng, pool)
+            counts[pick] = counts.get(pick, 0) + 1
+        assert counts.get("w0", 0) > counts.get("w10", 0)
+        assert counts.get("w0", 0) > 1000
+
+    def test_never_out_of_range(self):
+        rng = random.Random(3)
+        pool = ["only"]
+        assert all(words.skewed_pick(rng, pool) == "only"
+                   for _ in range(100))
+
+
+class TestTitle:
+    def test_term_frequencies_controlled(self):
+        """Each topical term's document frequency tracks its configured
+        inclusion probability (the property the DBLP workload relies
+        on for Figure 4(e)'s match/seed regime)."""
+        rng = random.Random(4)
+        titles = [words.title(rng) for _ in range(6000)]
+        for term, probability in dict(words.TITLE_TERMS).items():
+            frequency = sum(term in title.split()
+                            for title in titles) / len(titles)
+            assert abs(frequency - probability) < 0.03, term
+
+    def test_co_occurrence_rarer_than_terms(self):
+        rng = random.Random(5)
+        titles = [words.title(rng) for _ in range(4000)]
+        def df(term):
+            return sum(term in title.split() for title in titles)
+        triple = sum(all(term in title.split()
+                         for term in ("xml", "keyword", "query"))
+                     for title in titles)
+        assert 0 < triple < min(df("xml"), df("keyword"), df("query"))
+
+
+class TestUniqueNames:
+    def test_count_and_distinctness(self):
+        rng = random.Random(6)
+        names = words.unique_names(rng, 50)
+        assert len(names) == 50
+        assert len(set(names)) == 50

@@ -1,0 +1,74 @@
+"""Unit tests for the random workload sampler."""
+
+import random
+
+import pytest
+
+from repro import Database, topk_search
+from repro.datagen import (WorkloadSpec, eligible_terms, generate_mondial,
+                           make_probabilistic, sample_workload)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def mondial_db():
+    document = make_probabilistic(generate_mondial(), seed=673)
+    return Database.from_document(document)
+
+
+class TestEligibleTerms:
+    def test_frequency_band_respected(self, mondial_db):
+        spec = WorkloadSpec(min_frequency=5, max_frequency=50)
+        for term in eligible_terms(mondial_db.index, spec):
+            frequency = mondial_db.index.document_frequency(term)
+            assert 5 <= frequency <= 50
+
+    def test_unbounded_band(self, mondial_db):
+        spec = WorkloadSpec(min_frequency=1, max_frequency=None)
+        assert len(eligible_terms(mondial_db.index, spec)) == \
+            len(mondial_db.index)
+
+
+class TestSampleWorkload:
+    def test_shape_and_reproducibility(self, mondial_db):
+        spec = WorkloadSpec(queries=8, terms_per_query=2,
+                            min_frequency=5)
+        first = sample_workload(mondial_db.index, spec,
+                                rng=random.Random(42))
+        second = sample_workload(mondial_db.index, spec,
+                                 rng=random.Random(42))
+        assert first == second
+        assert len(first) == 8
+        assert all(len(query) == 2 for query in first)
+        assert len({tuple(query) for query in first}) == 8
+
+    def test_queries_have_answers(self, mondial_db):
+        spec = WorkloadSpec(queries=6, terms_per_query=2,
+                            min_frequency=10, require_answers=True)
+        workload = sample_workload(mondial_db.index, spec,
+                                   rng=random.Random(7))
+        for query in workload:
+            outcome = topk_search(mondial_db, query, 3, "prstack")
+            assert len(outcome) >= 1, query
+
+    def test_without_answer_requirement(self, mondial_db):
+        spec = WorkloadSpec(queries=5, terms_per_query=3,
+                            min_frequency=2, require_answers=False)
+        workload = sample_workload(mondial_db.index, spec,
+                                   rng=random.Random(3))
+        assert len(workload) == 5
+
+    def test_impossible_spec_rejected(self, mondial_db):
+        with pytest.raises(QueryError, match="frequency band"):
+            sample_workload(
+                mondial_db.index,
+                WorkloadSpec(queries=1, terms_per_query=2,
+                             min_frequency=10 ** 9))
+        with pytest.raises(QueryError):
+            sample_workload(mondial_db.index, WorkloadSpec(queries=0))
+
+    def test_exhaustion_reported(self, mondial_db):
+        spec = WorkloadSpec(queries=10 ** 6, terms_per_query=2,
+                            min_frequency=100)
+        with pytest.raises(QueryError, match="satisfiable"):
+            sample_workload(mondial_db.index, spec, max_attempts=20)
