@@ -25,7 +25,10 @@ Quickstart::
 from repro.core import (Algorithm, Explanation, SearchOutcome, SLCAResult,
                         eager_topk_search, explain_result,
                         monte_carlo_search, possible_worlds_search,
-                        prstack_search, threshold_search, topk_search)
+                        profile_lines, prstack_search, threshold_search,
+                        topk_search)
+from repro.obs import (MetricsCollector, NULL_COLLECTOR, Stopwatch,
+                       TraceRecorder, configure_logging, get_logger)
 from repro.encoding import DeweyCode, EncodedDocument, encode_document
 from repro.exceptions import (EncodingError, IndexError_, ModelError,
                               ParseError, QueryError, ReproError,
@@ -45,7 +48,11 @@ __all__ = [
     # search
     "Algorithm", "topk_search", "prstack_search", "eager_topk_search",
     "possible_worlds_search", "monte_carlo_search", "threshold_search",
-    "explain_result", "Explanation", "SearchOutcome", "SLCAResult",
+    "explain_result", "profile_lines", "Explanation", "SearchOutcome",
+    "SLCAResult",
+    # observability
+    "MetricsCollector", "NULL_COLLECTOR", "Stopwatch", "TraceRecorder",
+    "configure_logging", "get_logger",
     # model
     "PDocument", "PNode", "NodeType", "DocumentBuilder",
     "parse_pxml", "parse_pxml_file", "serialize_pxml", "write_pxml_file",

@@ -1,4 +1,4 @@
-"""Measuring queries: response time and peak memory.
+"""Measuring queries: response time, peak memory, operation counts.
 
 The paper reports two per-query quantities (Figures 4-6): response
 time in milliseconds (seconds for DBLP) and memory usage in MB.  We
@@ -6,19 +6,27 @@ measure time as the best of ``repeats`` undisturbed runs of the whole
 search call, and peak memory with one additional run under
 ``tracemalloc`` (instrumented runs are slower, so timing and memory are
 never taken from the same run).
+
+For the same reason, operation counts come from yet another run: pass
+``instrumented_call`` — a variant of the callable wired to a
+:class:`repro.obs.MetricsCollector` — and its metrics snapshot is
+attached to the measurement as ``stats["metrics"]``.  ``run_query``
+builds that variant automatically, so every benchmark record carries
+the counters (frames pushed, candidates pruned, entries scanned, ...)
+alongside the wall-clock numbers.
 """
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, Optional, Union
 
 from repro.core.api import Algorithm, topk_search
 from repro.core.result import SearchOutcome
 from repro.index.inverted import InvertedIndex
 from repro.index.storage import Database
+from repro.obs.metrics import MetricsCollector, Stopwatch
 
 
 @dataclass
@@ -30,6 +38,11 @@ class Measurement:
     result_count: int
     stats: dict = field(default_factory=dict)
 
+    @property
+    def metrics(self) -> dict:
+        """The operation-count snapshot, ``{}`` if none was taken."""
+        return self.stats.get("metrics", {})
+
     def as_row(self) -> str:
         """One-line rendering for ad-hoc printing."""
         return (f"{self.response_time_ms:10.2f} ms  "
@@ -38,7 +51,9 @@ class Measurement:
 
 
 def measure_callable(call: Callable[[], SearchOutcome],
-                     repeats: int = 3) -> Measurement:
+                     repeats: int = 3,
+                     instrumented_call: Optional[
+                         Callable[[], SearchOutcome]] = None) -> Measurement:
     """Measure any zero-argument search callable.
 
     One untimed warmup call runs first: the first allocation burst
@@ -46,6 +61,11 @@ def measure_callable(call: Callable[[], SearchOutcome],
     over the document's object graph (hundreds of milliseconds on the
     DBLP corpus), which would otherwise be misattributed to whichever
     query happens to run first.
+
+    ``instrumented_call``, when given, runs once more after the timed
+    and memory runs; its ``stats["metrics"]`` snapshot is copied onto
+    the returned measurement so records carry operation counts without
+    the collector overhead polluting the timings.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -53,10 +73,9 @@ def measure_callable(call: Callable[[], SearchOutcome],
     best = float("inf")
     outcome = None
     for _ in range(repeats):
-        started = time.perf_counter()
-        outcome = call()
-        elapsed = time.perf_counter() - started
-        best = min(best, elapsed)
+        with Stopwatch() as watch:
+            outcome = call()
+        best = min(best, watch.elapsed)
 
     tracemalloc.start()
     try:
@@ -65,20 +84,33 @@ def measure_callable(call: Callable[[], SearchOutcome],
     finally:
         tracemalloc.stop()
 
+    stats = dict(outcome.stats)
+    if instrumented_call is not None:
+        metrics = instrumented_call().stats.get("metrics")
+        if metrics:
+            stats["metrics"] = metrics
+
     return Measurement(
         response_time_ms=best * 1000.0,
         peak_memory_mb=peak / (1024.0 * 1024.0),
         result_count=len(outcome),
-        stats=dict(outcome.stats),
+        stats=stats,
     )
 
 
 def run_query(database: Union[Database, InvertedIndex],
               keywords: Iterable[str], k: int,
               algorithm: Union[Algorithm, str],
-              repeats: int = 3) -> Measurement:
+              repeats: int = 3,
+              collect_metrics: bool = True) -> Measurement:
     """Measure one (dataset, query, k, algorithm) cell of a figure."""
     keywords = list(keywords)
+    instrumented = None
+    if collect_metrics:
+        def instrumented() -> SearchOutcome:
+            return topk_search(database, keywords, k, algorithm,
+                               collector=MetricsCollector())
     return measure_callable(
         lambda: topk_search(database, keywords, k, algorithm),
-        repeats=repeats)
+        repeats=repeats,
+        instrumented_call=instrumented)

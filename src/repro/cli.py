@@ -6,22 +6,25 @@ Subcommands::
     repro index site.pxml site.db
     repro stats site.db
     repro search site.db united states graduate -k 10
+    repro search site.db united states --profile --metrics-json m.json
     repro explain site.db --code 1.2.3 united states graduate
     repro twig site.db 'person[profile/education ~ "graduate"]'
     repro worlds small.pxml
 
-``python -m repro ...`` works identically.
+``python -m repro ...`` works identically.  The global ``-v/--verbose``
+flag (before the subcommand) enables DEBUG logging for the whole
+``repro`` logger hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional
 
 from repro.core.api import Algorithm, topk_search
-from repro.core.explain import explain_result
+from repro.core.explain import explain_result, profile_lines
 from repro.datagen.dblp import generate_dblp
 from repro.datagen.mondial import generate_mondial
 from repro.datagen.probabilistic import make_probabilistic
@@ -29,6 +32,8 @@ from repro.datagen.xmark import generate_xmark
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import ReproError
 from repro.index.storage import Database, load_database, save_database
+from repro.obs import (MetricsCollector, Stopwatch, build_report,
+                       configure_logging)
 from repro.prxml.parser import parse_pxml_file
 from repro.prxml.possible_worlds import enumerate_possible_worlds
 from repro.prxml.serializer import write_pxml_file
@@ -42,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Top-k keyword search over probabilistic XML data "
                     "(ICDE 2011 reproduction)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="enable DEBUG logging on the 'repro' "
+                             "logger hierarchy (stderr)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser(
@@ -78,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("slca", "elca"),
                         help="result semantics (elca needs --algorithm "
                              "prstack or possible_worlds)")
+    search.add_argument("--profile", action="store_true",
+                        help="collect metrics + a per-query trace and "
+                             "print the profile after the results")
+    search.add_argument("--metrics-json", metavar="PATH",
+                        help="write the query's repro.metrics/v1 JSON "
+                             "report to PATH (docs/OBSERVABILITY.md)")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -126,13 +140,13 @@ def _cmd_generate(options) -> int:
 
 
 def _cmd_index(options) -> int:
-    started = time.perf_counter()
-    document = parse_pxml_file(options.document)
-    database = Database.from_document(document)
-    save_database(database, options.database)
+    with Stopwatch() as watch:
+        document = parse_pxml_file(options.document)
+        database = Database.from_document(document)
+        save_database(database, options.database)
     print(f"indexed {len(document)} nodes, "
           f"{len(database.index)} terms into {options.database} "
-          f"in {time.perf_counter() - started:.2f}s")
+          f"in {watch.elapsed:.2f}s")
     return 0
 
 
@@ -148,16 +162,34 @@ def _cmd_stats(options) -> int:
 
 def _cmd_search(options) -> int:
     database = _open_database(options.source)
-    started = time.perf_counter()
-    outcome = topk_search(database, options.keywords, options.k,
-                          options.algorithm,
-                          semantics=options.semantics)
-    elapsed = (time.perf_counter() - started) * 1000
-    print(f"{len(outcome)} answer(s) in {elapsed:.1f} ms "
+    instrumented = options.profile or options.metrics_json
+    collector = (MetricsCollector(trace=options.profile)
+                 if instrumented else None)
+    with Stopwatch() as watch:
+        outcome = topk_search(database, options.keywords, options.k,
+                              options.algorithm,
+                              semantics=options.semantics,
+                              collector=collector)
+    print(f"{len(outcome)} answer(s) in {watch.elapsed_ms:.1f} ms "
           f"({options.algorithm}, {options.semantics})")
     for rank, result in enumerate(outcome, start=1):
         print(f"{rank:3d}. Pr={result.probability:.6f}  "
               f"<{result.label}> {result.code}")
+    if options.profile:
+        print("\n".join(profile_lines(outcome)))
+    if options.metrics_json:
+        report = build_report(options.keywords, options.k,
+                              options.algorithm, options.semantics,
+                              outcome, watch.elapsed_ms)
+        try:
+            with open(options.metrics_json, "w", encoding="utf-8") as sink:
+                json.dump(report, sink, indent=2)
+                sink.write("\n")
+        except OSError as error:
+            print(f"error: cannot write metrics report: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics report written to {options.metrics_json}")
     return 0
 
 
@@ -172,12 +204,11 @@ def _cmd_explain(options) -> int:
 def _cmd_twig(options) -> int:
     from repro.twig import topk_twig_search, twig_match_probability
     database = _open_database(options.source)
-    started = time.perf_counter()
-    outcome = topk_twig_search(database.index, options.pattern,
-                               options.k)
-    elapsed = (time.perf_counter() - started) * 1000
+    with Stopwatch() as watch:
+        outcome = topk_twig_search(database.index, options.pattern,
+                                   options.k)
     anywhere = twig_match_probability(database.index, options.pattern)
-    print(f"{len(outcome)} binding(s) in {elapsed:.1f} ms; "
+    print(f"{len(outcome)} binding(s) in {watch.elapsed_ms:.1f} ms; "
           f"P(matches anywhere) = {anywhere:.6f}")
     for rank, result in enumerate(outcome, start=1):
         print(f"{rank:3d}. Pr={result.probability:.6f}  "
@@ -214,6 +245,7 @@ _HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     options = build_parser().parse_args(argv)
+    configure_logging(verbose=options.verbose)
     try:
         return _HANDLERS[options.command](options)
     except ReproError as error:

@@ -17,7 +17,7 @@ from repro.core.eager import eager_topk_search
 from repro.core.possible_worlds_search import possible_worlds_search
 from repro.core.monte_carlo import EstimatedResult, monte_carlo_search
 from repro.core.threshold import threshold_search
-from repro.core.explain import Explanation, explain_result
+from repro.core.explain import Explanation, explain_result, profile_lines
 from repro.core.api import Algorithm, topk_search
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "EstimatedResult",
     "threshold_search",
     "explain_result",
+    "profile_lines",
     "Explanation",
     "Algorithm",
     "topk_search",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from enum import Enum
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from repro.core.eager import eager_topk_search
 from repro.core.possible_worlds_search import possible_worlds_search
@@ -20,7 +20,11 @@ from repro.core.result import SearchOutcome
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
 from repro.index.storage import Database
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsCollector, NULL_COLLECTOR
 from repro.prxml.model import PDocument
+
+_log = get_logger("core.api")
 
 
 class Algorithm(Enum):
@@ -36,7 +40,9 @@ Source = Union[PDocument, Database, InvertedIndex]
 
 def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
                 algorithm: Union[Algorithm, str] = Algorithm.EAGER,
-                semantics: str = "slca") -> SearchOutcome:
+                semantics: str = "slca",
+                collector: Optional[MetricsCollector] = None,
+                trace: bool = False) -> SearchOutcome:
     """Find the ``k`` ordinary nodes most likely to be SLCAs.
 
     Args:
@@ -46,30 +52,40 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             their words, and every word is required (AND semantics).
         k: how many answers to return (fewer come back when fewer nodes
             have non-zero probability).
-        algorithm: an :class:`Algorithm` or its string value.  The
-            default, EagerTopK, is the paper's fastest; PrStack gives
-            the same answers with a simpler single-scan strategy;
-            ``possible_worlds`` is the exponential oracle for tiny
-            documents.
+        algorithm: an :class:`Algorithm` or its string value
+            (case-insensitive).  The default, EagerTopK, is the paper's
+            fastest; PrStack gives the same answers with a simpler
+            single-scan strategy; ``possible_worlds`` is the
+            exponential oracle for tiny documents.
         semantics: ``"slca"`` (the paper) or ``"elca"`` (an extension
             after reference [23]).  EagerTopK's pruning properties are
             SLCA-specific — coverage below a node excludes its
             ancestors, which is false under ELCA — so ``"elca"`` is
             served by PrStack or the oracle only.
+        collector: a :class:`repro.obs.MetricsCollector` to fill with
+            operation counts, timings and histograms; its snapshot is
+            attached to ``outcome.stats["metrics"]``.  With the default
+            ``None`` the no-op collector runs and nothing is recorded
+            (results are byte-identical either way).
+        trace: record a per-query event trace; implies a collector (one
+            is created when ``collector`` is None) and attaches the
+            :class:`repro.obs.TraceRecorder` to
+            ``outcome.stats["trace"]``.
 
     Returns:
         A :class:`SearchOutcome`; ``outcome.results`` are sorted by
         descending probability with document order breaking ties, and
-        each result carries its p-document ``node``.
+        each result carries its p-document ``node``.  See
+        docs/OBSERVABILITY.md for the instrumented ``stats`` layout.
     """
+    if collector is None:
+        collector = MetricsCollector(trace=True) if trace \
+            else NULL_COLLECTOR
+    elif trace and collector.enabled and collector.trace is None:
+        from repro.obs.trace import TraceRecorder
+        collector.trace = TraceRecorder()
     index = _as_index(source)
-    try:
-        algorithm = Algorithm(algorithm)
-    except ValueError:
-        names = ", ".join(choice.value for choice in Algorithm)
-        raise QueryError(
-            f"unknown algorithm {algorithm!r}; choose one of: {names}"
-        ) from None
+    algorithm = _coerce_algorithm(algorithm)
     if semantics not in ("slca", "elca"):
         raise QueryError(
             f"unknown semantics {semantics!r}; choose 'slca' or 'elca'")
@@ -79,13 +95,42 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             "EagerTopK's pruning bounds are SLCA-specific; use "
             "algorithm='prstack' (or 'possible_worlds') for ELCA")
 
-    if algorithm is Algorithm.PRSTACK:
-        outcome = prstack_search(index, keywords, k, elca=elca)
-    elif algorithm is Algorithm.EAGER:
-        outcome = eager_topk_search(index, keywords, k)
-    else:
-        outcome = possible_worlds_search(index, keywords, k, elca=elca)
+    _log.debug("topk_search: %s k=%d semantics=%s", algorithm.value, k,
+               semantics)
+    with collector.time("search.total"):
+        if algorithm is Algorithm.PRSTACK:
+            outcome = prstack_search(index, keywords, k, elca=elca,
+                                     collector=collector)
+        elif algorithm is Algorithm.EAGER:
+            outcome = eager_topk_search(index, keywords, k,
+                                        collector=collector)
+        else:
+            outcome = possible_worlds_search(index, keywords, k,
+                                             elca=elca,
+                                             collector=collector)
+    if collector.enabled:
+        outcome.stats["metrics"] = collector.snapshot()
+        if collector.trace is not None:
+            outcome.stats["trace"] = collector.trace
     return _hydrate(outcome, index)
+
+
+def _coerce_algorithm(algorithm: Union[Algorithm, str]) -> Algorithm:
+    """Accept an :class:`Algorithm` or its (case-insensitive) string
+    value; reject anything else with a :class:`QueryError` naming the
+    valid choices."""
+    try:
+        return Algorithm(algorithm)
+    except ValueError:
+        if isinstance(algorithm, str):
+            try:
+                return Algorithm(algorithm.lower())
+            except ValueError:
+                pass
+        names = ", ".join(choice.value for choice in Algorithm)
+        raise QueryError(
+            f"unknown algorithm {algorithm!r}; choose one of: {names}"
+        ) from None
 
 
 def _as_index(source: Source) -> InvertedIndex:

@@ -52,8 +52,12 @@ from repro.exceptions import ReproError
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import (MatchList, build_match_entries,
                                    keyword_code_lists)
+from repro.obs.logging import get_logger
+from repro.obs.metrics import NULL_COLLECTOR
 from repro.prxml.model import NodeType
 from repro.slca.indexed_lookup import indexed_lookup_eager
+
+_log = get_logger("core.eager")
 
 
 class _Region:
@@ -138,7 +142,8 @@ class _RegionRegistry:
 def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
                       k: int = 10, use_path_bounds: bool = True,
                       use_node_bounds: bool = True,
-                      exact_ties: bool = True) -> SearchOutcome:
+                      exact_ties: bool = True,
+                      collector=NULL_COLLECTOR) -> SearchOutcome:
     """Top-k SLCA answers by probability, with eager bound pruning.
 
     Same contract and identical answers as
@@ -158,9 +163,14 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
             at equality like the paper's Algorithm 2: faster there, but
             the returned tie subset is arbitrary (probabilities are
             still exact and identical as a multiset).
+        collector: metrics collector receiving the ``eager.*`` /
+            ``engine.*`` / ``heap.*`` operation counts, bound
+            histograms and (when tracing) the candidate-by-candidate
+            trace (docs/OBSERVABILITY.md); the default no-op records
+            nothing.
     """
     search = _EagerSearch(index, keywords, k, use_path_bounds,
-                          use_node_bounds, exact_ties)
+                          use_node_bounds, exact_ties, collector)
     return search.run()
 
 
@@ -169,10 +179,11 @@ class _EagerSearch:
 
     def __init__(self, index: InvertedIndex, keywords: Iterable[str],
                  k: int, use_path_bounds: bool, use_node_bounds: bool,
-                 exact_ties: bool = True):
+                 exact_ties: bool = True, collector=NULL_COLLECTOR):
         self.index = index
         self.keywords = list(keywords)
-        self.heap = TopKHeap(k)
+        self.collector = collector
+        self.heap = TopKHeap(k, collector=collector)
         self.use_path_bounds = use_path_bounds
         self.use_node_bounds = use_node_bounds
         self.exact_ties = exact_ties
@@ -197,59 +208,115 @@ class _EagerSearch:
             "candidates_pruned": 0,
             "entries_consumed": 0,
             "results_emitted": 0,
+            # Pruning decisions attributed to the sound forms of the
+            # paper's properties (repro.core.bounds): the path bound is
+            # Properties 1-3, the node bound Properties 4-5.
+            "pruning": {
+                "path_bound_properties_1_3": 0,
+                "node_bound_properties_4_5": 0,
+                "dead_path_skips": 0,
+                "bound_evaluations": 0,
+            },
         }
 
     # -- top level ----------------------------------------------------------
 
     def run(self) -> SearchOutcome:
         """Execute the search: seeds, climb, pruned evaluation."""
-        terms, entries = build_match_entries(self.index, self.keywords)
+        collector = self.collector
+        terms, entries = build_match_entries(self.index, self.keywords,
+                                             collector=collector)
         self.stats["terms"] = len(terms)
         self.stats["match_entries"] = len(entries)
         if any(not self.index.postings(term) for term in terms):
+            _log.debug("eager: a term has no postings; zero answers")
             return SearchOutcome(stats=self.stats)
         self.full_mask = (1 << len(terms)) - 1
         self.matches = MatchList(entries)
 
-        _, code_lists = keyword_code_lists(self.index, terms)
-        seeds = indexed_lookup_eager(code_lists)
+        with collector.time("eager.seed"):
+            _, code_lists = keyword_code_lists(self.index, terms)
+            seeds = indexed_lookup_eager(code_lists)
         self.stats["seeds"] = len(seeds)
+        if collector.enabled:
+            collector.count("eager.seeds", len(seeds))
         # Most promising seeds first: their results fill the heap early,
         # so later seeds that cannot beat the k-th probability (a seed's
         # answer is capped by its path probability) are suspended
         # without ever sweeping their subtrees.
         seeds.sort(key=lambda code: (-self._path_prob(code),
                                      code.positions))
-        for seed in seeds:
-            # A seed's own answer is capped by its path probability.
-            seed_cap = self._path_prob(seed)
-            if self.use_node_bounds and not self._worth_scoring(seed,
-                                                                seed_cap):
-                self.stats["candidates_suspended"] += 1
-                self._add_parent_candidate(seed)
-                continue
-            self._process(seed)
+        with collector.time("eager.climb"):
+            for seed in seeds:
+                # A seed's own answer is capped by its path probability.
+                seed_cap = self._path_prob(seed)
+                if self.use_node_bounds and not self._worth_scoring(
+                        seed, seed_cap):
+                    self._record_suspension(seed, seed_cap)
+                    self._add_parent_candidate(seed)
+                    continue
+                self._process(seed)
 
-        while self.candidates:
-            code = self._pop_most_promising()
-            if self._is_dead(code):
-                continue
-            path_bound, node_bound = self._bounds(code)
-            if self.use_path_bounds and self._path_prunable(path_bound):
-                self.delete_list.append(code)
-                self.stats["candidates_pruned"] += 1
-                continue
-            if (self.use_node_bounds
-                    and not self._worth_scoring(code, node_bound)):
-                # The candidate itself cannot score (in exact-ties mode:
-                # even a boundary tie loses the document-order
-                # tiebreak): defer its subtree and keep climbing.
-                self.stats["candidates_suspended"] += 1
-                self._add_parent_candidate(code)
-                continue
-            self._process(code)
+            while self.candidates:
+                code = self._pop_most_promising()
+                if self._is_dead(code):
+                    self.stats["pruning"]["dead_path_skips"] += 1
+                    if collector.enabled:
+                        collector.count("eager.dead_path_skips")
+                    continue
+                path_bound, node_bound = self._bounds(code)
+                if self.use_path_bounds and self._path_prunable(path_bound):
+                    self.delete_list.append(code)
+                    self.stats["candidates_pruned"] += 1
+                    self.stats["pruning"]["path_bound_properties_1_3"] += 1
+                    if collector.enabled:
+                        collector.count("eager.pruned_path_bound")
+                        if collector.trace is not None:
+                            collector.event(
+                                "eager.prune_path", code=str(code),
+                                bound=round(path_bound, 9),
+                                threshold=round(self.heap.threshold, 9))
+                    continue
+                if (self.use_node_bounds
+                        and not self._worth_scoring(code, node_bound)):
+                    # The candidate itself cannot score (in exact-ties
+                    # mode: even a boundary tie loses the document-order
+                    # tiebreak): defer its subtree and keep climbing.
+                    self._record_suspension(code, node_bound)
+                    self._add_parent_candidate(code)
+                    continue
+                self._process(code)
 
+        # Termination summary: how much of the match list the bounds
+        # let the search skip entirely (the paper's pruning win).
+        self.stats["entries_unconsumed"] = self.matches.remaining
+        self.stats["regions_final"] = len(self.regions)
+        self.stats["heap_threshold_final"] = self.heap.threshold
+        if collector.enabled:
+            collector.count("eager.entries_unconsumed",
+                            self.matches.remaining)
+        if _log.isEnabledFor(10):  # logging.DEBUG
+            _log.debug(
+                "eager: %d seeds, %d processed, %d suspended, %d path-"
+                "pruned, %d/%d entries swept", self.stats["seeds"],
+                self.stats["candidates_processed"],
+                self.stats["candidates_suspended"],
+                self.stats["candidates_pruned"],
+                self.stats["entries_consumed"],
+                self.stats["match_entries"])
         return SearchOutcome(results=self.heap.results(), stats=self.stats)
+
+    def _record_suspension(self, code: DeweyCode, bound: float) -> None:
+        """Book-keep one node-bound suspension (sound Properties 4-5)."""
+        self.stats["candidates_suspended"] += 1
+        self.stats["pruning"]["node_bound_properties_4_5"] += 1
+        collector = self.collector
+        if collector.enabled:
+            collector.count("eager.suspended_node_bound")
+            if collector.trace is not None:
+                collector.event("eager.suspend", code=str(code),
+                                bound=round(bound, 9),
+                                threshold=round(self.heap.threshold, 9))
 
     # -- candidate selection ---------------------------------------------------
 
@@ -266,11 +333,17 @@ class _EagerSearch:
         raise ReproError("candidate queue out of sync with UBMap")
 
     def _bounds(self, code: DeweyCode) -> Tuple[float, float]:
+        self.stats["pruning"]["bound_evaluations"] += 1
+        collector = self.collector
         path_prob = self._path_prob(code)
-        return candidate_bounds(
+        bounds = candidate_bounds(
             code.node_type, path_prob,
             (region.bound_for(code, path_prob)
              for region in self.regions.under(code)))
+        if collector.enabled:
+            collector.count("eager.bound_evaluations")
+            collector.observe("eager.node_bound", bounds[1])
+        return bounds
 
     def _worth_scoring(self, code: DeweyCode, bound: float) -> bool:
         """Could a result of up to ``bound`` at ``code`` enter the heap?
@@ -320,6 +393,7 @@ class _EagerSearch:
         match entries plus finished regions inside it) through the stack
         engine, harvest answers, and continue the climb with the exact
         region that replaces everything swept."""
+        collector = self.collector
         taken = self.matches.consume_subtree(code)
         self.stats["entries_consumed"] += len(taken)
         inner_regions = self.regions.under(code)
@@ -332,11 +406,21 @@ class _EagerSearch:
 
         engine = StackEngine(
             self.full_mask, self._sink, context_length=len(code) - 1,
-            exp_resolver=self.index.encoded.exp_subsets_at)
+            exp_resolver=self.index.encoded.exp_subsets_at,
+            collector=collector)
         for item in items:
             engine.feed(item)
         table = engine.finish_candidate()
         self.stats["candidates_processed"] += 1
+        if collector.enabled:
+            collector.count("eager.candidates_processed")
+            collector.count("eager.entries_consumed", len(taken))
+            collector.count("eager.regions_collapsed", len(inner_regions))
+            collector.observe("eager.sweep_items", len(items))
+            if collector.trace is not None:
+                collector.event("eager.process", code=str(code),
+                                entries=len(taken),
+                                regions=len(inner_regions))
 
         # Candidates strictly inside the swept subtree are superseded:
         # their answers were just harvested and their regions collapsed.

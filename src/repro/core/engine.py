@@ -24,6 +24,7 @@ from repro.core.distribution import DistTable
 from repro.encoding.dewey import DeweyCode, common_prefix_length
 from repro.encoding.prlink import PrLink
 from repro.exceptions import ReproError
+from repro.obs.metrics import NULL_COLLECTOR
 from repro.prxml.model import NodeType
 
 #: Callback invoked for every harvested SLCA result:
@@ -80,7 +81,8 @@ class StackEngine:
 
     def __init__(self, full_mask: int, sink: ResultSink,
                  context_length: int = 0, elca: bool = False,
-                 exp_resolver: Optional[Callable] = None):
+                 exp_resolver: Optional[Callable] = None,
+                 collector=NULL_COLLECTOR):
         """
         Args:
             full_mask: ``2**n - 1`` for an ``n``-keyword query.
@@ -97,6 +99,9 @@ class StackEngine:
                 returning the subset distribution of an EXP node; only
                 needed when the document contains EXP nodes (typically
                 ``EncodedDocument.exp_subsets_at``).
+            collector: metrics collector receiving the ``engine.*``
+                counters and histograms (docs/OBSERVABILITY.md); the
+                default no-op collector records nothing.
         """
         if full_mask <= 0:
             raise ReproError("full_mask must cover at least one keyword")
@@ -105,9 +110,12 @@ class StackEngine:
         self.context_length = context_length
         self.elca = elca
         self.exp_resolver = exp_resolver
+        self.collector = collector
+        self._observed = collector.enabled
         self._frames: List[_Frame] = []
         self._current: Optional[DeweyCode] = None
         self.frames_pushed = 0
+        self.frames_popped = 0
         self.results_emitted = 0
 
     # -- feeding ---------------------------------------------------------------
@@ -130,6 +138,10 @@ class StackEngine:
             self._pop_to(max(shared, self.context_length))
             self._push_components(item, max(shared, self.context_length))
         self._current = code
+        if self._observed:
+            self.collector.count("engine.items_fed")
+            if item.table is not None:
+                self.collector.count("engine.preset_tables_fed")
         frame = self._frames[-1]
         if item.table is not None:
             if frame.self_mask or frame.lambda_merged or frame.table.masks \
@@ -150,6 +162,8 @@ class StackEngine:
             self._frames.append(
                 _Frame(code.kinds[depth], edge_prob, path_prob))
             self.frames_pushed += 1
+        if self._observed:
+            self.collector.observe("engine.stack_depth", len(self._frames))
 
     # -- popping ---------------------------------------------------------------
 
@@ -159,6 +173,7 @@ class StackEngine:
 
     def _pop_frame(self) -> None:
         frame = self._frames.pop()
+        self.frames_popped += 1
         depth = self.context_length + len(self._frames) + 1
         table = self._finalize(frame, depth)
         if not self._frames:
@@ -183,10 +198,17 @@ class StackEngine:
         table = frame.table
         if frame.kind is NodeType.MUX:
             table.add_mux_residue(frame.lambda_merged)
+            if self._observed:
+                self.collector.count("engine.mux_residues")
         elif frame.kind is NodeType.EXP:
             table = self._combine_exp(frame, depth)
+            if self._observed:
+                self.collector.count("engine.exp_combinations")
         if frame.kind is NodeType.ORDINARY:
             table = self._finalize_ordinary(frame, table, depth)
+        if self._observed:
+            self.collector.observe("engine.dist_table_size",
+                                   len(table.masks))
         return table
 
     def _finalize_ordinary(self, frame: _Frame, table: DistTable,
@@ -234,6 +256,8 @@ class StackEngine:
     def finish(self) -> None:
         """Pop every frame (whole-document mode); results flow to the sink."""
         self._pop_to(self.context_length)
+        if self._observed:
+            self._flush_counters()
 
     def finish_candidate(self) -> DistTable:
         """Pop down to the candidate frame, finalise it *without*
@@ -248,4 +272,15 @@ class StackEngine:
             return DistTable.unit()
         self._pop_to(self.context_length + 1)
         frame = self._frames.pop()
-        return self._finalize(frame, self.context_length + 1)
+        self.frames_popped += 1
+        table = self._finalize(frame, self.context_length + 1)
+        if self._observed:
+            self._flush_counters()
+        return table
+
+    def _flush_counters(self) -> None:
+        """Fold this engine run's frame totals into the collector (bulk,
+        at termination — cheaper than per-frame counting)."""
+        self.collector.count("engine.frames_pushed", self.frames_pushed)
+        self.collector.count("engine.frames_popped", self.frames_popped)
+        self.collector.count("engine.results_emitted", self.results_emitted)

@@ -1,4 +1,4 @@
-"""Explaining one node's SLCA probability.
+"""Explaining one node's SLCA probability — and one query's execution.
 
 ``explain_result`` recomputes a single node's keyword distribution
 table (Section III-B) and decomposes its global probability into the
@@ -7,6 +7,11 @@ two factors of Equation 2 — ``Pr(path_root->v)`` and the local
 query terms.  This is the library's answer to "why is this node ranked
 here?", and doubles as a worked-example generator for the paper's
 Examples 3-6.
+
+``profile_lines`` is the companion answer to "why was this query fast
+(or slow)?": it renders an instrumented :class:`SearchOutcome`'s
+counters, timers, histograms and recorded trace — the CLI's
+``--profile`` output.
 """
 
 from __future__ import annotations
@@ -16,10 +21,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.core.engine import StackEngine, StackItem
+from repro.core.result import SearchOutcome
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import MatchList, build_match_entries
+from repro.obs.trace import render_trace
 from repro.prxml.model import PNode
 
 
@@ -115,3 +122,47 @@ def explain_result(index: InvertedIndex, keywords: Iterable[str],
                       for mask, probability in table.items()},
         excluded_below=max(0.0, excluded_below),
     )
+
+
+def profile_lines(outcome: SearchOutcome, trace_limit: int = 40
+                  ) -> List[str]:
+    """Render an instrumented outcome's metrics and trace.
+
+    Consumes the ``stats["metrics"]`` snapshot and the live
+    ``stats["trace"]`` recorder that :func:`repro.core.api.topk_search`
+    attaches when given a collector; degrades gracefully (one
+    explanatory line) on an uninstrumented outcome.
+    """
+    metrics = outcome.metrics
+    if not metrics:
+        return ["profile: no metrics were collected "
+                "(run with a MetricsCollector / --profile)"]
+    lines = ["profile"]
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("  counters")
+        width = max(len(name) for name in counters)
+        lines.extend(f"    {name:<{width}}  {value:,}"
+                     for name, value in counters.items())
+    timers = metrics.get("timers", {})
+    if timers:
+        lines.append("  timers (ms)")
+        width = max(len(name) for name in timers)
+        lines.extend(
+            f"    {name:<{width}}  n={summary['count']:<6} "
+            f"sum={summary['sum']:.3f} mean={summary['mean']:.3f}"
+            for name, summary in timers.items())
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("  histograms")
+        width = max(len(name) for name in histograms)
+        lines.extend(
+            f"    {name:<{width}}  n={summary['count']:<6} "
+            f"min={summary['min']:g} mean={summary['mean']:g} "
+            f"max={summary['max']:g}"
+            for name, summary in histograms.items())
+    trace = outcome.trace
+    if trace is not None:
+        lines.append(f"  trace ({len(trace)} event(s))")
+        lines.extend(render_trace(trace, limit=trace_limit))
+    return lines

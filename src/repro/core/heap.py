@@ -21,6 +21,7 @@ from typing import Dict, List
 from repro.core.result import SLCAResult
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError
+from repro.obs.metrics import NULL_COLLECTOR
 
 
 class _Entry:
@@ -42,10 +43,14 @@ class _Entry:
 class TopKHeap:
     """Min-heap of the k highest-probability (code, probability) pairs."""
 
-    def __init__(self, k: int):
+    def __init__(self, k: int, collector=NULL_COLLECTOR):
+        """``collector`` receives the ``heap.*`` counters and, when
+        tracing, one ``heap.threshold`` event per threshold raise — the
+        k-th probability's evolution over the scan."""
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
         self.k = k
+        self.collector = collector
         self._heap: List[_Entry] = []
         self._best: Dict[DeweyCode, float] = {}
 
@@ -94,6 +99,10 @@ class TopKHeap:
         keeps the higher probability (the algorithms compute each node's
         probability once, so this is purely defensive).
         """
+        collector = self.collector
+        observed = collector.enabled
+        if observed:
+            collector.count("heap.offers")
         if probability <= 0.0:
             return False
         known = self._best.get(code)
@@ -101,10 +110,23 @@ class TopKHeap:
             return False
         if known is None and len(self._best) >= self.k:
             if _Entry(probability, code) < self._heap[0]:
+                if observed:
+                    collector.count("heap.rejected_below_threshold")
                 return False
+        before = self.threshold if observed else 0.0
         self._best[code] = probability
         heapq.heappush(self._heap, _Entry(probability, code))
         self._shrink()
+        if observed:
+            collector.count("heap.accepted")
+            threshold = self.threshold
+            if threshold > before:
+                collector.count("heap.threshold_raises")
+                collector.observe("heap.threshold", threshold)
+                if collector.trace is not None:
+                    collector.event("heap.threshold",
+                                    value=round(threshold, 9),
+                                    size=len(self._best))
         return True
 
     def _shrink(self) -> None:
@@ -113,6 +135,8 @@ class TopKHeap:
             entry = heapq.heappop(self._heap)
             if self._best.get(entry.code) == entry.probability:
                 del self._best[entry.code]
+                if self.collector.enabled:
+                    self.collector.count("heap.evictions")
         # Clean stale heads so threshold() reads a live value.
         while self._heap:
             entry = self._heap[0]

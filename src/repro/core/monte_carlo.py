@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import NULL_COLLECTOR
 from repro.prxml.possible_worlds import sample_possible_world
 from repro.slca.deterministic import slca_of_world
 
@@ -38,8 +39,8 @@ class EstimatedResult:
 
 def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
                        k: int = 10, samples: int = 1000,
-                       rng: Optional[random.Random] = None
-                       ) -> SearchOutcome:
+                       rng: Optional[random.Random] = None,
+                       collector=NULL_COLLECTOR) -> SearchOutcome:
     """Approximate top-k SLCA answers from sampled possible worlds.
 
     Same contract as the exact algorithms; ``outcome.stats`` carries
@@ -50,6 +51,9 @@ def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
     Args:
         samples: number of worlds to draw.
         rng: source of randomness (seed it for reproducibility).
+        collector: metrics collector; records the sampling timer plus
+            worlds-sampled / SLCA-hit counters and the per-world
+            answer-count histogram (docs/OBSERVABILITY.md).
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
@@ -59,13 +63,23 @@ def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
     rng = rng or random.Random()
     encoded = index.encoded
     document = encoded.document
+    observed = collector.enabled
 
     hit_counts: Dict[int, int] = {}
-    for _ in range(samples):
-        world = sample_possible_world(document, rng)
-        for det_node in slca_of_world(world.root, terms):
-            node_id = det_node.source_id
-            hit_counts[node_id] = hit_counts.get(node_id, 0) + 1
+    with collector.time("monte_carlo.sampling"):
+        for _ in range(samples):
+            world = sample_possible_world(document, rng)
+            answers = 0
+            for det_node in slca_of_world(world.root, terms):
+                node_id = det_node.source_id
+                hit_counts[node_id] = hit_counts.get(node_id, 0) + 1
+                answers += 1
+            if observed:
+                collector.observe("monte_carlo.world_answers", answers)
+    if observed:
+        collector.count("monte_carlo.worlds_sampled", samples)
+        collector.count("monte_carlo.slca_hits",
+                        sum(hit_counts.values()))
 
     estimates: List[EstimatedResult] = []
     for node_id, hits in hit_counts.items():
@@ -79,12 +93,12 @@ def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
     estimates.sort(key=lambda e: (-e.result.probability,
                                   e.result.code.positions))
     top = estimates[:k]
-    return SearchOutcome(
-        results=[e.result for e in top],
-        stats={
-            "algorithm": "monte_carlo",
-            "samples": samples,
-            "distinct_answers": len(estimates),
-            "estimates": top,
-        },
-    )
+    stats = {
+        "algorithm": "monte_carlo",
+        "samples": samples,
+        "distinct_answers": len(estimates),
+        "estimates": top,
+    }
+    if observed:
+        stats["metrics"] = collector.snapshot()
+    return SearchOutcome(results=[e.result for e in top], stats=stats)

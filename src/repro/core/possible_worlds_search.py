@@ -14,6 +14,7 @@ from typing import Dict, Iterable
 
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import NULL_COLLECTOR
 from repro.prxml.possible_worlds import (DEFAULT_MAX_WORLDS,
                                          enumerate_possible_worlds)
 from repro.slca.deterministic import elca_of_world, slca_of_world
@@ -22,28 +23,35 @@ from repro.slca.deterministic import elca_of_world, slca_of_world
 def possible_worlds_search(index: InvertedIndex, keywords: Iterable[str],
                            k: int = 10,
                            max_worlds: int = DEFAULT_MAX_WORLDS,
-                           elca: bool = False) -> SearchOutcome:
+                           elca: bool = False,
+                           collector=NULL_COLLECTOR) -> SearchOutcome:
     """Exact top-k SLCA answers by explicit possible-world enumeration.
 
     Same contract as :func:`repro.core.prstack.prstack_search`
-    (including the ``elca`` extension switch); raises
-    :class:`repro.exceptions.ModelError` when the document encodes more
-    than ``max_worlds`` raw worlds.
+    (including the ``elca`` extension switch and the metrics
+    ``collector``); raises :class:`repro.exceptions.ModelError` when
+    the document encodes more than ``max_worlds`` raw worlds.
     """
     if k <= 0:
         from repro.exceptions import QueryError
         raise QueryError(f"k must be positive, got {k}")
     terms = index.query_terms(keywords)
     encoded = index.encoded
-    worlds = enumerate_possible_worlds(encoded.document, max_worlds)
+    with collector.time("possible_worlds.enumerate"):
+        worlds = enumerate_possible_worlds(encoded.document, max_worlds)
     answers_of_world = elca_of_world if elca else slca_of_world
 
     probability_of: Dict[int, float] = {}
-    for world in worlds:
-        for det_node in answers_of_world(world.root, terms):
-            node_id = det_node.source_id
-            probability_of[node_id] = (probability_of.get(node_id, 0.0)
-                                       + world.probability)
+    with collector.time("possible_worlds.scan"):
+        for world in worlds:
+            for det_node in answers_of_world(world.root, terms):
+                node_id = det_node.source_id
+                probability_of[node_id] = (
+                    probability_of.get(node_id, 0.0) + world.probability)
+    if collector.enabled:
+        collector.count("possible_worlds.worlds", len(worlds))
+        collector.count("possible_worlds.distinct_answers",
+                        len(probability_of))
 
     results = [
         SLCAResult(code=encoded.codes[node_id], probability=probability,

@@ -17,10 +17,15 @@ from repro.core.heap import TopKHeap
 from repro.core.result import SearchOutcome
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import build_match_entries
+from repro.obs.logging import get_logger
+from repro.obs.metrics import NULL_COLLECTOR
+
+_log = get_logger("core.prstack")
 
 
 def prstack_search(index: InvertedIndex, keywords: Iterable[str],
-                   k: int = 10, elca: bool = False) -> SearchOutcome:
+                   k: int = 10, elca: bool = False,
+                   collector=NULL_COLLECTOR) -> SearchOutcome:
     """Top-k SLCA answers by probability, via one document-order scan.
 
     Args:
@@ -32,12 +37,16 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
         elca: rank by Exclusive-LCA probability instead of SLCA — an
             extension after the paper's reference [23]; see
             :class:`repro.core.engine.StackEngine`.
+        collector: metrics collector receiving the ``engine.*`` /
+            ``heap.*`` operation counts and scan timings
+            (docs/OBSERVABILITY.md); the default no-op records nothing.
 
     Returns:
         A :class:`SearchOutcome` with ranked results and scan counters.
     """
-    terms, entries = build_match_entries(index, keywords)
-    heap = TopKHeap(k)
+    terms, entries = build_match_entries(index, keywords,
+                                         collector=collector)
+    heap = TopKHeap(k, collector=collector)
     outcome = SearchOutcome(stats={
         "algorithm": "prstack",
         "semantics": "elca" if elca else "slca",
@@ -51,17 +60,30 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
     # AND semantics: a term with no match anywhere makes the full mask
     # unreachable, so no node can be an answer.
     if any(not index.postings(term) for term in terms):
+        _log.debug("prstack: a term has no postings; zero answers")
         return outcome
 
     full_mask = (1 << len(terms)) - 1
     engine = StackEngine(full_mask, heap.offer, elca=elca,
-                         exp_resolver=index.encoded.exp_subsets_at)
-    for entry in entries:
-        engine.feed(StackItem(entry.code, entry.link, entry.mask))
-        outcome.stats["entries_scanned"] += 1
-    engine.finish()
+                         exp_resolver=index.encoded.exp_subsets_at,
+                         collector=collector)
+    with collector.time("prstack.scan"):
+        for entry in entries:
+            engine.feed(StackItem(entry.code, entry.link, entry.mask))
+            outcome.stats["entries_scanned"] += 1
+        engine.finish()
 
     outcome.results = heap.results()
     outcome.stats["frames_pushed"] = engine.frames_pushed
+    outcome.stats["frames_popped"] = engine.frames_popped
     outcome.stats["results_emitted"] = engine.results_emitted
+    outcome.stats["heap_threshold_final"] = heap.threshold
+    if collector.enabled:
+        collector.count("prstack.entries_scanned",
+                        outcome.stats["entries_scanned"])
+    if _log.isEnabledFor(10):  # logging.DEBUG
+        _log.debug(
+            "prstack: %d entries -> %d frames, %d results, final "
+            "threshold %.6g", outcome.stats["entries_scanned"],
+            engine.frames_pushed, engine.results_emitted, heap.threshold)
     return outcome

@@ -40,7 +40,12 @@ class SearchOutcome:
             have non-zero probability (the paper returns only those).
         stats: free-form instrumentation counters (entries scanned,
             candidates pruned, tables merged, ...), filled in by each
-            algorithm and consumed by the benchmark harness.
+            algorithm and consumed by the benchmark harness.  When the
+            query ran with a metrics collector, ``stats["metrics"]``
+            holds its snapshot and — with tracing on —
+            ``stats["trace"]`` the live
+            :class:`repro.obs.TraceRecorder` (see
+            docs/OBSERVABILITY.md for the layout).
     """
 
     results: List[SLCAResult] = field(default_factory=list)
@@ -51,6 +56,16 @@ class SearchOutcome:
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def metrics(self) -> dict:
+        """The collector snapshot ({} when run uninstrumented)."""
+        return self.stats.get("metrics", {})
+
+    @property
+    def trace(self):
+        """The recorded trace (None unless run with ``trace=True``)."""
+        return self.stats.get("trace")
 
     def probabilities(self) -> List[float]:
         """Result probabilities, best first."""

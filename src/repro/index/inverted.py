@@ -13,6 +13,7 @@ from typing import Dict, Iterable, List, Tuple
 from repro.encoding.encoder import EncodedDocument
 from repro.exceptions import IndexError_, QueryError
 from repro.index.tokenizer import node_terms, normalize_query
+from repro.obs.metrics import NULL_COLLECTOR
 
 
 class InvertedIndex:
@@ -86,13 +87,24 @@ class InvertedIndex:
             raise QueryError("keyword query contains no terms")
         return terms
 
-    def keyword_lists(self, keywords: Iterable[str]
+    def keyword_lists(self, keywords: Iterable[str],
+                      collector=NULL_COLLECTOR
                       ) -> Tuple[List[str], List[array]]:
         """The per-term posting lists for a query, shortest-first metadata
         left to callers.  Terms missing from the index yield empty lists
-        (the query then has zero answers everywhere)."""
+        (the query then has zero answers everywhere).
+
+        ``collector`` records per-query lookup timings
+        (``index.lookup``) and the posting-list length distribution
+        (``index.postings_length``)."""
         terms = self.query_terms(keywords)
-        return terms, [self.postings(term) for term in terms]
+        with collector.time("index.lookup"):
+            lists = [self.postings(term) for term in terms]
+        if collector.enabled:
+            collector.count("index.lookups", len(terms))
+            for postings in lists:
+                collector.observe("index.postings_length", len(postings))
+        return terms, lists
 
     # -- integrity ---------------------------------------------------------------
 

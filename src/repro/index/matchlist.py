@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 from repro.encoding.dewey import DeweyCode
 from repro.encoding.prlink import PrLink
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import NULL_COLLECTOR
 
 
 class MatchEntry:
@@ -38,7 +39,8 @@ class MatchEntry:
         return f"MatchEntry({self.code}, mask={self.mask:b})"
 
 
-def build_match_entries(index: InvertedIndex, keywords: Sequence[str]
+def build_match_entries(index: InvertedIndex, keywords: Sequence[str],
+                        collector=NULL_COLLECTOR
                         ) -> Tuple[List[str], List[MatchEntry]]:
     """Merge per-term postings into per-node masked entries.
 
@@ -46,19 +48,25 @@ def build_match_entries(index: InvertedIndex, keywords: Sequence[str]
     document-ordered entries.  A node matched by several terms appears
     once with the OR of its bits — this implements the "if v' is not
     promoted ... " duplicate handling of Algorithm 1 up front.
+
+    ``collector`` times the merge and counts the produced entries on
+    top of the ``index.*`` lookup metrics.
     """
-    terms, postings = index.keyword_lists(keywords)
-    masks: Dict[int, int] = {}
-    for bit, ids in enumerate(postings):
-        flag = 1 << bit
-        for node_id in ids:
-            masks[node_id] = masks.get(node_id, 0) | flag
-    encoded = index.encoded
-    entries = [
-        MatchEntry(node_id, encoded.codes[node_id], encoded.links[node_id],
-                   masks[node_id])
-        for node_id in sorted(masks)
-    ]
+    terms, postings = index.keyword_lists(keywords, collector=collector)
+    with collector.time("index.merge_entries"):
+        masks: Dict[int, int] = {}
+        for bit, ids in enumerate(postings):
+            flag = 1 << bit
+            for node_id in ids:
+                masks[node_id] = masks.get(node_id, 0) | flag
+        encoded = index.encoded
+        entries = [
+            MatchEntry(node_id, encoded.codes[node_id],
+                       encoded.links[node_id], masks[node_id])
+            for node_id in sorted(masks)
+        ]
+    if collector.enabled:
+        collector.count("index.match_entries", len(entries))
     return terms, entries
 
 

@@ -1,0 +1,33 @@
+"""Observability: metrics, per-query traces, logging, report schema.
+
+This package is the instrumentation contract the rest of the library
+reports through:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsCollector` (counters,
+  histograms, timers) and the zero-overhead :data:`NULL_COLLECTOR`
+  default every engine falls back to;
+* :mod:`repro.obs.trace` — the per-query :class:`TraceRecorder` and a
+  human-readable renderer;
+* :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy and the
+  CLI's ``--verbose`` configuration hook;
+* :mod:`repro.obs.report` — the versioned ``repro.metrics/v1`` JSON
+  report emitted by ``--metrics-json`` and validated in CI.
+
+Metric names and the report schema are documented in
+docs/OBSERVABILITY.md.
+"""
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import (Histogram, MetricsCollector, NullCollector,
+                               NULL_COLLECTOR, Stopwatch)
+from repro.obs.report import (ReportError, SCHEMA_ID, build_report,
+                              validate_report)
+from repro.obs.trace import TraceEvent, TraceRecorder, render_trace
+
+__all__ = [
+    "MetricsCollector", "NullCollector", "NULL_COLLECTOR",
+    "Histogram", "Stopwatch",
+    "TraceRecorder", "TraceEvent", "render_trace",
+    "get_logger", "configure_logging",
+    "build_report", "validate_report", "ReportError", "SCHEMA_ID",
+]

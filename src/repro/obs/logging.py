@@ -1,0 +1,76 @@
+"""The ``repro`` logger hierarchy.
+
+Every module logs through ``get_logger("core.eager")`` etc., giving the
+usual dotted hierarchy under the single root logger ``repro`` — so one
+:func:`configure_logging` call (or any standard ``logging`` setup done
+by an embedding application) controls the whole library.
+
+The library itself never configures handlers on import: following
+logging best practice, the root ``repro`` logger only gets a
+:class:`logging.NullHandler` so an unconfigured program stays silent.
+The CLI's ``--verbose`` flag calls :func:`configure_logging` to attach
+a stderr handler at DEBUG.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Name of the library's root logger.
+ROOT_LOGGER = "repro"
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+#: Marker attribute identifying the handler installed by
+#: :func:`configure_logging`, so reconfiguration replaces it instead of
+#: stacking duplicates.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("core.eager")`` -> ``repro.core.eager``; an empty name
+    returns the root ``repro`` logger.  Fully-qualified ``repro.*``
+    names pass through unchanged, so ``get_logger(__name__)`` works in
+    library modules.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(verbose: bool = False,
+                      stream=None,
+                      fmt: Optional[str] = None) -> logging.Logger:
+    """Attach (or replace) the library's diagnostic handler.
+
+    Args:
+        verbose: DEBUG when true, WARNING otherwise — matching the
+            CLI's ``-v`` toggle.
+        stream: destination (default ``sys.stderr``, so diagnostics
+            never mix with result output on stdout).
+        fmt: ``logging`` format string override.
+
+    Returns:
+        The configured root ``repro`` logger.
+
+    Idempotent: repeated calls reconfigure the one tagged handler
+    rather than stacking duplicates.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    setattr(handler, _HANDLER_TAG, True)
+    handler.setFormatter(logging.Formatter(
+        fmt or "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+        datefmt="%H:%M:%S"))
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose else logging.WARNING)
+    return logger

@@ -1,0 +1,256 @@
+"""Counters, timers and histograms behind a near-zero-overhead no-op.
+
+The query engines accept a *collector* and report everything the
+paper's experimental section talks about — candidates pruned per
+property, stack frames pushed, distribution-table sizes, posting-list
+lengths — through it.  Two implementations share the interface:
+
+* :data:`NULL_COLLECTOR` (a :class:`NullCollector`): every method is a
+  no-op ``pass``.  This is the default everywhere, so an uninstrumented
+  query pays one attribute load + no-op call at each hook point and
+  allocates nothing.
+* :class:`MetricsCollector`: accumulates named counters, histograms and
+  timers, and (with ``trace=True``) records a per-query
+  :class:`~repro.obs.trace.TraceRecorder`.
+
+Hot loops may additionally guard on ``collector.enabled`` (a plain
+class attribute) to skip argument construction entirely, and on
+``collector.trace is not None`` before formatting trace event fields.
+
+:class:`Stopwatch` is the library's single wall-clock primitive; the
+CLI and the benchmark harness both time through it rather than calling
+``time.perf_counter()`` ad hoc.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Optional
+
+from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder
+
+
+class Histogram:
+    """Streaming summary statistics of observed values.
+
+    Keeps count / sum / min / max (constant memory); enough for the
+    mean and range columns the experiment tables report.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self, scale: float = 1.0, digits: int = 6
+                 ) -> Dict[str, float]:
+        """Plain-dict summary; ``scale`` converts units (e.g. s -> ms)."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count,
+                "sum": round(self.total * scale, digits),
+                "min": round(self.minimum * scale, digits),
+                "max": round(self.maximum * scale, digits),
+                "mean": round(self.mean * scale, digits)}
+
+
+class Stopwatch:
+    """The one wall-clock primitive (context manager or start/stop).
+
+    ``elapsed`` is seconds; ``elapsed_ms`` the conventional report unit.
+    While running, both read the live clock, so a stopwatch can be
+    polled mid-flight.
+    """
+
+    __slots__ = ("_started", "_elapsed")
+
+    def __init__(self):
+        self._started: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Freeze and return the elapsed seconds."""
+        if self._started is not None:
+            self._elapsed += time.perf_counter() - self._started
+            self._started = None
+        return self._elapsed
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds (live while running)."""
+        if self._started is not None:
+            return self._elapsed + time.perf_counter() - self._started
+        return self._elapsed
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Elapsed milliseconds (live while running)."""
+        return self.elapsed * 1000.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _Timed:
+    """Context manager feeding one timing observation into a collector."""
+
+    __slots__ = ("_collector", "_name", "_started")
+
+    def __init__(self, collector: "MetricsCollector", name: str):
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_Timed":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._collector.observe_time(
+            self._name, time.perf_counter() - self._started)
+
+
+class _NullTimed:
+    """Reusable do-nothing context manager for the no-op collector."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimed":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_TIMED = _NullTimed()
+
+
+class NullCollector:
+    """The do-nothing collector: the default on every query path.
+
+    All methods accept the full instrumentation vocabulary and discard
+    it.  ``enabled`` is False so hot loops can skip argument
+    construction; ``trace`` is None so trace-only formatting is never
+    performed.
+    """
+
+    enabled = False
+    trace: Optional[TraceRecorder] = None
+
+    __slots__ = ()
+
+    def count(self, name: str, value: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def time(self, name: str) -> _NullTimed:
+        return _NULL_TIMED
+
+    def event(self, name: str, **fields: object) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {}
+
+
+#: Shared no-op instance; engines default their ``collector`` to this.
+NULL_COLLECTOR = NullCollector()
+
+
+class MetricsCollector:
+    """Accumulates counters, histograms and timers for one query (or a
+    batch of queries — nothing resets automatically).
+
+    Args:
+        trace: also record a per-query event trace (bounded by
+            ``max_trace_events``); engines emit events only when this
+            is on.
+    """
+
+    enabled = True
+
+    __slots__ = ("counters", "histograms", "timers", "trace")
+
+    def __init__(self, trace: bool = False,
+                 max_trace_events: int = DEFAULT_MAX_EVENTS):
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.timers: Dict[str, Histogram] = {}
+        self.trace: Optional[TraceRecorder] = (
+            TraceRecorder(max_trace_events) if trace else None)
+
+    # -- recording ---------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one value into the histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Feed one duration (seconds) into the timer ``name``."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Histogram()
+        timer.observe(seconds)
+
+    def time(self, name: str) -> _Timed:
+        """``with collector.time("index.lookup"): ...``"""
+        return _Timed(self, name)
+
+    def event(self, name: str, **fields: object) -> None:
+        """Record a trace event (no-op unless tracing is on)."""
+        if self.trace is not None:
+            self.trace.record(name, **fields)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict rendering: the ``metrics`` block of the report
+        schema (timers in milliseconds; see docs/OBSERVABILITY.md)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {name: histogram.snapshot()
+                           for name, histogram
+                           in sorted(self.histograms.items())},
+            "timers": {name: timer.snapshot(scale=1000.0)
+                       for name, timer in sorted(self.timers.items())},
+        }

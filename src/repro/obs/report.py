@@ -1,0 +1,179 @@
+"""The metrics JSON report: schema, construction, validation.
+
+``repro search ... --metrics-json PATH`` (and any embedding harness)
+emits one report per query.  The shape is versioned by the ``schema``
+field and documented in docs/OBSERVABILITY.md; :func:`validate_report`
+is the machine-checkable form of that document and is what the CI
+smoke job runs against a freshly emitted report.
+
+Top-level shape (``repro.metrics/v1``)::
+
+    {
+      "schema": "repro.metrics/v1",
+      "query": {"keywords": [...], "k": int,
+                "algorithm": str, "semantics": str},
+      "elapsed_ms": float,
+      "result_count": int,
+      "results": [{"code": str, "probability": float, "label": str}],
+      "stats": {...},              # per-algorithm counters (free-form)
+      "metrics": {"counters": {...}, "histograms": {...},
+                  "timers": {...}},
+      "trace": [{"seq": int, "offset_ms": float, "name": str, ...}]
+    }
+
+``trace`` is present only when the query ran with tracing on.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+from typing import Dict, List
+
+from repro.exceptions import ReproError
+
+#: Version tag written into (and required from) every report.
+SCHEMA_ID = "repro.metrics/v1"
+
+#: Keys every report must carry.
+REQUIRED_KEYS = ("schema", "query", "elapsed_ms", "result_count",
+                 "results", "stats", "metrics")
+
+#: Keys every histogram / timer summary must carry.
+SUMMARY_KEYS = ("count", "sum", "min", "max", "mean")
+
+
+class ReportError(ReproError):
+    """A metrics report does not conform to the documented schema."""
+
+
+def build_report(keywords: List[str], k: int, algorithm: str,
+                 semantics: str, outcome,
+                 elapsed_ms: float) -> Dict[str, object]:
+    """Assemble the ``repro.metrics/v1`` report for one query.
+
+    ``outcome`` is a :class:`repro.core.result.SearchOutcome` (typed
+    loosely so this package stays dependency-free below the core).
+
+    ``outcome.stats`` is copied minus the non-JSON members the library
+    attaches in-process (the metrics snapshot and the live trace
+    recorder become the report's own ``metrics`` / ``trace`` blocks;
+    Monte-Carlo ``estimates`` objects are summarised by the results).
+    """
+    stats = {key: value for key, value in outcome.stats.items()
+             if key not in ("metrics", "trace", "estimates")}
+    report: Dict[str, object] = {
+        "schema": SCHEMA_ID,
+        "query": {"keywords": list(keywords), "k": k,
+                  "algorithm": str(algorithm), "semantics": str(semantics)},
+        "elapsed_ms": round(float(elapsed_ms), 6),
+        "result_count": len(outcome),
+        "results": [{"code": str(result.code),
+                     "probability": result.probability,
+                     "label": result.label}
+                    for result in outcome.results],
+        "stats": stats,
+        "metrics": outcome.stats.get("metrics", {}),
+    }
+    trace = outcome.stats.get("trace")
+    if trace is not None:
+        report["trace"] = trace.as_dicts()
+    return report
+
+
+def validate_report(report: object) -> Dict[str, object]:
+    """Check a parsed report against the v1 schema.
+
+    Returns the report (for chaining) or raises :class:`ReportError`
+    naming the first violation.  Deliberately dependency-free — this is
+    the library's own contract check, also run by the CI smoke job.
+    """
+    if not isinstance(report, dict):
+        raise ReportError(f"report must be an object, got "
+                          f"{type(report).__name__}")
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            raise ReportError(f"report is missing required key {key!r}")
+    if report["schema"] != SCHEMA_ID:
+        raise ReportError(f"unknown schema {report['schema']!r}; "
+                          f"expected {SCHEMA_ID!r}")
+
+    query = report["query"]
+    if not isinstance(query, dict):
+        raise ReportError("query must be an object")
+    for key, kind in (("keywords", list), ("k", int),
+                      ("algorithm", str), ("semantics", str)):
+        if not isinstance(query.get(key), kind):
+            raise ReportError(f"query.{key} must be a {kind.__name__}")
+
+    _require_number(report, "elapsed_ms")
+    _require_number(report, "result_count")
+    results = report["results"]
+    if not isinstance(results, list):
+        raise ReportError("results must be a list")
+    for position, result in enumerate(results):
+        if not isinstance(result, dict):
+            raise ReportError(f"results[{position}] must be an object")
+        if not isinstance(result.get("code"), str):
+            raise ReportError(f"results[{position}].code must be a string")
+        if not _is_number(result.get("probability")):
+            raise ReportError(
+                f"results[{position}].probability must be a number")
+    if len(results) != report["result_count"]:
+        raise ReportError(
+            f"result_count {report['result_count']} does not match "
+            f"{len(results)} results")
+
+    if not isinstance(report["stats"], dict):
+        raise ReportError("stats must be an object")
+    _validate_metrics(report["metrics"])
+
+    trace = report.get("trace")
+    if trace is not None:
+        if not isinstance(trace, list):
+            raise ReportError("trace must be a list of events")
+        for position, event in enumerate(trace):
+            if not isinstance(event, dict) \
+                    or not isinstance(event.get("name"), str) \
+                    or not _is_number(event.get("offset_ms")):
+                raise ReportError(
+                    f"trace[{position}] must be an object with a "
+                    "'name' string and an 'offset_ms' number")
+    return report
+
+
+def _validate_metrics(metrics: object) -> None:
+    if not isinstance(metrics, dict):
+        raise ReportError("metrics must be an object")
+    if not metrics:
+        return  # an uninstrumented run legitimately reports {}
+    for block in ("counters", "histograms", "timers"):
+        if block not in metrics:
+            raise ReportError(f"metrics is missing the {block!r} block")
+    counters = metrics["counters"]
+    if not isinstance(counters, dict):
+        raise ReportError("metrics.counters must be an object")
+    for name, value in counters.items():
+        if not _is_number(value):
+            raise ReportError(f"counter {name!r} must be a number")
+    for block in ("histograms", "timers"):
+        summaries = metrics[block]
+        if not isinstance(summaries, dict):
+            raise ReportError(f"metrics.{block} must be an object")
+        for name, summary in summaries.items():
+            if not isinstance(summary, dict):
+                raise ReportError(
+                    f"metrics.{block}[{name!r}] must be an object")
+            for key in SUMMARY_KEYS:
+                if not _is_number(summary.get(key)):
+                    raise ReportError(
+                        f"metrics.{block}[{name!r}].{key} must be a "
+                        "number")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, Number) and not isinstance(value, bool)
+
+
+def _require_number(report: Dict[str, object], key: str) -> None:
+    if not _is_number(report[key]):
+        raise ReportError(f"{key} must be a number")

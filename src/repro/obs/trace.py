@@ -1,0 +1,100 @@
+"""Per-query trace recording.
+
+A :class:`TraceRecorder` captures an ordered sequence of named events
+with wall-clock offsets — the micro-narrative of one query execution
+(seeds evaluated, candidates pruned, heap threshold raises, ...).
+Recording is opt-in: the engines only emit events when a collector was
+constructed with ``trace=True``, so the default query path never pays
+for string formatting or event storage.
+
+Event field values should be JSON-representable scalars (str, int,
+float, bool) so traces can be exported by ``--metrics-json`` verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+#: Default cap on recorded events; beyond it events are counted but
+#: dropped, keeping worst-case memory bounded on huge queries.
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class TraceEvent:
+    """One recorded step of a query execution."""
+
+    __slots__ = ("seq", "offset_s", "name", "fields")
+
+    def __init__(self, seq: int, offset_s: float, name: str,
+                 fields: Dict[str, object]):
+        self.seq = seq
+        self.offset_s = offset_s
+        self.name = name
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly rendering (used by the metrics report)."""
+        return {"seq": self.seq,
+                "offset_ms": round(self.offset_s * 1000.0, 6),
+                "name": self.name,
+                **self.fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.seq}, {self.name}, {self.fields})"
+
+
+class TraceRecorder:
+    """Bounded, append-only event log for one query."""
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._started = time.perf_counter()
+
+    def record(self, name: str, **fields: object) -> None:
+        """Append one event (dropped silently past ``max_events``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(len(self.events),
+                       time.perf_counter() - self._started, name, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Every event as a JSON-friendly dict."""
+        return [event.as_dict() for event in self.events]
+
+
+def render_trace(trace: Optional[TraceRecorder],
+                 limit: int = 50) -> List[str]:
+    """Human-readable lines for a recorded trace (``--profile`` output).
+
+    Shows at most ``limit`` events; elision and recorder-side drops are
+    reported so truncation is never silent.
+    """
+    if trace is None or not trace.events:
+        return ["  (no trace recorded)"]
+    lines = []
+    shown = trace.events[:limit]
+    for event in shown:
+        detail = " ".join(f"{key}={value}" for key, value
+                          in event.fields.items())
+        lines.append(f"  {event.offset_s * 1000.0:9.3f} ms  "
+                     f"{event.name:<24s} {detail}".rstrip())
+    hidden = len(trace.events) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more event(s) not shown")
+    if trace.dropped:
+        lines.append(f"  ... {trace.dropped} event(s) dropped at the "
+                     f"{trace.max_events}-event recorder cap")
+    return lines

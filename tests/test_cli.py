@@ -56,6 +56,33 @@ class TestCli:
         captured = capsys.readouterr().out
         assert "7 distinct possible worlds" in captured
 
+    def test_search_profile(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "k1", "k2",
+                     "--profile"]) == 0
+        captured = capsys.readouterr().out
+        assert "profile" in captured
+        assert "counters" in captured
+        assert "engine.frames_pushed" in captured
+
+    def test_search_metrics_json(self, tmp_path, pxml_file, capsys):
+        import json
+        from repro.obs.report import validate_report
+        path = tmp_path / "metrics.json"
+        assert main(["search", pxml_file, "k1", "k2",
+                     "--metrics-json", str(path)]) == 0
+        assert "metrics report written" in capsys.readouterr().out
+        report = json.loads(path.read_text())
+        validate_report(report)
+        assert report["query"]["keywords"] == ["k1", "k2"]
+        assert report["metrics"]["counters"]
+
+    def test_verbose_flag_enables_debug_logging(self, pxml_file, capsys):
+        import logging
+        assert main(["-v", "search", pxml_file, "k1"]) == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        assert main(["search", pxml_file, "k1"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
     def test_error_reported_cleanly(self, pxml_file, capsys):
         assert main(["explain", pxml_file, "k1",
                      "--code", "1.9.9"]) == 1

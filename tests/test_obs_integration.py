@@ -1,0 +1,177 @@
+"""Integration tests: observability threaded through the search stack.
+
+Covers the ISSUE acceptance criteria: instrumented PrStack and
+EagerTopK runs report consistent operation counts, the default no-op
+collector changes nothing about the results, ``SearchOutcome.stats``
+carries the per-property pruning breakdown, and an emitted metrics
+report validates against the documented schema.
+"""
+
+import json
+
+import pytest
+
+from repro import MetricsCollector, topk_search
+from repro.core.explain import profile_lines
+from repro.exceptions import QueryError
+from repro.obs.report import build_report, validate_report
+
+KEYWORDS = ["k1", "k2"]
+
+
+def _codes_and_probs(outcome):
+    return [(str(r.code), r.probability) for r in outcome]
+
+
+class TestNoOpDefault:
+    def test_results_identical_with_and_without_collector(self, figure1_db):
+        for algorithm in ("prstack", "eager"):
+            plain = topk_search(figure1_db, KEYWORDS, 5, algorithm)
+            instrumented = topk_search(figure1_db, KEYWORDS, 5, algorithm,
+                                       collector=MetricsCollector(trace=True))
+            assert _codes_and_probs(plain) == _codes_and_probs(instrumented)
+
+    def test_uninstrumented_outcome_has_no_metrics(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "eager")
+        assert outcome.metrics == {}
+        assert outcome.trace is None
+
+
+class TestInstrumentedStats:
+    def test_eager_reports_per_property_pruning(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 2, "eager")
+        pruning = outcome.stats["pruning"]
+        for key in ("path_bound_properties_1_3",
+                    "node_bound_properties_4_5",
+                    "dead_path_skips", "bound_evaluations"):
+            assert pruning[key] >= 0
+        assert pruning["bound_evaluations"] > 0
+        assert outcome.stats["heap_threshold_final"] >= 0.0
+
+    def test_prstack_reports_frame_and_heap_counts(self, figure1_db):
+        collector = MetricsCollector()
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "prstack",
+                              collector=collector)
+        assert outcome.stats["frames_pushed"] > 0
+        assert outcome.stats["frames_popped"] == \
+            outcome.stats["frames_pushed"]
+        counters = collector.snapshot()["counters"]
+        assert counters["engine.frames_pushed"] == \
+            outcome.stats["frames_pushed"]
+        assert counters["heap.offers"] >= counters["heap.accepted"]
+        assert counters["prstack.entries_scanned"] == \
+            outcome.stats["entries_scanned"]
+
+    def test_algorithms_agree_on_work_accounting(self, figure1_db):
+        """PrStack scans every match entry; EagerTopK consumes at most
+        that many (pruning can only reduce work, never invent it)."""
+        prstack = topk_search(figure1_db, KEYWORDS, 5, "prstack")
+        eager = topk_search(figure1_db, KEYWORDS, 5, "eager")
+        assert eager.stats["entries_consumed"] <= \
+            prstack.stats["entries_scanned"]
+        assert eager.stats["entries_consumed"] + \
+            eager.stats["entries_unconsumed"] == \
+            prstack.stats["entries_scanned"]
+
+    def test_index_metrics_cover_every_term(self, figure1_db):
+        collector = MetricsCollector()
+        topk_search(figure1_db, KEYWORDS, 5, "prstack",
+                    collector=collector)
+        snapshot = collector.snapshot()
+        assert snapshot["counters"]["index.lookups"] == len(KEYWORDS)
+        assert snapshot["histograms"]["index.postings_length"]["count"] \
+            == len(KEYWORDS)
+        assert "search.total" in snapshot["timers"]
+
+    def test_monte_carlo_accepts_collector(self, figure1_db):
+        from repro import monte_carlo_search
+        collector = MetricsCollector()
+        import random
+        outcome = monte_carlo_search(figure1_db.index, KEYWORDS, 3,
+                                     samples=50, rng=random.Random(7),
+                                     collector=collector)
+        assert collector.counter("monte_carlo.worlds_sampled") == 50
+        assert outcome.stats["metrics"]["counters"]
+
+
+class TestTracing:
+    def test_trace_records_query_narrative(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 2, "eager",
+                              trace=True)
+        trace = outcome.trace
+        assert trace is not None and len(trace) > 0
+        names = {event.name for event in trace}
+        assert "eager.process" in names
+
+    def test_profile_lines_render_instrumented_outcome(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "prstack",
+                              trace=True)
+        lines = profile_lines(outcome)
+        text = "\n".join(lines)
+        assert lines[0] == "profile"
+        assert "counters" in text and "timers (ms)" in text
+        assert "engine.frames_pushed" in text
+
+    def test_profile_lines_degrade_without_metrics(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "prstack")
+        assert profile_lines(outcome) == [
+            "profile: no metrics were collected "
+            "(run with a MetricsCollector / --profile)"]
+
+
+class TestAlgorithmCoercion:
+    def test_case_insensitive_names(self, figure1_db):
+        upper = topk_search(figure1_db, KEYWORDS, 5, "PRSTACK")
+        mixed = topk_search(figure1_db, KEYWORDS, 5, "PrStack")
+        assert _codes_and_probs(upper) == _codes_and_probs(mixed)
+
+    def test_unknown_algorithm_names_choices(self, figure1_db):
+        with pytest.raises(QueryError) as excinfo:
+            topk_search(figure1_db, KEYWORDS, 5, "quantum")
+        message = str(excinfo.value)
+        assert "quantum" in message
+        for choice in ("prstack", "eager", "possible_worlds"):
+            assert choice in message
+
+
+class TestMetricsReport:
+    def test_report_roundtrips_through_json(self, figure1_db, tmp_path):
+        collector = MetricsCollector(trace=True)
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "eager",
+                              collector=collector)
+        report = build_report(KEYWORDS, 5, "eager", "slca", outcome,
+                              elapsed_ms=1.25)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(report))
+        parsed = json.loads(path.read_text())
+        validate_report(parsed)
+        assert parsed["schema"] == "repro.metrics/v1"
+        assert parsed["result_count"] == len(outcome)
+        assert parsed["metrics"]["counters"]
+        assert parsed["trace"]
+        # the live recorder / snapshot never leak into the stats copy
+        assert "metrics" not in parsed["stats"]
+        assert "trace" not in parsed["stats"]
+
+    def test_report_valid_without_instrumentation(self, figure1_db):
+        outcome = topk_search(figure1_db, KEYWORDS, 5, "prstack")
+        report = build_report(KEYWORDS, 5, "prstack", "slca", outcome,
+                              elapsed_ms=0.5)
+        validate_report(report)
+        assert report["metrics"] == {}
+        assert "trace" not in report
+
+
+class TestBenchMetrics:
+    def test_run_query_attaches_operation_counts(self, figure1_db):
+        from repro.bench import run_query
+        measurement = run_query(figure1_db, KEYWORDS, 5, "eager",
+                                repeats=1)
+        counters = measurement.metrics["counters"]
+        assert counters["eager.candidates_processed"] > 0
+
+    def test_metrics_collection_can_be_disabled(self, figure1_db):
+        from repro.bench import run_query
+        measurement = run_query(figure1_db, KEYWORDS, 5, "eager",
+                                repeats=1, collect_metrics=False)
+        assert measurement.metrics == {}

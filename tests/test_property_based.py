@@ -81,18 +81,24 @@ def test_algorithms_agree_with_oracle(document, keywords, k):
     oracle = topk_search(database, keywords, k, "possible_worlds")
     stack = topk_search(database, keywords, k, "prstack")
     eager = topk_search(database, keywords, k, "eager")
-    oracle_probs = [round(r.probability, 9) for r in oracle]
-    assert [round(r.probability, 9) for r in stack] == oracle_probs
-    assert [round(r.probability, 9) for r in eager] == oracle_probs
+    oracle_probs = [r.probability for r in oracle]
+    for outcome in (stack, eager):
+        probs = [r.probability for r in outcome]
+        assert len(probs) == len(oracle_probs)
+        assert all(math.isclose(ours, theirs, abs_tol=1e-9)
+                   for ours, theirs in zip(probs, oracle_probs))
     # Codes must agree wherever probabilities are strictly above the
     # boundary (ties at the k-th value may legitimately reorder).
     if oracle_probs:
         boundary = oracle_probs[-1]
+
+        def above(outcome):
+            return {str(r.code) for r in outcome
+                    if r.probability > boundary and not math.isclose(
+                        r.probability, boundary, abs_tol=1e-9)}
+
         for outcome in (stack, eager):
-            assert {str(r.code) for r in outcome
-                    if round(r.probability, 9) > boundary} == \
-                {str(r.code) for r in oracle
-                 if round(r.probability, 9) > boundary}
+            assert above(outcome) == above(oracle)
 
 
 # -- distribution tables ----------------------------------------------------------
