@@ -1,0 +1,43 @@
+"""Static analysis + runtime sanitizer for the probability engines.
+
+Two halves guard the numeric invariants the type system cannot see
+(probabilities in [0, 1], MUX mass at most 1, monotone Dewey scans,
+sound Property 1-5 bounds):
+
+* the **linter** (:mod:`repro.analysis.linter`,
+  :mod:`repro.analysis.rules`) — AST rules R001-R006 with inline
+  ``# repro: ignore[R00x]`` suppression and the machine-readable
+  ``repro.lint/v1`` report (:mod:`repro.analysis.report`), surfaced as
+  the ``repro lint`` CLI command and gated in CI;
+* the **sanitizer** (:mod:`repro.analysis.sanitizer`) — an opt-in
+  runtime mode (``REPRO_SANITIZE=1`` or ``topk_search(...,
+  sanitize=True)``) asserting the same invariants live inside the
+  engines, raising :class:`SanitizerError` with trace context.
+
+:mod:`repro.analysis.numeric` holds the shared float-tolerance helpers
+(``is_one`` / ``is_zero`` / ``is_close`` / ``clamp01``) the R001 rule
+steers probability comparisons through.
+
+Everything is documented in docs/ANALYSIS.md.
+"""
+
+from repro.analysis.linter import (Finding, LintError, LintResult,
+                                   lint_paths, lint_source)
+from repro.analysis.numeric import (PROB_ATOL, clamp01, is_close, is_one,
+                                    is_zero)
+from repro.analysis.report import (LINT_SCHEMA_ID, LintReportError,
+                                   build_lint_report, validate_lint_report)
+from repro.analysis.rules import ALL_RULES, default_rules, select_rules
+from repro.analysis.sanitizer import (NULL_SANITIZER, NullSanitizer,
+                                      Sanitizer, SanitizerError,
+                                      SanitizerLike, sanitize_from_env)
+
+__all__ = [
+    "Finding", "LintError", "LintResult", "lint_paths", "lint_source",
+    "PROB_ATOL", "clamp01", "is_close", "is_one", "is_zero",
+    "LINT_SCHEMA_ID", "LintReportError", "build_lint_report",
+    "validate_lint_report",
+    "ALL_RULES", "default_rules", "select_rules",
+    "NULL_SANITIZER", "NullSanitizer", "Sanitizer", "SanitizerError",
+    "SanitizerLike", "sanitize_from_env",
+]

@@ -1,0 +1,257 @@
+"""AST-based lint framework with repo-specific correctness rules.
+
+The value of this reproduction rests on numeric invariants the type
+system cannot see — probabilities in [0, 1], MUX branch sums at most 1,
+monotone Dewey scans, sound pruning bounds.  The linter encodes the
+*static* half of guarding them: each rule in :mod:`repro.analysis.rules`
+walks a module's AST and emits structured :class:`Finding` objects
+(file, line, rule id, message, fix hint).
+
+Suppression
+-----------
+
+A finding is suppressed by a comment on the same line as the flagged
+node::
+
+    if root.edge_prob != 1.0:  # repro: ignore[R001] exact sentinel
+
+``# repro: ignore[R001,R003]`` suppresses several rules;
+``# repro: ignore`` (no bracket) suppresses every rule on that line.
+Suppressed findings are retained (marked ``suppressed=True``) so
+reports can count them — they just do not fail the build.
+
+Entry points: :func:`lint_source` for in-memory snippets (tests),
+:func:`lint_paths` for files and directory trees (the ``repro lint``
+CLI).  The JSON report shape lives in :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReproError
+
+#: Rule id reserved for files the linter cannot parse at all.
+PARSE_ERROR_RULE = "R000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+class LintError(ReproError):
+    """A lint run could not be performed (bad path, unknown rule id)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+    suppressed: bool = False
+
+    def render(self) -> str:
+        """The conventional one-line ``path:line:col ID message`` form."""
+        text = f"{self.file}:{self.line}:{self.col} {self.rule} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        if self.suppressed:
+            text += " [suppressed]"
+        return text
+
+
+class SourceModule:
+    """One parsed module handed to every rule.
+
+    Attributes:
+        path: the (forward-slash normalised) path findings report.
+        source: raw module text.
+        tree: the parsed :class:`ast.Module`.
+        lines: source split into lines (1-indexed via ``line - 1``).
+        suppressions: ``line -> set of rule ids`` (``{"*"}`` for a
+            blanket ``# repro: ignore``).
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.suppressions = _parse_suppressions(self.lines)
+
+    def finding(self, node: ast.AST, rule: "object", message: str) -> Finding:
+        """Build a :class:`Finding` for ``node``, applying suppression."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        rule_id = rule.rule_id  # type: ignore[attr-defined]
+        hint = rule.hint  # type: ignore[attr-defined]
+        allowed = self.suppressions.get(line, ())
+        suppressed = "*" in allowed or rule_id in allowed
+        return Finding(file=self.path, line=line, col=col, rule=rule_id,
+                       message=message, hint=hint, suppressed=suppressed)
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map line numbers to the rule ids suppressed on them."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            table[number] = {"*"}
+        else:
+            table[number] = {piece.strip().upper()
+                             for piece in rules.split(",") if piece.strip()}
+    return table
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over any number of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether no *active* (unsuppressed) finding remains."""
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        """Active finding counts keyed by rule id."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def render_lines(self) -> List[str]:
+        """Human-readable report lines (findings, then the summary)."""
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, "
+            f"{self.files_scanned} file(s) scanned")
+        return lines
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[object]] = None) -> LintResult:
+    """Lint one in-memory module; the workhorse behind :func:`lint_paths`."""
+    result = LintResult(files_scanned=1)
+    _lint_into(result, path, source, _resolve_rules(rules))
+    return result
+
+
+def lint_paths(paths: Iterable[str],
+               rules: Optional[Sequence[object]] = None) -> LintResult:
+    """Lint every ``.py`` file in ``paths`` (files or directory trees).
+
+    Raises:
+        LintError: when a path does not exist.
+    """
+    chosen = _resolve_rules(rules)
+    result = LintResult()
+    for path in _python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise LintError(f"cannot read {path}: {error}") from error
+        result.files_scanned += 1
+        _lint_into(result, path, source, chosen)
+    result.findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    result.suppressed.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return result
+
+
+def _lint_into(result: LintResult, path: str, source: str,
+               rules: Sequence[object]) -> None:
+    try:
+        module = SourceModule(path, source)
+    except SyntaxError as error:
+        result.findings.append(Finding(
+            file=path.replace(os.sep, "/"),
+            line=error.lineno or 1, col=(error.offset or 0) + 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"file cannot be parsed: {error.msg}",
+            hint="fix the syntax error; R000 cannot be suppressed"))
+        return
+    for rule in rules:
+        for finding in rule.check(module):  # type: ignore[attr-defined]
+            if finding.suppressed:
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+
+
+def _python_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for base, _dirs, names in os.walk(path):
+                files.extend(os.path.join(base, name)
+                             for name in sorted(names)
+                             if name.endswith(".py"))
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def _resolve_rules(rules: Optional[Sequence[object]]) -> Sequence[object]:
+    if rules is not None:
+        return rules
+    from repro.analysis.rules import default_rules
+    return default_rules()
+
+
+# -- shared helpers for the rule implementations ----------------------------
+
+#: Identifier fragments that mark an expression as probability-valued.
+PROBABILITY_TOKENS: Tuple[str, ...] = (
+    "prob", "probabilit", "lost", "residue", "marginal", "mass", "lambda")
+
+_PROB_NAME_RE = re.compile("|".join(PROBABILITY_TOKENS))
+
+
+def expression_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a name-like expression chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return expression_name(node.value)
+    if isinstance(node, ast.Call):
+        return expression_name(node.func)
+    return None
+
+
+def is_probability_named(node: ast.AST) -> bool:
+    """Heuristic: does this expression's name say it holds a probability?"""
+    name = expression_name(node)
+    return name is not None and _PROB_NAME_RE.search(name.lower()) is not None
+
+
+def walk_function_body(function: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function's own statements, not entering nested scopes."""
+    stack = list(getattr(function, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

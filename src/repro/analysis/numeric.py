@@ -1,0 +1,59 @@
+"""Shared numeric tolerance helpers for probability values.
+
+Probabilities in this library are ordinary Python floats, and the
+bottom-up table computation multiplies and convolves thousands of them:
+"exactly one" and "exactly zero" are therefore meaningful only up to
+rounding dust.  Bare ``==``/``!=`` on probabilities is forbidden by the
+R001 lint rule (see :mod:`repro.analysis.linter`); code that needs the
+comparison goes through these helpers instead, so the tolerance is a
+single repo-wide decision rather than a per-call-site accident.
+
+The default tolerance is deliberately tight (``1e-12``): genuine
+sentinels (an omitted ``prob`` attribute parses to exactly 1.0) compare
+exactly, while accumulated arithmetic dust a few ulps away from the
+sentinel still matches.  Call sites that compare *derived* quantities
+(table masses, bound sums) should pass a looser explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance for "is this probability exactly 0/1" tests.
+PROB_ATOL: float = 1e-12
+
+
+def is_close(left: float, right: float, atol: float = PROB_ATOL) -> bool:
+    """Whether two probabilities are equal up to absolute tolerance.
+
+    Probabilities live in [0, 1], so an absolute tolerance is the right
+    comparison (``math.isclose``'s default relative tolerance breaks
+    down near zero, exactly where harvested SLCA masses live).
+    """
+    return math.isclose(left, right, rel_tol=0.0, abs_tol=atol)
+
+
+def is_one(value: float, atol: float = PROB_ATOL) -> bool:
+    """Whether ``value`` is probability 1 up to tolerance."""
+    return math.isclose(value, 1.0, rel_tol=0.0, abs_tol=atol)
+
+
+def is_zero(value: float, atol: float = PROB_ATOL) -> bool:
+    """Whether ``value`` is probability 0 up to tolerance."""
+    return math.isclose(value, 0.0, rel_tol=0.0, abs_tol=atol)
+
+
+def clamp01(value: float) -> float:
+    """Clamp a derived probability into ``[0, 1]``.
+
+    Used on public returns whose mathematics guarantee the unit
+    interval but whose floating-point evaluation may drift an ulp
+    outside it.  This is a pure clamp — genuinely out-of-range values
+    indicate a bug and are the runtime sanitizer's job to catch
+    (:mod:`repro.analysis.sanitizer`), not this helper's.
+    """
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value

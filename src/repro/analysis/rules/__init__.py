@@ -1,0 +1,63 @@
+"""The rule registry of the repo linter.
+
+Every rule is a class exposing ``rule_id`` / ``title`` / ``hint`` class
+attributes and a ``check(module) -> Iterator[Finding]`` method over a
+:class:`repro.analysis.linter.SourceModule`.  Rules are documented for
+humans in docs/ANALYSIS.md; keep the two in sync when adding one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Type
+
+from repro.analysis.linter import LintError
+from repro.analysis.rules.r001_probability_equality import \
+    ProbabilityEqualityRule
+from repro.analysis.rules.r002_raw_timer import RawTimerRule
+from repro.analysis.rules.r003_unguarded_return import \
+    UnguardedProbabilityReturnRule
+from repro.analysis.rules.r004_missing_annotations import \
+    MissingAnnotationsRule
+from repro.analysis.rules.r005_mutable_default import MutableDefaultRule
+from repro.analysis.rules.r006_swallowed_exception import \
+    SwallowedExceptionRule
+
+#: Every registered rule class, in rule-id order.
+ALL_RULES = (
+    ProbabilityEqualityRule,
+    RawTimerRule,
+    UnguardedProbabilityReturnRule,
+    MissingAnnotationsRule,
+    MutableDefaultRule,
+    SwallowedExceptionRule,
+)
+
+RULES_BY_ID: Dict[str, Type] = {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def default_rules() -> List[object]:
+    """Fresh instances of every registered rule."""
+    return [rule() for rule in ALL_RULES]
+
+
+def select_rules(rule_ids: Optional[Iterable[str]]) -> List[object]:
+    """Instances of the named rules (all of them for ``None``).
+
+    Raises:
+        LintError: for an id that names no registered rule.
+    """
+    if rule_ids is None:
+        return default_rules()
+    chosen = []
+    for rule_id in rule_ids:
+        normalised = rule_id.strip().upper()
+        if not normalised:
+            continue
+        if normalised not in RULES_BY_ID:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise LintError(
+                f"unknown rule id {rule_id!r}; registered rules: {known}")
+        chosen.append(RULES_BY_ID[normalised]())
+    if not chosen:
+        raise LintError("no rules selected")
+    return chosen

@@ -1,0 +1,54 @@
+"""R001: bare float ``==`` / ``!=`` on probability-valued expressions.
+
+Probabilities are accumulated through long chains of float multiplies
+and convolutions, so exact equality against another probability or a
+float literal is almost always a latent bug — ``tab[mask] == 1.0`` can
+silently miss by one ulp and flip a fast path or a validation check.
+The repo-wide helpers in :mod:`repro.analysis.numeric` (``is_close``,
+``is_one``, ``is_zero``) make the tolerance a single shared decision.
+
+Deliberate *sentinel* comparisons (e.g. "the ``prob`` attribute was
+omitted, so the parser stored exactly 1.0") stay legal via the standard
+suppression comment, which doubles as in-source documentation::
+
+    if root.edge_prob != 1.0:  # repro: ignore[R001] exact parse sentinel
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, SourceModule, is_probability_named
+
+
+class ProbabilityEqualityRule:
+    """Flag exact float equality between probability-like operands."""
+
+    rule_id = "R001"
+    title = "float equality on probability expression"
+    hint = ("use repro.analysis.numeric.is_close/is_one/is_zero, or "
+            "suppress a deliberate sentinel with '# repro: ignore[R001]' "
+            "and a reason")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            named = [op for op in operands if is_probability_named(op)]
+            if not named:
+                continue
+            floats = [op for op in operands if _is_float_literal(op)]
+            if floats or len(named) >= 2:
+                yield module.finding(
+                    node, self,
+                    "exact float comparison on probability-valued "
+                    f"expression {ast.unparse(node)!r}")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)

@@ -1,0 +1,60 @@
+"""R002: raw wall-clock calls outside :mod:`repro.obs`.
+
+``repro.obs.Stopwatch`` and ``collector.time(...)`` are the library's
+only sanctioned clocks: they keep units consistent (seconds internally,
+milliseconds in reports), stay pollable mid-flight, and feed the
+``repro.metrics/v1`` schema.  Ad-hoc ``time.perf_counter()`` pairs
+scattered through engine code bit-rot into mismatched units and
+unreported timings, so everything outside the ``repro/obs/`` package —
+where the primitives themselves live — must go through them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, SourceModule
+
+#: ``time`` module functions that read a clock for timing purposes.
+CLOCK_FUNCTIONS = frozenset({"perf_counter", "perf_counter_ns",
+                             "monotonic", "monotonic_ns", "time"})
+
+#: Path fragment marking the one package allowed to touch raw clocks.
+EXEMPT_FRAGMENT = "repro/obs/"
+
+
+class RawTimerRule:
+    """Flag raw ``time.perf_counter()``-style calls outside repro.obs."""
+
+    rule_id = "R002"
+    title = "raw clock call outside repro.obs"
+    hint = ("time through repro.obs.Stopwatch or "
+            "collector.time('name') so the duration reaches the "
+            "metrics report")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if EXEMPT_FRAGMENT in module.path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _clock_name(node.func)
+            if name is not None:
+                yield module.finding(
+                    node, self,
+                    f"raw clock call time.{name}() outside repro.obs")
+
+
+def _clock_name(func: ast.AST) -> "str | None":
+    if isinstance(func, ast.Attribute) \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == "time" and func.attr in CLOCK_FUNCTIONS:
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in CLOCK_FUNCTIONS \
+            and func.id != "time":
+        # A bare ``time()`` call is far more often a local helper than
+        # ``from time import time``; only from-imported clock names
+        # that are unambiguous (perf_counter, monotonic) are flagged.
+        return func.id
+    return None

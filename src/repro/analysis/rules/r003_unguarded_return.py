@@ -1,0 +1,71 @@
+"""R003: probability arithmetic returned unguarded from a public API.
+
+A public function that *returns* freshly combined probability mass
+(``return p * q + r``) hands rounding drift straight to callers — and
+downstream comparisons against 0/1 or pruning thresholds then operate
+an ulp outside the unit interval.  Public returns of probability
+arithmetic must pass through a guard (``clamp01`` from
+:mod:`repro.analysis.numeric`, an explicit ``min``/``max``, or a
+validation helper) or carry a suppression explaining why the raw sum is
+the contract (e.g. a diagnostic total that must expose drift rather
+than hide it).
+
+The rule deliberately looks only at the *top level* of the returned
+expression: ``return clamp01(a * b)`` is guarded, ``return a * b`` is
+not.  Private helpers (leading underscore) are exempt — the guard
+belongs at the public boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import (Finding, SourceModule,
+                                   is_probability_named, walk_function_body)
+
+_ARITHMETIC = (ast.Add, ast.Sub, ast.Mult, ast.Div)
+
+
+class UnguardedProbabilityReturnRule:
+    """Flag public returns of raw probability arithmetic."""
+
+    rule_id = "R003"
+    title = "unguarded probability arithmetic on public return"
+    hint = ("wrap the expression in repro.analysis.numeric.clamp01 (or "
+            "min/max/validation), or suppress with a reason when the "
+            "raw value is the contract")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            for statement in walk_function_body(node):
+                if not isinstance(statement, ast.Return) \
+                        or statement.value is None:
+                    continue
+                value = statement.value
+                if isinstance(value, ast.BinOp) \
+                        and isinstance(value.op, _ARITHMETIC) \
+                        and _mentions_probability(value):
+                    yield module.finding(
+                        statement, self,
+                        f"public function {node.name!r} returns raw "
+                        "probability arithmetic "
+                        f"{ast.unparse(value)!r} without a clamp/guard")
+
+
+def _mentions_probability(node: ast.AST) -> bool:
+    """Whether any leaf operand of an arithmetic tree is probability-named."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.BinOp):
+            stack.extend((current.left, current.right))
+        elif isinstance(current, ast.UnaryOp):
+            stack.append(current.operand)
+        elif is_probability_named(current):
+            return True
+    return False

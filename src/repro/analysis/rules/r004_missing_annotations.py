@@ -1,0 +1,64 @@
+"""R004: public probability-engine functions without type annotations.
+
+The ``repro.core`` / ``repro.prxml`` / ``repro.slca`` packages are the
+numeric heart of the reproduction and the target of the mypy strictness
+ratchet (pyproject.toml): every *public* function and method there must
+annotate all of its parameters and its return type, so the checker can
+actually see the float/DistTable plumbing it is asked to verify.
+
+Scope is deliberately limited to those packages — datagen, bench and
+CLI glue gain little from forced annotations — and to public names
+(no leading underscore; dunders included in the underscore exemption).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.analysis.linter import Finding, SourceModule
+
+#: Modules the rule applies to, by path fragment.
+SCOPE_RE = re.compile(r"repro/(core|prxml|slca)/")
+
+
+class MissingAnnotationsRule:
+    """Flag un(der)-annotated public functions in core/prxml/slca."""
+
+    rule_id = "R004"
+    title = "public function missing type annotations"
+    hint = ("annotate every parameter and the return type; these "
+            "modules feed the mypy strictness ratchet")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if SCOPE_RE.search(module.path) is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            missing = _missing_annotations(node)
+            if missing:
+                yield module.finding(
+                    node, self,
+                    f"public function {node.name!r} is missing "
+                    f"annotations: {', '.join(missing)}")
+
+
+def _missing_annotations(node: "ast.FunctionDef | ast.AsyncFunctionDef"
+                         ) -> List[str]:
+    missing: List[str] = []
+    positional = [*node.args.posonlyargs, *node.args.args]
+    for index, arg in enumerate(positional):
+        if index == 0 and arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(f"parameter {arg.arg!r}")
+    missing.extend(f"parameter {arg.arg!r}"
+                   for arg in node.args.kwonlyargs
+                   if arg.annotation is None)
+    if node.returns is None:
+        missing.append("return type")
+    return missing

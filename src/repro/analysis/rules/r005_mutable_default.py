@@ -1,0 +1,49 @@
+"""R005: mutable default argument values.
+
+A ``def merge(into={})`` default is evaluated once at function
+definition time and then shared by every call — mutating it leaks state
+across calls, which in this library would mean keyword tables or match
+lists silently bleeding between queries.  Use ``None`` plus an
+in-function default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, SourceModule
+
+_FACTORY_NAMES = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class MutableDefaultRule:
+    """Flag list/dict/set literals (or constructors) as defaults."""
+
+    rule_id = "R005"
+    title = "mutable default argument"
+    hint = "default to None and create the container inside the function"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = [*node.args.defaults,
+                        *(d for d in node.args.kw_defaults if d is not None)]
+            for default in defaults:
+                if _is_mutable(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield module.finding(
+                        default, self,
+                        f"function {name!r} uses mutable default "
+                        f"{ast.unparse(default)!r}")
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _FACTORY_NAMES)

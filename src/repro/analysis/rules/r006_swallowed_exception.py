@@ -1,0 +1,45 @@
+"""R006: exception handlers that silently swallow (``except: pass``).
+
+An empty handler turns a wrong answer into a quiet one — the exact
+failure mode this repo's whole analysis layer exists to prevent: a
+``ModelError`` raised by a MUX mass check means a corrupted
+distribution, and discarding it yields a plausible-looking but wrong
+top-k.  Handle the exception, log it, re-raise something better, or
+suppress the finding with a comment explaining why dropping it is
+correct at that site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, SourceModule
+
+
+class SwallowedExceptionRule:
+    """Flag except handlers whose whole body is ``pass`` / ``...``."""
+
+    rule_id = "R006"
+    title = "swallowed exception"
+    hint = ("handle or log the exception; if dropping it is genuinely "
+            "correct, suppress with '# repro: ignore[R006]' and say why")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(_is_noop(statement) for statement in node.body):
+                caught = ("bare except" if node.type is None
+                          else f"except {ast.unparse(node.type)}")
+                yield module.finding(
+                    node, self,
+                    f"{caught} swallows the exception with an empty body")
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    if isinstance(statement, ast.Pass):
+        return True
+    return (isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis)

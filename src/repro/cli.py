@@ -10,6 +10,8 @@ Subcommands::
     repro explain site.db --code 1.2.3 united states graduate
     repro twig site.db 'person[profile/education ~ "graduate"]'
     repro worlds small.pxml
+    repro lint src/repro --format json -o lint.json
+    repro check site.db united states --sanitize
 
 ``python -m repro ...`` works identically.  The global ``-v/--verbose``
 flag (before the subcommand) enables DEBUG logging for the whole
@@ -92,6 +94,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--metrics-json", metavar="PATH",
                         help="write the query's repro.metrics/v1 JSON "
                              "report to PATH (docs/OBSERVABILITY.md)")
+    search.add_argument("--sanitize", action="store_true",
+                        help="run under the runtime invariant sanitizer "
+                             "(docs/ANALYSIS.md); also enabled by "
+                             "REPRO_SANITIZE=1")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -112,6 +118,31 @@ def build_parser() -> argparse.ArgumentParser:
     worlds.add_argument("document", help="input .pxml file")
     worlds.add_argument("--limit", type=int, default=20,
                         help="print at most this many worlds")
+
+    lint = commands.add_parser(
+        "lint", help="run the probability-aware static analysis "
+                     "(rules R001-R006, docs/ANALYSIS.md)")
+    lint.add_argument("paths", nargs="+",
+                      help="python files or directories to lint")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="output format")
+    lint.add_argument("-o", "--output", metavar="PATH",
+                      help="write the report there instead of stdout")
+    lint.add_argument("--rules", metavar="IDS",
+                      help="comma-separated rule ids to run "
+                           "(default: all)")
+
+    check = commands.add_parser(
+        "check", help="validate a p-document / database; with keywords, "
+                      "cross-check the algorithms on a query")
+    check.add_argument("source", help="database directory or .pxml file")
+    check.add_argument("keywords", nargs="*",
+                       help="optional query: run PrStack and EagerTopK "
+                            "and require identical answers")
+    check.add_argument("-k", type=int, default=10)
+    check.add_argument("--sanitize", action="store_true",
+                       help="run the query under the runtime invariant "
+                            "sanitizer (docs/ANALYSIS.md)")
     return parser
 
 
@@ -169,9 +200,14 @@ def _cmd_search(options) -> int:
         outcome = topk_search(database, options.keywords, options.k,
                               options.algorithm,
                               semantics=options.semantics,
-                              collector=collector)
+                              collector=collector,
+                              sanitize=True if options.sanitize else None)
     print(f"{len(outcome)} answer(s) in {watch.elapsed_ms:.1f} ms "
           f"({options.algorithm}, {options.semantics})")
+    sanitizer_summary = outcome.stats.get("sanitizer")
+    if sanitizer_summary:
+        print(f"sanitizer: {sanitizer_summary['checks']} checks, "
+              f"{sanitizer_summary['violations']} violations")
     for rank, result in enumerate(outcome, start=1):
         print(f"{rank:3d}. Pr={result.probability:.6f}  "
               f"<{result.label}> {result.code}")
@@ -231,6 +267,64 @@ def _cmd_worlds(options) -> int:
     return 0
 
 
+def _cmd_lint(options) -> int:
+    from repro.analysis import (build_lint_report, default_rules,
+                                lint_paths, select_rules)
+    rules = (select_rules(options.rules.split(","))
+             if options.rules else default_rules())
+    result = lint_paths(options.paths, rules=rules)
+    if options.format == "json":
+        report = build_lint_report(result, options.paths, rules)
+        rendered = json.dumps(report, indent=2) + "\n"
+    else:
+        rendered = "\n".join(result.render_lines()) + "\n"
+    if options.output:
+        try:
+            with open(options.output, "w", encoding="utf-8") as sink:
+                sink.write(rendered)
+        except OSError as error:
+            print(f"error: cannot write lint report: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"lint report written to {options.output}")
+    else:
+        sys.stdout.write(rendered)
+    return 0 if result.clean else 1
+
+
+def _cmd_check(options) -> int:
+    database = _open_database(options.source)
+    validate_document(database.document)
+    print(f"document ok: {len(database.document)} nodes validate")
+    if not options.keywords:
+        return 0
+    sanitize = True if options.sanitize else None
+    outcomes = {}
+    for algorithm in ("prstack", "eager"):
+        with Stopwatch() as watch:
+            outcomes[algorithm] = topk_search(
+                database, options.keywords, options.k, algorithm,
+                sanitize=sanitize)
+        outcome = outcomes[algorithm]
+        line = (f"{algorithm}: {len(outcome)} answer(s) "
+                f"in {watch.elapsed_ms:.1f} ms")
+        summary = outcome.stats.get("sanitizer")
+        if summary:
+            line += (f", sanitizer ran {summary['checks']} checks "
+                     f"({summary['bounds_recorded']} bounds recorded)")
+        print(line)
+    left = [(r.code, round(r.probability, 9))
+            for r in outcomes["prstack"].results]
+    right = [(r.code, round(r.probability, 9))
+             for r in outcomes["eager"].results]
+    if left != right:
+        print("error: PrStack and EagerTopK disagree on the answers",
+              file=sys.stderr)
+        return 1
+    print("check ok: PrStack and EagerTopK agree")
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -239,6 +333,8 @@ _HANDLERS = {
     "explain": _cmd_explain,
     "twig": _cmd_twig,
     "worlds": _cmd_worlds,
+    "lint": _cmd_lint,
+    "check": _cmd_check,
 }
 
 

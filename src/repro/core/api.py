@@ -13,6 +13,9 @@ from dataclasses import replace
 from enum import Enum
 from typing import Iterable, Optional, Union
 
+from repro.analysis.sanitizer import (EXACT_CHECK_MAX_ENTRIES,
+                                      NULL_SANITIZER, Sanitizer,
+                                      sanitize_from_env)
 from repro.core.eager import eager_topk_search
 from repro.core.possible_worlds_search import possible_worlds_search
 from repro.core.prstack import prstack_search
@@ -42,7 +45,8 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
                 algorithm: Union[Algorithm, str] = Algorithm.EAGER,
                 semantics: str = "slca",
                 collector: Optional[MetricsCollector] = None,
-                trace: bool = False) -> SearchOutcome:
+                trace: bool = False,
+                sanitize: Optional[bool] = None) -> SearchOutcome:
     """Find the ``k`` ordinary nodes most likely to be SLCAs.
 
     Args:
@@ -71,6 +75,18 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             is created when ``collector`` is None) and attaches the
             :class:`repro.obs.TraceRecorder` to
             ``outcome.stats["trace"]``.
+        sanitize: run the query under the runtime invariant sanitizer
+            (docs/ANALYSIS.md): every probability, distribution table,
+            MUX mass, scan order, heap state and EagerTopK bound is
+            checked live, and a violated paper invariant raises
+            :class:`repro.analysis.SanitizerError`.  On small inputs
+            (at most ``EXACT_CHECK_MAX_ENTRIES`` match entries) an
+            EagerTopK run is additionally cross-checked against an
+            exhaustive PrStack pass to prove every Property 1-5 bound
+            dominates the exact probability.  The default ``None``
+            defers to the ``REPRO_SANITIZE`` environment variable;
+            the sanitize summary lands in
+            ``outcome.stats["sanitizer"]``.
 
     Returns:
         A :class:`SearchOutcome`; ``outcome.results`` are sorted by
@@ -84,6 +100,11 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
     elif trace and collector.enabled and collector.trace is None:
         from repro.obs.trace import TraceRecorder
         collector.trace = TraceRecorder()
+    if sanitize is None:
+        sanitize = sanitize_from_env()
+    sanitizer = Sanitizer(collector=collector) if sanitize \
+        else NULL_SANITIZER
+    keywords = list(keywords)
     index = _as_index(source)
     algorithm = _coerce_algorithm(algorithm)
     if semantics not in ("slca", "elca"):
@@ -100,19 +121,52 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
     with collector.time("search.total"):
         if algorithm is Algorithm.PRSTACK:
             outcome = prstack_search(index, keywords, k, elca=elca,
-                                     collector=collector)
+                                     collector=collector,
+                                     sanitizer=sanitizer)
         elif algorithm is Algorithm.EAGER:
             outcome = eager_topk_search(index, keywords, k,
-                                        collector=collector)
+                                        collector=collector,
+                                        sanitizer=sanitizer)
         else:
             outcome = possible_worlds_search(index, keywords, k,
                                              elca=elca,
                                              collector=collector)
+    if sanitizer.enabled:
+        _crosscheck_bounds(sanitizer, index, keywords, outcome)
+        outcome.stats["sanitizer"] = sanitizer.summary()
     if collector.enabled:
         outcome.stats["metrics"] = collector.snapshot()
         if collector.trace is not None:
             outcome.stats["trace"] = collector.trace
     return _hydrate(outcome, index)
+
+
+def _crosscheck_bounds(sanitizer: Sanitizer, index: InvertedIndex,
+                       keywords: Iterable[str],
+                       outcome: SearchOutcome) -> None:
+    """Post-run soundness proof for EagerTopK's pruning (sanitize mode).
+
+    Whenever the sanitized query recorded Property 1-5 bound
+    evaluations and the input is small enough, re-run the query through
+    PrStack with an unbounded k and assert every recorded bound
+    dominates the corresponding exact SLCA probability
+    (:meth:`repro.analysis.Sanitizer.verify_bounds`).  Skipped — with a
+    stats note — on large inputs, where the exhaustive pass would
+    dwarf the search itself.
+    """
+    if not sanitizer.bounds_recorded:
+        return
+    entries = outcome.stats.get("match_entries", 0)
+    if entries > EXACT_CHECK_MAX_ENTRIES:
+        outcome.stats["sanitizer_bound_check"] = "skipped_large_input"
+        _log.debug("sanitize: bound cross-check skipped (%d match "
+                   "entries > %d)", entries, EXACT_CHECK_MAX_ENTRIES)
+        return
+    exhaustive = prstack_search(index, keywords, k=1 << 30)
+    exact = {result.code: result.probability
+             for result in exhaustive.results}
+    sanitizer.verify_bounds(exact)
+    outcome.stats["sanitizer_bound_check"] = "verified"
 
 
 def _coerce_algorithm(algorithm: Union[Algorithm, str]) -> Algorithm:
@@ -125,7 +179,9 @@ def _coerce_algorithm(algorithm: Union[Algorithm, str]) -> Algorithm:
         if isinstance(algorithm, str):
             try:
                 return Algorithm(algorithm.lower())
-            except ValueError:
+            # Deliberately swallowed: the shared QueryError below names
+            # every valid choice for both failure paths.
+            except ValueError:  # repro: ignore[R006] handled below
                 pass
         names = ", ".join(choice.value for choice in Algorithm)
         raise QueryError(

@@ -29,8 +29,9 @@ Eq 8      MUX residue: no-child-chosen probability joins mask 0
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
+from repro.analysis.numeric import clamp01, is_one, is_zero
 from repro.exceptions import ModelError
 
 
@@ -39,9 +40,10 @@ class DistTable:
 
     __slots__ = ("masks", "lost")
 
-    def __init__(self, masks: Dict[int, float] = None, lost: float = 0.0):
+    def __init__(self, masks: Optional[Dict[int, float]] = None,
+                 lost: float = 0.0) -> None:
         self.masks: Dict[int, float] = masks if masks is not None else {}
-        self.lost = lost
+        self.lost: float = lost
 
     # -- constructors ---------------------------------------------------------
 
@@ -62,13 +64,18 @@ class DistTable:
         return self.masks.get(mask, 0.0)
 
     def total(self) -> float:
-        """Retained + lost mass; 1.0 for any correctly maintained table."""
-        return sum(self.masks.values()) + self.lost
+        """Retained + lost mass; 1.0 for any correctly maintained table.
+
+        Deliberately *not* clamped: this is the diagnostic the tests and
+        the runtime sanitizer use to detect mass drift, so hiding the
+        drift here would defeat its purpose.
+        """
+        return sum(self.masks.values()) + self.lost  # repro: ignore[R003]
 
     def all_probability(self, full_mask: int) -> float:
         """Local probability that the subtree contains every keyword
         (including worlds already harvested below): feeds Pr_all."""
-        return self.masks.get(full_mask, 0.0) + self.lost
+        return clamp01(self.masks.get(full_mask, 0.0) + self.lost)
 
     def items(self) -> Iterable[Tuple[int, float]]:
         """(mask, probability) pairs of the retained distribution."""
@@ -79,8 +86,11 @@ class DistTable:
         return DistTable(dict(self.masks), self.lost)
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, DistTable)
-                and self.masks == other.masks and self.lost == other.lost)
+        # Structural identity for tests and caching — bitwise equality
+        # of the stored floats is the contract here, not numeric
+        # closeness (use total()/sanitizer checks for that).
+        return (isinstance(other, DistTable) and self.masks == other.masks
+                and self.lost == other.lost)  # repro: ignore[R001]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"{mask:b}->{prob:.4g}"
@@ -97,7 +107,7 @@ class DistTable:
         A certain edge is the identity, so the table is returned as-is
         (callers never mutate promoted tables).
         """
-        if edge_prob == 1.0:
+        if is_one(edge_prob):
             return self
         _check_probability(edge_prob)
         masks = {mask: prob * edge_prob for mask, prob in self.masks.items()}
@@ -110,7 +120,7 @@ class DistTable:
         Absence mass is *not* added per child; the parent folds the
         whole no-child-chosen residue into mask 0 once (Equation 8).
         """
-        if edge_prob == 1.0:
+        if is_one(edge_prob):
             return self
         _check_probability(edge_prob)
         masks = {mask: prob * edge_prob for mask, prob in self.masks.items()}
@@ -122,8 +132,8 @@ class DistTable:
         """Equation 5 in place: independent children combine by bitwise-OR
         convolution; excluded mass excludes the world regardless of the
         sibling, so retained fractions multiply."""
-        if self.lost == 0.0 and (not self.masks
-                                 or self.masks == {0: 1.0}):
+        if is_zero(self.lost) and (not self.masks
+                                   or self.masks == {0: 1.0}):
             # Fresh or unit table: direct assignment, as the paper notes
             # (convolving with "contains nothing, surely" is identity).
             self.masks = dict(other.masks)
@@ -172,7 +182,7 @@ class DistTable:
             updated[key] = updated.get(key, 0.0) + prob
         self.masks = updated
 
-    def transform(self, function) -> None:
+    def transform(self, function: Callable[[int], int]) -> None:
         """Remap every mask through ``function`` in place, merging
         collisions (used by the twig engine, whose per-node state is a
         deterministic function of the children's aggregated state —

@@ -41,6 +41,7 @@ import math
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
 from repro.core.bounds import RegionBound, candidate_bounds
 from repro.core.distribution import DistTable
 from repro.core.engine import StackEngine, StackItem
@@ -53,7 +54,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import (MatchList, build_match_entries,
                                    keyword_code_lists)
 from repro.obs.logging import get_logger
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.model import NodeType
 from repro.slca.indexed_lookup import indexed_lookup_eager
 
@@ -143,7 +144,9 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
                       k: int = 10, use_path_bounds: bool = True,
                       use_node_bounds: bool = True,
                       exact_ties: bool = True,
-                      collector=NULL_COLLECTOR) -> SearchOutcome:
+                      collector: Collector = NULL_COLLECTOR,
+                      sanitizer: SanitizerLike = NULL_SANITIZER
+                      ) -> SearchOutcome:
     """Top-k SLCA answers by probability, with eager bound pruning.
 
     Same contract and identical answers as
@@ -168,9 +171,15 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
             histograms and (when tracing) the candidate-by-candidate
             trace (docs/OBSERVABILITY.md); the default no-op records
             nothing.
+        sanitizer: runtime invariant checker (sanitize mode,
+            docs/ANALYSIS.md); additionally records every Property 1-5
+            bound evaluation so :func:`repro.core.api.topk_search` can
+            cross-check them against exact probabilities afterwards.
+            The default no-op checks nothing.
     """
     search = _EagerSearch(index, keywords, k, use_path_bounds,
-                          use_node_bounds, exact_ties, collector)
+                          use_node_bounds, exact_ties, collector,
+                          sanitizer)
     return search.run()
 
 
@@ -179,11 +188,14 @@ class _EagerSearch:
 
     def __init__(self, index: InvertedIndex, keywords: Iterable[str],
                  k: int, use_path_bounds: bool, use_node_bounds: bool,
-                 exact_ties: bool = True, collector=NULL_COLLECTOR):
+                 exact_ties: bool = True,
+                 collector: Collector = NULL_COLLECTOR,
+                 sanitizer: SanitizerLike = NULL_SANITIZER):
         self.index = index
         self.keywords = list(keywords)
         self.collector = collector
-        self.heap = TopKHeap(k, collector=collector)
+        self.sanitizer = sanitizer
+        self.heap = TopKHeap(k, collector=collector, sanitizer=sanitizer)
         self.use_path_bounds = use_path_bounds
         self.use_node_bounds = use_node_bounds
         self.exact_ties = exact_ties
@@ -343,6 +355,8 @@ class _EagerSearch:
         if collector.enabled:
             collector.count("eager.bound_evaluations")
             collector.observe("eager.node_bound", bounds[1])
+        if self.sanitizer.enabled:
+            self.sanitizer.record_bound(code, bounds[0], bounds[1])
         return bounds
 
     def _worth_scoring(self, code: DeweyCode, bound: float) -> bool:
@@ -407,8 +421,13 @@ class _EagerSearch:
         engine = StackEngine(
             self.full_mask, self._sink, context_length=len(code) - 1,
             exp_resolver=self.index.encoded.exp_subsets_at,
-            collector=collector)
+            collector=collector, sanitizer=self.sanitizer)
+        sanitized = self.sanitizer.enabled
+        previous = None
         for item in items:
+            if sanitized:
+                self.sanitizer.check_order(previous, item.code)
+                previous = item.code
             engine.feed(item)
         table = engine.finish_candidate()
         self.stats["candidates_processed"] += 1

@@ -20,11 +20,12 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional
 
+from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
 from repro.core.distribution import DistTable
 from repro.encoding.dewey import DeweyCode, common_prefix_length
 from repro.encoding.prlink import PrLink
 from repro.exceptions import ReproError
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.model import NodeType
 
 #: Callback invoked for every harvested SLCA result:
@@ -82,7 +83,8 @@ class StackEngine:
     def __init__(self, full_mask: int, sink: ResultSink,
                  context_length: int = 0, elca: bool = False,
                  exp_resolver: Optional[Callable] = None,
-                 collector=NULL_COLLECTOR):
+                 collector: Collector = NULL_COLLECTOR,
+                 sanitizer: SanitizerLike = NULL_SANITIZER):
         """
         Args:
             full_mask: ``2**n - 1`` for an ``n``-keyword query.
@@ -102,6 +104,10 @@ class StackEngine:
             collector: metrics collector receiving the ``engine.*``
                 counters and histograms (docs/OBSERVABILITY.md); the
                 default no-op collector records nothing.
+            sanitizer: runtime invariant checker (sanitize mode);
+                asserts edge probabilities, finalised tables, MUX mass
+                and emitted results live (docs/ANALYSIS.md).  The
+                default no-op checks nothing.
         """
         if full_mask <= 0:
             raise ReproError("full_mask must cover at least one keyword")
@@ -111,6 +117,7 @@ class StackEngine:
         self.elca = elca
         self.exp_resolver = exp_resolver
         self.collector = collector
+        self.sanitizer = sanitizer
         self._observed = collector.enabled
         self._frames: List[_Frame] = []
         self._current: Optional[DeweyCode] = None
@@ -155,10 +162,18 @@ class StackEngine:
 
     def _push_components(self, item: StackItem, from_length: int) -> None:
         code, link = item.code, item.link
+        sanitized = self.sanitizer.enabled
         path_prob = math.prod(link[:from_length])
         for depth in range(from_length, len(code)):
             edge_prob = link[depth]
             path_prob *= edge_prob
+            if sanitized:
+                self.sanitizer.check_probability(
+                    edge_prob, f"edge probability at depth {depth} of "
+                    f"{code}")
+                self.sanitizer.check_probability(
+                    path_prob, f"path probability at depth {depth} of "
+                    f"{code}")
             self._frames.append(
                 _Frame(code.kinds[depth], edge_prob, path_prob))
             self.frames_pushed += 1
@@ -197,6 +212,9 @@ class StackEngine:
             return frame.table
         table = frame.table
         if frame.kind is NodeType.MUX:
+            if self.sanitizer.enabled:
+                self.sanitizer.check_mux_mass(
+                    frame.lambda_merged, f"MUX node at depth {depth}")
             table.add_mux_residue(frame.lambda_merged)
             if self._observed:
                 self.collector.count("engine.mux_residues")
@@ -206,6 +224,10 @@ class StackEngine:
                 self.collector.count("engine.exp_combinations")
         if frame.kind is NodeType.ORDINARY:
             table = self._finalize_ordinary(frame, table, depth)
+        if self.sanitizer.enabled:
+            self.sanitizer.check_table(
+                table, f"finalised table at depth {depth} "
+                f"({frame.kind.name} frame)")
         if self._observed:
             self.collector.observe("engine.dist_table_size",
                                    len(table.masks))
@@ -224,7 +246,11 @@ class StackEngine:
             local = table.harvest(self.full_mask)
         if local > 0.0:
             code = self._current.prefix(depth)
-            self.sink(code, frame.path_prob * local)
+            probability = frame.path_prob * local
+            if self.sanitizer.enabled:
+                self.sanitizer.check_emission(code, probability,
+                                              frame.path_prob)
+            self.sink(code, probability)
             self.results_emitted += 1
         return table
 

@@ -18,10 +18,11 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List
 
+from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
 from repro.core.result import SLCAResult
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 
 
 class _Entry:
@@ -35,7 +36,12 @@ class _Entry:
         self.code = code
 
     def __lt__(self, other: "_Entry") -> bool:
-        if self.probability != other.probability:
+        # Bitwise comparison is required here: a total order over heap
+        # entries must treat any two distinct floats as distinct, or
+        # the document-order tiebreak would kick in for nearly-equal
+        # probabilities and break the PrStack/EagerTopK answer-set
+        # identity that the tests pin down.
+        if self.probability != other.probability:  # repro: ignore[R001] exact comparator
             return self.probability < other.probability
         return self.code.positions > other.code.positions
 
@@ -43,14 +49,18 @@ class _Entry:
 class TopKHeap:
     """Min-heap of the k highest-probability (code, probability) pairs."""
 
-    def __init__(self, k: int, collector=NULL_COLLECTOR):
+    def __init__(self, k: int, collector: Collector = NULL_COLLECTOR,
+                 sanitizer: SanitizerLike = NULL_SANITIZER):
         """``collector`` receives the ``heap.*`` counters and, when
         tracing, one ``heap.threshold`` event per threshold raise — the
-        k-th probability's evolution over the scan."""
+        k-th probability's evolution over the scan.  ``sanitizer``
+        (sanitize mode only) asserts offered probabilities are in
+        range and the heap invariant holds after every acceptance."""
         if k <= 0:
             raise QueryError(f"k must be positive, got {k}")
         self.k = k
         self.collector = collector
+        self.sanitizer = sanitizer
         self._heap: List[_Entry] = []
         self._best: Dict[DeweyCode, float] = {}
 
@@ -103,6 +113,9 @@ class TopKHeap:
         observed = collector.enabled
         if observed:
             collector.count("heap.offers")
+        if self.sanitizer.enabled:
+            self.sanitizer.check_probability(
+                probability, f"heap offer for {code}")
         if probability <= 0.0:
             return False
         known = self._best.get(code)
@@ -117,6 +130,8 @@ class TopKHeap:
         self._best[code] = probability
         heapq.heappush(self._heap, _Entry(probability, code))
         self._shrink()
+        if self.sanitizer.enabled:
+            self.sanitizer.check_heap(self._heap, self._best, self.k)
         if observed:
             collector.count("heap.accepted")
             threshold = self.threshold

@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.possible_worlds import sample_possible_world
 from repro.slca.deterministic import slca_of_world
 
@@ -40,7 +40,8 @@ class EstimatedResult:
 def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
                        k: int = 10, samples: int = 1000,
                        rng: Optional[random.Random] = None,
-                       collector=NULL_COLLECTOR) -> SearchOutcome:
+                       collector: Collector = NULL_COLLECTOR
+                       ) -> SearchOutcome:
     """Approximate top-k SLCA answers from sampled possible worlds.
 
     Same contract as the exact algorithms; ``outcome.stats`` carries

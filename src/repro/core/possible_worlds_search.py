@@ -14,7 +14,7 @@ from typing import Dict, Iterable
 
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.index.inverted import InvertedIndex
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.possible_worlds import (DEFAULT_MAX_WORLDS,
                                          enumerate_possible_worlds)
 from repro.slca.deterministic import elca_of_world, slca_of_world
@@ -24,7 +24,8 @@ def possible_worlds_search(index: InvertedIndex, keywords: Iterable[str],
                            k: int = 10,
                            max_worlds: int = DEFAULT_MAX_WORLDS,
                            elca: bool = False,
-                           collector=NULL_COLLECTOR) -> SearchOutcome:
+                           collector: Collector = NULL_COLLECTOR
+                           ) -> SearchOutcome:
     """Exact top-k SLCA answers by explicit possible-world enumeration.
 
     Same contract as :func:`repro.core.prstack.prstack_search`

@@ -12,20 +12,23 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
 from repro.core.engine import StackEngine, StackItem
 from repro.core.heap import TopKHeap
 from repro.core.result import SearchOutcome
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import build_match_entries
 from repro.obs.logging import get_logger
-from repro.obs.metrics import NULL_COLLECTOR
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 
 _log = get_logger("core.prstack")
 
 
 def prstack_search(index: InvertedIndex, keywords: Iterable[str],
                    k: int = 10, elca: bool = False,
-                   collector=NULL_COLLECTOR) -> SearchOutcome:
+                   collector: Collector = NULL_COLLECTOR,
+                   sanitizer: SanitizerLike = NULL_SANITIZER
+                   ) -> SearchOutcome:
     """Top-k SLCA answers by probability, via one document-order scan.
 
     Args:
@@ -40,13 +43,16 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
         collector: metrics collector receiving the ``engine.*`` /
             ``heap.*`` operation counts and scan timings
             (docs/OBSERVABILITY.md); the default no-op records nothing.
+        sanitizer: runtime invariant checker (sanitize mode,
+            docs/ANALYSIS.md); asserts the scan order, every table and
+            every emitted probability live.  The default checks nothing.
 
     Returns:
         A :class:`SearchOutcome` with ranked results and scan counters.
     """
     terms, entries = build_match_entries(index, keywords,
                                          collector=collector)
-    heap = TopKHeap(k, collector=collector)
+    heap = TopKHeap(k, collector=collector, sanitizer=sanitizer)
     outcome = SearchOutcome(stats={
         "algorithm": "prstack",
         "semantics": "elca" if elca else "slca",
@@ -66,9 +72,14 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
     full_mask = (1 << len(terms)) - 1
     engine = StackEngine(full_mask, heap.offer, elca=elca,
                          exp_resolver=index.encoded.exp_subsets_at,
-                         collector=collector)
+                         collector=collector, sanitizer=sanitizer)
+    sanitized = sanitizer.enabled
+    previous = None
     with collector.time("prstack.scan"):
         for entry in entries:
+            if sanitized:
+                sanitizer.check_order(previous, entry.code)
+                previous = entry.code
             engine.feed(StackItem(entry.code, entry.link, entry.mask))
             outcome.stats["entries_scanned"] += 1
         engine.finish()

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.encoding.dewey import DeweyCode
 from repro.prxml.model import PNode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import TraceRecorder
 
 
 @dataclass(frozen=True)
@@ -63,7 +66,7 @@ class SearchOutcome:
         return self.stats.get("metrics", {})
 
     @property
-    def trace(self):
+    def trace(self) -> "Optional[TraceRecorder]":
         """The recorded trace (None unless run with ``trace=True``)."""
         return self.stats.get("trace")
 

@@ -15,6 +15,7 @@ from typing import Iterable, List
 
 from repro.core.engine import StackEngine, StackItem
 from repro.core.result import SearchOutcome, SLCAResult
+from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import build_match_entries
@@ -45,7 +46,7 @@ def threshold_search(index: InvertedIndex, keywords: Iterable[str],
 
     collected: List[SLCAResult] = []
 
-    def sink(code, probability):
+    def sink(code: DeweyCode, probability: float) -> None:
         outcome.stats["results_emitted"] += 1
         if probability >= threshold:
             collected.append(SLCAResult(code=code,

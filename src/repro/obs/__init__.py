@@ -18,14 +18,14 @@ docs/OBSERVABILITY.md.
 """
 
 from repro.obs.logging import configure_logging, get_logger
-from repro.obs.metrics import (Histogram, MetricsCollector, NullCollector,
-                               NULL_COLLECTOR, Stopwatch)
+from repro.obs.metrics import (Collector, Histogram, MetricsCollector,
+                               NullCollector, NULL_COLLECTOR, Stopwatch)
 from repro.obs.report import (ReportError, SCHEMA_ID, build_report,
                               validate_report)
 from repro.obs.trace import TraceEvent, TraceRecorder, render_trace
 
 __all__ = [
-    "MetricsCollector", "NullCollector", "NULL_COLLECTOR",
+    "Collector", "MetricsCollector", "NullCollector", "NULL_COLLECTOR",
     "Histogram", "Stopwatch",
     "TraceRecorder", "TraceEvent", "render_trace",
     "get_logger", "configure_logging",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder
 
@@ -184,6 +184,11 @@ class NullCollector:
 
 #: Shared no-op instance; engines default their ``collector`` to this.
 NULL_COLLECTOR = NullCollector()
+
+#: What engine signatures accept: a recording collector or the no-op.
+#: (A structural Protocol would be overkill — these two classes *are*
+#: the interface, and the union keeps isinstance-free duck dispatch.)
+Collector = Union["MetricsCollector", NullCollector]
 
 
 class MetricsCollector:

@@ -18,7 +18,7 @@ Distributional nodes are opened with :meth:`ind` / :meth:`mux`; all
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+from typing import ContextManager, Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.exceptions import ModelError
 from repro.prxml.model import NodeType, PDocument, PNode
@@ -53,19 +53,20 @@ class DocumentBuilder:
     # -- public construction methods ------------------------------------------
 
     def element(self, label: str, text: Optional[str] = None,
-                prob: float = 1.0):
+                prob: float = 1.0) -> ContextManager[PNode]:
         """Open an ordinary element as a context manager."""
         return self._opened(PNode(label, NodeType.ORDINARY, text, prob))
 
-    def ind(self, prob: float = 1.0):
+    def ind(self, prob: float = 1.0) -> ContextManager[PNode]:
         """Open an IND distributional node as a context manager."""
         return self._opened(PNode("IND", NodeType.IND, None, prob))
 
-    def mux(self, prob: float = 1.0):
+    def mux(self, prob: float = 1.0) -> ContextManager[PNode]:
         """Open a MUX distributional node as a context manager."""
         return self._opened(PNode("MUX", NodeType.MUX, None, prob))
 
-    def exp(self, subsets, prob: float = 1.0):
+    def exp(self, subsets: Iterable[Tuple[Sequence[int], float]],
+            prob: float = 1.0) -> ContextManager[PNode]:
         """Open an EXP distributional node as a context manager.
 
         ``subsets`` is the explicit subset distribution over the

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import itertools
 from enum import Enum
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.numeric import is_one, is_zero
 from repro.exceptions import ModelError
 
 
@@ -102,7 +103,9 @@ class PNode:
         self.children.append(child)
         return child
 
-    def set_exp_subsets(self, subsets) -> None:
+    def set_exp_subsets(
+            self,
+            subsets: Iterable[Tuple[Sequence[int], float]]) -> None:
         """Install an EXP node's subset distribution.
 
         Call after all children are attached.  ``subsets`` is an
@@ -147,7 +150,7 @@ class PNode:
             marginal = sum(probability
                            for positions, probability in normalised
                            if index in positions)
-            if marginal == 0.0:
+            if is_zero(marginal):
                 raise ModelError(
                     f"child #{index} of EXP node appears in no subset; "
                     "remove it instead")
@@ -229,7 +232,7 @@ class PDocument:
             raise ModelError("document root must not have a parent")
         if not root.is_ordinary:
             raise ModelError("document root must be an ordinary node")
-        if root.edge_prob != 1.0:
+        if not is_one(root.edge_prob):
             raise ModelError("document root must exist with probability 1")
         self.root = root
         self._nodes: List[PNode] = []

@@ -23,8 +23,9 @@ Example (the movie-year fragment from the library README)::
 
 from __future__ import annotations
 
+import os
 import xml.etree.ElementTree as ET
-from typing import Optional
+from typing import Optional, Union
 
 from repro.exceptions import ModelError, ParseError
 from repro.prxml.model import NodeType, PDocument, PNode
@@ -56,7 +57,7 @@ def parse_pxml(text: str) -> PDocument:
     return _document_from_element(root_element)
 
 
-def parse_pxml_file(path) -> PDocument:
+def parse_pxml_file(path: Union[str, "os.PathLike[str]"]) -> PDocument:
     """Parse a p-document from a file path."""
     try:
         tree = ET.parse(path)
@@ -71,7 +72,10 @@ def _document_from_element(root_element: ET.Element) -> PDocument:
     if root_element.tag.lower() in DISTRIBUTIONAL_TAGS:
         raise ParseError("the document root cannot be a distributional node")
     root = _node_from_element(root_element)
-    if root.edge_prob != 1.0:
+    # Exact sentinel, not a numeric comparison: an omitted 'prob'
+    # attribute parses to exactly 1.0, so anything else means the
+    # attribute was explicitly (and illegally) present on the root.
+    if root.edge_prob != 1.0:  # repro: ignore[R001] exact parse sentinel
         raise ParseError("the document root cannot carry a 'prob' attribute")
     # Convert iteratively: (element, already-built parent node) pairs.
     # EXP subset specs apply only once children exist, so they are

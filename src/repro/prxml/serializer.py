@@ -8,7 +8,8 @@ ordinary nodes keep their labels, IND/MUX nodes become ``<ind>`` /
 
 from __future__ import annotations
 
-from typing import List
+import os
+from typing import List, Union
 from xml.sax.saxutils import escape, quoteattr
 
 from repro.prxml.model import NodeType, PDocument, PNode
@@ -38,8 +39,12 @@ def serialize_pxml(document: PDocument, indent: int = 2) -> str:
         pad = " " * (indent * depth)
         tag = _TAGS.get(node.node_type, node.label)
         attrs = ""
-        if node.edge_prob != 1.0 and node.parent is not None \
-                and node.parent.node_type is not NodeType.EXP:
+        # Exact sentinel: only an edge whose stored probability is
+        # bit-for-bit 1.0 may drop its 'prob' attribute, or the
+        # parse -> serialize round trip would not be the identity.
+        if (node.edge_prob != 1.0  # repro: ignore[R001] round-trip sentinel
+                and node.parent is not None
+                and node.parent.node_type is not NodeType.EXP):
             attrs = f" prob={quoteattr(f'{node.edge_prob:g}')}"
         if node.node_type is NodeType.EXP:
             attrs += f" subsets={quoteattr(_subsets_attribute(node))}"
@@ -57,7 +62,8 @@ def serialize_pxml(document: PDocument, indent: int = 2) -> str:
     return "\n".join(pieces) + "\n"
 
 
-def write_pxml_file(document: PDocument, path) -> None:
+def write_pxml_file(document: PDocument,
+                    path: "Union[str, os.PathLike[str]]") -> None:
     """Serialize ``document`` to ``path`` (UTF-8)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(serialize_pxml(document))

@@ -70,7 +70,10 @@ def collect_violations(document: PDocument, strict: bool = False) -> List[str]:
                 f"{where}: non-EXP node carries an EXP distribution")
         if strict and node.is_ordinary:
             for child in node.children:
-                if child.edge_prob != 1.0:
+                # Exact sentinel: 1.0 means "no probability annotation";
+                # strict mode flags any explicit annotation, however
+                # close to 1 its value is.
+                if child.edge_prob != 1.0:  # repro: ignore[R001] sentinel
                     problems.append(
                         f"{where}: strict mode forbids probability "
                         f"{child.edge_prob!r} on edge to ordinary parent's "

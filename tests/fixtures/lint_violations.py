@@ -1,0 +1,38 @@
+"""Deliberately rule-violating module for lint tests and the CI gate.
+
+Each function below trips exactly the rule named in its docstring;
+``repro lint`` over this file must exit non-zero.  Never "fix" this
+file — tests/test_linter.py and the CI negative check pin its findings.
+"""
+
+import time
+
+
+def compare_probability(probability):
+    """R001: float equality on a probability-named expression."""
+    return probability == 1.0
+
+
+def measure():
+    """R002: raw clock call outside repro.obs."""
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def combine_probability(left_prob, right_prob):
+    """R003: unguarded probability arithmetic on a public return."""
+    return left_prob * right_prob
+
+
+def accumulate(values=[]):
+    """R005: mutable default argument."""
+    values.append(1)
+    return values
+
+
+def swallow():
+    """R006: silently swallowed exception."""
+    try:
+        return accumulate()
+    except ValueError:
+        pass

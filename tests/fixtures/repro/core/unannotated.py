@@ -1,0 +1,7 @@
+"""R004 fixture: this path contains ``repro/core/`` on purpose, so the
+annotation rule treats it as engine code; the public function below
+lacks type annotations and must produce an R004 finding."""
+
+
+def unannotated_public_function(value):
+    return value

@@ -88,6 +88,24 @@ class TestCli:
                      "--code", "1.9.9"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_search_sanitize_flag(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "k1", "k2",
+                     "--sanitize"]) == 0
+        captured = capsys.readouterr().out
+        assert "sanitizer:" in captured
+        assert "0 violations" in captured
+
+    def test_check_validates_document(self, pxml_file, capsys):
+        assert main(["check", pxml_file]) == 0
+        assert "document ok" in capsys.readouterr().out
+
+    def test_check_crosschecks_algorithms(self, pxml_file, capsys):
+        assert main(["check", pxml_file, "k1", "k2",
+                     "--sanitize"]) == 0
+        captured = capsys.readouterr().out
+        assert "PrStack and EagerTopK agree" in captured
+        assert "sanitizer ran" in captured
+
     def test_module_invocation(self, pxml_file):
         import subprocess
         import sys
