@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Record the batched-serving benchmark as ``BENCH_batch.json``.
+
+Compares one cold :class:`repro.service.QueryService` batch against
+the naive per-query ``topk_search`` loop on a shared-keyword workload
+(sampled distinct queries, repeated and shuffled), verifies the
+batched answers are exactly the naive answers (and that sanitized
+replays match uncached sanitized searches), and writes the JSON
+report next to the repository root.
+
+Run:  python benchmarks/run_batch_benchmark.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench.batch import run_batch_benchmark
+from repro.datagen import make_dataset
+
+_DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_batch.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="doc1",
+                        help="Table II dataset name (default doc1)")
+    parser.add_argument("--queries", type=int, default=15,
+                        help="distinct sampled queries (default 15)")
+    parser.add_argument("--repetitions", type=int, default=4,
+                        help="repetitions per query (default 4)")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="also measure a thread fan-out this wide "
+                             "(0 disables; default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for smoke runs: 6 "
+                             "distinct queries x 3 repetitions, no "
+                             "thread pass")
+    parser.add_argument("-o", "--output", default=_DEFAULT_OUTPUT)
+    options = parser.parse_args(argv)
+
+    if options.quick:
+        options.queries, options.repetitions, options.workers = 6, 3, 0
+
+    database = make_dataset(options.dataset)
+    report = run_batch_benchmark(
+        database, distinct_queries=options.queries,
+        repetitions=options.repetitions, k=options.k,
+        workers=options.workers or None)
+    report["dataset"] = options.dataset
+
+    with open(options.output, "w", encoding="utf-8") as sink:
+        json.dump(report, sink, indent=2)
+        sink.write("\n")
+
+    workload = report["workload"]
+    print(f"{workload['queries']} queries "
+          f"({workload['distinct_queries']} distinct) on "
+          f"{options.dataset}: naive {report['naive_ms']:.1f} ms, "
+          f"batch {report['batch_ms']:.1f} ms "
+          f"-> {report['speedup']}x")
+    if "threads" in report:
+        threads = report["threads"]
+        print(f"thread x{threads['workers']}: "
+              f"{threads['batch_ms']:.1f} ms "
+              f"-> {threads['speedup']}x")
+    print(f"identical_results={report['identical_results']} "
+          f"sanitize_identical={report['sanitize_identical']}")
+    print(f"report written to {options.output}")
+    ok = report["identical_results"] and report["sanitize_identical"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

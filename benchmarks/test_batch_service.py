@@ -1,0 +1,39 @@
+"""Batched serving vs. the naive loop (the docs/SERVICE.md claim).
+
+A shared-keyword workload (sampled distinct queries repeated and
+shuffled) must run at least twice as fast through one cold
+:class:`repro.service.QueryService` batch as through fresh per-query
+``topk_search`` calls — and the batched answers must be exactly the
+naive answers, with sanitized replays matching uncached sanitized
+searches.  The standalone ``run_batch_benchmark.py`` records the same
+measurement as ``BENCH_batch.json``.
+"""
+
+import pytest
+
+from repro.bench.batch import run_batch_benchmark
+
+
+@pytest.mark.parametrize("workers", [None, 4],
+                         ids=["serial", "threads-4"])
+def test_batch_beats_naive_loop(benchmark, dataset, report, workers):
+    database = dataset("doc1")
+
+    def run():
+        return run_batch_benchmark(database, distinct_queries=15,
+                                   repetitions=4, k=10,
+                                   workers=workers)
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert measured["identical_results"]
+    assert measured["sanitize_identical"]
+    assert measured["workload"]["queries"] >= 50
+    assert measured["speedup"] >= 2.0, measured
+    report.add_row(
+        "Batched serving (QueryService vs naive loop, XMark x1)",
+        ["mode", "queries", "naive_ms", "batch_ms", "speedup"],
+        ["serial" if workers is None else f"threads-{workers}",
+         measured["workload"]["queries"],
+         f"{measured['naive_ms']:9.1f}",
+         f"{measured['batch_ms']:9.1f}",
+         f"{measured['speedup']:6.2f}x"])

@@ -39,6 +39,7 @@ from repro.prxml import (DocumentBuilder, NodeType, PDocument, PNode,
                          document_stats, enumerate_possible_worlds,
                          parse_pxml, parse_pxml_file, sample_possible_world,
                          serialize_pxml, validate_document, write_pxml_file)
+from repro.service import BatchOutcome, QueryService, load_query_file
 from repro.twig import (TwigPattern, parse_twig, topk_twig_search,
                         twig_match_probability)
 
@@ -62,6 +63,8 @@ __all__ = [
     "DeweyCode", "EncodedDocument", "encode_document",
     "InvertedIndex", "build_index", "Database",
     "save_database", "load_database",
+    # serving (docs/SERVICE.md)
+    "QueryService", "BatchOutcome", "load_query_file",
     # twig queries
     "TwigPattern", "parse_twig", "topk_twig_search",
     "twig_match_probability",

@@ -1,0 +1,119 @@
+"""Batched-workload benchmark: QueryService vs. the naive query loop.
+
+Measures a shared-keyword workload (a sampled query set repeated
+several times, shuffled) two ways — one fresh :func:`topk_search` per
+query, and one :meth:`QueryService.batch_search` over a cold service —
+and reports the throughput ratio plus two correctness oracles:
+
+* every batched answer must equal the corresponding naive answer
+  exactly (codes and probabilities, no rounding);
+* every distinct query re-run through the warm service under the
+  runtime sanitizer must equal an uncached sanitized ``topk_search``
+  exactly (the cache must never change an answer, and the sanitizer
+  must really execute on the cached path's inputs).
+
+``benchmarks/run_batch_benchmark.py`` writes the resulting report to
+``BENCH_batch.json``; ``benchmarks/test_batch_service.py`` asserts the
+speedup floor in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.api import topk_search
+from repro.datagen.workload import WorkloadSpec, sample_workload
+from repro.index.storage import Database
+from repro.obs.metrics import Stopwatch
+from repro.service.service import QueryService
+
+#: Version tag of the emitted report.
+BATCH_SCHEMA_ID = "repro.bench/batch-v1"
+
+
+def _signature(outcome) -> List[tuple]:
+    return [(str(result.code), result.probability)
+            for result in outcome.results]
+
+
+def run_batch_benchmark(database: Database,
+                        distinct_queries: int = 15,
+                        repetitions: int = 4,
+                        k: int = 10,
+                        cache_size: int = 256,
+                        workers: Optional[int] = None,
+                        seed: int = 673) -> Dict[str, object]:
+    """One full comparison run; returns the JSON-ready report.
+
+    The workload is ``distinct_queries`` sampled 2-term queries in a
+    mid-selectivity band, repeated ``repetitions`` times and shuffled —
+    the shared-keyword traffic shape a serving layer exists for.  With
+    ``workers`` the batch additionally runs through a thread pool and
+    the report gains a ``threads`` block.
+    """
+    rng = random.Random(seed)
+    spec = WorkloadSpec(queries=distinct_queries, terms_per_query=2,
+                        min_frequency=20, max_frequency=2000)
+    workload = sample_workload(database.index, spec, rng=rng)
+    queries: List[List[str]] = [list(query) for query in workload
+                                for _ in range(repetitions)]
+    rng.shuffle(queries)
+
+    with Stopwatch() as naive_watch:
+        naive = [topk_search(database, query, k) for query in queries]
+
+    service = QueryService(database, cache_size=cache_size)
+    with Stopwatch() as batch_watch:
+        batch = service.batch_search(queries, k=k)
+
+    identical = all(
+        _signature(batched) == _signature(plain)
+        for batched, plain in zip(batch.outcomes, naive))
+
+    # Sanitized replays on the *warm* service vs. uncached sanitized
+    # searches: the caches must be invisible to the answers.
+    sanitize_identical = all(
+        _signature(service.search(query, k, sanitize=True)) ==
+        _signature(topk_search(database, query, k, sanitize=True))
+        for query in workload)
+
+    naive_ms = naive_watch.elapsed_ms
+    batch_ms = batch.elapsed_ms
+    report: Dict[str, object] = {
+        "schema": BATCH_SCHEMA_ID,
+        "workload": {
+            "distinct_queries": len(workload),
+            "repetitions": repetitions,
+            "queries": len(queries),
+            "terms_per_query": spec.terms_per_query,
+            "k": k,
+            "seed": seed,
+        },
+        "naive_ms": round(naive_ms, 3),
+        "batch_ms": round(batch_ms, 3),
+        "speedup": round(naive_ms / batch_ms, 3) if batch_ms else None,
+        "naive_qps": round(len(queries) / (naive_ms / 1000.0), 1)
+        if naive_ms else None,
+        "batch_qps": round(len(queries) / (batch_ms / 1000.0), 1)
+        if batch_ms else None,
+        "identical_results": identical,
+        "sanitize_identical": sanitize_identical,
+        "cache": batch.stats["cache"],
+    }
+
+    if workers:
+        threaded_service = QueryService(database, cache_size=cache_size)
+        threaded = threaded_service.batch_search(queries, k=k,
+                                                 workers=workers,
+                                                 executor="thread")
+        report["threads"] = {
+            "workers": workers,
+            "batch_ms": round(threaded.elapsed_ms, 3),
+            "speedup": round(naive_ms / threaded.elapsed_ms, 3)
+            if threaded.elapsed_ms else None,
+            "identical_results": all(
+                _signature(batched) == _signature(plain)
+                for batched, plain in zip(threaded.outcomes, naive)),
+        }
+    return report

@@ -7,6 +7,7 @@ Subcommands::
     repro stats site.db
     repro search site.db united states graduate -k 10
     repro search site.db united states --profile --metrics-json m.json
+    repro batch site.db queries.txt --workers 4 --cache-size 128
     repro explain site.db --code 1.2.3 united states graduate
     repro twig site.db 'person[profile/education ~ "graduate"]'
     repro worlds small.pxml
@@ -35,7 +36,7 @@ from repro.encoding.dewey import DeweyCode
 from repro.exceptions import ReproError
 from repro.index.storage import Database, load_database, save_database
 from repro.obs import (MetricsCollector, Stopwatch, build_report,
-                       configure_logging)
+                       configure_logging, validate_report)
 from repro.prxml.parser import parse_pxml_file
 from repro.prxml.possible_worlds import enumerate_possible_worlds
 from repro.prxml.serializer import write_pxml_file
@@ -98,6 +99,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the runtime invariant sanitizer "
                              "(docs/ANALYSIS.md); also enabled by "
                              "REPRO_SANITIZE=1")
+
+    batch = commands.add_parser(
+        "batch", help="run a query batch through one shared "
+                      "QueryService (docs/SERVICE.md)")
+    batch.add_argument("source", help="database directory or .pxml file")
+    batch.add_argument("queries",
+                       help="query file: one query per line, keywords "
+                            "whitespace-separated; blank lines and "
+                            "'#' comments are skipped")
+    batch.add_argument("-k", type=int, default=10)
+    batch.add_argument("--algorithm", default="eager",
+                       choices=[choice.value for choice in Algorithm])
+    batch.add_argument("--semantics", default="slca",
+                       choices=("slca", "elca"))
+    batch.add_argument("--workers", type=int, default=None,
+                       help="fan-out width (default: serial)")
+    batch.add_argument("--executor", default="thread",
+                       choices=("serial", "thread", "process"),
+                       help="worker model when --workers > 1: threads "
+                            "share the hot caches, processes each "
+                            "index their own document copy "
+                            "(docs/SERVICE.md)")
+    batch.add_argument("--cache-size", type=int, default=256,
+                       metavar="M", dest="cache_size",
+                       help="entries per service cache (default 256)")
+    batch.add_argument("--metrics-json", metavar="PATH",
+                       help="write the batch's repro.metrics/v1 JSON "
+                            "report to PATH (docs/OBSERVABILITY.md)")
+    batch.add_argument("--sanitize", action="store_true",
+                       help="run every query under the runtime "
+                            "invariant sanitizer (docs/ANALYSIS.md)")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -229,6 +261,56 @@ def _cmd_search(options) -> int:
     return 0
 
 
+def _cmd_batch(options) -> int:
+    from repro.core.result import SearchOutcome
+    from repro.service import QueryService, load_query_file
+    queries = load_query_file(options.queries)
+    database = _open_database(options.source)
+    collector = MetricsCollector()
+    service = QueryService(database, cache_size=options.cache_size,
+                           collector=collector)
+    batch = service.batch_search(
+        queries, k=options.k, algorithm=options.algorithm,
+        semantics=options.semantics, workers=options.workers,
+        executor=options.executor,
+        sanitize=True if options.sanitize else None)
+    stats = batch.stats
+    print(f"{len(batch)} queries ({stats['distinct_term_sets']} "
+          f"distinct term sets) in {batch.elapsed_ms:.1f} ms "
+          f"({stats['executor']} x{stats['workers']}, "
+          f"{options.algorithm}, {options.semantics})")
+    cache = stats["cache"]
+    for name in ("match_entries", "code_lists", "results"):
+        counters = cache[name]
+        print(f"cache {name}: {counters['hits']} hits, "
+              f"{counters['misses']} misses, "
+              f"{counters['evictions']} evictions")
+    for query, outcome in zip(queries, batch):
+        top = outcome.results[0] if outcome.results else None
+        answer = (f"top Pr={top.probability:.6f} <{top.label}> "
+                  f"{top.code}" if top else "no answers")
+        print(f"  {' '.join(query)}: {len(outcome)} answer(s), "
+              f"{answer}")
+    if options.metrics_json:
+        summary = SearchOutcome(results=[], stats=dict(stats))
+        summary.stats["metrics"] = collector.snapshot()
+        report = validate_report(build_report(
+            [" ".join(query) for query in queries], options.k,
+            options.algorithm, options.semantics, summary,
+            batch.elapsed_ms))
+        try:
+            with open(options.metrics_json, "w",
+                      encoding="utf-8") as sink:
+                json.dump(report, sink, indent=2)
+                sink.write("\n")
+        except OSError as error:
+            print(f"error: cannot write metrics report: {error}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics report written to {options.metrics_json}")
+    return 0
+
+
 def _cmd_explain(options) -> int:
     database = _open_database(options.source)
     code = DeweyCode.parse(options.code)
@@ -330,6 +412,7 @@ _HANDLERS = {
     "index": _cmd_index,
     "stats": _cmd_stats,
     "search": _cmd_search,
+    "batch": _cmd_batch,
     "explain": _cmd_explain,
     "twig": _cmd_twig,
     "worlds": _cmd_worlds,

@@ -21,8 +21,10 @@ from repro.core.possible_worlds_search import possible_worlds_search
 from repro.core.prstack import prstack_search
 from repro.core.result import SearchOutcome
 from repro.exceptions import QueryError
+from repro.index.cache import CachesLike, NULL_CACHES
 from repro.index.inverted import InvertedIndex
 from repro.index.storage import Database
+from repro.index.tokenizer import tokenize
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsCollector, NULL_COLLECTOR
 from repro.prxml.model import PDocument
@@ -41,12 +43,41 @@ class Algorithm(Enum):
 Source = Union[PDocument, Database, InvertedIndex]
 
 
+def validate_query(keywords: Iterable[str], k: int) -> list:
+    """Boundary validation shared by :func:`topk_search` and the
+    service layer: materialise the keywords, reject non-positive ``k``
+    and duplicate keywords with a :class:`QueryError` naming the
+    offence (instead of whatever a deeper layer — the heap, the
+    tokenizer — would eventually do with them).
+
+    Two keywords are duplicates when they tokenise identically
+    (``"K1"`` duplicates ``"k1"``): the duplicate would silently
+    collapse into one required term and turn a 3-keyword query into a
+    different — still answerable — 2-term query.  Keywords that
+    tokenise to nothing are left for :func:`normalize_query` to reject
+    with its own message.  Returns the keywords as a list.
+    """
+    keywords = list(keywords)
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    seen: dict = {}
+    for keyword in keywords:
+        key = tuple(tokenize(keyword))
+        if key and key in seen:
+            raise QueryError(
+                f"duplicate query keyword {keyword!r} (normalises the "
+                f"same as {seen[key]!r})")
+        seen.setdefault(key, keyword)
+    return keywords
+
+
 def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
                 algorithm: Union[Algorithm, str] = Algorithm.EAGER,
                 semantics: str = "slca",
                 collector: Optional[MetricsCollector] = None,
                 trace: bool = False,
-                sanitize: Optional[bool] = None) -> SearchOutcome:
+                sanitize: Optional[bool] = None,
+                caches: CachesLike = NULL_CACHES) -> SearchOutcome:
     """Find the ``k`` ordinary nodes most likely to be SLCAs.
 
     Args:
@@ -87,6 +118,11 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             defers to the ``REPRO_SANITIZE`` environment variable;
             the sanitize summary lands in
             ``outcome.stats["sanitizer"]``.
+        caches: shared :class:`repro.index.cache.QueryCaches` bound to
+            the same prepared index, reusing match lists, per-keyword
+            Dewey lists and path probabilities across queries
+            (docs/SERVICE.md).  The default reuses nothing; a
+            :class:`repro.service.QueryService` passes its own.
 
     Returns:
         A :class:`SearchOutcome`; ``outcome.results`` are sorted by
@@ -94,6 +130,14 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
         each result carries its p-document ``node``.  See
         docs/OBSERVABILITY.md for the instrumented ``stats`` layout.
     """
+    keywords = validate_query(keywords, k)
+    if _is_query_service(source):
+        # A prepared service carries its own caches and collector
+        # defaults; delegate so callers can hold one handle for both
+        # ad-hoc and batched traffic.
+        return source.search(keywords, k, algorithm=algorithm,
+                             semantics=semantics, collector=collector,
+                             trace=trace, sanitize=sanitize)
     if collector is None:
         collector = MetricsCollector(trace=True) if trace \
             else NULL_COLLECTOR
@@ -104,7 +148,6 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
         sanitize = sanitize_from_env()
     sanitizer = Sanitizer(collector=collector) if sanitize \
         else NULL_SANITIZER
-    keywords = list(keywords)
     index = _as_index(source)
     algorithm = _coerce_algorithm(algorithm)
     if semantics not in ("slca", "elca"):
@@ -122,11 +165,13 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
         if algorithm is Algorithm.PRSTACK:
             outcome = prstack_search(index, keywords, k, elca=elca,
                                      collector=collector,
-                                     sanitizer=sanitizer)
+                                     sanitizer=sanitizer,
+                                     caches=caches)
         elif algorithm is Algorithm.EAGER:
             outcome = eager_topk_search(index, keywords, k,
                                         collector=collector,
-                                        sanitizer=sanitizer)
+                                        sanitizer=sanitizer,
+                                        caches=caches)
         else:
             outcome = possible_worlds_search(index, keywords, k,
                                              elca=elca,
@@ -187,6 +232,17 @@ def _coerce_algorithm(algorithm: Union[Algorithm, str]) -> Algorithm:
         raise QueryError(
             f"unknown algorithm {algorithm!r}; choose one of: {names}"
         ) from None
+
+
+def _is_query_service(source: object) -> bool:
+    """Whether ``source`` is a :class:`repro.service.QueryService`.
+
+    Imported lazily: the service layer sits *above* this module (it
+    calls back into the algorithm dispatch), so a top-level import
+    would be circular.
+    """
+    from repro.service.service import QueryService
+    return isinstance(source, QueryService)
 
 
 def _as_index(source: Source) -> InvertedIndex:

@@ -50,6 +50,7 @@ from repro.core.result import SearchOutcome
 from repro.encoding.dewey import DeweyCode
 from repro.encoding.prlink import PrLink
 from repro.exceptions import ReproError
+from repro.index.cache import CachesLike, NULL_CACHES
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import (MatchList, build_match_entries,
                                    keyword_code_lists)
@@ -145,7 +146,8 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
                       use_node_bounds: bool = True,
                       exact_ties: bool = True,
                       collector: Collector = NULL_COLLECTOR,
-                      sanitizer: SanitizerLike = NULL_SANITIZER
+                      sanitizer: SanitizerLike = NULL_SANITIZER,
+                      caches: CachesLike = NULL_CACHES
                       ) -> SearchOutcome:
     """Top-k SLCA answers by probability, with eager bound pruning.
 
@@ -176,10 +178,14 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
             bound evaluation so :func:`repro.core.api.topk_search` can
             cross-check them against exact probabilities afterwards.
             The default no-op checks nothing.
+        caches: shared :class:`repro.index.cache.QueryCaches` reusing
+            merged match entries, per-keyword Dewey lists and per-node
+            path probabilities across queries on the same index
+            (docs/SERVICE.md); the default reuses nothing.
     """
     search = _EagerSearch(index, keywords, k, use_path_bounds,
                           use_node_bounds, exact_ties, collector,
-                          sanitizer)
+                          sanitizer, caches)
     return search.run()
 
 
@@ -190,11 +196,13 @@ class _EagerSearch:
                  k: int, use_path_bounds: bool, use_node_bounds: bool,
                  exact_ties: bool = True,
                  collector: Collector = NULL_COLLECTOR,
-                 sanitizer: SanitizerLike = NULL_SANITIZER):
+                 sanitizer: SanitizerLike = NULL_SANITIZER,
+                 caches: CachesLike = NULL_CACHES):
         self.index = index
         self.keywords = list(keywords)
         self.collector = collector
         self.sanitizer = sanitizer
+        self.caches = caches
         self.heap = TopKHeap(k, collector=collector, sanitizer=sanitizer)
         self.use_path_bounds = use_path_bounds
         self.use_node_bounds = use_node_bounds
@@ -211,7 +219,10 @@ class _EagerSearch:
         self.delete_list: List[DeweyCode] = []
         self.full_mask = 0
         self.matches: Optional[MatchList] = None
-        self._path_prob_cache: Dict[DeweyCode, float] = {}
+        # Path probabilities are query-independent, so with live caches
+        # the memo is the shared per-document one (docs/SERVICE.md).
+        self._path_prob_cache: Dict[DeweyCode, float] = (
+            caches.path_probs if caches.enabled else {})
         self.stats = {
             "algorithm": "eager_topk",
             "seeds": 0,
@@ -237,7 +248,8 @@ class _EagerSearch:
         """Execute the search: seeds, climb, pruned evaluation."""
         collector = self.collector
         terms, entries = build_match_entries(self.index, self.keywords,
-                                             collector=collector)
+                                             collector=collector,
+                                             caches=self.caches)
         self.stats["terms"] = len(terms)
         self.stats["match_entries"] = len(entries)
         if any(not self.index.postings(term) for term in terms):
@@ -247,7 +259,8 @@ class _EagerSearch:
         self.matches = MatchList(entries)
 
         with collector.time("eager.seed"):
-            _, code_lists = keyword_code_lists(self.index, terms)
+            _, code_lists = keyword_code_lists(self.index, terms,
+                                               caches=self.caches)
             seeds = indexed_lookup_eager(code_lists)
         self.stats["seeds"] = len(seeds)
         if collector.enabled:

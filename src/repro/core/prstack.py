@@ -16,6 +16,7 @@ from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
 from repro.core.engine import StackEngine, StackItem
 from repro.core.heap import TopKHeap
 from repro.core.result import SearchOutcome
+from repro.index.cache import CachesLike, NULL_CACHES
 from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import build_match_entries
 from repro.obs.logging import get_logger
@@ -27,7 +28,8 @@ _log = get_logger("core.prstack")
 def prstack_search(index: InvertedIndex, keywords: Iterable[str],
                    k: int = 10, elca: bool = False,
                    collector: Collector = NULL_COLLECTOR,
-                   sanitizer: SanitizerLike = NULL_SANITIZER
+                   sanitizer: SanitizerLike = NULL_SANITIZER,
+                   caches: CachesLike = NULL_CACHES
                    ) -> SearchOutcome:
     """Top-k SLCA answers by probability, via one document-order scan.
 
@@ -46,12 +48,16 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
         sanitizer: runtime invariant checker (sanitize mode,
             docs/ANALYSIS.md); asserts the scan order, every table and
             every emitted probability live.  The default checks nothing.
+        caches: shared :class:`repro.index.cache.QueryCaches` reusing
+            merged match entries across queries on the same index
+            (docs/SERVICE.md); the default reuses nothing.
 
     Returns:
         A :class:`SearchOutcome` with ranked results and scan counters.
     """
     terms, entries = build_match_entries(index, keywords,
-                                         collector=collector)
+                                         collector=collector,
+                                         caches=caches)
     heap = TopKHeap(k, collector=collector, sanitizer=sanitizer)
     outcome = SearchOutcome(stats={
         "algorithm": "prstack",

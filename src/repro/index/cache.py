@@ -1,0 +1,193 @@
+"""Reusable per-document query caches.
+
+Every ``topk_search`` against the same prepared index repeats the same
+front-of-query work: normalising terms, merging per-term postings into
+masked match entries, materialising per-keyword Dewey lists for the
+seed computation, and re-deriving per-node path probabilities (the
+product of the node's PrLink — the per-node fragment every
+distribution table starts from).  All of it depends only on the
+document and the normalised term set, never on ``k``, the algorithm or
+the collector — so a service holding one index can reuse it across
+queries.
+
+This module provides the cache plumbing the search stack threads
+through (mirroring the ``NULL_COLLECTOR`` / ``NULL_SANITIZER``
+null-object idiom):
+
+* :class:`LRUCache` — a thread-safe bounded map with hit / miss /
+  eviction counters, reported both locally (:meth:`LRUCache.stats`)
+  and through a :class:`repro.obs.MetricsCollector` under
+  ``service.cache.<name>.*``;
+* :class:`QueryCaches` — the bundle the algorithms consume: a match
+  -entry cache keyed by the normalised term tuple, a per-keyword
+  Dewey-list cache, and the shared path-probability memo;
+* :data:`NULL_CACHES` — the do-nothing default; an uncached query pays
+  one attribute load per hook point, exactly like the null collector.
+
+Cached values are shared between queries and must be treated as
+immutable by consumers; the scan machinery already does (a
+:class:`repro.index.matchlist.MatchList` keeps its consumption flags
+in a private bytearray, never in the shared entries).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Union
+
+from repro.encoding.dewey import DeweyCode
+from repro.obs.metrics import Collector, NULL_COLLECTOR
+
+#: Default number of distinct term sets a cache retains.
+DEFAULT_CACHE_SIZE = 256
+
+
+class LRUCache:
+    """Bounded least-recently-used map with observable counters.
+
+    ``get``/``put`` are guarded by a lock so a service can share one
+    cache across a thread pool.  Counters accumulate locally and, when
+    ``collector.enabled``, as ``service.cache.<name>.hits`` /
+    ``.misses`` / ``.evictions``.
+    """
+
+    __slots__ = ("name", "capacity", "collector", "hits", "misses",
+                 "evictions", "_data", "_lock")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CACHE_SIZE,
+                 collector: Collector = NULL_COLLECTOR):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, "
+                             f"got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.collector = collector
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value (refreshed as most recent), or ``None``."""
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                if self.collector.enabled:
+                    self.collector.count(
+                        f"service.cache.{self.name}.misses")
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            if self.collector.enabled:
+                self.collector.count(f"service.cache.{self.name}.hits")
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry on
+        overflow.  ``None`` values are not cacheable — ``get`` uses
+        ``None`` as its miss sentinel."""
+        if value is None:
+            raise ValueError("cannot cache None")
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                if self.collector.enabled:
+                    self.collector.count(
+                        f"service.cache.{self.name}.evictions")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are cumulative)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters plus the current occupancy."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "size": len(self._data),
+                "capacity": self.capacity}
+
+
+class QueryCaches:
+    """The prepared-input caches one service shares across queries.
+
+    Attributes:
+        match_entries: normalised term tuple -> the merged, document-
+            ordered :class:`~repro.index.matchlist.MatchEntry` list
+            (the input both PrStack and EagerTopK scan).
+        code_lists: single term -> its Dewey code list (the per-keyword
+            seed input of EagerTopK); sized ``per_term_factor`` times
+            larger than ``match_entries`` because queries share terms
+            far more often than whole term sets.
+        path_probs: node code -> product of its PrLink — the per-node
+            distribution fragment reused by EagerTopK's bound
+            computation.  A plain dict (one float per distinct node
+            ever touched, bounded by the document size), shared across
+            queries because path probabilities are query-independent.
+    """
+
+    enabled = True
+
+    #: ``code_lists`` holds this many entries per ``match_entries`` slot.
+    PER_TERM_FACTOR = 4
+
+    __slots__ = ("match_entries", "code_lists", "path_probs")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE,
+                 collector: Collector = NULL_COLLECTOR):
+        self.match_entries = LRUCache("match_entries", capacity,
+                                      collector)
+        self.code_lists = LRUCache("code_lists",
+                                   capacity * self.PER_TERM_FACTOR,
+                                   collector)
+        self.path_probs: Dict[DeweyCode, float] = {}
+
+    def clear(self) -> None:
+        """Drop all cached values (e.g. after swapping the index)."""
+        self.match_entries.clear()
+        self.code_lists.clear()
+        self.path_probs.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Per-cache counters, the ``cache`` block of service reports."""
+        return {
+            "match_entries": self.match_entries.stats(),
+            "code_lists": self.code_lists.stats(),
+            "path_probs": {"size": len(self.path_probs)},
+        }
+
+
+class NullQueryCaches:
+    """The do-nothing cache bundle: the default on every query path.
+
+    Consumers guard on ``caches.enabled`` (a class attribute, like the
+    null collector's) before touching any cache, so this object needs
+    no methods at all.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+
+#: Shared no-op instance; search signatures default their ``caches``
+#: parameter to this.
+NULL_CACHES = NullQueryCaches()
+
+#: What search signatures accept: live caches or the no-op.
+CachesLike = Union[QueryCaches, NullQueryCaches]

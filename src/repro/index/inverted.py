@@ -8,7 +8,7 @@ order *is* document (Dewey) order — the scan order PrStack relies on.
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.encoding.encoder import EncodedDocument
 from repro.exceptions import IndexError_, QueryError
@@ -26,12 +26,17 @@ class InvertedIndex:
 
     def __init__(self, encoded: EncodedDocument,
                  postings: Dict[str, array],
-                 label_postings: Dict[str, array] = None):
+                 label_postings: Optional[Dict[str, array]] = None):
         self.encoded = encoded
         self._postings = postings
+        # Normalisation happens here and nowhere else: a missing map is
+        # derived from the document, and label keys are casefolded so
+        # label lookups match the case-insensitive term postings.
         if label_postings is None:
-            label_postings = _label_postings_of(encoded)
-        self._labels = label_postings
+            self._labels = _label_postings_of(encoded)
+        else:
+            self._labels = {label.lower(): ids
+                            for label, ids in label_postings.items()}
 
     # -- construction ---------------------------------------------------------
 
@@ -52,9 +57,12 @@ class InvertedIndex:
         return self._postings.get(term.lower(), array("q"))
 
     def label_postings(self, label: str) -> array:
-        """Document-ordered ids of ordinary nodes with exactly this tag
-        (case-sensitive, unlike term postings)."""
-        return self._labels.get(label, array("q"))
+        """Document-ordered ids of ordinary nodes with exactly this tag.
+
+        The whole tag must match (tokenised sub-terms do not count) but,
+        like term postings, the comparison is case-insensitive — the
+        index boundary applies one normalisation everywhere."""
+        return self._labels.get(label.lower(), array("q"))
 
     def ordinary_ids(self) -> array:
         """All ordinary node ids in document order (twig wildcard
@@ -135,7 +143,7 @@ class InvertedIndex:
 def _label_postings_of(encoded: EncodedDocument) -> Dict[str, array]:
     labels: Dict[str, List[int]] = {}
     for node in encoded.document.iter_ordinary():
-        labels.setdefault(node.label, []).append(node.node_id)
+        labels.setdefault(node.label.lower(), []).append(node.node_id)
     return {label: array("q", ids) for label, ids in labels.items()}
 
 

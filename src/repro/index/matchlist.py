@@ -19,6 +19,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.encoding.dewey import DeweyCode
 from repro.encoding.prlink import PrLink
+from repro.index.cache import NULL_CACHES
 from repro.index.inverted import InvertedIndex
 from repro.obs.metrics import NULL_COLLECTOR
 
@@ -40,7 +41,7 @@ class MatchEntry:
 
 
 def build_match_entries(index: InvertedIndex, keywords: Sequence[str],
-                        collector=NULL_COLLECTOR
+                        collector=NULL_COLLECTOR, caches=NULL_CACHES
                         ) -> Tuple[List[str], List[MatchEntry]]:
     """Merge per-term postings into per-node masked entries.
 
@@ -51,7 +52,30 @@ def build_match_entries(index: InvertedIndex, keywords: Sequence[str],
 
     ``collector`` times the merge and counts the produced entries on
     top of the ``index.*`` lookup metrics.
+
+    ``caches`` (a :class:`repro.index.cache.QueryCaches`) memoises the
+    merged entry list per normalised term tuple: two queries over the
+    same term set share one physical list, which callers must treat as
+    immutable.  Entry masks depend on term *order*, so the cache key is
+    the ordered tuple — canonicalise keyword order upstream (as
+    :class:`repro.service.QueryService` does) to maximise reuse.
     """
+    if not caches.enabled:
+        return _merge_match_entries(index, keywords, collector)
+    terms = index.query_terms(keywords)
+    cached = caches.match_entries.get(tuple(terms))
+    if cached is not None:
+        if collector.enabled:
+            collector.count("index.match_entries", len(cached))
+        return terms, cached
+    terms, entries = _merge_match_entries(index, terms, collector)
+    caches.match_entries.put(tuple(terms), entries)
+    return terms, entries
+
+
+def _merge_match_entries(index: InvertedIndex, keywords: Sequence[str],
+                         collector=NULL_COLLECTOR
+                         ) -> Tuple[List[str], List[MatchEntry]]:
     terms, postings = index.keyword_lists(keywords, collector=collector)
     with collector.time("index.merge_entries"):
         masks: Dict[int, int] = {}
@@ -70,13 +94,30 @@ def build_match_entries(index: InvertedIndex, keywords: Sequence[str],
     return terms, entries
 
 
-def keyword_code_lists(index: InvertedIndex, keywords: Sequence[str]
+def keyword_code_lists(index: InvertedIndex, keywords: Sequence[str],
+                       caches=NULL_CACHES
                        ) -> Tuple[List[str], List[List[DeweyCode]]]:
     """Per-keyword Dewey lists (the input shape of the deterministic
-    SLCA algorithms of [12] that EagerTopK seeds from)."""
-    terms, postings = index.keyword_lists(keywords)
+    SLCA algorithms of [12] that EagerTopK seeds from).
+
+    With live ``caches`` each term's code list is memoised
+    individually, so queries that merely *share* keywords — not whole
+    term sets — still skip the rebuild.  Cached lists are shared;
+    treat them as immutable.
+    """
+    terms = index.query_terms(keywords)
     codes = index.encoded.codes
-    return terms, [[codes[node_id] for node_id in ids] for ids in postings]
+    if not caches.enabled:
+        return terms, [[codes[node_id] for node_id in index.postings(term)]
+                       for term in terms]
+    lists: List[List[DeweyCode]] = []
+    for term in terms:
+        code_list = caches.code_lists.get(term)
+        if code_list is None:
+            code_list = [codes[node_id] for node_id in index.postings(term)]
+            caches.code_lists.put(term, code_list)
+        lists.append(code_list)
+    return terms, lists
 
 
 class MatchList:

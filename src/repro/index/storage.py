@@ -58,7 +58,19 @@ def save_database(database: Database, directory) -> None:
         with open(os.path.join(directory, _POSTINGS_FILE), "w",
                   encoding="utf-8") as handle:
             for term, ids in sorted(database.index.raw_postings().items()):
-                json.dump({"t": term, "ids": list(ids)}, handle)
+                if not len(ids):
+                    # A term with no matching node cannot come from
+                    # indexing a document; writing it would only defer
+                    # the failure to load time.  Reject symmetrically
+                    # with the loader.
+                    raise StorageError(
+                        f"term {term!r} has an empty posting list; "
+                        f"refusing to persist a corrupt index")
+                # ensure_ascii=False keeps non-ASCII terms (e.g. 'café')
+                # as readable UTF-8 in the JSONL, matching the file's
+                # declared encoding instead of double-escaping.
+                json.dump({"t": term, "ids": list(ids)}, handle,
+                          ensure_ascii=False)
                 handle.write("\n")
         meta = {
             "version": FORMAT_VERSION,
@@ -102,11 +114,25 @@ def load_database(directory) -> Database:
                     continue
                 try:
                     record = json.loads(line)
-                    postings[record["t"]] = array("q", record["ids"])
+                    term = record["t"]
+                    ids = array("q", record["ids"])
                 except (json.JSONDecodeError, KeyError, TypeError) as exc:
                     raise StorageError(
                         f"{postings_path}:{line_number}: bad record: {exc}"
                     ) from exc
+                if not isinstance(term, str):
+                    raise StorageError(
+                        f"{postings_path}:{line_number}: term "
+                        f"{term!r} is not a string")
+                if not len(ids):
+                    raise StorageError(
+                        f"{postings_path}:{line_number}: term "
+                        f"{term!r} has an empty posting list")
+                if term in postings:
+                    raise StorageError(
+                        f"{postings_path}:{line_number}: term "
+                        f"{term!r} appears twice")
+                postings[term] = ids
     except OSError as exc:
         raise StorageError(f"cannot read {postings_path}: {exc}") from exc
 

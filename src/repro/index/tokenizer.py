@@ -5,6 +5,12 @@ names and text values (queries such as ``{United States, Graduate}``
 match element content).  We tokenise on runs of letters and digits and
 lowercase everything; multi-word query strings like ``"united states"``
 simply become several required terms.
+
+Tokens are Unicode word runs (underscore excluded, so ``open_auction``
+still splits into two terms): accented or non-Latin content such as
+``café`` or ``北京`` indexes as whole terms instead of being silently
+truncated at the first non-ASCII byte, and the persisted posting format
+round-trips them verbatim (see :mod:`repro.index.storage`).
 """
 
 from __future__ import annotations
@@ -12,9 +18,10 @@ from __future__ import annotations
 import re
 from typing import Iterable, List
 
+from repro.exceptions import QueryError
 from repro.prxml.model import PNode
 
-_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+_TOKEN_PATTERN = re.compile(r"[^\W_]+", re.UNICODE)
 
 
 def tokenize(text: str) -> List[str]:
@@ -40,9 +47,18 @@ def normalize_query(keywords: Iterable[str]) -> List[str]:
     """Flatten query strings into unique lowercase terms, order-preserving.
 
     ``["United States", "ship"]`` becomes ``["united", "states", "ship"]``.
+
+    Raises:
+        QueryError: if any keyword normalises to nothing (punctuation-only
+            strings like ``"..."`` would otherwise be dropped silently and
+            turn a typo into a different — still answerable — query).
     """
     seen = {}
     for keyword in keywords:
-        for term in tokenize(keyword):
+        terms = tokenize(keyword)
+        if not terms:
+            raise QueryError(
+                f"query keyword {keyword!r} contains no indexable terms")
+        for term in terms:
             seen.setdefault(term, None)
     return list(seen)

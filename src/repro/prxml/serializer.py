@@ -20,7 +20,7 @@ _TAGS = {NodeType.IND: "ind", NodeType.MUX: "mux", NodeType.EXP: "exp"}
 def _subsets_attribute(node: PNode) -> str:
     """Render an EXP distribution as ``1+2:0.5 1:0.3``."""
     return " ".join(
-        f"{'+'.join(str(p) for p in positions)}:{probability:g}"
+        f"{'+'.join(str(p) for p in positions)}:{probability!r}"
         for positions, probability in node.exp_subsets or [])
 
 
@@ -45,7 +45,10 @@ def serialize_pxml(document: PDocument, indent: int = 2) -> str:
         if (node.edge_prob != 1.0  # repro: ignore[R001] round-trip sentinel
                 and node.parent is not None
                 and node.parent.node_type is not NodeType.EXP):
-            attrs = f" prob={quoteattr(f'{node.edge_prob:g}')}"
+            # repr is the shortest exact decimal form, so serialise ->
+            # parse is lossless for every float (``:g`` would truncate
+            # to 6 significant digits and skew probabilities).
+            attrs = f" prob={quoteattr(repr(node.edge_prob))}"
         if node.node_type is NodeType.EXP:
             attrs += f" subsets={quoteattr(_subsets_attribute(node))}"
         if not node.children and node.text is None:

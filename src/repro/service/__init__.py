@@ -1,0 +1,15 @@
+"""Persistent query serving over one prepared database.
+
+The :class:`QueryService` keeps a prepared
+:class:`~repro.index.storage.Database` (or bare index) together with
+the reusable per-document caches of :mod:`repro.index.cache`, executes
+single queries and whole batches without redundant per-query work, and
+reports cache traffic through the :mod:`repro.obs` collector.  See
+docs/SERVICE.md for the architecture, the cache keys, and the worker
+model.
+"""
+
+from repro.service.service import (BatchOutcome, QueryService,
+                                   load_query_file)
+
+__all__ = ["QueryService", "BatchOutcome", "load_query_file"]

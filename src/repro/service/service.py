@@ -1,0 +1,424 @@
+"""The :class:`QueryService`: batched serving over one prepared index.
+
+One service wraps one prepared :class:`~repro.index.storage.Database`
+(or bare index) and executes single queries and whole batches without
+repeating per-query preparation work:
+
+* a bundle of :class:`repro.index.cache.QueryCaches` — match-entry
+  lists keyed by the normalised term tuple, per-keyword Dewey lists,
+  and the query-independent path-probability memo — is threaded into
+  every search it runs;
+* a result-level LRU replays whole answers for repeated
+  ``(terms, k, algorithm, semantics)`` queries, bypassed whenever the
+  caller instruments or sanitizes the query (those must really run);
+* :meth:`QueryService.batch_search` executes many queries through the
+  shared caches, sorting the execution order by term set so cache
+  neighbours run back to back, optionally fanning out over
+  ``concurrent.futures`` workers — threads share this service's hot
+  caches (right for cache-heavy replay traffic), processes each build
+  their own index copy once and then amortise it over their chunk
+  (right for CPU-bound cold PrStack/EagerTopK work, which the GIL
+  serialises under threads).
+
+Keyword order is canonicalised (terms are sorted) before any cache is
+consulted, so ``["a", "b"]`` and ``["b", "a"]`` hit the same entries —
+the answer set only depends on the term *set*, while raw match masks
+depend on term order.  See docs/SERVICE.md for the full architecture.
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.sanitizer import sanitize_from_env
+from repro.core.api import (Algorithm, Source, _as_index,
+                            _coerce_algorithm, topk_search,
+                            validate_query)
+from repro.core.result import SLCAResult, SearchOutcome
+from repro.encoding.dewey import DeweyCode
+from repro.exceptions import QueryError
+from repro.index.cache import (DEFAULT_CACHE_SIZE, LRUCache, QueryCaches)
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import Database
+from repro.index.tokenizer import normalize_query
+from repro.obs.logging import get_logger
+from repro.obs.metrics import (Collector, MetricsCollector,
+                               NULL_COLLECTOR, Stopwatch)
+
+_log = get_logger("service")
+
+#: One query of a batch: a whitespace-separated string or a keyword
+#: sequence (exactly what ``topk_search`` accepts).
+Query = Union[str, Sequence[str]]
+
+#: Executor choices understood by :meth:`QueryService.batch_search`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class BatchOutcome:
+    """All outcomes of one batch, in the caller's original order.
+
+    Attributes:
+        outcomes: one :class:`SearchOutcome` per input query, aligned
+            with the input order (execution order is the service's
+            business, not the caller's).
+        elapsed_ms: wall time of the whole batch.
+        stats: batch-level counters — query counts, distinct term
+            sets, executor/worker shape, and the service's cumulative
+            cache counters after the batch.
+    """
+
+    outcomes: List[SearchOutcome]
+    elapsed_ms: float
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+
+class QueryService:
+    """Persistent query execution over one prepared database.
+
+    Args:
+        source: what :func:`repro.core.api.topk_search` accepts — a
+            p-document (indexed once, here), a prepared
+            :class:`Database`, or a bare :class:`InvertedIndex`.
+        cache_size: capacity of the match-entry and result caches (the
+            per-term Dewey cache is proportionally larger; see
+            :class:`repro.index.cache.QueryCaches`).
+        collector: service-level :class:`repro.obs.MetricsCollector`
+            receiving cache hit/miss/eviction counters
+            (``service.cache.*``), query/batch counts and timings.
+            Distinct from a per-query collector passed to
+            :meth:`search`, which instruments that query alone and
+            bypasses the result cache.
+    """
+
+    def __init__(self, source: Source,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 collector: Optional[Collector] = None):
+        self.collector = collector if collector is not None \
+            else NULL_COLLECTOR
+        self._index: InvertedIndex = _as_index(source)
+        self._caches = QueryCaches(cache_size, collector=self.collector)
+        self._results = LRUCache("results", cache_size, self.collector)
+
+    # -- single queries -------------------------------------------------------
+
+    def search(self, keywords: Iterable[str], k: int = 10,
+               algorithm: Union[Algorithm, str] = Algorithm.EAGER,
+               semantics: str = "slca",
+               collector: Optional[MetricsCollector] = None,
+               trace: bool = False,
+               sanitize: Optional[bool] = None) -> SearchOutcome:
+        """One query through the shared caches.
+
+        Same contract as :func:`repro.core.api.topk_search` (which
+        delegates here when handed a service), with two service-layer
+        behaviours on top: keyword order is canonicalised before the
+        caches are consulted, and an uninstrumented, unsanitized query
+        repeated with the same ``(terms, k, algorithm, semantics)``
+        replays the cached outcome (marked
+        ``stats["service"] == "result_cache"``) without running any
+        algorithm.  Passing ``collector``/``trace``/``sanitize``
+        bypasses the result cache so the instrumentation really runs.
+        """
+        keywords = validate_query(keywords, k)
+        terms = sorted(normalize_query(keywords))
+        return self._search_terms(terms, k, algorithm, semantics,
+                                  collector, trace, sanitize)
+
+    def _search_terms(self, terms: List[str], k: int,
+                      algorithm: Union[Algorithm, str], semantics: str,
+                      collector: Optional[MetricsCollector],
+                      trace: bool,
+                      sanitize: Optional[bool]) -> SearchOutcome:
+        """Run one canonicalised query (terms already sorted/validated)."""
+        algorithm = _coerce_algorithm(algorithm)
+        if self.collector.enabled:
+            self.collector.count("service.queries")
+        effective_sanitize = sanitize if sanitize is not None \
+            else sanitize_from_env()
+        replayable = (collector is None and not trace
+                      and not effective_sanitize)
+        key = (tuple(terms), k, algorithm.value, semantics)
+        if replayable:
+            cached = self._results.get(key)
+            if cached is not None:
+                return _replay(cached)
+        with self.collector.time("service.search"):
+            outcome = topk_search(self._index, terms, k, algorithm,
+                                  semantics=semantics,
+                                  collector=collector, trace=trace,
+                                  sanitize=sanitize,
+                                  caches=self._caches)
+        if replayable:
+            self._results.put(key, outcome)
+        return outcome
+
+    # -- batches --------------------------------------------------------------
+
+    def batch_search(self, queries: Sequence[Query], k: int = 10,
+                     algorithm: Union[Algorithm, str] = Algorithm.EAGER,
+                     semantics: str = "slca",
+                     workers: Optional[int] = None,
+                     executor: str = "thread",
+                     sanitize: Optional[bool] = None) -> BatchOutcome:
+        """Execute many queries against the shared caches.
+
+        Every query is validated up front — one malformed query fails
+        the whole batch before any work runs.  Execution order sorts
+        the queries by canonical term set, so identical and
+        overlapping queries run back to back and hit the caches while
+        they are warm; the returned outcomes are realigned with the
+        *input* order.
+
+        Args:
+            queries: each a keyword sequence or a whitespace-separated
+                string (one line of a query file).
+            workers: fan-out width; ``None``/``1`` runs serially on
+                the calling thread.
+            executor: ``"serial"``, ``"thread"`` (workers share this
+                service and its hot caches — best for replay-heavy
+                traffic), or ``"process"`` (each worker parses its own
+                copy of the document once and serves its contiguous
+                chunk — best for CPU-bound cold queries, which the GIL
+                would serialise under threads).
+            sanitize: per-query sanitizer flag, forwarded verbatim.
+
+        Returns:
+            A :class:`BatchOutcome`; ``outcome.outcomes[i]`` answers
+            ``queries[i]``.
+        """
+        if executor not in EXECUTORS:
+            choices = ", ".join(EXECUTORS)
+            raise QueryError(f"unknown batch executor {executor!r}; "
+                             f"choose one of: {choices}")
+        if workers is not None and workers < 0:
+            raise QueryError(f"workers must be non-negative, "
+                             f"got {workers}")
+        algorithm = _coerce_algorithm(algorithm)
+        prepared: List[List[str]] = []
+        for query in queries:
+            keywords = query.split() if isinstance(query, str) \
+                else list(query)
+            keywords = validate_query(keywords, k)
+            prepared.append(sorted(normalize_query(keywords)))
+
+        order = sorted(range(len(prepared)),
+                       key=lambda position: prepared[position])
+        width = min(workers or 1, len(order)) if order else 0
+        serial = executor == "serial" or width <= 1
+        outcomes: List[Optional[SearchOutcome]] = [None] * len(prepared)
+        if self.collector.enabled:
+            self.collector.count("service.batches")
+            self.collector.count("service.batch_queries", len(prepared))
+        with Stopwatch() as watch:
+            if serial:
+                for position in order:
+                    outcomes[position] = self._search_terms(
+                        prepared[position], k, algorithm, semantics,
+                        None, False, sanitize)
+            elif executor == "thread":
+                self._run_threads(outcomes, order, prepared, k,
+                                  algorithm, semantics, sanitize, width)
+            else:
+                self._run_processes(outcomes, order, prepared, k,
+                                    algorithm, semantics, sanitize,
+                                    width)
+        stats: Dict[str, object] = {
+            "queries": len(prepared),
+            "distinct_term_sets":
+                len({tuple(terms) for terms in prepared}),
+            "executor": "serial" if serial else executor,
+            "workers": 1 if serial else width,
+            "k": k,
+            "algorithm": algorithm.value,
+            "semantics": semantics,
+            "cache": self.cache_stats(),
+        }
+        _log.debug("batch: %d queries (%s distinct term sets) via %s "
+                   "x%s in %.1f ms", stats["queries"],
+                   stats["distinct_term_sets"], stats["executor"],
+                   stats["workers"], watch.elapsed_ms)
+        # Every input position was executed exactly once (order is a
+        # permutation of range(len(prepared))), so the list is dense.
+        return BatchOutcome(
+            outcomes=[outcome for outcome in outcomes
+                      if outcome is not None],
+            elapsed_ms=watch.elapsed_ms, stats=stats)
+
+    def _run_threads(self, outcomes: List[Optional[SearchOutcome]],
+                     order: List[int], prepared: List[List[str]],
+                     k: int, algorithm: Algorithm, semantics: str,
+                     sanitize: Optional[bool], width: int) -> None:
+        """Contiguous chunks of the sorted order, one thread each.
+
+        Chunking (instead of one task per query) keeps each thread on
+        neighbouring term sets, so the sort's cache locality survives
+        the fan-out.  The caches are lock-guarded, so sharing this
+        service across the pool is safe.
+        """
+        chunks = _chunked(order, width)
+
+        def run(chunk: List[int]) -> List[SearchOutcome]:
+            return [self._search_terms(prepared[position], k, algorithm,
+                                       semantics, None, False, sanitize)
+                    for position in chunk]
+
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            for chunk, results in zip(chunks, pool.map(run, chunks)):
+                for position, outcome in zip(chunk, results):
+                    outcomes[position] = outcome
+
+    def _run_processes(self, outcomes: List[Optional[SearchOutcome]],
+                       order: List[int], prepared: List[List[str]],
+                       k: int, algorithm: Algorithm, semantics: str,
+                       sanitize: Optional[bool], width: int) -> None:
+        """Contiguous chunks across a process pool.
+
+        Each worker parses the serialised document once (pool
+        initializer), builds its own index and caches, and serves its
+        whole chunk — the parse cost is amortised over the chunk, and
+        the CPU-bound table work runs truly in parallel.  Workers
+        return lightweight ``(code string, probability)`` pairs plus
+        JSON-safe stats; shipping :class:`~repro.prxml.model.PNode`
+        objects back would drag the whole document through pickle, so
+        the parent re-hydrates nodes from its own encoding instead.
+        """
+        from repro.prxml.serializer import serialize_pxml
+        payload = serialize_pxml(self._index.encoded.document)
+        chunks = _chunked(order, width)
+        jobs = [([prepared[position] for position in chunk], k,
+                 algorithm.value, semantics, sanitize)
+                for chunk in chunks]
+        capacity = self._caches.match_entries.capacity
+        encoded = self._index.encoded
+        with ProcessPoolExecutor(
+                max_workers=len(chunks), initializer=_process_init,
+                initargs=(payload, capacity)) as pool:
+            for chunk, rows in zip(chunks, pool.map(_process_chunk,
+                                                    jobs)):
+                for position, (codes, probs, stats) in zip(chunk, rows):
+                    results = []
+                    for text, probability in zip(codes, probs):
+                        code = DeweyCode.parse(text)
+                        results.append(SLCAResult(
+                            code=code, probability=probability,
+                            node=encoded.node_at(code)))
+                    outcomes[position] = SearchOutcome(results=results,
+                                                       stats=stats)
+
+    # -- cache management -----------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Cumulative per-cache counters (``match_entries``,
+        ``code_lists``, ``path_probs``, ``results``)."""
+        stats = self._caches.stats()
+        stats["results"] = self._results.stats()
+        return stats
+
+    def clear_caches(self) -> None:
+        """Drop every cached value (counters stay — cumulative)."""
+        self._caches.clear()
+        self._results.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryService(terms={len(self._index)}, "
+                f"cache_size={self._results.capacity})")
+
+
+def _replay(outcome: SearchOutcome) -> SearchOutcome:
+    """A fresh outcome sharing the cached (frozen) results.
+
+    The stats dict is deep-copied so callers can annotate their copy
+    without corrupting the cached one; ``stats["service"]`` marks the
+    replay.
+    """
+    stats = copy.deepcopy(outcome.stats)
+    stats["service"] = "result_cache"
+    return SearchOutcome(results=list(outcome.results), stats=stats)
+
+
+def _chunked(order: List[int], width: int) -> List[List[int]]:
+    """Split ``order`` into at most ``width`` contiguous chunks."""
+    count = max(1, min(width, len(order)))
+    size, extra = divmod(len(order), count)
+    chunks: List[List[int]] = []
+    start = 0
+    for position in range(count):
+        stop = start + size + (1 if position < extra else 0)
+        if stop > start:
+            chunks.append(order[start:stop])
+        start = stop
+    return chunks
+
+
+def load_query_file(path: str) -> List[List[str]]:
+    """Parse a batch query file: one query per line.
+
+    Keywords are whitespace-separated; blank lines and ``#`` comments
+    are skipped.  A file with no queries at all is rejected (an empty
+    batch is almost certainly a wrong path, not an intention).
+    """
+    queries: List[List[str]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            for line in source:
+                stripped = line.strip()
+                if not stripped or stripped.startswith("#"):
+                    continue
+                queries.append(stripped.split())
+    except OSError as error:
+        raise QueryError(f"cannot read query file {path}: "
+                         f"{error}") from error
+    if not queries:
+        raise QueryError(f"{path}: no queries (every line is blank or "
+                         f"a comment)")
+    return queries
+
+
+# -- process-pool worker side (module level: must be picklable) ---------------
+
+#: Per-worker state installed by :func:`_process_init`.
+_WORKER_STATE: Dict[str, object] = {}
+
+#: A worker's chunk: its term lists plus the fixed query shape.
+_Job = Tuple[List[List[str]], int, str, str, Optional[bool]]
+
+#: What a worker returns per query: result code strings, their
+#: probabilities, and JSON-safe stats.
+_Row = Tuple[List[str], List[float], Dict[str, object]]
+
+
+def _process_init(payload: str, cache_size: int) -> None:
+    """Pool initializer: build this worker's index and caches once."""
+    from repro.prxml.parser import parse_pxml
+    database = Database.from_document(parse_pxml(payload))
+    _WORKER_STATE["index"] = database.index
+    _WORKER_STATE["caches"] = QueryCaches(cache_size)
+
+
+def _process_chunk(job: _Job) -> List[_Row]:
+    """Serve one contiguous chunk inside a pool worker."""
+    term_lists, k, algorithm, semantics, sanitize = job
+    index = _WORKER_STATE["index"]
+    caches = _WORKER_STATE["caches"]
+    rows: List[_Row] = []
+    for terms in term_lists:
+        outcome = topk_search(index, terms, k, algorithm,
+                              semantics=semantics, sanitize=sanitize,
+                              caches=caches)
+        stats = {key: value for key, value in outcome.stats.items()
+                 if key not in ("trace", "estimates")}
+        rows.append(([str(result.code) for result in outcome.results],
+                     [result.probability for result in outcome.results],
+                     stats))
+    return rows

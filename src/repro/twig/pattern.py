@@ -41,14 +41,15 @@ CHILD, DESCENDANT = "/", "//"
 class TwigNode:
     """One pattern step: node tests plus axis-labelled children."""
 
-    __slots__ = ("label", "text_term", "text_exact", "axis", "children",
-                 "index")
+    __slots__ = ("label", "label_folded", "text_term", "text_exact",
+                 "axis", "children", "index")
 
     def __init__(self, label: str = "*", text_term: Optional[str] = None,
                  text_exact: Optional[str] = None, axis: str = DESCENDANT):
         if axis not in (CHILD, DESCENDANT):
             raise QueryError(f"bad axis {axis!r}")
         self.label = label
+        self.label_folded = label.lower()
         self.text_term = text_term.lower() if text_term else None
         self.text_exact = text_exact
         self.axis = axis
@@ -69,8 +70,13 @@ class TwigNode:
 
     def matches(self, node: PNode) -> bool:
         """Node-local test against an ordinary document node (also used
-        on instance nodes, which share .label/.text)."""
-        if self.label != "*" and node.label != self.label:
+        on instance nodes, which share .label/.text).
+
+        Label comparison is case-insensitive, mirroring
+        :meth:`repro.index.inverted.InvertedIndex.label_postings` — the
+        candidate lookup and this re-check must agree, or candidates
+        found by the index would be dropped here silently."""
+        if self.label != "*" and node.label.lower() != self.label_folded:
             return False
         if self.text_exact is not None:
             return (node.text or "") == self.text_exact

@@ -76,3 +76,33 @@ class TestResults:
         outcome = topk_search(figure1_db, ["k1"], k=4)
         assert len(list(outcome)) == len(outcome)
         assert len(outcome.codes()) == len(outcome.probabilities())
+
+
+class TestQueryValidation:
+    def test_k_must_be_positive_with_value_in_message(self, figure1_db):
+        with pytest.raises(QueryError, match="k must be positive, got -2"):
+            topk_search(figure1_db, ["k1"], k=-2)
+
+    def test_duplicate_keyword_rejected(self, figure1_db):
+        with pytest.raises(QueryError, match="duplicate query keyword"):
+            topk_search(figure1_db, ["k1", "k1"], k=3)
+
+    def test_case_variant_duplicate_rejected(self, figure1_db):
+        # "K1" and "k1" normalise to the same term: the query would
+        # silently collapse to fewer required keywords.
+        with pytest.raises(QueryError, match="'K1'.*'k1'"):
+            topk_search(figure1_db, ["k1", "K1"], k=3)
+
+    def test_multi_word_keywords_may_share_terms(self, figure1_db):
+        # Distinct keyword strings that merely overlap term-wise are
+        # fine; only identical normalised keyword tuples are rejected.
+        outcome = topk_search(figure1_db, ["k1 k2", "k2"], k=3)
+        assert len(outcome) >= 1
+
+    def test_unindexable_keyword_named_in_error(self, figure1_db):
+        with pytest.raises(QueryError, match="'!!'"):
+            topk_search(figure1_db, ["k1", "!!"], k=3)
+
+    def test_validate_query_returns_list(self):
+        from repro.core.api import validate_query
+        assert validate_query(iter(["a", "b"]), 5) == ["a", "b"]

@@ -114,3 +114,65 @@ class TestCli:
             capture_output=True, text=True, timeout=120)
         assert completed.returncode == 0
         assert "answer(s)" in completed.stdout
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("k1 k2\n# warm replay below\nk1 k2\nk1\n",
+                        encoding="utf-8")
+        return str(path)
+
+    def test_batch_over_database(self, tmp_path, pxml_file, query_file,
+                                 capsys):
+        database_dir = str(tmp_path / "db")
+        assert main(["index", pxml_file, database_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", database_dir, query_file, "-k", "3",
+                     "--cache-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queries (2 distinct term sets)" in out
+        assert "cache results: 1 hits" in out
+
+    def test_batch_with_workers_and_metrics(self, tmp_path, pxml_file,
+                                            query_file, capsys):
+        import json as json_module
+        from repro.obs import validate_report
+        metrics = str(tmp_path / "batch.json")
+        assert main(["batch", pxml_file, query_file, "--workers", "2",
+                     "--executor", "thread", "--sanitize",
+                     "--metrics-json", metrics]) == 0
+        assert "metrics report written" in capsys.readouterr().out
+        with open(metrics, encoding="utf-8") as handle:
+            report = validate_report(json_module.load(handle))
+        assert report["stats"]["queries"] == 3
+        assert report["query"]["keywords"] == ["k1 k2", "k1 k2", "k1"]
+
+    def test_batch_rejects_empty_query_file(self, tmp_path, pxml_file,
+                                            capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n", encoding="utf-8")
+        assert main(["batch", pxml_file, str(path)]) == 1
+        assert "no queries" in capsys.readouterr().err
+
+    def test_batch_rejects_bad_query_line(self, tmp_path, pxml_file,
+                                          capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("k1 K1\n", encoding="utf-8")
+        assert main(["batch", pxml_file, str(path)]) == 1
+        assert "duplicate query keyword" in capsys.readouterr().err
+
+
+class TestSearchValidation:
+    def test_invalid_k_reported(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "k1", "-k", "0"]) == 1
+        assert "k must be positive" in capsys.readouterr().err
+
+    def test_duplicate_keyword_reported(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "k1", "K1"]) == 1
+        assert "duplicate query keyword" in capsys.readouterr().err
+
+    def test_unindexable_keyword_reported(self, pxml_file, capsys):
+        assert main(["search", pxml_file, "..."]) == 1
+        assert "no indexable terms" in capsys.readouterr().err

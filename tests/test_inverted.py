@@ -97,3 +97,30 @@ class TestInvertedIndex:
                                {"bad": array("q", [3, 2])})
         with pytest.raises(IndexError_, match="increasing"):
             broken.check_integrity()
+
+
+class TestLabelCaseFolding:
+    def test_label_lookup_case_insensitive(self):
+        from repro import DocumentBuilder, encode_document
+        builder = DocumentBuilder("Library")
+        builder.leaf("Book", text="one")
+        builder.leaf("book", text="two")
+        index = build_index(encode_document(builder.build()))
+        # Both tag spellings land in one folded bucket, and any lookup
+        # case finds it — matching the term postings' behaviour.
+        assert len(index.label_postings("book")) == 2
+        assert len(index.label_postings("Book")) == 2
+        assert len(index.label_postings("BOOK")) == 2
+
+    def test_caller_supplied_map_is_folded(self, library_index):
+        rebuilt = InvertedIndex(
+            library_index.encoded, dict(library_index.raw_postings()),
+            label_postings={"BOOK": array("q", [1])})
+        assert list(rebuilt.label_postings("book")) == [1]
+        assert list(rebuilt.label_postings("Book")) == [1]
+
+    def test_default_map_derived_from_document(self, library_index):
+        rebuilt = InvertedIndex(library_index.encoded,
+                                dict(library_index.raw_postings()))
+        assert list(rebuilt.label_postings("book")) == \
+            list(library_index.label_postings("book"))

@@ -42,3 +42,17 @@ class TestSerializerDetails:
         assert "<MUX" not in text
         kinds = {node.node_type for node in fragment_doc}
         assert NodeType.MUX in kinds
+
+
+class TestExactProbabilityRoundTrip:
+    def test_high_precision_probs_survive(self):
+        from repro import DocumentBuilder
+        builder = DocumentBuilder("r")
+        with builder.ind(prob=0.123456789012345):
+            builder.leaf("a", text="k1", prob=1 / 3)
+        document = builder.build()
+        reparsed = parse_pxml(serialize_pxml(document))
+        ind = document.root.children[0]
+        ind2 = reparsed.root.children[0]
+        assert ind2.edge_prob == ind.edge_prob
+        assert ind2.children[0].edge_prob == ind.children[0].edge_prob

@@ -1,0 +1,225 @@
+"""Tests for the query service: caching, batching, executors."""
+
+import random
+
+import pytest
+
+from repro import topk_search
+from repro.exceptions import QueryError
+from repro.obs import MetricsCollector
+from repro.service import QueryService, load_query_file
+from repro.service.service import _chunked
+
+
+def signature(outcome):
+    return [(str(result.code), result.probability)
+            for result in outcome.results]
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("algorithm,semantics", [
+        ("prstack", "slca"), ("eager", "slca"),
+        ("prstack", "elca"), ("possible_worlds", "slca")])
+    def test_cold_warm_and_plain_identical(self, figure1_db, algorithm,
+                                           semantics):
+        service = QueryService(figure1_db)
+        plain = topk_search(figure1_db, ["k1", "k2"], 3, algorithm,
+                            semantics=semantics)
+        cold = service.search(["k1", "k2"], 3, algorithm,
+                              semantics=semantics)
+        # Reversed keyword order canonicalises to the same term set,
+        # so this replays the cached outcome.
+        warm = service.search(["k2", "k1"], 3, algorithm,
+                              semantics=semantics)
+        assert signature(cold) == signature(plain)
+        assert signature(warm) == signature(plain)
+        assert "service" not in cold.stats
+        assert warm.stats["service"] == "result_cache"
+
+    def test_replay_does_not_alias_stats(self, figure1_db):
+        service = QueryService(figure1_db)
+        service.search(["k1"], 2)
+        first = service.search(["k1"], 2)
+        first.stats["scribble"] = True
+        second = service.search(["k1"], 2)
+        assert "scribble" not in second.stats
+
+    def test_instrumented_query_bypasses_result_cache(self, figure1_db):
+        service = QueryService(figure1_db)
+        service.search(["k1", "k2"], 3)
+        collector = MetricsCollector()
+        outcome = service.search(["k1", "k2"], 3, collector=collector)
+        assert "service" not in outcome.stats
+        assert outcome.stats["metrics"]["counters"]
+
+    def test_sanitized_query_really_runs(self, figure1_db):
+        service = QueryService(figure1_db)
+        service.search(["k1", "k2"], 3)
+        outcome = service.search(["k1", "k2"], 3, sanitize=True)
+        assert "service" not in outcome.stats
+        assert outcome.stats["sanitizer"]["checks"] > 0
+        assert signature(outcome) == \
+            signature(service.search(["k1", "k2"], 3))
+
+    def test_topk_search_delegates_to_service(self, figure1_db):
+        service = QueryService(figure1_db)
+        first = topk_search(service, ["k1", "k2"], 3)
+        again = topk_search(service, ["k1", "k2"], 3)
+        assert signature(first) == \
+            signature(topk_search(figure1_db, ["k1", "k2"], 3))
+        assert again.stats["service"] == "result_cache"
+
+    def test_validation_applies(self, figure1_db):
+        service = QueryService(figure1_db)
+        with pytest.raises(QueryError, match="must be positive"):
+            service.search(["k1"], 0)
+        with pytest.raises(QueryError, match="duplicate"):
+            service.search(["k1", "K1"], 3)
+        with pytest.raises(QueryError, match="no indexable terms"):
+            service.search(["..."], 3)
+
+
+class TestEviction:
+    def test_tiny_cache_evicts_and_stays_correct(self, figure1_db):
+        service = QueryService(figure1_db, cache_size=1)
+        queries = [["k1"], ["k2"], ["k1", "k2"], ["k1"], ["k2"]]
+        for query in queries:
+            got = service.search(query, 3)
+            assert signature(got) == \
+                signature(topk_search(figure1_db, query, 3))
+        stats = service.cache_stats()
+        assert stats["results"]["evictions"] > 0
+        assert stats["results"]["size"] <= 1
+        assert stats["match_entries"]["capacity"] == 1
+
+    def test_invalid_capacity_rejected(self, figure1_db):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryService(figure1_db, cache_size=0)
+
+    def test_clear_caches(self, figure1_db):
+        service = QueryService(figure1_db)
+        service.search(["k1"], 3)
+        service.search(["k1"], 3)
+        assert service.cache_stats()["results"]["size"] == 1
+        service.clear_caches()
+        stats = service.cache_stats()
+        assert stats["results"]["size"] == 0
+        assert stats["match_entries"]["size"] == 0
+        assert stats["path_probs"]["size"] == 0
+        # Still answers correctly after the flush.
+        assert signature(service.search(["k1"], 3)) == \
+            signature(topk_search(figure1_db, ["k1"], 3))
+
+
+class TestBatch:
+    QUERIES = [["k1", "k2"], ["k1"], "k2 k1", ["k2"], ["k1", "k2"],
+               ["k1"]]
+
+    def expected(self, db, k=3):
+        out = []
+        for query in self.QUERIES:
+            keywords = query.split() if isinstance(query, str) \
+                else query
+            out.append(signature(topk_search(db, keywords, k)))
+        return out
+
+    def test_batch_matches_per_query_loop(self, figure1_db):
+        service = QueryService(figure1_db)
+        batch = service.batch_search(self.QUERIES, k=3)
+        assert len(batch) == len(self.QUERIES)
+        assert [signature(outcome) for outcome in batch] == \
+            self.expected(figure1_db)
+        assert batch.stats["queries"] == len(self.QUERIES)
+        assert batch.stats["distinct_term_sets"] == 3
+        assert batch.stats["executor"] == "serial"
+        assert batch.elapsed_ms >= 0
+
+    def test_thread_executor_matches(self, figure1_db):
+        service = QueryService(figure1_db)
+        batch = service.batch_search(self.QUERIES, k=3, workers=3,
+                                     executor="thread")
+        assert [signature(outcome) for outcome in batch] == \
+            self.expected(figure1_db)
+        assert batch.stats["executor"] == "thread"
+        assert batch.stats["workers"] == 3
+
+    def test_process_executor_matches(self, figure1_db):
+        service = QueryService(figure1_db)
+        batch = service.batch_search(self.QUERIES, k=3, workers=2,
+                                     executor="process")
+        assert [signature(outcome) for outcome in batch] == \
+            self.expected(figure1_db)
+        assert batch.stats["executor"] == "process"
+        for outcome in batch:
+            assert all(result.node is not None
+                       for result in outcome.results)
+
+    def test_batch_oracle_on_random_documents(self, pdoc_factory):
+        # Batch answers must equal the independent per-query loop on
+        # documents the service has never seen (the oracle cross-check
+        # of the issue), including under sanitize.
+        for seed in (11, 29, 47):
+            document = pdoc_factory(seed, max_nodes=16)
+            service = QueryService(document, cache_size=2)
+            batch = service.batch_search(self.QUERIES, k=4,
+                                         sanitize=True)
+            assert [signature(outcome) for outcome in batch] == \
+                self.expected(document, k=4), seed
+
+    def test_empty_batch(self, figure1_db):
+        batch = QueryService(figure1_db).batch_search([], k=3)
+        assert len(batch) == 0
+        assert batch.stats["queries"] == 0
+
+    def test_invalid_query_fails_whole_batch(self, figure1_db):
+        service = QueryService(figure1_db)
+        with pytest.raises(QueryError, match="duplicate"):
+            service.batch_search([["k1"], ["k2", "K2"]], k=3)
+
+    def test_invalid_executor_and_workers(self, figure1_db):
+        service = QueryService(figure1_db)
+        with pytest.raises(QueryError, match="unknown batch executor"):
+            service.batch_search([["k1"]], executor="fiber")
+        with pytest.raises(QueryError, match="workers"):
+            service.batch_search([["k1"]], workers=-1)
+
+    def test_collector_sees_cache_traffic(self, figure1_db):
+        collector = MetricsCollector()
+        service = QueryService(figure1_db, collector=collector)
+        service.batch_search(self.QUERIES, k=3)
+        counters = collector.snapshot()["counters"]
+        assert counters["service.batches"] == 1
+        assert counters["service.batch_queries"] == len(self.QUERIES)
+        assert counters["service.cache.results.hits"] > 0
+        assert counters["service.cache.match_entries.misses"] > 0
+
+
+class TestChunking:
+    def test_chunks_cover_and_preserve_order(self):
+        order = list(range(10))
+        random.Random(3).shuffle(order)
+        for width in (1, 2, 3, 7, 10, 25):
+            chunks = _chunked(order, width)
+            assert [i for chunk in chunks for i in chunk] == order
+            assert len(chunks) == min(width, len(order))
+
+    def test_empty_order(self):
+        assert _chunked([], 4) == []
+
+
+class TestQueryFile:
+    def test_parses_skipping_blanks_and_comments(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("k1 k2\n\n# a comment\n  k2  \n",
+                        encoding="utf-8")
+        assert load_query_file(str(path)) == [["k1", "k2"], ["k2"]]
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("# nothing\n\n", encoding="utf-8")
+        with pytest.raises(QueryError, match="no queries"):
+            load_query_file(str(path))
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(QueryError, match="cannot read"):
+            load_query_file(str(tmp_path / "absent.txt"))

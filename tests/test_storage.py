@@ -81,3 +81,60 @@ class TestSaveLoad:
             handle.write(json.dumps({"t": "extra", "ids": [0]}) + "\n")
         with pytest.raises(StorageError, match="terms"):
             load_database(directory)
+
+
+class TestPersistenceHardening:
+    def test_non_ascii_terms_round_trip(self, tmp_path):
+        from repro import DocumentBuilder
+        builder = DocumentBuilder("menu")
+        builder.leaf("dish", text="Café Crème")
+        builder.leaf("dish", text="Smørrebrød")
+        database = Database.from_document(builder.build())
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        raw = (directory / "postings.jsonl").read_text(encoding="utf-8")
+        assert "café" in raw and "\\u" not in raw
+        loaded = load_database(directory)
+        assert list(loaded.index.postings("café")) == \
+            list(database.index.postings("café"))
+        assert list(loaded.index.postings("smørrebrød")) == \
+            list(database.index.postings("smørrebrød"))
+
+    def test_save_rejects_empty_posting_list(self, database, tmp_path):
+        database.index.raw_postings()["ghost"] = \
+            database.index.raw_postings()["k1"][:0]
+        with pytest.raises(StorageError, match="'ghost'"):
+            save_database(database, tmp_path / "db")
+
+    def test_load_rejects_empty_posting_list(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        postings_path = os.path.join(directory, "postings.jsonl")
+        with open(postings_path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[0] = json.dumps({"t": "ghost", "ids": []}) + "\n"
+        with open(postings_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(StorageError,
+                           match=r"postings\.jsonl:1.*'ghost'.*empty"):
+            load_database(directory)
+
+    def test_load_rejects_non_string_term(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        postings_path = os.path.join(directory, "postings.jsonl")
+        with open(postings_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"t": 7, "ids": [0]}) + "\n")
+        with pytest.raises(StorageError, match="not a string"):
+            load_database(directory)
+
+    def test_load_rejects_duplicate_term(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        postings_path = os.path.join(directory, "postings.jsonl")
+        with open(postings_path, encoding="utf-8") as handle:
+            first = handle.readline()
+        with open(postings_path, "a", encoding="utf-8") as handle:
+            handle.write(first)
+        with pytest.raises(StorageError, match="appears twice"):
+            load_database(directory)

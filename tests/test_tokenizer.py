@@ -1,6 +1,9 @@
 """Unit tests for tokenisation and query normalisation."""
 
+import pytest
+
 from repro import NodeType, PNode
+from repro.exceptions import QueryError
 from repro.index.tokenizer import node_terms, normalize_query, tokenize
 
 
@@ -45,4 +48,12 @@ class TestNormalizeQuery:
 
     def test_empty_query(self):
         assert normalize_query([]) == []
-        assert normalize_query(["..."]) == []
+
+    def test_unindexable_keyword_rejected(self):
+        with pytest.raises(QueryError, match="no indexable terms"):
+            normalize_query(["..."])
+        with pytest.raises(QueryError, match="'---'"):
+            normalize_query(["united", "---"])
+
+    def test_non_ascii_terms_survive(self):
+        assert normalize_query(["Café Müller"]) == ["café", "müller"]

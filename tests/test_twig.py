@@ -173,3 +173,17 @@ class TestAgainstOracle:
                     (seed, text, node_id)
             assert twig_match_probability(database.index, pattern) == \
                 pytest.approx(match_anywhere), (seed, text)
+
+
+class TestLabelCaseInsensitivity:
+    def test_pattern_matches_differently_cased_tags(self):
+        builder = DocumentBuilder("Movies")
+        with builder.element("Movie"):
+            builder.leaf("Title", text="paris texas")
+        database = Database.from_document(builder.build())
+        for pattern in ('movie[title ~ "texas"]',
+                        'MOVIE[TITLE ~ "texas"]'):
+            outcome = topk_twig_search(database.index, pattern, k=5)
+            assert len(outcome) == 1, pattern
+            assert outcome.results[0].probability == \
+                pytest.approx(1.0)
