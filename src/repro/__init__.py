@@ -39,6 +39,8 @@ from repro.prxml import (DocumentBuilder, NodeType, PDocument, PNode,
                          document_stats, enumerate_possible_worlds,
                          parse_pxml, parse_pxml_file, sample_possible_world,
                          serialize_pxml, validate_document, write_pxml_file)
+from repro.resilience import (CircuitBreaker, Deadline, Fault,
+                              FaultInjector, RetryPolicy, parse_faults)
 from repro.service import BatchOutcome, QueryService, load_query_file
 from repro.twig import (TwigPattern, parse_twig, topk_twig_search,
                         twig_match_probability)
@@ -65,6 +67,9 @@ __all__ = [
     "save_database", "load_database",
     # serving (docs/SERVICE.md)
     "QueryService", "BatchOutcome", "load_query_file",
+    # resilience (docs/RESILIENCE.md)
+    "Deadline", "RetryPolicy", "CircuitBreaker", "Fault",
+    "FaultInjector", "parse_faults",
     # twig queries
     "TwigPattern", "parse_twig", "topk_twig_search",
     "twig_match_probability",

@@ -8,6 +8,9 @@ Subcommands::
     repro search site.db united states graduate -k 10
     repro search site.db united states --profile --metrics-json m.json
     repro batch site.db queries.txt --workers 4 --cache-size 128
+    repro batch site.db queries.txt --deadline-ms 50 --max-retries 2
+    repro batch site.db queries.txt --faults 'worker_crash:times=1' \
+        --workers 2 --executor process
     repro explain site.db --code 1.2.3 united states graduate
     repro twig site.db 'person[profile/education ~ "graduate"]'
     repro worlds small.pxml
@@ -99,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run under the runtime invariant sanitizer "
                              "(docs/ANALYSIS.md); also enabled by "
                              "REPRO_SANITIZE=1")
+    search.add_argument("--deadline-ms", type=float, default=None,
+                        metavar="MS", dest="deadline_ms",
+                        help="per-query wall-clock budget; on expiry "
+                             "the heap so far comes back marked "
+                             "partial (docs/RESILIENCE.md)")
 
     batch = commands.add_parser(
         "batch", help="run a query batch through one shared "
@@ -130,6 +138,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--sanitize", action="store_true",
                        help="run every query under the runtime "
                             "invariant sanitizer (docs/ANALYSIS.md)")
+    batch.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS", dest="deadline_ms",
+                       help="per-query wall-clock budget; expired "
+                            "queries return partial anytime answers "
+                            "(docs/RESILIENCE.md)")
+    batch.add_argument("--max-retries", type=int, default=2,
+                       metavar="N", dest="max_retries",
+                       help="recovery attempts per failed query "
+                            "before it becomes an error outcome "
+                            "(default 2)")
+    batch.add_argument("--faults", metavar="SPEC", default=None,
+                       help="deterministic fault injection spec, e.g. "
+                            "'worker_crash:times=1' — for testing the "
+                            "degradation chain (docs/RESILIENCE.md); "
+                            "also via REPRO_FAULTS")
+    batch.add_argument("--faults-seed", type=int, default=0,
+                       metavar="N", dest="faults_seed",
+                       help="seed for probabilistic (rate=) faults")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -233,9 +259,15 @@ def _cmd_search(options) -> int:
                               options.algorithm,
                               semantics=options.semantics,
                               collector=collector,
-                              sanitize=True if options.sanitize else None)
+                              sanitize=True if options.sanitize else None,
+                              deadline=options.deadline_ms)
+    marker = (f" [PARTIAL: {outcome.termination_reason}]"
+              if outcome.partial else "")
     print(f"{len(outcome)} answer(s) in {watch.elapsed_ms:.1f} ms "
-          f"({options.algorithm}, {options.semantics})")
+          f"({options.algorithm}, {options.semantics}){marker}")
+    if outcome.partial:
+        print("partial anytime answer: each probability is exact for "
+              "its node; more answers may exist (docs/RESILIENCE.md)")
     sanitizer_summary = outcome.stats.get("sanitizer")
     if sanitizer_summary:
         print(f"sanitizer: {sanitizer_summary['checks']} checks, "
@@ -263,17 +295,22 @@ def _cmd_search(options) -> int:
 
 def _cmd_batch(options) -> int:
     from repro.core.result import SearchOutcome
+    from repro.resilience import parse_faults
     from repro.service import QueryService, load_query_file
     queries = load_query_file(options.queries)
     database = _open_database(options.source)
     collector = MetricsCollector()
     service = QueryService(database, cache_size=options.cache_size,
                            collector=collector)
+    faults = (parse_faults(options.faults, seed=options.faults_seed)
+              if options.faults else None)
     batch = service.batch_search(
         queries, k=options.k, algorithm=options.algorithm,
         semantics=options.semantics, workers=options.workers,
         executor=options.executor,
-        sanitize=True if options.sanitize else None)
+        sanitize=True if options.sanitize else None,
+        deadline_ms=options.deadline_ms,
+        max_retries=options.max_retries, faults=faults)
     stats = batch.stats
     print(f"{len(batch)} queries ({stats['distinct_term_sets']} "
           f"distinct term sets) in {batch.elapsed_ms:.1f} ms "
@@ -285,10 +322,21 @@ def _cmd_batch(options) -> int:
         print(f"cache {name}: {counters['hits']} hits, "
               f"{counters['misses']} misses, "
               f"{counters['evictions']} evictions")
+    resilience = stats["resilience"]
+    flagged = {name: value for name, value in resilience.items()
+               if isinstance(value, int) and value
+               and name not in ("max_retries", "deadline_ms")}
+    if flagged:
+        print("resilience: " + ", ".join(
+            f"{name}={value}" for name, value in sorted(flagged.items())))
     for query, outcome in zip(queries, batch):
         top = outcome.results[0] if outcome.results else None
         answer = (f"top Pr={top.probability:.6f} <{top.label}> "
                   f"{top.code}" if top else "no answers")
+        if outcome.termination_reason == "error":
+            answer = f"ERROR: {outcome.stats.get('error', 'unknown')}"
+        elif outcome.partial:
+            answer += f" [partial: {outcome.termination_reason}]"
         print(f"  {' '.join(query)}: {len(outcome)} answer(s), "
               f"{answer}")
     if options.metrics_json:
@@ -430,6 +478,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        # Executor-backed commands shut their pools down on the way up
+        # (cancel_futures=True), so no worker is orphaned; report the
+        # conventional 128+SIGINT code instead of a raw traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -28,6 +28,8 @@ from repro.index.tokenizer import tokenize
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsCollector, NULL_COLLECTOR
 from repro.prxml.model import PDocument
+from repro.resilience.deadline import (Deadline, DeadlineLike,
+                                       as_deadline)
 
 _log = get_logger("core.api")
 
@@ -77,7 +79,9 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
                 collector: Optional[MetricsCollector] = None,
                 trace: bool = False,
                 sanitize: Optional[bool] = None,
-                caches: CachesLike = NULL_CACHES) -> SearchOutcome:
+                caches: CachesLike = NULL_CACHES,
+                deadline: "Optional[Union[Deadline, DeadlineLike, float, int]]" = None
+                ) -> SearchOutcome:
     """Find the ``k`` ordinary nodes most likely to be SLCAs.
 
     Args:
@@ -123,6 +127,19 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             Dewey lists and path probabilities across queries
             (docs/SERVICE.md).  The default reuses nothing; a
             :class:`repro.service.QueryService` passes its own.
+        deadline: per-query execution budget (docs/RESILIENCE.md): a
+            :class:`repro.resilience.Deadline` or a plain number of
+            wall-clock milliseconds.  PrStack polls it per match entry
+            and EagerTopK per candidate; on expiry the current k-heap
+            comes back as an *anytime* answer with
+            ``outcome.partial == True`` and
+            ``outcome.termination_reason`` naming the exhausted budget
+            — never an exception.  Every returned probability is exact
+            for its node; the set is a rank-wise lower bound of the
+            converged answer.  The exhaustive ``possible_worlds``
+            oracle ignores deadlines (it exists to be exact).  The
+            default ``None`` never expires and returns byte-identical
+            results with ``partial == False``.
 
     Returns:
         A :class:`SearchOutcome`; ``outcome.results`` are sorted by
@@ -137,7 +154,9 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
         # ad-hoc and batched traffic.
         return source.search(keywords, k, algorithm=algorithm,
                              semantics=semantics, collector=collector,
-                             trace=trace, sanitize=sanitize)
+                             trace=trace, sanitize=sanitize,
+                             deadline=deadline)
+    deadline = as_deadline(deadline)
     if collector is None:
         collector = MetricsCollector(trace=True) if trace \
             else NULL_COLLECTOR
@@ -166,12 +185,13 @@ def topk_search(source: Source, keywords: Iterable[str], k: int = 10,
             outcome = prstack_search(index, keywords, k, elca=elca,
                                      collector=collector,
                                      sanitizer=sanitizer,
-                                     caches=caches)
+                                     caches=caches, deadline=deadline)
         elif algorithm is Algorithm.EAGER:
             outcome = eager_topk_search(index, keywords, k,
                                         collector=collector,
                                         sanitizer=sanitizer,
-                                        caches=caches)
+                                        caches=caches,
+                                        deadline=deadline)
         else:
             outcome = possible_worlds_search(index, keywords, k,
                                              elca=elca,

@@ -57,6 +57,7 @@ from repro.index.matchlist import (MatchList, build_match_entries,
 from repro.obs.logging import get_logger
 from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.model import NodeType
+from repro.resilience.deadline import DeadlineLike, NULL_DEADLINE
 from repro.slca.indexed_lookup import indexed_lookup_eager
 
 _log = get_logger("core.eager")
@@ -147,7 +148,8 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
                       exact_ties: bool = True,
                       collector: Collector = NULL_COLLECTOR,
                       sanitizer: SanitizerLike = NULL_SANITIZER,
-                      caches: CachesLike = NULL_CACHES
+                      caches: CachesLike = NULL_CACHES,
+                      deadline: DeadlineLike = NULL_DEADLINE
                       ) -> SearchOutcome:
     """Top-k SLCA answers by probability, with eager bound pruning.
 
@@ -182,10 +184,17 @@ def eager_topk_search(index: InvertedIndex, keywords: Iterable[str],
             merged match entries, per-keyword Dewey lists and per-node
             path probabilities across queries on the same index
             (docs/SERVICE.md); the default reuses nothing.
+        deadline: per-query budget (docs/RESILIENCE.md), polled once
+            per candidate (seed or climbed ancestor).  On expiry the
+            climb stops and the k-heap comes back as a partial
+            outcome — the paper's algorithm is naturally *anytime*:
+            every harvested probability is already exact for its node,
+            so the partial heap is a rank-wise lower bound of the
+            converged answer.  The default never expires.
     """
     search = _EagerSearch(index, keywords, k, use_path_bounds,
                           use_node_bounds, exact_ties, collector,
-                          sanitizer, caches)
+                          sanitizer, caches, deadline)
     return search.run()
 
 
@@ -197,12 +206,14 @@ class _EagerSearch:
                  exact_ties: bool = True,
                  collector: Collector = NULL_COLLECTOR,
                  sanitizer: SanitizerLike = NULL_SANITIZER,
-                 caches: CachesLike = NULL_CACHES):
+                 caches: CachesLike = NULL_CACHES,
+                 deadline: DeadlineLike = NULL_DEADLINE):
         self.index = index
         self.keywords = list(keywords)
         self.collector = collector
         self.sanitizer = sanitizer
         self.caches = caches
+        self.deadline = deadline
         self.heap = TopKHeap(k, collector=collector, sanitizer=sanitizer)
         self.use_path_bounds = use_path_bounds
         self.use_node_bounds = use_node_bounds
@@ -271,8 +282,11 @@ class _EagerSearch:
         # without ever sweeping their subtrees.
         seeds.sort(key=lambda code: (-self._path_prob(code),
                                      code.positions))
+        deadline = self.deadline
         with collector.time("eager.climb"):
             for seed in seeds:
+                if deadline.enabled and deadline.expired():
+                    return self._partial_outcome()
                 # A seed's own answer is capped by its path probability.
                 seed_cap = self._path_prob(seed)
                 if self.use_node_bounds and not self._worth_scoring(
@@ -283,6 +297,8 @@ class _EagerSearch:
                 self._process(seed)
 
             while self.candidates:
+                if deadline.enabled and deadline.expired():
+                    return self._partial_outcome()
                 code = self._pop_most_promising()
                 if self._is_dead(code):
                     self.stats["pruning"]["dead_path_skips"] += 1
@@ -312,8 +328,37 @@ class _EagerSearch:
                     continue
                 self._process(code)
 
-        # Termination summary: how much of the match list the bounds
-        # let the search skip entirely (the paper's pruning win).
+        self._summarise_termination()
+        return SearchOutcome(results=self.heap.results(), stats=self.stats)
+
+    def _partial_outcome(self) -> SearchOutcome:
+        """The anytime answer after a deadline cut mid-climb.
+
+        The heap already holds exact probabilities for every node
+        harvested so far (regions are only ever added *fully*
+        evaluated), so the result set is returned as-is and marked
+        partial; unvisited candidates and unswept match entries are
+        simply abandoned.
+        """
+        self._summarise_termination()
+        self.stats["deadline"] = self.deadline.summary()
+        reason = self.deadline.reason
+        if self.collector.enabled:
+            self.collector.count("resilience.deadline_expired")
+            if self.collector.trace is not None:
+                self.collector.event("eager.deadline", reason=reason,
+                                     open_candidates=len(self.candidates))
+        _log.debug("eager: %s expired with %d candidates open; "
+                   "returning partial heap", reason,
+                   len(self.candidates))
+        return SearchOutcome(results=self.heap.results(),
+                             stats=self.stats, partial=True,
+                             termination_reason=reason)
+
+    def _summarise_termination(self) -> None:
+        """Counters of how much work the search did (or skipped) —
+        shared by converged and deadline-cut exits."""
+        collector = self.collector
         self.stats["entries_unconsumed"] = self.matches.remaining
         self.stats["regions_final"] = len(self.regions)
         self.stats["heap_threshold_final"] = self.heap.threshold
@@ -329,7 +374,6 @@ class _EagerSearch:
                 self.stats["candidates_pruned"],
                 self.stats["entries_consumed"],
                 self.stats["match_entries"])
-        return SearchOutcome(results=self.heap.results(), stats=self.stats)
 
     def _record_suspension(self, code: DeweyCode, bound: float) -> None:
         """Book-keep one node-bound suspension (sound Properties 4-5)."""

@@ -21,6 +21,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.matchlist import build_match_entries
 from repro.obs.logging import get_logger
 from repro.obs.metrics import Collector, NULL_COLLECTOR
+from repro.resilience.deadline import DeadlineLike, NULL_DEADLINE
 
 _log = get_logger("core.prstack")
 
@@ -29,7 +30,8 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
                    k: int = 10, elca: bool = False,
                    collector: Collector = NULL_COLLECTOR,
                    sanitizer: SanitizerLike = NULL_SANITIZER,
-                   caches: CachesLike = NULL_CACHES
+                   caches: CachesLike = NULL_CACHES,
+                   deadline: DeadlineLike = NULL_DEADLINE
                    ) -> SearchOutcome:
     """Top-k SLCA answers by probability, via one document-order scan.
 
@@ -51,6 +53,13 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
         caches: shared :class:`repro.index.cache.QueryCaches` reusing
             merged match entries across queries on the same index
             (docs/SERVICE.md); the default reuses nothing.
+        deadline: per-query budget (docs/RESILIENCE.md), polled once
+            per match entry.  On expiry the scan stops and the current
+            heap comes back as a partial outcome: every node finalised
+            (popped) before the cut has its *exact* probability, while
+            frames still open are dropped — finalising them early
+            would fabricate probabilities that ignore the unscanned
+            part of their subtrees.  The default never expires.
 
     Returns:
         A :class:`SearchOutcome` with ranked results and scan counters.
@@ -83,13 +92,25 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
     previous = None
     with collector.time("prstack.scan"):
         for entry in entries:
+            if deadline.enabled and deadline.expired():
+                outcome.partial = True
+                outcome.termination_reason = deadline.reason
+                break
             if sanitized:
                 sanitizer.check_order(previous, entry.code)
                 previous = entry.code
             engine.feed(StackItem(entry.code, entry.link, entry.mask))
             outcome.stats["entries_scanned"] += 1
-        engine.finish()
+        else:
+            engine.finish()
 
+    if outcome.partial:
+        outcome.stats["deadline"] = deadline.summary()
+        if collector.enabled:
+            collector.count("resilience.deadline_expired")
+        _log.debug("prstack: %s expired after %d/%d entries; returning "
+                   "partial heap", outcome.termination_reason,
+                   outcome.stats["entries_scanned"], len(entries))
     outcome.results = heap.results()
     outcome.stats["frames_pushed"] = engine.frames_pushed
     outcome.stats["frames_popped"] = engine.frames_popped

@@ -49,10 +49,23 @@ class SearchOutcome:
             ``stats["trace"]`` the live
             :class:`repro.obs.TraceRecorder` (see
             docs/OBSERVABILITY.md for the layout).
+        partial: True when the search stopped before convergence — a
+            :class:`repro.resilience.Deadline` expired mid-scan, or the
+            service substituted an error outcome for a failed query.
+            Partial results are a sound *anytime* answer: every
+            returned probability is exact for its node, and the set is
+            a rank-wise lower bound of the complete answer
+            (docs/RESILIENCE.md).  Always False for a converged search.
+        termination_reason: why the search stopped — ``"complete"``
+            (the default), ``"deadline"`` / ``"step_budget"`` (budget
+            expiry) or ``"error"`` (a service-layer error outcome; the
+            message is in ``stats["error"]``).
     """
 
     results: List[SLCAResult] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    partial: bool = False
+    termination_reason: str = "complete"
 
     def __iter__(self):
         return iter(self.results)

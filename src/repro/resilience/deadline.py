@@ -1,0 +1,196 @@
+"""Per-query deadlines: the budget object behind *anytime* answers.
+
+Both top-k algorithms are naturally anytime — PrStack's heap holds the
+exact probabilities of every node finalised so far, and EagerTopK's
+k-heap is a valid lower-bound answer whenever Properties 1-5 have not
+yet terminated the climb.  A :class:`Deadline` turns that property into
+an API: the engines poll it at scan-step granularity (one PrStack match
+entry, one EagerTopK candidate) and, on expiry, stop and return the
+current heap as an explicitly-marked partial
+:class:`~repro.core.result.SearchOutcome` (``outcome.partial`` is True
+and ``outcome.termination_reason`` names the exhausted budget) instead
+of raising.
+
+Two budgets are supported, separately or together:
+
+* ``budget_ms`` — wall-clock milliseconds, measured by the library's
+  one clock primitive (:class:`repro.obs.Stopwatch`) from the moment
+  the deadline is constructed;
+* ``max_steps`` — a deterministic operation budget: the deadline
+  expires on the ``max_steps + 1``-th poll.  Deterministic by
+  construction, which is what the partial-result tests pin down.
+
+:data:`NULL_DEADLINE` is the do-nothing default (the same null-object
+idiom as ``NULL_COLLECTOR`` / ``NULL_CACHES``): engines guard every
+poll on ``deadline.enabled``, so an un-deadlined query pays one class
+-attribute load per step and returns byte-identical results.
+
+See docs/RESILIENCE.md for the partial-result semantics and soundness
+argument (returned probabilities are exact per node; the heap is a
+rank-wise lower bound of the exact answer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.exceptions import QueryError
+from repro.obs.metrics import Stopwatch
+
+#: ``termination_reason`` of an outcome cut short by ``budget_ms``.
+REASON_DEADLINE = "deadline"
+
+#: ``termination_reason`` of an outcome cut short by ``max_steps``.
+REASON_STEP_BUDGET = "step_budget"
+
+#: ``termination_reason`` of a complete (non-partial) outcome.
+REASON_COMPLETE = "complete"
+
+
+class Deadline:
+    """One query's execution budget, polled by the engines per step.
+
+    Args:
+        budget_ms: wall-clock budget in milliseconds (the clock starts
+            at construction, so build the deadline as close to the
+            query as possible).
+        max_steps: deterministic step budget; the deadline reports
+            expiry once more than ``max_steps`` polls have happened.
+            ``0`` expires on the very first poll (useful for forcing
+            the empty partial answer).
+
+    At least one budget is required; when both are given, whichever
+    exhausts first wins and names :attr:`reason`.
+    """
+
+    enabled = True
+
+    __slots__ = ("budget_ms", "max_steps", "_watch", "_steps", "_reason")
+
+    def __init__(self, budget_ms: Optional[float] = None,
+                 max_steps: Optional[int] = None):
+        if budget_ms is None and max_steps is None:
+            raise QueryError(
+                "a Deadline needs a budget: pass budget_ms, max_steps "
+                "or both")
+        if budget_ms is not None and budget_ms <= 0:
+            raise QueryError(
+                f"deadline budget_ms must be positive, got {budget_ms}")
+        if max_steps is not None and max_steps < 0:
+            raise QueryError(
+                f"deadline max_steps must be non-negative, "
+                f"got {max_steps}")
+        self.budget_ms = None if budget_ms is None else float(budget_ms)
+        self.max_steps = max_steps
+        self._watch = Stopwatch().start()
+        self._steps = 0
+        self._reason: Optional[str] = None
+
+    @classmethod
+    def after_ms(cls, budget_ms: float) -> "Deadline":
+        """A pure wall-clock deadline, ``budget_ms`` from now."""
+        return cls(budget_ms=budget_ms)
+
+    def expired(self) -> bool:
+        """Poll the budget (counts as one step); sticky once True."""
+        if self._reason is not None:
+            return True
+        self._steps += 1
+        if self.max_steps is not None and self._steps > self.max_steps:
+            self._reason = REASON_STEP_BUDGET
+            return True
+        if self.budget_ms is not None \
+                and self._watch.elapsed_ms >= self.budget_ms:
+            self._reason = REASON_DEADLINE
+            return True
+        return False
+
+    @property
+    def reason(self) -> str:
+        """Which budget expired (:data:`REASON_COMPLETE` while alive)."""
+        return self._reason if self._reason is not None \
+            else REASON_COMPLETE
+
+    @property
+    def steps(self) -> int:
+        """How many times the deadline has been polled."""
+        return self._steps
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Wall-clock milliseconds since construction (live)."""
+        return self._watch.elapsed_ms
+
+    @property
+    def remaining_ms(self) -> float:
+        """Milliseconds left on the wall-clock budget (0 when spent,
+        ``inf`` for a pure step budget)."""
+        if self.budget_ms is None:
+            return float("inf")
+        return max(0.0, self.budget_ms - self._watch.elapsed_ms)
+
+    def summary(self) -> dict:
+        """JSON-safe description for ``outcome.stats`` blocks."""
+        return {"budget_ms": self.budget_ms,
+                "max_steps": self.max_steps,
+                "steps": self._steps,
+                "elapsed_ms": round(self._watch.elapsed_ms, 3),
+                "reason": self.reason}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Deadline(budget_ms={self.budget_ms}, "
+                f"max_steps={self.max_steps}, reason={self.reason!r})")
+
+
+class NullDeadline:
+    """The do-nothing deadline: the default on every query path.
+
+    ``enabled`` is False so hot loops skip the poll entirely;
+    ``expired()`` stays False forever for any caller that polls anyway.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def expired(self) -> bool:
+        return False
+
+    @property
+    def reason(self) -> str:
+        return REASON_COMPLETE
+
+    @property
+    def remaining_ms(self) -> float:
+        return float("inf")
+
+
+#: Shared no-op instance; engine signatures default ``deadline`` to this.
+NULL_DEADLINE = NullDeadline()
+
+#: What engine signatures accept: a live deadline or the no-op.
+DeadlineLike = Union[Deadline, NullDeadline]
+
+
+def as_deadline(value: "Union[Deadline, NullDeadline, float, int, None]"
+                ) -> DeadlineLike:
+    """Coerce the public API's ``deadline=`` argument.
+
+    ``None`` means no deadline; a number is a wall-clock budget in
+    milliseconds; a :class:`Deadline` (already ticking) passes through.
+    Anything else is a caller error, reported as a
+    :class:`~repro.exceptions.QueryError` at the API boundary.
+    """
+    if value is None:
+        return NULL_DEADLINE
+    if isinstance(value, (Deadline, NullDeadline)):
+        return value
+    if isinstance(value, bool):
+        raise QueryError(
+            f"deadline must be a Deadline or a millisecond budget, "
+            f"got {value!r}")
+    if isinstance(value, (int, float)):
+        return Deadline(budget_ms=float(value))
+    raise QueryError(
+        f"deadline must be a Deadline or a millisecond budget, "
+        f"got {type(value).__name__}")

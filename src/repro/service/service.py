@@ -10,7 +10,8 @@ repeating per-query preparation work:
   every search it runs;
 * a result-level LRU replays whole answers for repeated
   ``(terms, k, algorithm, semantics)`` queries, bypassed whenever the
-  caller instruments or sanitizes the query (those must really run);
+  caller instruments, sanitizes or deadlines the query (those must
+  really run);
 * :meth:`QueryService.batch_search` executes many queries through the
   shared caches, sorting the execution order by term set so cache
   neighbours run back to back, optionally fanning out over
@@ -19,6 +20,21 @@ repeating per-query preparation work:
   their own index copy once and then amortise it over their chunk
   (right for CPU-bound cold PrStack/EagerTopK work, which the GIL
   serialises under threads).
+
+Batches degrade gracefully instead of failing wholesale
+(docs/RESILIENCE.md): every query gets a per-query ``deadline_ms``
+budget (expiry yields a marked *partial* outcome, never an exception),
+a crashed or broken process-pool chunk is harvested around — completed
+chunks keep their results — and its queries are retried down the
+degradation chain (thread pool, then serial, then a per-query *error
+outcome*), paced by :class:`repro.resilience.RetryPolicy` and guarded
+by a :class:`repro.resilience.CircuitBreaker` that stops re-spawning a
+repeatedly-dying pool.  A seeded
+:class:`repro.resilience.FaultInjector` (or the ``REPRO_FAULTS``
+environment variable) can strike any of those failure paths
+deterministically; everything is reported as ``resilience.*`` counters
+through :mod:`repro.obs` and a ``resilience`` block in the batch
+stats.
 
 Keyword order is canonicalised (terms are sorted) before any cache is
 consulted, so ``["a", "b"]`` and ``["b", "a"]`` hit the same entries —
@@ -29,9 +45,12 @@ depend on term order.  See docs/SERVICE.md for the full architecture.
 from __future__ import annotations
 
 import copy
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import (BrokenExecutor, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor)
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.analysis.sanitizer import sanitize_from_env
 from repro.core.api import (Algorithm, Source, _as_index,
@@ -47,6 +66,13 @@ from repro.index.tokenizer import normalize_query
 from repro.obs.logging import get_logger
 from repro.obs.metrics import (Collector, MetricsCollector,
                                NULL_COLLECTOR, Stopwatch)
+from repro.resilience.deadline import (Deadline, DeadlineLike,
+                                       REASON_DEADLINE,
+                                       REASON_STEP_BUDGET)
+from repro.resilience.faults import (FaultsLike, NULL_FAULTS,
+                                     faults_from_env, parse_faults)
+from repro.resilience.retry import (CircuitBreaker, DEFAULT_BACKOFF_MS,
+                                    DEFAULT_MAX_RETRIES, RetryPolicy)
 
 _log = get_logger("service")
 
@@ -57,6 +83,9 @@ Query = Union[str, Sequence[str]]
 #: Executor choices understood by :meth:`QueryService.batch_search`.
 EXECUTORS = ("serial", "thread", "process")
 
+#: ``termination_reason`` of a service-synthesised error outcome.
+REASON_ERROR = "error"
+
 
 @dataclass
 class BatchOutcome:
@@ -65,11 +94,17 @@ class BatchOutcome:
     Attributes:
         outcomes: one :class:`SearchOutcome` per input query, aligned
             with the input order (execution order is the service's
-            business, not the caller's).
+            business, not the caller's).  A query that exhausted its
+            deadline is marked ``partial`` with its heap so far; a
+            query whose every retry failed is an *error outcome* —
+            empty results, ``termination_reason == "error"`` and the
+            message in ``stats["error"]`` — never a raised traceback.
         elapsed_ms: wall time of the whole batch.
         stats: batch-level counters — query counts, distinct term
-            sets, executor/worker shape, and the service's cumulative
-            cache counters after the batch.
+            sets, executor/worker shape, the service's cumulative
+            cache counters after the batch, and a ``resilience`` block
+            (retries, degradations, deadline expiries, breaker state;
+            docs/RESILIENCE.md).
     """
 
     outcomes: List[SearchOutcome]
@@ -81,6 +116,50 @@ class BatchOutcome:
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+
+class _ResilienceTracker:
+    """Thread-safe counters for one batch's failure handling.
+
+    Every bump is mirrored to the service collector as a
+    ``resilience.<name>`` counter, so a metrics report shows the same
+    numbers the batch stats block does.
+    """
+
+    FIELDS = ("retries", "recovered_queries", "query_errors",
+              "deadline_expired", "worker_crashes", "chunk_failures",
+              "chunk_failure_queries", "pool_spawn_failures",
+              "degraded_to_thread", "degraded_to_serial",
+              "circuit_open_skips")
+
+    __slots__ = ("counts", "collector", "_lock")
+
+    def __init__(self, collector: Collector):
+        self.counts: Dict[str, int] = {name: 0 for name in self.FIELDS}
+        self.collector = collector
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counts[name] += value
+        if self.collector.enabled:
+            self.collector.count(f"resilience.{name}", value)
+
+    def note_partial(self, reason: str) -> None:
+        """Count a deadline-cut outcome (not error outcomes)."""
+        if reason in (REASON_DEADLINE, REASON_STEP_BUDGET):
+            self.bump("deadline_expired")
+
+    def summary(self, policy: RetryPolicy,
+                deadline_ms: Optional[float], breaker: CircuitBreaker,
+                injector: FaultsLike) -> Dict[str, object]:
+        block: Dict[str, object] = dict(self.counts)
+        block["max_retries"] = policy.max_retries
+        block["deadline_ms"] = deadline_ms
+        block["circuit_breaker"] = breaker.summary()
+        if injector.enabled:
+            block["faults"] = injector.summary()
+        return block
 
 
 class QueryService:
@@ -95,20 +174,28 @@ class QueryService:
             :class:`repro.index.cache.QueryCaches`).
         collector: service-level :class:`repro.obs.MetricsCollector`
             receiving cache hit/miss/eviction counters
-            (``service.cache.*``), query/batch counts and timings.
-            Distinct from a per-query collector passed to
-            :meth:`search`, which instruments that query alone and
-            bypasses the result cache.
+            (``service.cache.*``), query/batch counts and timings, and
+            the ``resilience.*`` failure-handling counters.  Distinct
+            from a per-query collector passed to :meth:`search`, which
+            instruments that query alone and bypasses the result
+            cache.
+        breaker: the :class:`repro.resilience.CircuitBreaker` guarding
+            process-pool respawns across this service's batches; the
+            default opens after 2 consecutive pool breakages and
+            half-opens after 30 s.
     """
 
     def __init__(self, source: Source,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 collector: Optional[Collector] = None):
+                 collector: Optional[Collector] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         self.collector = collector if collector is not None \
             else NULL_COLLECTOR
         self._index: InvertedIndex = _as_index(source)
         self._caches = QueryCaches(cache_size, collector=self.collector)
         self._results = LRUCache("results", cache_size, self.collector)
+        self._breaker = breaker if breaker is not None \
+            else CircuitBreaker()
 
     # -- single queries -------------------------------------------------------
 
@@ -117,29 +204,33 @@ class QueryService:
                semantics: str = "slca",
                collector: Optional[MetricsCollector] = None,
                trace: bool = False,
-               sanitize: Optional[bool] = None) -> SearchOutcome:
+               sanitize: Optional[bool] = None,
+               deadline: "Optional[Union[Deadline, DeadlineLike, float, int]]" = None
+               ) -> SearchOutcome:
         """One query through the shared caches.
 
         Same contract as :func:`repro.core.api.topk_search` (which
         delegates here when handed a service), with two service-layer
         behaviours on top: keyword order is canonicalised before the
-        caches are consulted, and an uninstrumented, unsanitized query
-        repeated with the same ``(terms, k, algorithm, semantics)``
-        replays the cached outcome (marked
-        ``stats["service"] == "result_cache"``) without running any
-        algorithm.  Passing ``collector``/``trace``/``sanitize``
-        bypasses the result cache so the instrumentation really runs.
+        caches are consulted, and an uninstrumented, unsanitized,
+        un-deadlined query repeated with the same
+        ``(terms, k, algorithm, semantics)`` replays the cached outcome
+        (marked ``stats["service"] == "result_cache"``) without running
+        any algorithm.  Passing ``collector``/``trace``/``sanitize``/
+        ``deadline`` bypasses the result cache so the instrumentation
+        (or the budget) really applies; a partial outcome is never
+        cached — a replay must not masquerade as complete.
         """
         keywords = validate_query(keywords, k)
         terms = sorted(normalize_query(keywords))
         return self._search_terms(terms, k, algorithm, semantics,
-                                  collector, trace, sanitize)
+                                  collector, trace, sanitize, deadline)
 
     def _search_terms(self, terms: List[str], k: int,
                       algorithm: Union[Algorithm, str], semantics: str,
                       collector: Optional[MetricsCollector],
-                      trace: bool,
-                      sanitize: Optional[bool]) -> SearchOutcome:
+                      trace: bool, sanitize: Optional[bool],
+                      deadline: object = None) -> SearchOutcome:
         """Run one canonicalised query (terms already sorted/validated)."""
         algorithm = _coerce_algorithm(algorithm)
         if self.collector.enabled:
@@ -147,7 +238,7 @@ class QueryService:
         effective_sanitize = sanitize if sanitize is not None \
             else sanitize_from_env()
         replayable = (collector is None and not trace
-                      and not effective_sanitize)
+                      and not effective_sanitize and deadline is None)
         key = (tuple(terms), k, algorithm.value, semantics)
         if replayable:
             cached = self._results.get(key)
@@ -158,8 +249,9 @@ class QueryService:
                                   semantics=semantics,
                                   collector=collector, trace=trace,
                                   sanitize=sanitize,
-                                  caches=self._caches)
-        if replayable:
+                                  caches=self._caches,
+                                  deadline=deadline)
+        if replayable and not outcome.partial:
             self._results.put(key, outcome)
         return outcome
 
@@ -170,15 +262,23 @@ class QueryService:
                      semantics: str = "slca",
                      workers: Optional[int] = None,
                      executor: str = "thread",
-                     sanitize: Optional[bool] = None) -> BatchOutcome:
+                     sanitize: Optional[bool] = None,
+                     deadline_ms: Optional[float] = None,
+                     max_retries: int = DEFAULT_MAX_RETRIES,
+                     backoff_ms: float = DEFAULT_BACKOFF_MS,
+                     faults: Optional[FaultsLike] = None
+                     ) -> BatchOutcome:
         """Execute many queries against the shared caches.
 
         Every query is validated up front — one malformed query fails
-        the whole batch before any work runs.  Execution order sorts
-        the queries by canonical term set, so identical and
-        overlapping queries run back to back and hit the caches while
-        they are warm; the returned outcomes are realigned with the
-        *input* order.
+        the whole batch before any work runs; that is the *caller's*
+        bug and the one failure this method still raises for.  Runtime
+        failures after validation never abort the batch: the affected
+        queries come back as partial or error outcomes and everything
+        else keeps its answer.  Execution order sorts the queries by
+        canonical term set, so identical and overlapping queries run
+        back to back and hit the caches while they are warm; the
+        returned outcomes are realigned with the *input* order.
 
         Args:
             queries: each a keyword sequence or a whitespace-separated
@@ -192,10 +292,26 @@ class QueryService:
                 chunk — best for CPU-bound cold queries, which the GIL
                 would serialise under threads).
             sanitize: per-query sanitizer flag, forwarded verbatim.
+            deadline_ms: per-query wall-clock budget; an expired query
+                returns its heap so far, marked partial
+                (docs/RESILIENCE.md).  ``None`` never expires.
+            max_retries: recovery attempts per failed query before it
+                becomes an error outcome.  A failed process chunk
+                degrades tier by tier — thread pool, then serial —
+                each tier consuming one retry; serial/thread failures
+                re-run in place.  0 fails straight to error outcomes.
+            backoff_ms: first-retry backoff (exponential, capped; see
+                :class:`repro.resilience.RetryPolicy`).  0 disables
+                pacing.
+            faults: a :class:`repro.resilience.FaultInjector` for
+                deterministic failure testing; the default consults
+                the ``REPRO_FAULTS`` environment variable and injects
+                nothing when it is unset.
 
         Returns:
             A :class:`BatchOutcome`; ``outcome.outcomes[i]`` answers
-            ``queries[i]``.
+            ``queries[i]`` — exactly one outcome per input query, no
+            matter what failed underneath.
         """
         if executor not in EXECUTORS:
             choices = ", ".join(EXECUTORS)
@@ -204,6 +320,12 @@ class QueryService:
         if workers is not None and workers < 0:
             raise QueryError(f"workers must be non-negative, "
                              f"got {workers}")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise QueryError(f"deadline_ms must be positive, "
+                             f"got {deadline_ms}")
+        policy = RetryPolicy(max_retries=max_retries,
+                             backoff_ms=backoff_ms)
+        injector = faults if faults is not None else faults_from_env()
         algorithm = _coerce_algorithm(algorithm)
         prepared: List[List[str]] = []
         for query in queries:
@@ -217,22 +339,27 @@ class QueryService:
         width = min(workers or 1, len(order)) if order else 0
         serial = executor == "serial" or width <= 1
         outcomes: List[Optional[SearchOutcome]] = [None] * len(prepared)
+        tracker = _ResilienceTracker(self.collector)
         if self.collector.enabled:
             self.collector.count("service.batches")
             self.collector.count("service.batch_queries", len(prepared))
         with Stopwatch() as watch:
             if serial:
                 for position in order:
-                    outcomes[position] = self._search_terms(
+                    outcomes[position] = self._resilient_query(
                         prepared[position], k, algorithm, semantics,
-                        None, False, sanitize)
+                        sanitize, deadline_ms, injector, policy,
+                        tracker)
             elif executor == "thread":
                 self._run_threads(outcomes, order, prepared, k,
-                                  algorithm, semantics, sanitize, width)
+                                  algorithm, semantics, sanitize, width,
+                                  deadline_ms, injector, policy,
+                                  tracker)
             else:
                 self._run_processes(outcomes, order, prepared, k,
                                     algorithm, semantics, sanitize,
-                                    width)
+                                    width, deadline_ms, injector,
+                                    policy, tracker)
         stats: Dict[str, object] = {
             "queries": len(prepared),
             "distinct_term_sets":
@@ -243,46 +370,152 @@ class QueryService:
             "algorithm": algorithm.value,
             "semantics": semantics,
             "cache": self.cache_stats(),
+            "resilience": tracker.summary(policy, deadline_ms,
+                                          self._breaker, injector),
         }
         _log.debug("batch: %d queries (%s distinct term sets) via %s "
                    "x%s in %.1f ms", stats["queries"],
                    stats["distinct_term_sets"], stats["executor"],
                    stats["workers"], watch.elapsed_ms)
         # Every input position was executed exactly once (order is a
-        # permutation of range(len(prepared))), so the list is dense.
+        # permutation of range(len(prepared)), and every failure path
+        # substitutes an error outcome), so the list is dense.
         return BatchOutcome(
             outcomes=[outcome for outcome in outcomes
                       if outcome is not None],
             elapsed_ms=watch.elapsed_ms, stats=stats)
 
+    # -- guarded execution ----------------------------------------------------
+
+    def _guarded_query(self, terms: List[str], k: int,
+                       algorithm: Algorithm, semantics: str,
+                       sanitize: Optional[bool],
+                       deadline_ms: Optional[float],
+                       injector: FaultsLike,
+                       tracker: _ResilienceTracker
+                       ) -> Tuple[Optional[SearchOutcome],
+                                  Optional[BaseException]]:
+        """One attempt at one query: ``(outcome, None)`` on success
+        (partial counts as success — the budget did its job),
+        ``(None, error)`` on a runtime failure.  The per-query deadline
+        starts here, *before* the fault hook, so an injected stall eats
+        its own query's budget and nobody else's.
+        """
+        deadline = (Deadline(budget_ms=deadline_ms)
+                    if deadline_ms is not None else None)
+        try:
+            if injector.enabled:
+                injector.before_query(terms)
+            outcome = self._search_terms(terms, k, algorithm, semantics,
+                                         None, False, sanitize,
+                                         deadline)
+            if outcome.partial:
+                tracker.note_partial(outcome.termination_reason)
+            return outcome, None
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            return None, error
+
+    def _resilient_query(self, terms: List[str], k: int,
+                         algorithm: Algorithm, semantics: str,
+                         sanitize: Optional[bool],
+                         deadline_ms: Optional[float],
+                         injector: FaultsLike, policy: RetryPolicy,
+                         tracker: _ResilienceTracker) -> SearchOutcome:
+        """One query with in-place retries: the serial/thread path.
+
+        Retries the same execution tier with backoff up to
+        ``policy.max_retries`` times, then substitutes an error
+        outcome — a query can fail, a batch cannot.
+        """
+        attempt = 0
+        while True:
+            outcome, error = self._guarded_query(
+                terms, k, algorithm, semantics, sanitize, deadline_ms,
+                injector, tracker)
+            if outcome is not None:
+                if attempt:
+                    tracker.bump("recovered_queries")
+                return outcome
+            attempt += 1
+            if attempt > policy.max_retries:
+                return self._error_outcome(terms, error, algorithm,
+                                           tracker)
+            tracker.bump("retries")
+            _log.warning("query %r failed (%s); retry %d/%d",
+                         " ".join(terms), error, attempt,
+                         policy.max_retries)
+            policy.sleep(attempt)
+
+    def _error_outcome(self, terms: List[str],
+                       error: Optional[BaseException],
+                       algorithm: Algorithm,
+                       tracker: _ResilienceTracker) -> SearchOutcome:
+        """The terminal failure substitute: empty, marked, attributed."""
+        tracker.bump("query_errors")
+        message = (f"{type(error).__name__}: {error}"
+                   if error is not None else "unknown failure")
+        _log.error("query %r exhausted its retries: %s",
+                   " ".join(terms), message)
+        return SearchOutcome(
+            results=[],
+            stats={"algorithm": algorithm.value, "terms": len(terms),
+                   "error": message},
+            partial=True, termination_reason=REASON_ERROR)
+
+    # -- thread executor ------------------------------------------------------
+
     def _run_threads(self, outcomes: List[Optional[SearchOutcome]],
                      order: List[int], prepared: List[List[str]],
                      k: int, algorithm: Algorithm, semantics: str,
-                     sanitize: Optional[bool], width: int) -> None:
-        """Contiguous chunks of the sorted order, one thread each.
+                     sanitize: Optional[bool], width: int,
+                     deadline_ms: Optional[float], injector: FaultsLike,
+                     policy: RetryPolicy,
+                     tracker: _ResilienceTracker) -> None:
+        """Contiguous chunks of the sorted order across a thread pool.
 
         Chunking (instead of one task per query) keeps each thread on
         neighbouring term sets, so the sort's cache locality survives
         the fan-out.  The caches are lock-guarded, so sharing this
-        service across the pool is safe.
+        service across the pool is safe.  Each query runs through the
+        resilient wrapper, so a chunk never raises; an interrupt shuts
+        the pool down with its queued work cancelled instead of
+        orphaning threads.
         """
         chunks = _chunked(order, width)
 
         def run(chunk: List[int]) -> List[SearchOutcome]:
-            return [self._search_terms(prepared[position], k, algorithm,
-                                       semantics, None, False, sanitize)
+            return [self._resilient_query(prepared[position], k,
+                                          algorithm, semantics,
+                                          sanitize, deadline_ms,
+                                          injector, policy, tracker)
                     for position in chunk]
 
-        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        # The pool is sized to the narrower of the user's cap and the
+        # actual chunk count — never to len(chunks) alone, which would
+        # ignore the workers=N cap whenever re-splitting produced more
+        # chunks than workers.
+        pool = ThreadPoolExecutor(max_workers=min(width, len(chunks)))
+        try:
             for chunk, results in zip(chunks, pool.map(run, chunks)):
                 for position, outcome in zip(chunk, results):
                     outcomes[position] = outcome
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+
+    # -- process executor -----------------------------------------------------
 
     def _run_processes(self, outcomes: List[Optional[SearchOutcome]],
                        order: List[int], prepared: List[List[str]],
                        k: int, algorithm: Algorithm, semantics: str,
-                       sanitize: Optional[bool], width: int) -> None:
-        """Contiguous chunks across a process pool.
+                       sanitize: Optional[bool], width: int,
+                       deadline_ms: Optional[float],
+                       injector: FaultsLike, policy: RetryPolicy,
+                       tracker: _ResilienceTracker) -> None:
+        """Contiguous chunks across a process pool, with degradation.
 
         Each worker parses the serialised document once (pool
         initializer), builds its own index and caches, and serves its
@@ -292,29 +525,242 @@ class QueryService:
         JSON-safe stats; shipping :class:`~repro.prxml.model.PNode`
         objects back would drag the whole document through pickle, so
         the parent re-hydrates nodes from its own encoding instead.
+
+        Chunks are independent futures: when one worker crashes and
+        breaks the pool, every chunk that already finished keeps its
+        results, and only the failed chunks' queries walk the
+        degradation chain (docs/RESILIENCE.md).  When the circuit
+        breaker is open, no pool is spawned at all and the whole batch
+        degrades immediately.
+        """
+        chunks = _chunked(order, width)
+        errors: Dict[int, BaseException] = {}
+        if not self._breaker.allow():
+            tracker.bump("circuit_open_skips")
+            _log.warning("process-pool circuit breaker is %s; degrading "
+                         "%d queries without spawning a pool",
+                         self._breaker.state, len(order))
+            failed = [position for chunk in chunks
+                      for position in chunk]
+        else:
+            failed = self._run_pool(outcomes, chunks, prepared, k,
+                                    algorithm, semantics, sanitize,
+                                    deadline_ms, injector, tracker,
+                                    errors)
+        if failed:
+            self._degrade(failed, outcomes, prepared, k, algorithm,
+                          semantics, sanitize, deadline_ms, injector,
+                          policy, tracker, width, errors)
+
+    def _run_pool(self, outcomes: List[Optional[SearchOutcome]],
+                  chunks: List[List[int]], prepared: List[List[str]],
+                  k: int, algorithm: Algorithm, semantics: str,
+                  sanitize: Optional[bool],
+                  deadline_ms: Optional[float], injector: FaultsLike,
+                  tracker: _ResilienceTracker,
+                  errors: Dict[int, BaseException]) -> List[int]:
+        """One process-pool round; returns the failed positions.
+
+        Completed chunks are always harvested — a ``BrokenProcessPool``
+        from one chunk's future must not discard the results of the
+        chunks that finished before the pool died.  Each failed
+        chunk's exception is recorded against its queries in
+        ``errors``, so a query that later exhausts the degradation
+        chain names the failure that actually took it down.
         """
         from repro.prxml.serializer import serialize_pxml
         payload = serialize_pxml(self._index.encoded.document)
-        chunks = _chunked(order, width)
+        if injector.enabled:
+            payload = injector.corrupt(payload)
         jobs = [([prepared[position] for position in chunk], k,
-                 algorithm.value, semantics, sanitize)
+                 algorithm.value, semantics, sanitize, deadline_ms)
                 for chunk in chunks]
         capacity = self._caches.match_entries.capacity
-        encoded = self._index.encoded
-        with ProcessPoolExecutor(
+        failed: List[int] = []
+        try:
+            pool = ProcessPoolExecutor(
                 max_workers=len(chunks), initializer=_process_init,
-                initargs=(payload, capacity)) as pool:
-            for chunk, rows in zip(chunks, pool.map(_process_chunk,
-                                                    jobs)):
-                for position, (codes, probs, stats) in zip(chunk, rows):
-                    results = []
-                    for text, probability in zip(codes, probs):
-                        code = DeweyCode.parse(text)
-                        results.append(SLCAResult(
-                            code=code, probability=probability,
-                            node=encoded.node_at(code)))
-                    outcomes[position] = SearchOutcome(results=results,
-                                                       stats=stats)
+                initargs=(payload, capacity, injector.spec(),
+                          injector.seed))
+        except Exception as error:
+            tracker.bump("pool_spawn_failures")
+            self._breaker.record_failure()
+            _log.error("cannot spawn a process pool (%s); degrading "
+                       "the whole batch", error)
+            for chunk in chunks:
+                for position in chunk:
+                    errors[position] = error
+            return [position for chunk in chunks for position in chunk]
+        broken = False
+        try:
+            futures: List[Optional[Future]] = []
+            submit_error: Optional[BaseException] = None
+            for job in jobs:
+                try:
+                    futures.append(pool.submit(_process_chunk, job))
+                except BrokenExecutor as error:
+                    broken = True
+                    submit_error = error
+                    futures.append(None)
+            encoded = self._index.encoded
+            for chunk, future in zip(chunks, futures):
+                if future is None:
+                    self._fail_chunk(chunk, submit_error, failed,
+                                     errors, tracker)
+                    continue
+                try:
+                    rows = future.result()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BrokenExecutor as error:
+                    broken = True
+                    self._fail_chunk(chunk, error, failed, errors,
+                                     tracker)
+                    _log.warning("process chunk of %d queries lost to "
+                                 "a broken pool: %s", len(chunk), error)
+                except Exception as error:
+                    self._fail_chunk(chunk, error, failed, errors,
+                                     tracker)
+                    _log.warning("process chunk of %d queries failed: "
+                                 "%s", len(chunk), error)
+                else:
+                    for position, row in zip(chunk, rows):
+                        codes, probs, stats, partial, reason = row
+                        results = []
+                        for text, probability in zip(codes, probs):
+                            code = DeweyCode.parse(text)
+                            results.append(SLCAResult(
+                                code=code, probability=probability,
+                                node=encoded.node_at(code)))
+                        outcomes[position] = SearchOutcome(
+                            results=results, stats=stats,
+                            partial=partial,
+                            termination_reason=reason)
+                        if partial:
+                            tracker.note_partial(reason)
+        except BaseException:
+            # An interrupt (or any non-chunk failure) must not orphan
+            # pool children: drop queued work and leave immediately.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        if broken:
+            tracker.bump("worker_crashes")
+            self._breaker.record_failure()
+        else:
+            self._breaker.record_success()
+        return failed
+
+    @staticmethod
+    def _fail_chunk(chunk: List[int],
+                    error: Optional[BaseException], failed: List[int],
+                    errors: Dict[int, BaseException],
+                    tracker: _ResilienceTracker) -> None:
+        """Record one failed chunk: positions, attribution, counters."""
+        failed.extend(chunk)
+        if error is not None:
+            for position in chunk:
+                errors[position] = error
+        tracker.bump("chunk_failures")
+        tracker.bump("chunk_failure_queries", len(chunk))
+
+    def _degrade(self, positions: List[int],
+                 outcomes: List[Optional[SearchOutcome]],
+                 prepared: List[List[str]], k: int,
+                 algorithm: Algorithm, semantics: str,
+                 sanitize: Optional[bool],
+                 deadline_ms: Optional[float], injector: FaultsLike,
+                 policy: RetryPolicy, tracker: _ResilienceTracker,
+                 width: int,
+                 errors: Optional[Dict[int, BaseException]] = None
+                 ) -> None:
+        """Walk failed queries down the chain: thread, serial, error.
+
+        Each tier consumes one retry from the policy's budget and is
+        preceded by the policy's backoff; queries that keep failing
+        end as error outcomes, so every position is filled no matter
+        what.  ``errors`` carries each position's last known failure
+        (seeded by the process round) so the terminal error outcome
+        names the real cause.
+        """
+        remaining = list(positions)
+        errors = errors if errors is not None else {}
+        tier = 0
+        if policy.max_retries >= tier + 1 and width > 1 \
+                and len(remaining) > 1:
+            tier += 1
+            tracker.bump("retries", len(remaining))
+            tracker.bump("degraded_to_thread", len(remaining))
+            _log.warning("retrying %d queries on the thread executor",
+                         len(remaining))
+            policy.sleep(tier)
+            remaining = self._retry_on_threads(
+                remaining, outcomes, prepared, k, algorithm, semantics,
+                sanitize, deadline_ms, injector, tracker, width, errors)
+        if remaining and policy.max_retries >= tier + 1:
+            tier += 1
+            tracker.bump("retries", len(remaining))
+            tracker.bump("degraded_to_serial", len(remaining))
+            _log.warning("retrying %d queries serially", len(remaining))
+            policy.sleep(tier)
+            still: List[int] = []
+            for position in remaining:
+                outcome, error = self._guarded_query(
+                    prepared[position], k, algorithm, semantics,
+                    sanitize, deadline_ms, injector, tracker)
+                if outcome is None:
+                    still.append(position)
+                    if error is not None:
+                        errors[position] = error
+                else:
+                    outcomes[position] = outcome
+            remaining = still
+        recovered = len(positions) - len(remaining)
+        if recovered:
+            tracker.bump("recovered_queries", recovered)
+        for position in remaining:
+            outcomes[position] = self._error_outcome(
+                prepared[position], errors.get(position), algorithm,
+                tracker)
+
+    def _retry_on_threads(self, positions: List[int],
+                          outcomes: List[Optional[SearchOutcome]],
+                          prepared: List[List[str]], k: int,
+                          algorithm: Algorithm, semantics: str,
+                          sanitize: Optional[bool],
+                          deadline_ms: Optional[float],
+                          injector: FaultsLike,
+                          tracker: _ResilienceTracker, width: int,
+                          errors: Dict[int, BaseException]
+                          ) -> List[int]:
+        """The thread tier of the degradation chain: one attempt per
+        query, failures reported back (not retried here)."""
+        chunks = _chunked(positions, width)
+
+        def run(chunk: List[int]
+                ) -> List[Tuple[Optional[SearchOutcome],
+                                Optional[BaseException]]]:
+            return [self._guarded_query(prepared[position], k,
+                                        algorithm, semantics, sanitize,
+                                        deadline_ms, injector, tracker)
+                    for position in chunk]
+
+        still: List[int] = []
+        pool = ThreadPoolExecutor(max_workers=min(width, len(chunks)))
+        try:
+            for chunk, results in zip(chunks, pool.map(run, chunks)):
+                for position, (outcome, error) in zip(chunk, results):
+                    if outcome is None:
+                        still.append(position)
+                        if error is not None:
+                            errors[position] = error
+                    else:
+                        outcomes[position] = outcome
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return still
 
     # -- cache management -----------------------------------------------------
 
@@ -340,7 +786,8 @@ def _replay(outcome: SearchOutcome) -> SearchOutcome:
 
     The stats dict is deep-copied so callers can annotate their copy
     without corrupting the cached one; ``stats["service"]`` marks the
-    replay.
+    replay.  Only complete outcomes are ever cached, so the replay is
+    complete by construction.
     """
     stats = copy.deepcopy(outcome.stats)
     stats["service"] = "result_cache"
@@ -390,35 +837,53 @@ def load_query_file(path: str) -> List[List[str]]:
 #: Per-worker state installed by :func:`_process_init`.
 _WORKER_STATE: Dict[str, object] = {}
 
-#: A worker's chunk: its term lists plus the fixed query shape.
-_Job = Tuple[List[List[str]], int, str, str, Optional[bool]]
+#: A worker's chunk: its term lists plus the fixed query shape and the
+#: per-query deadline budget.
+_Job = Tuple[List[List[str]], int, str, str, Optional[bool],
+             Optional[float]]
 
 #: What a worker returns per query: result code strings, their
-#: probabilities, and JSON-safe stats.
-_Row = Tuple[List[str], List[float], Dict[str, object]]
+#: probabilities, JSON-safe stats, and the partial marker + reason.
+_Row = Tuple[List[str], List[float], Dict[str, object], bool, str]
 
 
-def _process_init(payload: str, cache_size: int) -> None:
-    """Pool initializer: build this worker's index and caches once."""
+def _process_init(payload: str, cache_size: int,
+                  fault_spec: str = "", fault_seed: int = 0) -> None:
+    """Pool initializer: build this worker's index and caches once.
+
+    The fault spec travels as its string form (injector instances
+    carry an RNG and counters, which must be per-process anyway); a
+    corrupted payload fails the parse here, which the parent observes
+    as a broken pool and degrades around.
+    """
     from repro.prxml.parser import parse_pxml
     database = Database.from_document(parse_pxml(payload))
     _WORKER_STATE["index"] = database.index
     _WORKER_STATE["caches"] = QueryCaches(cache_size)
+    _WORKER_STATE["faults"] = parse_faults(fault_spec, seed=fault_seed)
 
 
 def _process_chunk(job: _Job) -> List[_Row]:
     """Serve one contiguous chunk inside a pool worker."""
-    term_lists, k, algorithm, semantics, sanitize = job
+    term_lists, k, algorithm, semantics, sanitize, deadline_ms = job
     index = _WORKER_STATE["index"]
     caches = _WORKER_STATE["caches"]
+    injector = _WORKER_STATE.get("faults", NULL_FAULTS)
+    if injector.enabled:
+        injector.on_worker_chunk(term_lists)
     rows: List[_Row] = []
     for terms in term_lists:
+        deadline = (Deadline(budget_ms=deadline_ms)
+                    if deadline_ms is not None else None)
+        if injector.enabled:
+            injector.before_query(terms)
         outcome = topk_search(index, terms, k, algorithm,
                               semantics=semantics, sanitize=sanitize,
-                              caches=caches)
+                              caches=caches, deadline=deadline)
         stats = {key: value for key, value in outcome.stats.items()
                  if key not in ("trace", "estimates")}
         rows.append(([str(result.code) for result in outcome.results],
                      [result.probability for result in outcome.results],
-                     stats))
+                     stats, outcome.partial,
+                     outcome.termination_reason))
     return rows
