@@ -5,7 +5,7 @@ Two halves guard the numeric invariants the type system cannot see
 sound Property 1-5 bounds):
 
 * the **linter** (:mod:`repro.analysis.linter`,
-  :mod:`repro.analysis.rules`) — AST rules R001-R006 with inline
+  :mod:`repro.analysis.rules`) — AST rules R001-R007 with inline
   ``# repro: ignore[R00x]`` suppression and the machine-readable
   ``repro.lint/v1`` report (:mod:`repro.analysis.report`), surfaced as
   the ``repro lint`` CLI command and gated in CI;

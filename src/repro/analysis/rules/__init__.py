@@ -21,6 +21,7 @@ from repro.analysis.rules.r004_missing_annotations import \
 from repro.analysis.rules.r005_mutable_default import MutableDefaultRule
 from repro.analysis.rules.r006_swallowed_exception import \
     SwallowedExceptionRule
+from repro.analysis.rules.r007_nonatomic_write import NonAtomicWriteRule
 
 #: Every registered rule class, in rule-id order.
 ALL_RULES = (
@@ -30,6 +31,7 @@ ALL_RULES = (
     MissingAnnotationsRule,
     MutableDefaultRule,
     SwallowedExceptionRule,
+    NonAtomicWriteRule,
 )
 
 RULES_BY_ID: Dict[str, Type] = {rule.rule_id: rule for rule in ALL_RULES}

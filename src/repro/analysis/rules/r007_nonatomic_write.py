@@ -1,0 +1,119 @@
+"""R007: non-atomic file writes in the storage-critical packages.
+
+A plain ``open(path, "w")`` truncates the destination *before* the new
+bytes land: a crash between the truncate and the final flush leaves a
+half-written file in place of a good one.  The storage layer's whole
+durability story (docs/STORAGE.md) rests on never doing that — every
+persistent file is written to a temp name, fsynced, and renamed over
+the destination by :func:`repro.index.storage._atomic_write`, and the
+snapshot commit point is one atomic ``CURRENT`` rename.
+
+This rule guards that invariant where it matters: inside
+``repro/index/`` and ``repro/service/`` (the packages that own
+persistent state), any call that opens a file for writing — ``open``
+with a ``w``/``a``/``x``/``+`` mode, ``os.open`` with ``O_WRONLY`` /
+``O_RDWR``, or a ``.write_text()`` / ``.write_bytes()`` convenience
+call — is flagged unless it happens inside the blessed
+``_atomic_write`` helper itself.  Code elsewhere (CLI report sinks,
+test fixtures, datagen output) may write however it likes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, SourceModule
+
+#: Path fragments naming the packages that own persistent state.
+GUARDED_FRAGMENTS = ("repro/index/", "repro/service/")
+
+#: The one function allowed to open files for writing in there.
+BLESSED_FUNCTION = "_atomic_write"
+
+#: ``Path``-style convenience writers (always truncate in place).
+CONVENIENCE_WRITERS = frozenset({"write_text", "write_bytes"})
+
+#: ``os.open`` flag names that request write access.
+OS_WRITE_FLAGS = frozenset({"O_WRONLY", "O_RDWR"})
+
+
+class NonAtomicWriteRule:
+    """Flag in-place file writes outside ``_atomic_write``."""
+
+    rule_id = "R007"
+    title = "non-atomic file write in a storage-critical package"
+    hint = ("write via repro.index.storage._atomic_write (temp file + "
+            "fsync + os.replace) so a crash can never leave a "
+            "truncated file behind (docs/STORAGE.md)")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if not any(fragment in module.path
+                   for fragment in GUARDED_FRAGMENTS):
+            return
+        yield from self._visit(module, module.tree, blessed=False)
+
+    def _visit(self, module: SourceModule, node: ast.AST,
+               blessed: bool) -> Iterator[Finding]:
+        """Walk with context: inside ``_atomic_write``, writes are
+        the point — nothing there is flagged."""
+        for child in ast.iter_child_nodes(node):
+            inside = blessed
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                inside = blessed or child.name == BLESSED_FUNCTION
+            if isinstance(child, ast.Call) and not inside:
+                message = _describe_write(child)
+                if message is not None:
+                    yield module.finding(child, self, message)
+            yield from self._visit(module, child, inside)
+
+
+def _describe_write(call: ast.Call) -> "str | None":
+    """A finding message when ``call`` opens a file for writing."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        mode = _literal_mode(call, position=1, keyword="mode")
+        if mode is not None and any(flag in mode for flag in "wax+"):
+            return (f"open(..., {mode!r}) writes in place; a crash "
+                    f"mid-write corrupts the destination")
+        return None
+    if isinstance(func, ast.Attribute):
+        if func.attr in CONVENIENCE_WRITERS:
+            return (f".{func.attr}() truncates the destination in "
+                    f"place before writing")
+        if func.attr == "open" and isinstance(func.value, ast.Name) \
+                and func.value.id == "os":
+            if _has_os_write_flag(call):
+                return ("os.open(..., O_WRONLY/O_RDWR) writes in "
+                        "place; a crash mid-write corrupts the "
+                        "destination")
+    return None
+
+
+def _literal_mode(call: ast.Call, position: int,
+                  keyword: str) -> "str | None":
+    """The call's literal mode string, if one is present."""
+    if len(call.args) > position:
+        argument = call.args[position]
+        if isinstance(argument, ast.Constant) \
+                and isinstance(argument.value, str):
+            return argument.value
+        return None
+    for entry in call.keywords:
+        if entry.arg == keyword and isinstance(entry.value, ast.Constant) \
+                and isinstance(entry.value.value, str):
+            return entry.value.value
+    return None
+
+
+def _has_os_write_flag(call: ast.Call) -> bool:
+    """Whether any argument expression mentions a write-access flag."""
+    for argument in call.args[1:]:
+        for node in ast.walk(argument):
+            if isinstance(node, ast.Attribute) \
+                    and node.attr in OS_WRITE_FLAGS:
+                return True
+            if isinstance(node, ast.Name) and node.id in OS_WRITE_FLAGS:
+                return True
+    return False

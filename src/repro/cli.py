@@ -16,6 +16,9 @@ Subcommands::
     repro worlds small.pxml
     repro lint src/repro --format json -o lint.json
     repro check site.db united states --sanitize
+    repro fsck site.db --repair
+    repro snapshot site.db --list
+    repro batch site.db queries.txt --reload-on HUP
 
 ``python -m repro ...`` works identically.  The global ``-v/--verbose``
 flag (before the subcommand) enables DEBUG logging for the whole
@@ -156,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--faults-seed", type=int, default=0,
                        metavar="N", dest="faults_seed",
                        help="seed for probabilistic (rate=) faults")
+    batch.add_argument("--reload-on", choices=("HUP",), default=None,
+                       metavar="SIGNAL", dest="reload_on",
+                       help="hot-reload the database directory on this "
+                            "signal while the batch runs; in-flight "
+                            "queries drain on the old generation "
+                            "(docs/STORAGE.md)")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -179,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint", help="run the probability-aware static analysis "
-                     "(rules R001-R006, docs/ANALYSIS.md)")
+                     "(rules R001-R007, docs/ANALYSIS.md)")
     lint.add_argument("paths", nargs="+",
                       help="python files or directories to lint")
     lint.add_argument("--format", choices=("text", "json"),
@@ -201,6 +210,26 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--sanitize", action="store_true",
                        help="run the query under the runtime invariant "
                             "sanitizer (docs/ANALYSIS.md)")
+
+    fsck = commands.add_parser(
+        "fsck", help="verify a database directory against its "
+                     "manifests; classify and optionally repair "
+                     "corruption (docs/STORAGE.md)")
+    fsck.add_argument("database", help="database directory")
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine damaged files, rebuild exact "
+                           "postings from an intact document, or roll "
+                           "CURRENT back to the newest loadable "
+                           "generation")
+
+    snapshot = commands.add_parser(
+        "snapshot", help="list a database's snapshot generations, or "
+                         "write the current data as a new generation "
+                         "(also migrates a legacy flat layout)")
+    snapshot.add_argument("database", help="database directory")
+    snapshot.add_argument("--list", action="store_true", dest="list_",
+                          help="list generations instead of writing "
+                               "a new one")
     return parser
 
 
@@ -294,16 +323,30 @@ def _cmd_search(options) -> int:
 
 
 def _cmd_batch(options) -> int:
-    from repro.core.result import SearchOutcome
     from repro.resilience import parse_faults
     from repro.service import QueryService, load_query_file
-    queries = load_query_file(options.queries)
-    database = _open_database(options.source)
-    collector = MetricsCollector()
-    service = QueryService(database, cache_size=options.cache_size,
-                           collector=collector)
-    faults = (parse_faults(options.faults, seed=options.faults_seed)
-              if options.faults else None)
+    # The reload handler is armed before the (slow) initial load so an
+    # early signal is absorbed instead of killing the process; it
+    # late-binds the service through this cell.
+    service_cell: List[object] = []
+    restore_signal = _install_reload_handler(options, service_cell)
+    try:
+        queries = load_query_file(options.queries)
+        database = _open_database(options.source)
+        collector = MetricsCollector()
+        service = QueryService(database, cache_size=options.cache_size,
+                               collector=collector)
+        service_cell.append(service)
+        faults = (parse_faults(options.faults,
+                               seed=options.faults_seed)
+                  if options.faults else None)
+        return _run_batch(options, queries, service, collector, faults)
+    finally:
+        restore_signal()
+
+
+def _run_batch(options, queries, service, collector, faults) -> int:
+    from repro.core.result import SearchOutcome
     batch = service.batch_search(
         queries, k=options.k, algorithm=options.algorithm,
         semantics=options.semantics, workers=options.workers,
@@ -329,6 +372,12 @@ def _cmd_batch(options) -> int:
     if flagged:
         print("resilience: " + ", ".join(
             f"{name}={value}" for name, value in sorted(flagged.items())))
+    storage = stats["storage"]
+    if storage["generation"] is not None:
+        reloads = storage["reloads"]
+        print(f"storage: generation {storage['generation']} "
+              f"(epoch {storage['epoch']}), reloads "
+              f"{reloads['successes']}/{reloads['attempts']} ok")
     for query, outcome in zip(queries, batch):
         top = outcome.results[0] if outcome.results else None
         answer = (f"top Pr={top.probability:.6f} <{top.label}> "
@@ -356,6 +405,82 @@ def _cmd_batch(options) -> int:
                   file=sys.stderr)
             return 1
         print(f"metrics report written to {options.metrics_json}")
+    return 0
+
+
+def _install_reload_handler(options, service_cell):
+    """Arm ``--reload-on HUP``; returns the restore callback.
+
+    The handler hot-reloads the service from its database directory.
+    A reload that fails (corrupt snapshot, missing directory) is
+    reported on stderr and the old generation keeps serving — a signal
+    must never take the batch down.  ``service_cell`` is a list the
+    caller appends the service to once it exists; a signal arriving
+    before that is acknowledged and dropped.
+    """
+    if options.reload_on is None:
+        return lambda: None
+    import signal
+    if options.source.endswith(".pxml"):
+        raise ReproError("--reload-on needs a database directory "
+                         "source (a .pxml file has no snapshot "
+                         "generations to reload)")
+    if not hasattr(signal, "SIGHUP"):  # pragma: no cover - windows
+        raise ReproError("--reload-on HUP: this platform has no SIGHUP")
+
+    def handle(signum, frame):
+        if not service_cell:
+            print("reload requested before the service finished "
+                  "loading; ignored", file=sys.stderr)
+            return
+        try:
+            state = service_cell[-1].reload()
+        except ReproError as error:
+            print(f"reload rejected: {error}", file=sys.stderr)
+        else:
+            print(f"reloaded: now serving generation "
+                  f"{state.generation} (epoch {state.epoch})",
+                  file=sys.stderr)
+
+    previous = signal.signal(signal.SIGHUP, handle)
+    return lambda: signal.signal(signal.SIGHUP, previous)
+
+
+def _cmd_fsck(options) -> int:
+    from repro.index.fsck import fsck_database
+    report = fsck_database(options.database, repair=options.repair)
+    print("\n".join(report.lines()))
+    return report.exit_code()
+
+
+def _cmd_snapshot(options) -> int:
+    from repro.index.storage import (current_generation, is_legacy_layout,
+                                     list_generations, read_manifest,
+                                     snapshot_path)
+    if options.list_:
+        if is_legacy_layout(options.database):
+            print(f"{options.database}: legacy flat layout (no "
+                  f"generations); 'repro snapshot' migrates it")
+            return 0
+        generations = list_generations(options.database)
+        if not generations:
+            raise ReproError(f"{options.database} is not a database "
+                             f"directory: no snapshots")
+        current = current_generation(options.database)
+        for generation in generations:
+            marker = " *" if generation == current else ""
+            try:
+                manifest = read_manifest(
+                    snapshot_path(options.database, generation))
+                detail = (f"{manifest['nodes']} nodes, "
+                          f"{manifest['terms']} terms")
+            except ReproError as error:
+                detail = f"unreadable manifest: {error}"
+            print(f"{generation}{marker}  {detail}")
+        return 0
+    database = load_database(options.database)
+    generation = save_database(database, options.database)
+    print(f"wrote generation {generation} to {options.database}")
     return 0
 
 
@@ -466,6 +591,8 @@ _HANDLERS = {
     "worlds": _cmd_worlds,
     "lint": _cmd_lint,
     "check": _cmd_check,
+    "fsck": _cmd_fsck,
+    "snapshot": _cmd_snapshot,
 }
 
 

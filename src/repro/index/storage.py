@@ -1,41 +1,93 @@
-"""Persistence: save and load a document + its inverted index.
+"""Persistence: crash-safe, checksummed snapshots of a database.
 
-A *database directory* contains:
+A *database directory* holds versioned, immutable snapshots plus one
+atomic pointer to the active generation::
 
-* ``document.pxml`` — the p-document in the XML text format;
-* ``postings.jsonl`` — one JSON object per line: ``{"t": term, "ids": [...]}``;
-* ``meta.json`` — format version and integrity counters.
+    dbdir/
+      CURRENT                    # the active generation name, e.g. g00000002
+      snapshots/
+        g00000001/
+          document.pxml          # the p-document in the XML text format
+          postings.jsonl         # one JSON object per line: {"t": term, "ids": [...]}
+          meta.json              # format version and integrity counters
+          MANIFEST.json          # repro.manifest/v1: per-file size + SHA-256
+        g00000002/
+          ...
 
-Loading re-encodes the document (Dewey codes are deterministic, so they
-never need to be stored) and verifies the posting lists against it.
+:func:`save_database` writes every file of a new generation to a
+staging directory (each file through :func:`_atomic_write`: temp name,
+flush, fsync, rename), fsyncs, atomically renames the staging directory
+into ``snapshots/<generation>/`` and only then flips ``CURRENT`` with
+one more atomic rename.  A crash at *any* byte therefore leaves the
+previous generation fully intact and loadable — at worst a stale
+staging directory remains, which the next save (or ``repro fsck``)
+sweeps away.
+
+:func:`load_database` resolves ``CURRENT``, verifies every file's size
+and SHA-256 against the manifest (skippable with ``verify=False`` for
+speed), re-encodes the document (Dewey codes are deterministic, so they
+never need to be stored) and cross-checks the posting lists against it.
+Pre-snapshot *legacy* directories — the three data files sitting flat
+in ``dbdir`` with no ``CURRENT`` — keep loading read-only for backward
+compatibility; ``repro snapshot`` migrates them.
+
+Corruption recovery lives in :mod:`repro.index.fsck`; the full layout
+and manifest schema are documented in docs/STORAGE.md.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 from array import array
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
 from repro.encoding.encoder import EncodedDocument, encode_document
 from repro.exceptions import StorageError
 from repro.index.inverted import InvertedIndex
+from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.parser import parse_pxml_file
-from repro.prxml.serializer import write_pxml_file
+from repro.prxml.serializer import serialize_pxml
 
 FORMAT_VERSION = 1
+
+#: Manifest schema identifier (``repro.manifest/v<n>``).
+MANIFEST_FORMAT = "repro.manifest/v1"
+
+CURRENT_FILE = "CURRENT"
+SNAPSHOTS_DIR = "snapshots"
+MANIFEST_FILE = "MANIFEST.json"
 
 _DOCUMENT_FILE = "document.pxml"
 _POSTINGS_FILE = "postings.jsonl"
 _META_FILE = "meta.json"
 
+#: The checksummed data files of one snapshot, in write order.
+DATA_FILES = (_DOCUMENT_FILE, _POSTINGS_FILE, _META_FILE)
+
+#: Prefix of staging directories (an interrupted save leaves one behind).
+STAGING_PREFIX = ".staging-"
+
 
 class Database:
-    """A loaded document + encoding + inverted index bundle."""
+    """A loaded document + encoding + inverted index bundle.
 
-    def __init__(self, encoded: EncodedDocument, index: InvertedIndex):
+    Attributes:
+        generation: the snapshot generation this database was loaded
+            from (``None`` for in-memory builds and legacy flat
+            directories).
+        directory: the database directory it came from, if any.
+    """
+
+    def __init__(self, encoded: EncodedDocument, index: InvertedIndex,
+                 generation: Optional[str] = None,
+                 directory: Optional[str] = None):
         self.encoded = encoded
         self.index = index
+        self.generation = generation
+        self.directory = directory
 
     @property
     def document(self):
@@ -49,93 +101,402 @@ class Database:
         return cls(encoded, InvertedIndex.from_document(encoded))
 
 
-def save_database(database: Database, directory) -> None:
-    """Write a database directory (created if missing)."""
+# -- the blessed atomic writer ------------------------------------------------
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` so a crash never leaves a torn file.
+
+    The bytes land in ``path + ".tmp"`` first, are flushed and fsynced,
+    and only then renamed over ``path`` — readers see either the old
+    complete file or the new complete file, never a prefix.  This is
+    the *only* sanctioned way to write inside ``repro/index/`` and
+    ``repro/service/`` (linter rule R007, docs/ANALYSIS.md).
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _fsync_dir(path: str) -> None:
+    """Persist a directory's entry table (new/renamed children)."""
     try:
-        os.makedirs(directory, exist_ok=True)
-        write_pxml_file(database.document,
-                        os.path.join(directory, _DOCUMENT_FILE))
-        with open(os.path.join(directory, _POSTINGS_FILE), "w",
-                  encoding="utf-8") as handle:
-            for term, ids in sorted(database.index.raw_postings().items()):
-                if not len(ids):
-                    # A term with no matching node cannot come from
-                    # indexing a document; writing it would only defer
-                    # the failure to load time.  Reject symmetrically
-                    # with the loader.
-                    raise StorageError(
-                        f"term {term!r} has an empty posting list; "
-                        f"refusing to persist a corrupt index")
-                # ensure_ascii=False keeps non-ASCII terms (e.g. 'café')
-                # as readable UTF-8 in the JSONL, matching the file's
-                # declared encoding instead of double-escaping.
-                json.dump({"t": term, "ids": list(ids)}, handle,
-                          ensure_ascii=False)
-                handle.write("\n")
-        meta = {
-            "version": FORMAT_VERSION,
-            "nodes": len(database.document),
-            "terms": len(database.index),
-        }
-        with open(os.path.join(directory, _META_FILE), "w",
-                  encoding="utf-8") as handle:
-            json.dump(meta, handle, indent=2)
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # repro: ignore[R006] dir fsync is best-effort
+        pass  # pragma: no cover - platform without directory fsync
+    finally:
+        os.close(fd)
+
+
+def _sha256_text(text: str) -> Tuple[str, int]:
+    """Checksum and byte size of a file body (UTF-8)."""
+    data = text.encode("utf-8")
+    return hashlib.sha256(data).hexdigest(), len(data)
+
+
+def sha256_file(path: str) -> Tuple[str, int]:
+    """Streaming checksum and size of an existing file."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(1 << 20)
+            if not block:
+                break
+            digest.update(block)
+            size += len(block)
+    return digest.hexdigest(), size
+
+
+# -- directory layout ---------------------------------------------------------
+
+
+def generation_name(number: int) -> str:
+    """The canonical zero-padded generation directory name."""
+    return f"g{number:08d}"
+
+
+def list_generations(directory) -> List[str]:
+    """All snapshot generation names in ``directory``, oldest first."""
+    snapshots = os.path.join(os.fspath(directory), SNAPSHOTS_DIR)
+    try:
+        names = os.listdir(snapshots)
+    except OSError:
+        return []
+    return sorted(name for name in names
+                  if name.startswith("g") and name[1:].isdigit()
+                  and os.path.isdir(os.path.join(snapshots, name)))
+
+
+def current_generation(directory) -> Optional[str]:
+    """The generation named by ``CURRENT`` (``None`` when absent)."""
+    pointer = os.path.join(os.fspath(directory), CURRENT_FILE)
+    try:
+        with open(pointer, encoding="utf-8") as handle:
+            name = handle.read().strip()
+    except FileNotFoundError:
+        return None
+    except (OSError, UnicodeDecodeError) as exc:
+        raise StorageError(f"cannot read {pointer}: {exc}") from exc
+    if not name:
+        raise StorageError(f"{pointer} is empty; run 'repro fsck' to "
+                           f"recover the newest intact generation")
+    return name
+
+
+def snapshot_path(directory, generation: str) -> str:
+    """The directory of one snapshot generation."""
+    return os.path.join(os.fspath(directory), SNAPSHOTS_DIR, generation)
+
+
+def is_legacy_layout(directory) -> bool:
+    """Whether ``directory`` is a pre-snapshot flat database dir."""
+    directory = os.fspath(directory)
+    return (not os.path.exists(os.path.join(directory, CURRENT_FILE))
+            and os.path.exists(os.path.join(directory, _META_FILE)))
+
+
+def _next_generation(directory: str) -> str:
+    highest = 0
+    for name in list_generations(directory):
+        highest = max(highest, int(name[1:]))
+    return generation_name(highest + 1)
+
+
+# -- saving -------------------------------------------------------------------
+
+
+def _postings_text(index: InvertedIndex) -> str:
+    """Render the postings JSONL body, rejecting corrupt inputs."""
+    lines: List[str] = []
+    for term, ids in sorted(index.raw_postings().items()):
+        if not len(ids):
+            # A term with no matching node cannot come from indexing a
+            # document; writing it would only defer the failure to load
+            # time.  Reject symmetrically with the loader.
+            raise StorageError(
+                f"term {term!r} has an empty posting list; "
+                f"refusing to persist a corrupt index")
+        # ensure_ascii=False keeps non-ASCII terms (e.g. 'café') as
+        # readable UTF-8 in the JSONL, matching the file's declared
+        # encoding instead of double-escaping.
+        lines.append(json.dumps({"t": term, "ids": list(ids)},
+                                ensure_ascii=False))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def build_manifest(generation: str, nodes: int, terms: int,
+                   files: Dict[str, Dict[str, object]]
+                   ) -> Dict[str, object]:
+    """The ``repro.manifest/v1`` record for one snapshot."""
+    return {
+        "format": MANIFEST_FORMAT,
+        "generation": generation,
+        "version": FORMAT_VERSION,
+        "nodes": nodes,
+        "terms": terms,
+        "files": files,
+    }
+
+
+def save_database(database: Database, directory,
+                  collector: Collector = NULL_COLLECTOR) -> str:
+    """Write a new snapshot generation and flip ``CURRENT`` to it.
+
+    The directory is created if missing.  Returns the new generation
+    name; the database's ``generation``/``directory`` attributes are
+    updated to match.  A failure (or crash) at any point leaves the
+    previously-current generation untouched and loadable.
+    """
+    directory = os.fspath(directory)
+    snapshots = os.path.join(directory, SNAPSHOTS_DIR)
+    staging: Optional[str] = None
+    try:
+        with collector.time("storage.save"):
+            os.makedirs(snapshots, exist_ok=True)
+            generation = _next_generation(directory)
+            staging = os.path.join(snapshots, STAGING_PREFIX + generation)
+            shutil.rmtree(staging, ignore_errors=True)
+            os.makedirs(staging)
+
+            bodies = {
+                _DOCUMENT_FILE: serialize_pxml(database.document),
+                _POSTINGS_FILE: _postings_text(database.index),
+                _META_FILE: json.dumps({
+                    "version": FORMAT_VERSION,
+                    "nodes": len(database.document),
+                    "terms": len(database.index),
+                }, indent=2) + "\n",
+            }
+            files: Dict[str, Dict[str, object]] = {}
+            for name in DATA_FILES:
+                _atomic_write(os.path.join(staging, name), bodies[name])
+                digest, size = _sha256_text(bodies[name])
+                files[name] = {"bytes": size, "sha256": digest}
+            manifest = build_manifest(generation,
+                                      len(database.document),
+                                      len(database.index), files)
+            _atomic_write(os.path.join(staging, MANIFEST_FILE),
+                          json.dumps(manifest, indent=2) + "\n")
+            _fsync_dir(staging)
+
+            final = os.path.join(snapshots, generation)
+            os.replace(staging, final)
+            staging = None
+            _fsync_dir(snapshots)
+
+            # The commit point: one atomic rename flips the active
+            # generation.  Everything before this line is invisible to
+            # readers; everything after it is durable.
+            _atomic_write(os.path.join(directory, CURRENT_FILE),
+                          generation + "\n")
+            _fsync_dir(directory)
+        if collector.enabled:
+            collector.count("storage.save.generations")
+        database.generation = generation
+        database.directory = directory
+        return generation
     except OSError as exc:
         raise StorageError(f"cannot write database to {directory}: {exc}"
                            ) from exc
+    finally:
+        if staging is not None:
+            shutil.rmtree(staging, ignore_errors=True)
 
 
-def load_database(directory) -> Database:
-    """Load a database directory written by :func:`save_database`."""
-    meta_path = os.path.join(directory, _META_FILE)
+# -- manifest reading and verification ----------------------------------------
+
+
+def read_manifest(snapshot_dir) -> Dict[str, object]:
+    """Read and structurally validate one snapshot's manifest.
+
+    Raises:
+        StorageError: when the manifest is missing, malformed, or a
+            newer schema than this library understands (named in the
+            message, with the upgrade path).
+    """
+    path = os.path.join(os.fspath(snapshot_dir), MANIFEST_FILE)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError as exc:
+        raise StorageError(
+            f"{path} is missing; this snapshot cannot be verified "
+            f"(run 'repro fsck --repair' to rebuild it)") from exc
+    except (OSError, ValueError) as exc:
+        # ValueError covers both JSONDecodeError and the
+        # UnicodeDecodeError binary garbage produces.
+        raise StorageError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise StorageError(f"{path}: manifest is not a JSON object")
+    fmt = manifest.get("format")
+    if fmt != MANIFEST_FORMAT:
+        if isinstance(fmt, str) and fmt.startswith("repro.manifest/"):
+            raise StorageError(
+                f"{path}: manifest format {fmt!r} is newer than this "
+                f"library's {MANIFEST_FORMAT!r}; upgrade the repro "
+                f"library to read this snapshot")
+        raise StorageError(
+            f"{path}: not a repro manifest (format={fmt!r}, expected "
+            f"{MANIFEST_FORMAT!r})")
+    if not isinstance(manifest.get("files"), dict):
+        raise StorageError(f"{path}: manifest has no 'files' table")
+    return manifest
+
+
+def verify_snapshot(snapshot_dir,
+                    manifest: Optional[Dict[str, object]] = None
+                    ) -> List[Tuple[str, str, str]]:
+    """Compare a snapshot's files against its manifest.
+
+    Returns a list of ``(file, kind, detail)`` problems, where kind is
+    ``missing_file``, ``size_mismatch`` or ``checksum_mismatch`` — an
+    empty list means every recorded file is bit-for-bit intact.
+    """
+    snapshot_dir = os.fspath(snapshot_dir)
+    if manifest is None:
+        manifest = read_manifest(snapshot_dir)
+    problems: List[Tuple[str, str, str]] = []
+    files = manifest.get("files", {})
+    for name in DATA_FILES:
+        record = files.get(name)
+        path = os.path.join(snapshot_dir, name)
+        if record is None:
+            problems.append((name, "missing_file",
+                             f"{path}: not recorded in the manifest"))
+            continue
+        if not os.path.exists(path):
+            problems.append((name, "missing_file", f"{path}: missing"))
+            continue
+        digest, size = sha256_file(path)
+        if size != record.get("bytes"):
+            problems.append((
+                name, "size_mismatch",
+                f"{path}: {size} bytes on disk but the manifest "
+                f"recorded {record.get('bytes')}"))
+        elif digest != record.get("sha256"):
+            problems.append((
+                name, "checksum_mismatch",
+                f"{path}: SHA-256 {digest[:12]}... does not match the "
+                f"manifest's {str(record.get('sha256'))[:12]}..."))
+    return problems
+
+
+# -- loading ------------------------------------------------------------------
+
+
+def resolve_snapshot(directory) -> Tuple[str, Optional[str]]:
+    """Locate the active data files of a database directory.
+
+    Returns ``(data_dir, generation)``; ``generation`` is ``None`` for
+    a legacy flat-layout directory (which stays read-only).
+
+    Raises:
+        StorageError: when the directory is no database at all, or
+            ``CURRENT`` points at a missing generation.
+    """
+    directory = os.fspath(directory)
+    generation = current_generation(directory)
+    if generation is not None:
+        snapshot = snapshot_path(directory, generation)
+        if not os.path.isdir(snapshot):
+            known = ", ".join(list_generations(directory)) or "none"
+            raise StorageError(
+                f"{os.path.join(directory, CURRENT_FILE)} points at "
+                f"generation {generation!r} but {snapshot} does not "
+                f"exist (present: {known}); run 'repro fsck --repair' "
+                f"to fall back to the newest intact generation")
+        return snapshot, generation
+    if os.path.exists(os.path.join(directory, _META_FILE)):
+        return directory, None
+    raise StorageError(
+        f"{directory} is not a database directory: no {CURRENT_FILE} "
+        f"pointer and no legacy {_META_FILE}")
+
+
+def load_database(directory, verify: bool = True,
+                  collector: Collector = NULL_COLLECTOR) -> Database:
+    """Load the active generation written by :func:`save_database`.
+
+    Args:
+        directory: the database directory (snapshot layout, or a
+            legacy flat directory — loaded read-only).
+        verify: check every data file's size and SHA-256 against the
+            snapshot manifest before parsing (legacy directories have
+            no manifest and skip this).  Passing ``False`` trades the
+            integrity check for load speed.
+        collector: receives ``storage.load`` timing and
+            ``storage.verify.*`` counters.
+    """
+    directory = os.fspath(directory)
+    with collector.time("storage.load"):
+        data_dir, generation = resolve_snapshot(directory)
+        if generation is not None:
+            manifest = read_manifest(data_dir)
+            if verify:
+                problems = verify_snapshot(data_dir, manifest)
+                if collector.enabled:
+                    collector.count("storage.verify.files",
+                                    len(DATA_FILES))
+                    collector.count("storage.verify.failures",
+                                    len(problems))
+                if problems:
+                    _file, kind, detail = problems[0]
+                    more = (f" (and {len(problems) - 1} more problem(s))"
+                            if len(problems) > 1 else "")
+                    raise StorageError(
+                        f"snapshot {generation} failed verification: "
+                        f"{kind}: {detail}{more}; run 'repro fsck "
+                        f"--repair' to quarantine and rebuild")
+        database = _load_data_files(data_dir)
+        database.generation = generation
+        database.directory = directory
+    if collector.enabled:
+        collector.count("storage.load.databases")
+        if generation is None:
+            collector.count("storage.load.legacy")
+    return database
+
+
+def _load_data_files(data_dir: str) -> Database:
+    """Parse and cross-check the three data files of one location."""
+    meta_path = os.path.join(data_dir, _META_FILE)
     try:
         with open(meta_path, encoding="utf-8") as handle:
             meta = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError) as exc:
         raise StorageError(f"cannot read {meta_path}: {exc}") from exc
-    if meta.get("version") != FORMAT_VERSION:
+    if not isinstance(meta, dict):
+        raise StorageError(f"{meta_path}: not a JSON object")
+    version = meta.get("version")
+    if version != FORMAT_VERSION:
+        if isinstance(version, int) and version > FORMAT_VERSION:
+            raise StorageError(
+                f"{meta_path}: database format version {version} is "
+                f"newer than this library's supported version "
+                f"{FORMAT_VERSION}; upgrade the repro library (or "
+                f"re-run 'repro index' with this version to rewrite "
+                f"the database)")
         raise StorageError(
-            f"unsupported database version {meta.get('version')!r} "
-            f"(expected {FORMAT_VERSION})")
+            f"{meta_path}: unsupported database format version "
+            f"{version!r} (this library reads version {FORMAT_VERSION}); "
+            f"re-index the source document with 'repro index'")
 
-    document = parse_pxml_file(os.path.join(directory, _DOCUMENT_FILE))
+    document = parse_pxml_file(os.path.join(data_dir, _DOCUMENT_FILE))
     if len(document) != meta.get("nodes"):
         raise StorageError(
             f"document has {len(document)} nodes but metadata recorded "
             f"{meta.get('nodes')}")
     encoded = encode_document(document)
 
-    postings: Dict[str, array] = {}
-    postings_path = os.path.join(directory, _POSTINGS_FILE)
-    try:
-        with open(postings_path, encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                    term = record["t"]
-                    ids = array("q", record["ids"])
-                except (json.JSONDecodeError, KeyError, TypeError) as exc:
-                    raise StorageError(
-                        f"{postings_path}:{line_number}: bad record: {exc}"
-                    ) from exc
-                if not isinstance(term, str):
-                    raise StorageError(
-                        f"{postings_path}:{line_number}: term "
-                        f"{term!r} is not a string")
-                if not len(ids):
-                    raise StorageError(
-                        f"{postings_path}:{line_number}: term "
-                        f"{term!r} has an empty posting list")
-                if term in postings:
-                    raise StorageError(
-                        f"{postings_path}:{line_number}: term "
-                        f"{term!r} appears twice")
-                postings[term] = ids
-    except OSError as exc:
-        raise StorageError(f"cannot read {postings_path}: {exc}") from exc
-
+    postings = read_postings(os.path.join(data_dir, _POSTINGS_FILE))
     if len(postings) != meta.get("terms"):
         raise StorageError(
             f"index has {len(postings)} terms but metadata recorded "
@@ -143,3 +504,46 @@ def load_database(directory) -> Database:
     index = InvertedIndex(encoded, postings)
     index.check_integrity()
     return Database(encoded, index)
+
+
+def read_postings(postings_path: str) -> Dict[str, array]:
+    """Strictly parse a postings JSONL file (shared with fsck)."""
+    postings: Dict[str, array] = {}
+    try:
+        with open(postings_path, encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                term, ids = parse_posting_line(postings_path,
+                                               line_number, line)
+                if term in postings:
+                    raise StorageError(
+                        f"{postings_path}:{line_number}: term "
+                        f"{term!r} appears twice")
+                postings[term] = ids
+    except (OSError, UnicodeDecodeError) as exc:
+        raise StorageError(f"cannot read {postings_path}: {exc}") from exc
+    return postings
+
+
+def parse_posting_line(postings_path: str, line_number: int,
+                       line: str) -> Tuple[str, array]:
+    """Parse one postings JSONL line, or raise a located StorageError."""
+    try:
+        record = json.loads(line)
+        term = record["t"]
+        ids = array("q", record["ids"])
+    except (json.JSONDecodeError, KeyError, TypeError,
+            OverflowError) as exc:
+        raise StorageError(
+            f"{postings_path}:{line_number}: bad record: {exc}"
+        ) from exc
+    if not isinstance(term, str):
+        raise StorageError(
+            f"{postings_path}:{line_number}: term "
+            f"{term!r} is not a string")
+    if not len(ids):
+        raise StorageError(
+            f"{postings_path}:{line_number}: term "
+            f"{term!r} has an empty posting list")
+    return term, ids

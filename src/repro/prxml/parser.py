@@ -19,13 +19,29 @@ Example (the movie-year fragment from the library README)::
 
 :func:`parse_pxml` turns such text into a :class:`PDocument`;
 :mod:`repro.prxml.serializer` provides the inverse.
+
+Diagnostics
+-----------
+
+Every :class:`~repro.exceptions.ParseError` raised for a specific
+element names the source (``path:line:column``) of that element — the
+positions come from a second, cheap expat scan whose start-element
+events fire in exactly the pre-order that ``Element.iter()`` walks, so
+the two align index-for-index.  ``repro fsck`` leans on those positions
+to quarantine malformed subtrees with actionable ``path:line``
+diagnostics (docs/STORAGE.md); :func:`parse_pxml_salvage` is the
+lenient entry point it uses — instead of raising on the first bad
+element it detaches every malformed subtree and reports each one as a
+:class:`SalvageDrop`.
 """
 
 from __future__ import annotations
 
 import os
 import xml.etree.ElementTree as ET
-from typing import Optional, Union
+import xml.parsers.expat
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.exceptions import ModelError, ParseError
 from repro.prxml.model import NodeType, PDocument, PNode
@@ -43,40 +59,157 @@ PROB_ATTRIBUTE = "prob"
 SUBSETS_ATTRIBUTE = "subsets"
 
 
-def parse_pxml(text: str) -> PDocument:
+@dataclass(frozen=True)
+class SourcePosition:
+    """Where an element starts in its source text (1-based)."""
+
+    path: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class SalvageDrop:
+    """One malformed subtree detached by :func:`parse_pxml_salvage`.
+
+    Attributes:
+        position: where the offending element starts.
+        tag: its tag name.
+        reason: why it was rejected (the strict parser's message).
+        xml_text: the dropped subtree serialised back to XML, so a
+            quarantine file preserves exactly what was removed.
+    """
+
+    position: SourcePosition
+    tag: str
+    reason: str
+    xml_text: str
+
+    def describe(self) -> str:
+        """The conventional one-line ``path:line:col`` diagnostic."""
+        return f"{self.position}: {self.reason}"
+
+
+#: ``id(element) -> SourcePosition`` for one parsed tree.
+_Positions = Dict[int, SourcePosition]
+
+
+def parse_pxml(text: Union[str, bytes],
+               path: str = "<string>") -> PDocument:
     """Parse p-document XML text into a :class:`PDocument`.
+
+    Args:
+        text: the XML source.
+        path: name reported in diagnostics (``path:line:column``).
 
     Raises:
         ParseError: on malformed XML, bad ``prob`` values, or a
-            distributional root.
+            distributional root — each naming the offending element's
+            source position.
     """
-    try:
-        root_element = ET.fromstring(text)
-    except ET.ParseError as exc:
-        raise ParseError(f"malformed XML: {exc}") from exc
-    return _document_from_element(root_element)
+    root_element, positions = _parse_positioned(text, path)
+    return _document_from_element(root_element, positions, path)
 
 
 def parse_pxml_file(path: Union[str, "os.PathLike[str]"]) -> PDocument:
     """Parse a p-document from a file path."""
+    name = os.fspath(path)
     try:
-        tree = ET.parse(path)
-    except ET.ParseError as exc:
-        raise ParseError(f"malformed XML in {path}: {exc}") from exc
+        with open(path, "rb") as handle:
+            text = handle.read()
     except OSError as exc:
-        raise ParseError(f"cannot read {path}: {exc}") from exc
-    return _document_from_element(tree.getroot())
+        raise ParseError(f"cannot read {name}: {exc}") from exc
+    return parse_pxml(text, path=name)
 
 
-def _document_from_element(root_element: ET.Element) -> PDocument:
+def parse_pxml_salvage(text: Union[str, bytes],
+                       path: str = "<string>"
+                       ) -> Tuple[PDocument, List[SalvageDrop]]:
+    """Lenient parse: drop malformed subtrees instead of raising.
+
+    Walks the well-formed XML tree, detaches every element the strict
+    parser would reject (bad ``prob`` attribute, distributional element
+    carrying text, missing/ill-formed ``subsets``), and builds the
+    document from what survives.  The dropped subtrees come back as
+    :class:`SalvageDrop` records carrying ``path:line:column``
+    diagnostics and the removed XML — the raw material of fsck's
+    quarantine (docs/STORAGE.md).
+
+    Raises:
+        ParseError: only when no document can be salvaged at all —
+            byte-level malformed XML, or a root that is itself invalid.
+    """
+    root_element, positions = _parse_positioned(text, path)
+    drops: List[SalvageDrop] = []
+    _prune_malformed(root_element, positions, path, drops)
+    document = _document_from_element(root_element, positions, path)
+    return document, drops
+
+
+# -- positioned parsing -------------------------------------------------------
+
+
+def _parse_positioned(text: Union[str, bytes],
+                      path: str) -> Tuple[ET.Element, _Positions]:
+    """Parse XML text and map every element to its source position.
+
+    expat fires start-element events in document pre-order — the same
+    order ``Element.iter()`` yields — so one extra scan pairs each
+    element with its (line, column) without touching ElementTree
+    internals.
+    """
+    try:
+        root_element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"{path}: malformed XML: {exc}") from exc
+    positions: _Positions = {}
+    spots: List[Tuple[int, int]] = []
+    scanner = xml.parsers.expat.ParserCreate()
+
+    def on_start(_tag: str, _attrs: Dict[str, str]) -> None:
+        spots.append((scanner.CurrentLineNumber,
+                      scanner.CurrentColumnNumber + 1))
+
+    scanner.StartElementHandler = on_start
+    try:
+        scanner.Parse(text, True)
+    except xml.parsers.expat.ExpatError:  # pragma: no cover - ET caught it
+        spots.clear()
+    for element, spot in zip(root_element.iter(), spots):
+        positions[id(element)] = SourcePosition(path, spot[0], spot[1])
+    return root_element, positions
+
+
+def _where(element: ET.Element, positions: _Positions,
+           path: str) -> str:
+    """Diagnostic prefix for one element: ``path:line:col: `` or ``path: ``."""
+    position = positions.get(id(element))
+    if position is None:  # pragma: no cover - every parsed element has one
+        return f"{path}: "
+    return f"{position}: "
+
+
+# -- strict conversion --------------------------------------------------------
+
+
+def _document_from_element(root_element: ET.Element,
+                           positions: _Positions,
+                           path: str) -> PDocument:
     if root_element.tag.lower() in DISTRIBUTIONAL_TAGS:
-        raise ParseError("the document root cannot be a distributional node")
-    root = _node_from_element(root_element)
+        raise ParseError(
+            f"{_where(root_element, positions, path)}the document root "
+            f"cannot be a distributional node")
+    root = _node_from_element(root_element, positions, path)
     # Exact sentinel, not a numeric comparison: an omitted 'prob'
     # attribute parses to exactly 1.0, so anything else means the
     # attribute was explicitly (and illegally) present on the root.
     if root.edge_prob != 1.0:  # repro: ignore[R001] exact parse sentinel
-        raise ParseError("the document root cannot carry a 'prob' attribute")
+        raise ParseError(
+            f"{_where(root_element, positions, path)}the document root "
+            f"cannot carry a 'prob' attribute")
     # Convert iteratively: (element, already-built parent node) pairs.
     # EXP subset specs apply only once children exist, so they are
     # collected and installed after the whole tree is built.
@@ -88,18 +221,26 @@ def _document_from_element(root_element: ET.Element) -> PDocument:
             spec = element.get(SUBSETS_ATTRIBUTE)
             if spec is None:
                 raise ParseError(
-                    "<exp> element is missing its 'subsets' attribute")
-            exp_specs.append((node, spec))
+                    f"{_where(element, positions, path)}<exp> element "
+                    f"is missing its 'subsets' attribute")
+            exp_specs.append((element, node, spec))
         for child_element in element:
-            child = _node_from_element(child_element)
+            child = _node_from_element(child_element, positions, path)
             node.add_child(child)
             stack.append((child_element, child))
-    for node, spec in exp_specs:
+    for element, node, spec in exp_specs:
         try:
             node.set_exp_subsets(_parse_subsets(spec))
-        except ModelError as exc:
-            raise ParseError(f"bad <exp> distribution: {exc}") from exc
+        except (ModelError, ParseError) as exc:
+            raise ParseError(
+                f"{_where(element, positions, path)}bad <exp> "
+                f"distribution: {_bare_message(exc)}") from exc
     return PDocument(root)
+
+
+def _bare_message(exc: BaseException) -> str:
+    """An exception's message without any position prefix it carries."""
+    return str(exc)
 
 
 def _parse_subsets(spec: str):
@@ -121,20 +262,25 @@ def _parse_subsets(spec: str):
     return subsets
 
 
-def _node_from_element(element: ET.Element) -> PNode:
+def _node_from_element(element: ET.Element, positions: _Positions,
+                       path: str) -> PNode:
     tag = element.tag
     node_type = DISTRIBUTIONAL_TAGS.get(tag.lower(), NodeType.ORDINARY)
-    prob = _read_probability(element)
+    prob = _read_probability(element, positions, path)
     text: Optional[str] = None
     if node_type is NodeType.ORDINARY:
         text = _gather_text(element)
     elif _gather_text(element):
-        raise ParseError(f"distributional <{tag}> element carries text")
+        raise ParseError(
+            f"{_where(element, positions, path)}distributional <{tag}> "
+            f"element carries text (mis-nested content: move the text "
+            f"into an ordinary child element)")
     label = (node_type.name if node_type.is_distributional else tag)
     return PNode(label, node_type, text, prob)
 
 
-def _read_probability(element: ET.Element) -> float:
+def _read_probability(element: ET.Element, positions: _Positions,
+                      path: str) -> float:
     raw = element.get(PROB_ATTRIBUTE)
     if raw is None:
         return 1.0
@@ -142,10 +288,12 @@ def _read_probability(element: ET.Element) -> float:
         prob = float(raw)
     except ValueError:
         raise ParseError(
-            f"<{element.tag}>: prob={raw!r} is not a number") from None
+            f"{_where(element, positions, path)}<{element.tag}>: "
+            f"prob={raw!r} is not a number") from None
     if not 0.0 < prob <= 1.0:
         raise ParseError(
-            f"<{element.tag}>: prob={prob!r} outside (0, 1]")
+            f"{_where(element, positions, path)}<{element.tag}>: "
+            f"prob={prob!r} outside (0, 1]")
     return prob
 
 
@@ -158,3 +306,64 @@ def _gather_text(element: ET.Element) -> Optional[str]:
         if child.tail and child.tail.strip():
             pieces.append(child.tail.strip())
     return " ".join(pieces) or None
+
+
+# -- lenient salvage ----------------------------------------------------------
+
+
+def _element_fault(element: ET.Element, positions: _Positions,
+                   path: str) -> Optional[str]:
+    """Why the strict parser would reject this element (None = fine)."""
+    tag = element.tag
+    node_type = DISTRIBUTIONAL_TAGS.get(tag.lower(), NodeType.ORDINARY)
+    try:
+        _read_probability(element, positions, path)
+    except ParseError as exc:
+        return _strip_position(str(exc))
+    if node_type is not NodeType.ORDINARY and _gather_text(element):
+        return (f"distributional <{tag}> element carries text "
+                f"(mis-nested content)")
+    if node_type is NodeType.EXP:
+        spec = element.get(SUBSETS_ATTRIBUTE)
+        if spec is None:
+            return "<exp> element is missing its 'subsets' attribute"
+        try:
+            _parse_subsets(spec)
+        except ParseError as exc:
+            return f"bad <exp> distribution: {exc}"
+    return None
+
+
+def _strip_position(message: str) -> str:
+    """Drop a leading ``path:line:col: `` prefix from a message."""
+    head, sep, tail = message.rpartition(": <")
+    if sep and ":" in head:
+        return "<" + tail
+    return message
+
+
+def _prune_malformed(root_element: ET.Element, positions: _Positions,
+                     path: str, drops: List[SalvageDrop]) -> None:
+    """Detach every malformed subtree, recording a drop for each.
+
+    The root itself is *not* prunable — a document with no root has
+    nothing left to salvage; root faults propagate as ParseError from
+    the strict conversion that follows.
+    """
+    stack = [root_element]
+    while stack:
+        element = stack.pop()
+        doomed: List[ET.Element] = []
+        for child in element:
+            fault = _element_fault(child, positions, path)
+            if fault is None:
+                stack.append(child)
+            else:
+                doomed.append(child)
+                position = positions.get(
+                    id(child), SourcePosition(path, 1, 1))
+                drops.append(SalvageDrop(
+                    position=position, tag=child.tag, reason=fault,
+                    xml_text=ET.tostring(child, encoding="unicode")))
+        for child in doomed:
+            element.remove(child)

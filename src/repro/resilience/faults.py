@@ -20,6 +20,11 @@ query_error      before a query runs (any executor)            raises
                                                                :class:`InjectedFaultError`
 corrupt_payload  the serialised document shipped to workers    payload garbled — worker
                                                                initialisation fails
+reload_corrupt   ``QueryService.reload``, before the new       raises
+                 generation is verified and swapped in         :class:`InjectedFaultError`
+                                                               — the reload is rejected,
+                                                               the old generation keeps
+                                                               serving (docs/STORAGE.md)
 ===============  ============================================  =======================
 
 Injectors serialise to a compact spec string (:meth:`FaultInjector.spec`
@@ -56,7 +61,7 @@ from repro.exceptions import QueryError
 
 #: The recognised fault kinds, in documentation order.
 FAULT_KINDS = ("worker_crash", "slow_query", "query_error",
-               "corrupt_payload")
+               "corrupt_payload", "reload_corrupt")
 
 #: Environment variable holding a fault spec string (empty = no faults).
 FAULTS_ENV = "REPRO_FAULTS"
@@ -196,6 +201,17 @@ class FaultInjector:
             payload = payload[: len(payload) // 2] + "<corrupted/>"
         return payload
 
+    def before_reload(self) -> None:
+        """Reload hook: make the incoming generation look corrupt.
+
+        Fires inside :meth:`repro.service.QueryService.reload` before
+        the new generation is built, playing the role of a snapshot
+        that fails verification — the service must reject the reload
+        and keep serving the old generation (docs/STORAGE.md).
+        """
+        for armed in self._select("reload_corrupt", ()):
+            raise InjectedFaultError(armed.fault.message)
+
     # -- selection ------------------------------------------------------------
 
     def _select(self, kind: str,
@@ -250,6 +266,9 @@ class NullFaultInjector:
 
     def corrupt(self, payload: str) -> str:
         return payload
+
+    def before_reload(self) -> None:
+        pass
 
     def spec(self) -> str:
         return ""

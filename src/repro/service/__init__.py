@@ -4,12 +4,15 @@ The :class:`QueryService` keeps a prepared
 :class:`~repro.index.storage.Database` (or bare index) together with
 the reusable per-document caches of :mod:`repro.index.cache`, executes
 single queries and whole batches without redundant per-query work, and
-reports cache traffic through the :mod:`repro.obs` collector.  See
-docs/SERVICE.md for the architecture, the cache keys, and the worker
-model.
+reports cache traffic through the :mod:`repro.obs` collector.  It can
+also be built straight from a database directory and hot-reloaded to a
+newer snapshot generation without dropping in-flight queries
+(docs/STORAGE.md).  See docs/SERVICE.md for the architecture, the
+cache keys, and the worker model.
 """
 
 from repro.service.service import (BatchOutcome, QueryService,
-                                   load_query_file)
+                                   ServiceSource, load_query_file)
 
-__all__ = ["QueryService", "BatchOutcome", "load_query_file"]
+__all__ = ["QueryService", "BatchOutcome", "ServiceSource",
+           "load_query_file"]

@@ -36,6 +36,15 @@ deterministically; everything is reported as ``resilience.*`` counters
 through :mod:`repro.obs` and a ``resilience`` block in the batch
 stats.
 
+The service also supports **hot reload** (docs/STORAGE.md): the index,
+caches and result LRU live together in one immutable
+:class:`_ServiceState`, every query dereferences that state exactly
+once, and :meth:`QueryService.reload` builds a *new* state — loading
+and checksum-verifying a snapshot directory off to the side — before
+swapping it in with a single atomic reference assignment.  In-flight
+queries drain on the generation they started with; a reload that fails
+verification is rejected while the old generation keeps serving.
+
 Keyword order is canonicalised (terms are sorted) before any cache is
 consulted, so ``["a", "b"]`` and ``["b", "a"]`` hit the same entries —
 the answer set only depends on the term *set*, while raw match masks
@@ -45,6 +54,7 @@ depend on term order.  See docs/SERVICE.md for the full architecture.
 from __future__ import annotations
 
 import copy
+import os
 import threading
 from concurrent.futures import (BrokenExecutor, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor)
@@ -58,10 +68,10 @@ from repro.core.api import (Algorithm, Source, _as_index,
                             validate_query)
 from repro.core.result import SLCAResult, SearchOutcome
 from repro.encoding.dewey import DeweyCode
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, StorageError
 from repro.index.cache import (DEFAULT_CACHE_SIZE, LRUCache, QueryCaches)
 from repro.index.inverted import InvertedIndex
-from repro.index.storage import Database
+from repro.index.storage import Database, load_database
 from repro.index.tokenizer import normalize_query
 from repro.obs.logging import get_logger
 from repro.obs.metrics import (Collector, MetricsCollector,
@@ -162,13 +172,54 @@ class _ResilienceTracker:
         return block
 
 
+@dataclass(frozen=True)
+class _ServiceState:
+    """One served generation: index plus every cache warmed against it.
+
+    Immutable and swapped wholesale by :meth:`QueryService.reload` —
+    a query that captured this state keeps a consistent view (index,
+    match/Dewey/path caches and result LRU all from the *same*
+    generation) no matter how many reloads land while it runs.  Caches
+    are never shared across states: a cached answer from generation N
+    replayed against generation N+1 could be silently wrong.
+
+    Attributes:
+        index: the inverted index being served.
+        caches: the per-term and per-query caches for this index.
+        results: the whole-answer replay LRU for this index.
+        generation: snapshot generation name (``gNNNNNNNN``) when the
+            state came from a snapshot directory, ``None`` otherwise.
+        directory: the database directory the state was loaded from,
+            enabling argument-less :meth:`QueryService.reload`.
+        epoch: 1 for the state the service was constructed with,
+            incremented by every successful reload.
+    """
+
+    index: InvertedIndex
+    caches: QueryCaches
+    results: LRUCache
+    generation: Optional[str]
+    directory: Optional[str]
+    epoch: int
+
+
+#: What :class:`QueryService` and :meth:`QueryService.reload` accept as
+#: a data source: everything ``topk_search`` does, plus a database
+#: directory path (loaded — and checksum-verified — via
+#: :func:`repro.index.storage.load_database`).
+ServiceSource = Union[Source, str, "os.PathLike[str]"]
+
+
 class QueryService:
     """Persistent query execution over one prepared database.
 
     Args:
         source: what :func:`repro.core.api.topk_search` accepts — a
             p-document (indexed once, here), a prepared
-            :class:`Database`, or a bare :class:`InvertedIndex`.
+            :class:`Database`, or a bare :class:`InvertedIndex` — or a
+            database *directory* path, loaded and checksum-verified
+            like ``load_database`` would (and hot-reloadable later via
+            :meth:`reload`).
         cache_size: capacity of the match-entry and result caches (the
             per-term Dewey cache is proportionally larger; see
             :class:`repro.index.cache.QueryCaches`).
@@ -185,17 +236,145 @@ class QueryService:
             half-opens after 30 s.
     """
 
-    def __init__(self, source: Source,
+    def __init__(self, source: ServiceSource,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  collector: Optional[Collector] = None,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 verify: bool = True):
         self.collector = collector if collector is not None \
             else NULL_COLLECTOR
-        self._index: InvertedIndex = _as_index(source)
-        self._caches = QueryCaches(cache_size, collector=self.collector)
-        self._results = LRUCache("results", cache_size, self.collector)
+        self._cache_size = cache_size
         self._breaker = breaker if breaker is not None \
             else CircuitBreaker()
+        self._reload_lock = threading.Lock()
+        self._reload_counts = {"attempts": 0, "successes": 0,
+                               "rejected": 0}
+        self._reload_last_error: Optional[str] = None
+        self._state = self._build_state(source, epoch=1, verify=verify)
+
+    # -- state construction / hot reload --------------------------------------
+
+    def _build_state(self, source: ServiceSource, epoch: int,
+                     verify: bool = True) -> _ServiceState:
+        """Load/index ``source`` into a fresh, fully-independent state."""
+        generation: Optional[str] = None
+        directory: Optional[str] = None
+        if isinstance(source, (str, os.PathLike)):
+            source = load_database(source, verify=verify,
+                                   collector=self.collector)
+        if isinstance(source, Database):
+            generation = source.generation
+            directory = source.directory
+        return _ServiceState(
+            index=_as_index(source),
+            caches=QueryCaches(self._cache_size,
+                               collector=self.collector),
+            results=LRUCache("results", self._cache_size,
+                             self.collector),
+            generation=generation, directory=directory, epoch=epoch)
+
+    def reload(self, source: Optional[ServiceSource] = None,
+               verify: bool = True,
+               faults: Optional[FaultsLike] = None) -> _ServiceState:
+        """Hot-swap the served database without dropping a query.
+
+        The replacement is built entirely off to the side — loaded,
+        checksum-verified (unless ``verify=False``) and indexed, with
+        fresh empty caches — and only then installed by one atomic
+        reference assignment.  Queries already running keep the state
+        they captured and drain on the old generation; queries that
+        start after the swap see the new one.  Any failure (a missing
+        directory, checksum mismatch, version error, or an injected
+        ``reload_corrupt`` fault) *rejects* the reload: the old
+        generation keeps serving untouched and a
+        :class:`~repro.exceptions.StorageError` reports why.
+
+        Args:
+            source: the replacement — most usefully a database
+                directory path; defaults to re-reading the directory
+                the current generation was loaded from (picking up a
+                newly-committed snapshot generation).
+            verify: forwarded to ``load_database`` for path sources.
+            faults: a :class:`repro.resilience.FaultInjector` whose
+                ``reload_corrupt`` hook fires before the load, for
+                rejection-path testing; the default consults
+                ``REPRO_FAULTS``.
+
+        Returns:
+            The installed state (its ``generation``/``epoch`` feed
+            :meth:`storage_stats`).
+        """
+        injector = faults if faults is not None else faults_from_env()
+        with self._reload_lock:
+            old = self._state
+            self._reload_counts["attempts"] += 1
+            if self.collector.enabled:
+                self.collector.count("service.reload.attempts")
+            if source is None:
+                source = old.directory
+            if source is None:
+                self._note_reload_rejected(
+                    "no source: the service was not built from a "
+                    "database directory, so reload() needs an "
+                    "explicit one")
+                raise StorageError(
+                    "reload rejected: no source given and the current "
+                    "database was not loaded from a directory; the "
+                    "previous generation keeps serving")
+            try:
+                if injector.enabled:
+                    injector.before_reload()
+                state = self._build_state(source, epoch=old.epoch + 1,
+                                          verify=verify)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                message = f"{type(error).__name__}: {error}"
+                self._note_reload_rejected(message)
+                raise StorageError(
+                    f"reload rejected ({message}); the previous "
+                    f"generation keeps serving") from error
+            self._state = state
+            self._reload_counts["successes"] += 1
+            if self.collector.enabled:
+                self.collector.count("service.reload.successes")
+            _log.info("reload: now serving generation %s (epoch %d) "
+                      "from %s", state.generation, state.epoch,
+                      state.directory)
+            return state
+
+    def _note_reload_rejected(self, message: str) -> None:
+        self._reload_counts["rejected"] += 1
+        self._reload_last_error = message
+        if self.collector.enabled:
+            self.collector.count("service.reload.rejected")
+        _log.error("reload rejected: %s", message)
+
+    def storage_stats(self) -> Dict[str, object]:
+        """Where answers come from right now, and how they got here:
+        the served generation/directory, the state epoch, and the
+        cumulative reload counters (docs/STORAGE.md)."""
+        state = self._state
+        reloads: Dict[str, object] = dict(self._reload_counts)
+        reloads["last_error"] = self._reload_last_error
+        return {"generation": state.generation,
+                "directory": state.directory,
+                "epoch": state.epoch,
+                "reloads": reloads}
+
+    # -- state accessors (single-generation views) ----------------------------
+
+    @property
+    def _index(self) -> InvertedIndex:
+        return self._state.index
+
+    @property
+    def _caches(self) -> QueryCaches:
+        return self._state.caches
+
+    @property
+    def _results(self) -> LRUCache:
+        return self._state.results
 
     # -- single queries -------------------------------------------------------
 
@@ -231,7 +410,13 @@ class QueryService:
                       collector: Optional[MetricsCollector],
                       trace: bool, sanitize: Optional[bool],
                       deadline: object = None) -> SearchOutcome:
-        """Run one canonicalised query (terms already sorted/validated)."""
+        """Run one canonicalised query (terms already sorted/validated).
+
+        The service state is dereferenced exactly once, so the whole
+        query — index, caches and result LRU — runs against a single
+        generation even if a reload swaps the state mid-flight.
+        """
+        state = self._state
         algorithm = _coerce_algorithm(algorithm)
         if self.collector.enabled:
             self.collector.count("service.queries")
@@ -241,18 +426,18 @@ class QueryService:
                       and not effective_sanitize and deadline is None)
         key = (tuple(terms), k, algorithm.value, semantics)
         if replayable:
-            cached = self._results.get(key)
+            cached = state.results.get(key)
             if cached is not None:
                 return _replay(cached)
         with self.collector.time("service.search"):
-            outcome = topk_search(self._index, terms, k, algorithm,
+            outcome = topk_search(state.index, terms, k, algorithm,
                                   semantics=semantics,
                                   collector=collector, trace=trace,
                                   sanitize=sanitize,
-                                  caches=self._caches,
+                                  caches=state.caches,
                                   deadline=deadline)
         if replayable and not outcome.partial:
-            self._results.put(key, outcome)
+            state.results.put(key, outcome)
         return outcome
 
     # -- batches --------------------------------------------------------------
@@ -370,6 +555,7 @@ class QueryService:
             "algorithm": algorithm.value,
             "semantics": semantics,
             "cache": self.cache_stats(),
+            "storage": self.storage_stats(),
             "resilience": tracker.summary(policy, deadline_ms,
                                           self._breaker, injector),
         }
@@ -569,13 +755,17 @@ class QueryService:
         chain names the failure that actually took it down.
         """
         from repro.prxml.serializer import serialize_pxml
-        payload = serialize_pxml(self._index.encoded.document)
+        # One state capture for the whole pool round: the payload the
+        # workers parse and the encoding the parent hydrates results
+        # from must describe the same generation.
+        state = self._state
+        payload = serialize_pxml(state.index.encoded.document)
         if injector.enabled:
             payload = injector.corrupt(payload)
         jobs = [([prepared[position] for position in chunk], k,
                  algorithm.value, semantics, sanitize, deadline_ms)
                 for chunk in chunks]
-        capacity = self._caches.match_entries.capacity
+        capacity = state.caches.match_entries.capacity
         failed: List[int] = []
         try:
             pool = ProcessPoolExecutor(
@@ -602,7 +792,7 @@ class QueryService:
                     broken = True
                     submit_error = error
                     futures.append(None)
-            encoded = self._index.encoded
+            encoded = state.index.encoded
             for chunk, future in zip(chunks, futures):
                 if future is None:
                     self._fail_chunk(chunk, submit_error, failed,
@@ -766,19 +956,25 @@ class QueryService:
 
     def cache_stats(self) -> Dict[str, object]:
         """Cumulative per-cache counters (``match_entries``,
-        ``code_lists``, ``path_probs``, ``results``)."""
-        stats = self._caches.stats()
-        stats["results"] = self._results.stats()
+        ``code_lists``, ``path_probs``, ``results``) of the *current*
+        generation's caches (a reload starts fresh ones)."""
+        state = self._state
+        stats = state.caches.stats()
+        stats["results"] = state.results.stats()
         return stats
 
     def clear_caches(self) -> None:
         """Drop every cached value (counters stay — cumulative)."""
-        self._caches.clear()
-        self._results.clear()
+        state = self._state
+        state.caches.clear()
+        state.results.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"QueryService(terms={len(self._index)}, "
-                f"cache_size={self._results.capacity})")
+        state = self._state
+        extra = f", generation={state.generation}" \
+            if state.generation else ""
+        return (f"QueryService(terms={len(state.index)}, "
+                f"cache_size={state.results.capacity}{extra})")
 
 
 def _replay(outcome: SearchOutcome) -> SearchOutcome:

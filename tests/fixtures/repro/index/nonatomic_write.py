@@ -1,0 +1,59 @@
+"""R007 fixture: this path contains ``repro/index/`` on purpose, so
+the non-atomic-write rule treats it as storage-critical code.  The
+flagged half writes files in place; the clean half shows every shape
+the rule must *not* flag (reads, the blessed helper, a reasoned
+suppression)."""
+
+import os
+
+
+def flagged_truncating_open(path, text):
+    with open(path, "w") as handle:  # R007: in-place truncate
+        handle.write(text)
+
+
+def flagged_append_open(path, text):
+    handle = open(path, mode="ab")  # R007: in-place append
+    handle.write(text)
+    handle.close()
+
+
+def flagged_convenience_writer(path, text):
+    path.write_text(text)  # R007: Path.write_text truncates in place
+
+
+def flagged_os_open(path):
+    return os.open(path, os.O_WRONLY | os.O_CREAT)  # R007
+
+
+def clean_read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def clean_default_mode_read(path):
+    return open(path).read()
+
+
+def clean_variable_mode(path, mode):
+    # A non-literal mode cannot be judged statically; not flagged.
+    return open(path, mode)
+
+
+def clean_os_open_readonly(path):
+    return os.open(path, os.O_RDONLY)
+
+
+def _atomic_write(path, text):
+    # The blessed helper itself: in-place writing is its whole job.
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def suppressed_write(path, text):
+    with open(path, "w") as handle:  # repro: ignore[R007] scratch file
+        handle.write(text)

@@ -163,6 +163,64 @@ class TestBatchCommand:
         assert main(["batch", pxml_file, str(path)]) == 1
         assert "duplicate query keyword" in capsys.readouterr().err
 
+    def test_batch_reports_storage_generation(self, tmp_path,
+                                              pxml_file, query_file,
+                                              capsys):
+        database_dir = str(tmp_path / "db")
+        assert main(["index", pxml_file, database_dir]) == 0
+        capsys.readouterr()
+        assert main(["batch", database_dir, query_file]) == 0
+        out = capsys.readouterr().out
+        assert "storage: generation g00000001 (epoch 1)" in out
+
+    def test_batch_reload_on_rejects_pxml_source(self, pxml_file,
+                                                 query_file, capsys):
+        assert main(["batch", pxml_file, query_file,
+                     "--reload-on", "HUP"]) == 1
+        assert "database directory" in capsys.readouterr().err
+
+    def test_batch_reload_on_hup_swaps_generation(self, tmp_path,
+                                                  pxml_file, capsys,
+                                                  monkeypatch):
+        """Raise a real SIGHUP while the batch runs in-process: the
+        handler must hot-reload to the newest generation and the batch
+        must finish with exit 0.  The signal is raised from the main
+        thread once the handler is armed and the service is loaded, so
+        the test is deterministic (a timer could fire while the default
+        disposition is active and kill the test process)."""
+        import signal
+
+        import repro.cli as cli_module
+        if not hasattr(signal, "SIGHUP"):  # pragma: no cover
+            pytest.skip("no SIGHUP on this platform")
+        database_dir = str(tmp_path / "db")
+        assert main(["index", pxml_file, database_dir]) == 0
+        queries = tmp_path / "many.txt"
+        queries.write_text("k1 k2\n" * 10, encoding="utf-8")
+        capsys.readouterr()
+
+        real_run_batch = cli_module._run_batch
+
+        def signal_then_run(options, batch_queries, service, collector,
+                            faults):
+            # The service has loaded generation 1; commit generation 2
+            # now so the reload is a genuine hot swap.
+            assert main(["snapshot", database_dir]) == 0
+            signal.raise_signal(signal.SIGHUP)
+            return real_run_batch(options, batch_queries, service,
+                                  collector, faults)
+
+        monkeypatch.setattr(cli_module, "_run_batch", signal_then_run)
+        code = main(["batch", database_dir, str(queries),
+                     "--reload-on", "HUP"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "reloaded: now serving generation g00000002" \
+            in captured.err
+        assert "storage: generation g00000002 (epoch 2)" \
+            in captured.out
+        assert "reloads 1/1 ok" in captured.out
+
 
 class TestSearchValidation:
     def test_invalid_k_reported(self, pxml_file, capsys):

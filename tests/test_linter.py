@@ -1,4 +1,4 @@
-"""Tests for the probability-aware static analysis (rules R001-R006).
+"""Tests for the probability-aware static analysis (rules R001-R007).
 
 Each rule gets a positive snippet (must fire), a negative snippet (must
 stay quiet) and a suppressed snippet (``# repro: ignore[R00x]``).  The
@@ -195,6 +195,68 @@ class TestR006SwallowedException:
             "except ValueError:  # repro: ignore[R006] best effort\n"
             "    pass\n")
         assert result.clean
+
+
+class TestR007NonAtomicWrite:
+    STORAGE_PATH = "src/repro/index/snippet.py"
+
+    def test_flags_truncating_open(self):
+        result = lint_source(
+            "with open(path, 'w') as handle:\n"
+            "    handle.write(text)\n", path=self.STORAGE_PATH)
+        assert rules_of(result) == ["R007"]
+
+    def test_flags_append_and_keyword_mode(self):
+        result = lint_source(
+            "handle = open(path, mode='ab')\n",
+            path=self.STORAGE_PATH)
+        assert rules_of(result) == ["R007"]
+
+    def test_flags_write_text_and_os_open(self):
+        result = lint_source(
+            "import os\n"
+            "target.write_text(data)\n"
+            "fd = os.open(path, os.O_WRONLY | os.O_CREAT)\n",
+            path=self.STORAGE_PATH)
+        assert [f.rule for f in result.findings] == ["R007", "R007"]
+
+    def test_flags_service_package_too(self):
+        result = lint_source(
+            "open(path, 'w').write(text)\n",
+            path="src/repro/service/snippet.py")
+        assert rules_of(result) == ["R007"]
+
+    def test_reads_pass(self):
+        result = lint_source(
+            "body = open(path).read()\n"
+            "more = open(path, 'rb').read()\n"
+            "import os\nfd = os.open(path, os.O_RDONLY)\n",
+            path=self.STORAGE_PATH)
+        assert result.clean
+
+    def test_atomic_write_helper_is_blessed(self):
+        result = lint_source(
+            "import os\n"
+            "def _atomic_write(path, text):\n"
+            "    with open(path + '.tmp', 'w') as handle:\n"
+            "        handle.write(text)\n"
+            "    os.replace(path + '.tmp', path)\n",
+            path=self.STORAGE_PATH)
+        assert result.clean
+
+    def test_other_packages_unscoped(self):
+        result = lint_source(
+            "with open(path, 'w') as handle:\n"
+            "    handle.write(text)\n",
+            path="src/repro/datagen/snippet.py")
+        assert result.clean
+
+    def test_suppressed(self):
+        result = lint_source(
+            "open(path, 'w')  # repro: ignore[R007] scratch file\n",
+            path=self.STORAGE_PATH)
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["R007"]
 
 
 class TestFramework:

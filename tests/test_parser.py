@@ -5,6 +5,7 @@ import pytest
 from repro import NodeType, parse_pxml, parse_pxml_file, serialize_pxml
 from repro import write_pxml_file
 from repro.exceptions import ParseError
+from repro.prxml.parser import parse_pxml_salvage
 
 SAMPLE = """
 <movies>
@@ -77,6 +78,79 @@ class TestParse:
     def test_distributional_with_text_rejected(self):
         with pytest.raises(ParseError, match="text"):
             parse_pxml('<a><mux>boom<b prob="0.5"/></mux></a>')
+
+
+class TestDiagnostics:
+    """Every rejection must carry a ``path:line:column`` position."""
+
+    def test_malformed_prob_names_file_line_and_column(self):
+        text = ('<movies>\n'
+                '  <movie>\n'
+                '    <year prob="bogus">1984</year>\n'
+                '  </movie>\n'
+                '</movies>\n')
+        with pytest.raises(ParseError,
+                           match=r"catalogue\.pxml:3:5: .*not a number"):
+            parse_pxml(text, path="catalogue.pxml")
+
+    def test_mis_nested_mux_text_names_position(self):
+        text = ('<a>\n'
+                '  <mux>boom\n'
+                '    <b prob="0.5"/>\n'
+                '  </mux>\n'
+                '</a>\n')
+        with pytest.raises(ParseError, match=r":2:3: .*text"):
+            parse_pxml(text, path="doc.pxml")
+
+    def test_out_of_range_prob_names_position(self):
+        with pytest.raises(ParseError, match=r"<string>:1:4: "):
+            parse_pxml('<a><b prob="1.5"/></a>')
+
+    def test_parse_file_uses_real_path(self, tmp_path):
+        target = tmp_path / "broken.pxml"
+        target.write_text('<a>\n<b prob="nope"/>\n</a>\n')
+        with pytest.raises(ParseError) as info:
+            parse_pxml_file(target)
+        assert str(target) in str(info.value)
+        assert ":2:1:" in str(info.value)
+
+    def test_malformed_xml_names_position(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse_pxml("<a>\n<b></a>\n", path="x.pxml")
+
+
+class TestSalvage:
+    def test_salvage_drops_only_malformed_subtrees(self):
+        text = ('<catalogue>\n'
+                '  <movie>\n'
+                '    <title>good</title>\n'
+                '  </movie>\n'
+                '  <movie prob="broken">\n'
+                '    <title>bad</title>\n'
+                '  </movie>\n'
+                '</catalogue>\n')
+        document, drops = parse_pxml_salvage(text, path="c.pxml")
+        labels = [node.label for node in document]
+        assert labels == ["catalogue", "movie", "title"]
+        assert len(drops) == 1
+        drop = drops[0]
+        assert drop.position.line == 5
+        assert "c.pxml:5:" in drop.describe()
+        assert "broken" in drop.reason
+        assert "<title>bad</title>" in drop.xml_text
+
+    def test_salvage_of_clean_document_drops_nothing(self):
+        document, drops = parse_pxml_salvage(SAMPLE)
+        assert drops == []
+        assert len(document) == len(parse_pxml(SAMPLE))
+
+    def test_salvage_cannot_save_a_broken_root(self):
+        with pytest.raises(ParseError, match="root"):
+            parse_pxml_salvage('<ind><a prob="0.5"/></ind>')
+
+    def test_salvage_on_unparseable_xml_raises(self):
+        with pytest.raises(ParseError, match="malformed"):
+            parse_pxml_salvage("<a><b></a>")
 
 
 class TestSerialize:

@@ -7,11 +7,17 @@ import pytest
 
 from repro import Database, load_database, save_database
 from repro.exceptions import StorageError
+from repro.index.storage import resolve_snapshot
 
 
 @pytest.fixture
 def database(figure1_doc):
     return Database.from_document(figure1_doc)
+
+
+def data_dir(directory) -> str:
+    """The active snapshot directory holding the data files."""
+    return resolve_snapshot(directory)[0]
 
 
 class TestSaveLoad:
@@ -38,7 +44,9 @@ class TestSaveLoad:
     def test_creates_directory(self, database, tmp_path):
         directory = tmp_path / "nested" / "db"
         save_database(database, directory)
-        assert (directory / "meta.json").exists()
+        assert (directory / "CURRENT").exists()
+        assert os.path.exists(os.path.join(data_dir(directory),
+                                           "meta.json"))
 
     def test_missing_directory(self, tmp_path):
         with pytest.raises(StorageError):
@@ -47,40 +55,44 @@ class TestSaveLoad:
     def test_version_mismatch(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        meta_path = directory / "meta.json"
-        meta = json.loads(meta_path.read_text())
+        meta_path = os.path.join(data_dir(directory), "meta.json")
+        meta = json.loads(open(meta_path).read())
         meta["version"] = 999
-        meta_path.write_text(json.dumps(meta))
+        with open(meta_path, "w") as handle:
+            handle.write(json.dumps(meta))
         with pytest.raises(StorageError, match="version"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
     def test_node_count_mismatch(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        meta_path = directory / "meta.json"
-        meta = json.loads(meta_path.read_text())
+        meta_path = os.path.join(data_dir(directory), "meta.json")
+        meta = json.loads(open(meta_path).read())
         meta["nodes"] += 1
-        meta_path.write_text(json.dumps(meta))
+        with open(meta_path, "w") as handle:
+            handle.write(json.dumps(meta))
         with pytest.raises(StorageError, match="nodes"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
     def test_corrupt_postings_line(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        postings_path = os.path.join(directory, "postings.jsonl")
+        postings_path = os.path.join(data_dir(directory),
+                                     "postings.jsonl")
         with open(postings_path, "a", encoding="utf-8") as handle:
             handle.write("{not json}\n")
         with pytest.raises(StorageError, match="bad record"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
     def test_term_count_mismatch(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        postings_path = os.path.join(directory, "postings.jsonl")
+        postings_path = os.path.join(data_dir(directory),
+                                     "postings.jsonl")
         with open(postings_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps({"t": "extra", "ids": [0]}) + "\n")
         with pytest.raises(StorageError, match="terms"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
 
 class TestPersistenceHardening:
@@ -92,7 +104,8 @@ class TestPersistenceHardening:
         database = Database.from_document(builder.build())
         directory = tmp_path / "db"
         save_database(database, directory)
-        raw = (directory / "postings.jsonl").read_text(encoding="utf-8")
+        raw_path = os.path.join(data_dir(directory), "postings.jsonl")
+        raw = open(raw_path, encoding="utf-8").read()
         assert "café" in raw and "\\u" not in raw
         loaded = load_database(directory)
         assert list(loaded.index.postings("café")) == \
@@ -109,7 +122,8 @@ class TestPersistenceHardening:
     def test_load_rejects_empty_posting_list(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        postings_path = os.path.join(directory, "postings.jsonl")
+        postings_path = os.path.join(data_dir(directory),
+                                     "postings.jsonl")
         with open(postings_path, encoding="utf-8") as handle:
             lines = handle.readlines()
         lines[0] = json.dumps({"t": "ghost", "ids": []}) + "\n"
@@ -117,24 +131,40 @@ class TestPersistenceHardening:
             handle.writelines(lines)
         with pytest.raises(StorageError,
                            match=r"postings\.jsonl:1.*'ghost'.*empty"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
     def test_load_rejects_non_string_term(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        postings_path = os.path.join(directory, "postings.jsonl")
+        postings_path = os.path.join(data_dir(directory),
+                                     "postings.jsonl")
         with open(postings_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps({"t": 7, "ids": [0]}) + "\n")
         with pytest.raises(StorageError, match="not a string"):
-            load_database(directory)
+            load_database(directory, verify=False)
 
     def test_load_rejects_duplicate_term(self, database, tmp_path):
         directory = tmp_path / "db"
         save_database(database, directory)
-        postings_path = os.path.join(directory, "postings.jsonl")
+        postings_path = os.path.join(data_dir(directory),
+                                     "postings.jsonl")
         with open(postings_path, encoding="utf-8") as handle:
             first = handle.readline()
         with open(postings_path, "a", encoding="utf-8") as handle:
             handle.write(first)
         with pytest.raises(StorageError, match="appears twice"):
-            load_database(directory)
+            load_database(directory, verify=False)
+
+    def test_verify_catches_every_tampered_file(self, database, tmp_path):
+        directory = tmp_path / "db"
+        save_database(database, directory)
+        for name in ("document.pxml", "postings.jsonl", "meta.json"):
+            path = os.path.join(data_dir(directory), name)
+            original = open(path, "rb").read()
+            with open(path, "ab") as handle:
+                handle.write(b" ")
+            with pytest.raises(StorageError, match="verification"):
+                load_database(directory)
+            with open(path, "wb") as handle:
+                handle.write(original)
+        load_database(directory)  # pristine again
