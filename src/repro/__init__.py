@@ -27,8 +27,11 @@ from repro.core import (Algorithm, Explanation, SearchOutcome, SLCAResult,
                         monte_carlo_search, possible_worlds_search,
                         profile_lines, prstack_search, threshold_search,
                         topk_search)
-from repro.obs import (MetricsCollector, NULL_COLLECTOR, Stopwatch,
-                       TraceRecorder, configure_logging, get_logger)
+from repro.obs import (FlightRecorder, MetricsCollector, NULL_COLLECTOR,
+                       NULL_RECORDER, NULL_TRACER, SpanTracer, Stopwatch,
+                       TraceRecorder, build_report_v2, configure_logging,
+                       derive_trace_id, get_logger, parse_prometheus,
+                       render_prometheus, validate_spans)
 from repro.encoding import DeweyCode, EncodedDocument, encode_document
 from repro.exceptions import (EncodingError, IndexError_, ModelError,
                               ParseError, QueryError, ReproError,
@@ -55,6 +58,9 @@ __all__ = [
     "SLCAResult",
     # observability
     "MetricsCollector", "NULL_COLLECTOR", "Stopwatch", "TraceRecorder",
+    "SpanTracer", "NULL_TRACER", "FlightRecorder", "NULL_RECORDER",
+    "derive_trace_id", "validate_spans", "build_report_v2",
+    "render_prometheus", "parse_prometheus",
     "configure_logging", "get_logger",
     # model
     "PDocument", "PNode", "NodeType", "DocumentBuilder",

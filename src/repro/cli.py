@@ -11,6 +11,9 @@ Subcommands::
     repro batch site.db queries.txt --deadline-ms 50 --max-retries 2
     repro batch site.db queries.txt --faults 'worker_crash:times=1' \
         --workers 2 --executor process
+    repro batch site.db queries.txt --trace-dir trace/ --workers 2
+    repro trace trace/spans.jsonl
+    repro trace trace/flight-001-query_errors.json
     repro explain site.db --code 1.2.3 united states graduate
     repro twig site.db 'person[profile/education ~ "graduate"]'
     repro worlds small.pxml
@@ -41,8 +44,11 @@ from repro.datagen.xmark import generate_xmark
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import ReproError
 from repro.index.storage import Database, load_database, save_database
-from repro.obs import (MetricsCollector, Stopwatch, build_report,
-                       configure_logging, validate_report)
+from repro.obs import (FlightRecorder, MetricsCollector, SpanTracer,
+                       Stopwatch, build_report, build_report_v2,
+                       configure_logging, derive_trace_id,
+                       render_prometheus, validate_report,
+                       workers_block, write_spans)
 from repro.prxml.parser import parse_pxml_file
 from repro.prxml.possible_worlds import enumerate_possible_worlds
 from repro.prxml.serializer import write_pxml_file
@@ -136,8 +142,21 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="M", dest="cache_size",
                        help="entries per service cache (default 256)")
     batch.add_argument("--metrics-json", metavar="PATH",
-                       help="write the batch's repro.metrics/v1 JSON "
-                            "report to PATH (docs/OBSERVABILITY.md)")
+                       help="write the batch's repro.metrics/v2 JSON "
+                            "report to PATH, with process-worker "
+                            "counters merged in "
+                            "(docs/OBSERVABILITY.md)")
+    batch.add_argument("--metrics-prom", metavar="PATH",
+                       dest="metrics_prom",
+                       help="write the merged metrics as Prometheus "
+                            "text exposition (0.0.4) to PATH")
+    batch.add_argument("--trace-dir", metavar="DIR", dest="trace_dir",
+                       help="enable end-to-end span tracing and the "
+                            "flight recorder; writes spans.jsonl and "
+                            "a v2 metrics.json into DIR, plus "
+                            "flight-*.json dumps on query errors, "
+                            "partial answers, breaker trips or "
+                            "SIGUSR2 (docs/OBSERVABILITY.md)")
     batch.add_argument("--sanitize", action="store_true",
                        help="run every query under the runtime "
                             "invariant sanitizer (docs/ANALYSIS.md)")
@@ -165,6 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "signal while the batch runs; in-flight "
                             "queries drain on the old generation "
                             "(docs/STORAGE.md)")
+
+    trace = commands.add_parser(
+        "trace", help="render a span dump (spans.jsonl) or a flight-"
+                      "recorder dump written by 'repro batch "
+                      "--trace-dir' (docs/OBSERVABILITY.md)")
+    trace.add_argument("dump",
+                       help="a spans.jsonl file (rendered as the span "
+                            "tree) or a flight-*.json dump (rendered "
+                            "as the event window)")
+    trace.add_argument("--limit", type=int, default=200,
+                       help="maximum spans/records printed "
+                            "(default 200)")
 
     explain = commands.add_parser(
         "explain", help="decompose one node's SLCA probability")
@@ -330,30 +361,52 @@ def _cmd_batch(options) -> int:
     # late-binds the service through this cell.
     service_cell: List[object] = []
     restore_signal = _install_reload_handler(options, service_cell)
+    recorder = FlightRecorder() if options.trace_dir else None
+    restore_dump = _install_dump_handler(options, recorder)
     try:
         queries = load_query_file(options.queries)
         database = _open_database(options.source)
         collector = MetricsCollector()
         service = QueryService(database, cache_size=options.cache_size,
-                               collector=collector)
+                               collector=collector, recorder=recorder)
         service_cell.append(service)
         faults = (parse_faults(options.faults,
                                seed=options.faults_seed)
                   if options.faults else None)
-        return _run_batch(options, queries, service, collector, faults)
+        tracer = _build_tracer(options, queries, recorder)
+        return _run_batch(options, queries, service, collector, faults,
+                          tracer, recorder)
     finally:
+        restore_dump()
         restore_signal()
 
 
-def _run_batch(options, queries, service, collector, faults) -> int:
-    from repro.core.result import SearchOutcome
+def _build_tracer(options, queries, recorder):
+    """A span tracer for ``--trace-dir`` runs, or None.
+
+    The trace id is derived from the workload, not drawn at random, so
+    a seeded fault-injected batch reproduces the same id run after run
+    (the determinism contract the span tests pin down).
+    """
+    if not options.trace_dir:
+        return None
+    trace_id = derive_trace_id(
+        options.source, options.algorithm, options.semantics,
+        options.k, options.faults or "", options.faults_seed,
+        *(" ".join(query) for query in queries))
+    return SpanTracer(trace_id=trace_id, recorder=recorder)
+
+
+def _run_batch(options, queries, service, collector, faults,
+               tracer=None, recorder=None) -> int:
     batch = service.batch_search(
         queries, k=options.k, algorithm=options.algorithm,
         semantics=options.semantics, workers=options.workers,
         executor=options.executor,
         sanitize=True if options.sanitize else None,
         deadline_ms=options.deadline_ms,
-        max_retries=options.max_retries, faults=faults)
+        max_retries=options.max_retries, faults=faults,
+        tracer=tracer)
     stats = batch.stats
     print(f"{len(batch)} queries ({stats['distinct_term_sets']} "
           f"distinct term sets) in {batch.elapsed_ms:.1f} ms "
@@ -389,12 +442,7 @@ def _run_batch(options, queries, service, collector, faults) -> int:
         print(f"  {' '.join(query)}: {len(outcome)} answer(s), "
               f"{answer}")
     if options.metrics_json:
-        summary = SearchOutcome(results=[], stats=dict(stats))
-        summary.stats["metrics"] = collector.snapshot()
-        report = validate_report(build_report(
-            [" ".join(query) for query in queries], options.k,
-            options.algorithm, options.semantics, summary,
-            batch.elapsed_ms))
+        report = _build_batch_report(options, queries, batch, collector)
         try:
             with open(options.metrics_json, "w",
                       encoding="utf-8") as sink:
@@ -405,6 +453,123 @@ def _run_batch(options, queries, service, collector, faults) -> int:
                   file=sys.stderr)
             return 1
         print(f"metrics report written to {options.metrics_json}")
+    if options.metrics_prom:
+        try:
+            with open(options.metrics_prom, "w",
+                      encoding="utf-8") as sink:
+                sink.write(render_prometheus(collector.snapshot()))
+        except OSError as error:
+            print(f"error: cannot write Prometheus exposition: "
+                  f"{error}", file=sys.stderr)
+            return 1
+        print(f"Prometheus exposition written to "
+              f"{options.metrics_prom}")
+    if options.trace_dir:
+        return _write_trace_outputs(options, queries, batch, collector,
+                                    tracer, recorder)
+    return 0
+
+
+def _build_batch_report(options, queries, batch, collector,
+                        spans=None):
+    """The batch's ``repro.metrics/v2`` report: the v1 shape with the
+    merged (coordinator + process workers) metrics block, plus the
+    worker-provenance / resilience / span blocks when present."""
+    from repro.core.result import SearchOutcome
+    stats = batch.stats
+    summary = SearchOutcome(results=[], stats=dict(stats))
+    summary.stats["metrics"] = collector.snapshot()
+    merged = stats.get("workers_merged")
+    workers = (workers_block(list(merged["pids"]),
+                             merged["merged_snapshots"])
+               if merged else None)
+    resilience = dict(stats.get("resilience") or {}) or None
+    return validate_report(build_report_v2(
+        [" ".join(query) for query in queries], options.k,
+        options.algorithm, options.semantics, summary,
+        batch.elapsed_ms, spans=spans, workers=workers,
+        resilience=resilience))
+
+
+def _write_trace_outputs(options, queries, batch, collector, tracer,
+                         recorder) -> int:
+    """Materialize a ``--trace-dir``: spans.jsonl, the v2 metrics.json
+    (spans included), and a flight dump when the batch hit trouble."""
+    import os
+    directory = options.trace_dir
+    spans = tracer.export()
+    try:
+        os.makedirs(directory, exist_ok=True)
+        write_spans(spans, os.path.join(directory, "spans.jsonl"))
+        report = _build_batch_report(options, queries, batch,
+                                     collector, spans=spans)
+        with open(os.path.join(directory, "metrics.json"), "w",
+                  encoding="utf-8") as sink:
+            json.dump(report, sink, indent=2)
+            sink.write("\n")
+    except (OSError, ReproError) as error:
+        print(f"error: cannot write trace outputs: {error}",
+              file=sys.stderr)
+        return 1
+    print(f"trace {tracer.trace_id}: {len(spans)} span(s) written "
+          f"to {directory}")
+    resilience = batch.stats.get("resilience", {})
+    trouble = {name: resilience[name]
+               for name in ("query_errors", "deadline_expired",
+                            "circuit_open_skips")
+               if resilience.get(name)}
+    partials = sum(1 for outcome in batch if outcome.partial)
+    if partials:
+        trouble["partial_answers"] = partials
+    if trouble:
+        # Most severe trouble names the dump file.
+        order = ("query_errors", "circuit_open_skips",
+                 "deadline_expired", "partial_answers")
+        reason = next(name for name in order if name in trouble)
+        path = recorder.dump(directory, reason,
+                             extra={"trace_id": tracer.trace_id,
+                                    "trouble": trouble})
+        print(f"flight recorder dumped to {path} "
+              f"({', '.join(f'{k}={v}' for k, v in sorted(trouble.items()))})")
+    return 0
+
+
+def _install_dump_handler(options, recorder):
+    """Arm SIGUSR2 -> on-demand flight dump; returns the restore
+    callback.  Active only with ``--trace-dir`` (the dump needs a
+    destination); the handler must never take the batch down, so a
+    failed dump is reported on stderr and ignored."""
+    if not options.trace_dir or recorder is None:
+        return lambda: None
+    import signal
+    if not hasattr(signal, "SIGUSR2"):  # pragma: no cover - windows
+        return lambda: None
+
+    def handle(signum, frame):
+        try:
+            path = recorder.dump(options.trace_dir, "sigusr2")
+        except ReproError as error:
+            print(f"flight dump failed: {error}", file=sys.stderr)
+        else:
+            print(f"flight recorder dumped to {path}", file=sys.stderr)
+
+    previous = signal.signal(signal.SIGUSR2, handle)
+    return lambda: signal.signal(signal.SIGUSR2, previous)
+
+
+def _cmd_trace(options) -> int:
+    from repro.obs import (load_flight_dump, load_spans,
+                           render_flight_dump, render_span_tree,
+                           validate_spans)
+    if options.dump.endswith(".jsonl"):
+        spans = validate_spans(load_spans(options.dump))
+        trace_id = spans[0]["trace_id"] if spans else "(empty)"
+        print(f"trace {trace_id}: {len(spans)} span(s)")
+        print("\n".join(render_span_tree(spans, limit=options.limit)))
+        return 0
+    document = load_flight_dump(options.dump)
+    print(f"flight dump {options.dump}")
+    print("\n".join(render_flight_dump(document, limit=options.limit)))
     return 0
 
 
@@ -586,6 +751,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "search": _cmd_search,
     "batch": _cmd_batch,
+    "trace": _cmd_trace,
     "explain": _cmd_explain,
     "twig": _cmd_twig,
     "worlds": _cmd_worlds,

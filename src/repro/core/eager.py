@@ -276,6 +276,9 @@ class _EagerSearch:
         self.stats["seeds"] = len(seeds)
         if collector.enabled:
             collector.count("eager.seeds", len(seeds))
+            collector.mark("seeds", len(seeds))
+            collector.mark("match_entries",
+                           self.stats["match_entries"])
         # Most promising seeds first: their results fill the heap early,
         # so later seeds that cannot beat the k-th probability (a seed's
         # answer is capped by its path probability) are suspended

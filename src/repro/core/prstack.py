@@ -119,6 +119,8 @@ def prstack_search(index: InvertedIndex, keywords: Iterable[str],
     if collector.enabled:
         collector.count("prstack.entries_scanned",
                         outcome.stats["entries_scanned"])
+        collector.mark("entries_scanned",
+                       outcome.stats["entries_scanned"])
     if _log.isEnabledFor(10):  # logging.DEBUG
         _log.debug(
             "prstack: %d entries -> %d frames, %d results, final "

@@ -78,11 +78,14 @@ class LRUCache:
                 if self.collector.enabled:
                     self.collector.count(
                         f"service.cache.{self.name}.misses")
+                    self.collector.mark(
+                        f"cache.{self.name}.misses")
                 return None
             self._data.move_to_end(key)
             self.hits += 1
             if self.collector.enabled:
                 self.collector.count(f"service.cache.{self.name}.hits")
+                self.collector.mark(f"cache.{self.name}.hits")
             return value
 
     def put(self, key: Hashable, value: Any) -> None:

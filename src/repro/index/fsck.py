@@ -388,18 +388,19 @@ def fsck_database(directory, repair: bool = False,
     if collector.enabled:
         collector.count("storage.fsck.runs")
 
-    _sweep_staging(directory, report, repair)
+    with collector.time("storage.fsck"):
+        _sweep_staging(directory, report, repair)
 
-    generation = _resolve_current(directory, report)
-    if generation is None and is_legacy_layout(directory):
-        _fsck_legacy(directory, report, repair)
-    elif generation is None and not list_generations(directory):
-        raise StorageError(
-            f"{directory} is not a database directory: no "
-            f"{CURRENT_FILE} pointer, no snapshots and no legacy "
-            f"{DATA_FILES[2]}")
-    else:
-        _fsck_snapshots(directory, generation, report, repair)
+        generation = _resolve_current(directory, report)
+        if generation is None and is_legacy_layout(directory):
+            _fsck_legacy(directory, report, repair)
+        elif generation is None and not list_generations(directory):
+            raise StorageError(
+                f"{directory} is not a database directory: no "
+                f"{CURRENT_FILE} pointer, no snapshots and no legacy "
+                f"{DATA_FILES[2]}")
+        else:
+            _fsck_snapshots(directory, generation, report, repair)
 
     if collector.enabled:
         collector.count("storage.fsck.findings", len(report.findings))

@@ -67,9 +67,12 @@ def build_match_entries(index: InvertedIndex, keywords: Sequence[str],
     if cached is not None:
         if collector.enabled:
             collector.count("index.match_entries", len(cached))
+            collector.mark("cache.match_entries.hits")
         return terms, cached
     terms, entries = _merge_match_entries(index, terms, collector)
     caches.match_entries.put(tuple(terms), entries)
+    if collector.enabled:
+        collector.mark("cache.match_entries.misses")
     return terms, entries
 
 

@@ -441,7 +441,8 @@ def load_database(directory, verify: bool = True,
         if generation is not None:
             manifest = read_manifest(data_dir)
             if verify:
-                problems = verify_snapshot(data_dir, manifest)
+                with collector.time("storage.verify"):
+                    problems = verify_snapshot(data_dir, manifest)
                 if collector.enabled:
                     collector.count("storage.verify.files",
                                     len(DATA_FILES))

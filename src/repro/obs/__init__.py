@@ -1,33 +1,62 @@
-"""Observability: metrics, per-query traces, logging, report schema.
+"""Observability: metrics, spans, flight recorder, exporters, logging.
 
 This package is the instrumentation contract the rest of the library
 reports through:
 
 * :mod:`repro.obs.metrics` — :class:`MetricsCollector` (counters,
-  histograms, timers) and the zero-overhead :data:`NULL_COLLECTOR`
-  default every engine falls back to;
+  histograms, timers, cross-process merging) and the zero-overhead
+  :data:`NULL_COLLECTOR` default every engine falls back to;
+* :mod:`repro.obs.spans` — end-to-end :class:`SpanTracer` spans with
+  deterministic ids, cross-process adoption and the
+  :data:`NULL_TRACER` default;
+* :mod:`repro.obs.recorder` — the always-on bounded
+  :class:`FlightRecorder` ring buffer, dumped on error / partial
+  answer / breaker-open / ``SIGUSR2``;
 * :mod:`repro.obs.trace` — the per-query :class:`TraceRecorder` and a
   human-readable renderer;
 * :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy and the
   CLI's ``--verbose`` configuration hook;
-* :mod:`repro.obs.report` — the versioned ``repro.metrics/v1`` JSON
-  report emitted by ``--metrics-json`` and validated in CI.
+* :mod:`repro.obs.report` — the versioned ``repro.metrics/v1`` /
+  ``/v2`` JSON report schemas emitted by ``--metrics-json`` and
+  validated in CI;
+* :mod:`repro.obs.export` — the merged ``repro.metrics/v2`` report
+  builder and the Prometheus text-exposition exporter.
 
-Metric names and the report schema are documented in
+Metric names, span names and both report schemas are documented in
 docs/OBSERVABILITY.md.
 """
 
+from repro.obs.export import (ExportError, build_report_v2,
+                              parse_prometheus, prometheus_lines,
+                              render_prometheus, workers_block)
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (Collector, Histogram, MetricsCollector,
                                NullCollector, NULL_COLLECTOR, Stopwatch)
-from repro.obs.report import (ReportError, SCHEMA_ID, build_report,
-                              validate_report)
+from repro.obs.recorder import (FlightRecorder, FlightRecorderError,
+                                NullFlightRecorder, NULL_RECORDER,
+                                RecorderLike, load_flight_dump,
+                                render_flight_dump)
+from repro.obs.report import (ReportError, SCHEMA_ID, SCHEMA_ID_V2,
+                              build_report, validate_report)
+from repro.obs.spans import (NullTracer, NULL_TRACER, Span, SpanError,
+                             SpanTracer, TracerLike, derive_trace_id,
+                             load_spans, render_span_tree,
+                             validate_spans, write_spans)
 from repro.obs.trace import TraceEvent, TraceRecorder, render_trace
 
 __all__ = [
     "Collector", "MetricsCollector", "NullCollector", "NULL_COLLECTOR",
     "Histogram", "Stopwatch",
+    "Span", "SpanTracer", "NullTracer", "NULL_TRACER", "TracerLike",
+    "SpanError", "derive_trace_id", "validate_spans", "load_spans",
+    "write_spans", "render_span_tree",
+    "FlightRecorder", "NullFlightRecorder", "NULL_RECORDER",
+    "RecorderLike", "FlightRecorderError", "load_flight_dump",
+    "render_flight_dump",
     "TraceRecorder", "TraceEvent", "render_trace",
     "get_logger", "configure_logging",
     "build_report", "validate_report", "ReportError", "SCHEMA_ID",
+    "SCHEMA_ID_V2",
+    "build_report_v2", "workers_block", "prometheus_lines",
+    "render_prometheus", "parse_prometheus", "ExportError",
 ]

@@ -1,0 +1,181 @@
+"""Merged-report construction and the Prometheus text exporter.
+
+PR 3's batch service runs queries in *other processes*, and PR 1's
+report schema only ever described one collector.  This module closes
+that gap from the export side:
+
+* :func:`build_report_v2` assembles a ``repro.metrics/v2`` document —
+  the v1 shape (so every v1 consumer keeps working field-for-field)
+  plus three optional blocks: ``spans`` (the exported trace tree),
+  ``workers`` (how many process-worker snapshots were merged into the
+  ``metrics`` block, by pid), and ``resilience`` (the batch outcome's
+  retry/breaker/fault stats).  The ``metrics`` block of a v2 report is
+  *merged*: coordinator + every worker, via
+  :meth:`repro.obs.metrics.MetricsCollector.merge_snapshot`.
+* :func:`render_prometheus` turns any metrics snapshot into Prometheus
+  text exposition format (version 0.0.4) — the format the ROADMAP's
+  async ``/metrics`` endpoint will serve verbatim.  Counters become
+  ``counter`` samples; histogram and timer summaries become a
+  ``_count`` / ``_sum`` / ``_min`` / ``_max`` / ``_mean`` gauge family.
+  :func:`parse_prometheus` reads that text back (used by the
+  round-trip tests and the CI smoke job).
+
+Schema validation for both report versions lives in
+:mod:`repro.obs.report` (:func:`~repro.obs.report.validate_report`
+accepts v1 and v2); this module only *builds* and *renders*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.obs.report import SCHEMA_ID_V2, build_report
+
+#: Metric name prefix on every exported Prometheus sample.
+PROMETHEUS_PREFIX = "repro"
+
+#: Summary fields exported per histogram/timer, in exposition order.
+_SUMMARY_FIELDS = ("count", "sum", "min", "max", "mean")
+
+
+class ExportError(ReproError):
+    """A metrics export could not be rendered or parsed."""
+
+
+def build_report_v2(keywords: List[str], k: int, algorithm: str,
+                    semantics: str, outcome, elapsed_ms: float,
+                    spans: Optional[List[Dict[str, object]]] = None,
+                    workers: Optional[Dict[str, object]] = None,
+                    resilience: Optional[Dict[str, object]] = None,
+                    ) -> Dict[str, object]:
+    """Assemble a ``repro.metrics/v2`` report.
+
+    Arguments mirror :func:`repro.obs.report.build_report` (the v1
+    builder this delegates to); the extra blocks are attached only
+    when provided, so an un-traced single-process run produces a v2
+    report that differs from v1 in nothing but the schema tag.
+
+    ``workers`` is the merge provenance block — see
+    :func:`workers_block` for the canonical shape.
+    """
+    report = build_report(keywords, k, algorithm, semantics, outcome,
+                          elapsed_ms)
+    report["schema"] = SCHEMA_ID_V2
+    if spans is not None:
+        report["spans"] = spans
+    if workers is not None:
+        report["workers"] = workers
+    if resilience is not None:
+        report["resilience"] = resilience
+    return report
+
+
+def workers_block(pids: List[int],
+                  merged_snapshots: int) -> Dict[str, object]:
+    """The canonical ``workers`` block of a v2 report.
+
+    ``pids`` lists the distinct process-worker pids whose metric
+    snapshots were merged into the report's ``metrics`` block;
+    ``merged_snapshots`` counts the merges (one per chunk, so it can
+    exceed ``len(pids)`` when a worker served several chunks).
+    """
+    return {"count": len(set(pids)),
+            "pids": sorted(set(pids)),
+            "merged_snapshots": merged_snapshots}
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _sample_name(name: str, prefix: str = PROMETHEUS_PREFIX) -> str:
+    """``index.match_entries.hits`` -> ``repro_index_match_entries_hits``.
+
+    Prometheus metric names admit ``[a-zA-Z_:][a-zA-Z0-9_:]*``; every
+    other character becomes ``_``.
+    """
+    cleaned = "".join(char if char.isalnum() or char == "_" else "_"
+                      for char in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{prefix}_{cleaned}" if prefix else cleaned
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):  # bool is an int; never a valid sample
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float)
+                                  and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_lines(metrics: Dict[str, Dict],
+                     prefix: str = PROMETHEUS_PREFIX) -> List[str]:
+    """Exposition lines for one metrics snapshot (no trailing newline).
+
+    The snapshot is the ``metrics`` block shape produced by
+    :meth:`repro.obs.metrics.MetricsCollector.snapshot`: ``counters``
+    map to ``counter`` samples, ``histograms`` and ``timers`` each to a
+    five-gauge summary family (timer values are milliseconds, as in
+    the JSON report).  An empty snapshot yields no lines.
+    """
+    if not isinstance(metrics, dict):
+        raise ExportError(f"metrics snapshot must be an object, "
+                          f"got {type(metrics).__name__}")
+    lines: List[str] = []
+    counters = metrics.get("counters", {})
+    for name in sorted(counters):
+        sample = _sample_name(name, prefix)
+        lines.append(f"# TYPE {sample} counter")
+        lines.append(f"{sample} {_format_value(counters[name])}")
+    for block, unit in (("histograms", ""), ("timers", "_ms")):
+        summaries = metrics.get(block, {})
+        for name in sorted(summaries):
+            summary = summaries[name]
+            base = _sample_name(name, prefix) + unit
+            for field in _SUMMARY_FIELDS:
+                sample = f"{base}_{field}"
+                lines.append(f"# TYPE {sample} gauge")
+                lines.append(
+                    f"{sample} {_format_value(summary.get(field, 0))}")
+    return lines
+
+
+def render_prometheus(metrics: Dict[str, Dict],
+                      prefix: str = PROMETHEUS_PREFIX) -> str:
+    """The full exposition document (trailing newline included)."""
+    lines = prometheus_lines(metrics, prefix)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Read exposition text back into a flat ``{sample: value}`` map.
+
+    Supports the subset this module emits (no labels, no timestamps,
+    ``# TYPE`` / ``# HELP`` comments ignored) — enough for the
+    round-trip contract test and the CI smoke check.  Raises
+    :class:`ExportError` on a malformed sample line.
+    """
+    samples: Dict[str, float] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ExportError(
+                f"exposition line {number} is malformed: {line!r}")
+        name, raw = parts
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ExportError(
+                f"exposition line {number} has a non-numeric value: "
+                f"{line!r}") from None
+        if name in samples:
+            raise ExportError(
+                f"exposition line {number} repeats sample {name!r}")
+        samples[name] = value
+    return samples

@@ -17,6 +17,25 @@ Hot loops may additionally guard on ``collector.enabled`` (a plain
 class attribute) to skip argument construction entirely, and on
 ``collector.trace is not None`` before formatting trace event fields.
 
+Two cross-cutting seams ride on the collector so the engines never
+need new parameters:
+
+* **Spans.**  A collector constructed with a
+  :class:`~repro.obs.spans.SpanTracer` turns every ``collector.time``
+  block into a span under the caller's current span — the existing
+  timer hook points (``index.lookup``, ``prstack.scan``,
+  ``eager.climb``, ``storage.load`` …) *are* the span tree's leaves.
+  :meth:`MetricsCollector.mark` additionally annotates the current
+  span (cache hits, entry counts) without allocating when no span is
+  open.
+* **Merging.**  :meth:`MetricsCollector.merge` /
+  :meth:`~MetricsCollector.merge_snapshot` fold another collector (or
+  its serialized snapshot, e.g. shipped back from a process worker)
+  into this one — counters add, histogram/timer summaries combine via
+  :meth:`Histogram.absorb` — which is how ``repro batch`` produces one
+  merged ``repro.metrics/v2`` report instead of coordinator-only
+  numbers.
+
 :class:`Stopwatch` is the library's single wall-clock primitive; the
 CLI and the benchmark harness both time through it rather than calling
 ``time.perf_counter()`` ad hoc.
@@ -25,6 +44,7 @@ CLI and the benchmark harness both time through it rather than calling
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Dict, Optional, Union
 
@@ -70,6 +90,23 @@ class Histogram:
                 "min": round(self.minimum * scale, digits),
                 "max": round(self.maximum * scale, digits),
                 "mean": round(self.mean * scale, digits)}
+
+    def absorb(self, count: int, total: float, minimum: float,
+               maximum: float) -> None:
+        """Fold another histogram's summary into this one.
+
+        The combining step behind cross-process merging: count/sum
+        add, min/max extend.  A zero-count summary is a no-op so
+        absorbing an empty snapshot cannot corrupt min/max.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        self.total += total
+        if minimum < self.minimum:
+            self.minimum = minimum
+        if maximum > self.maximum:
+            self.maximum = maximum
 
 
 class Stopwatch:
@@ -134,6 +171,33 @@ class _Timed:
             self._name, time.perf_counter() - self._started)
 
 
+class _TimedSpan:
+    """A :class:`_Timed` that also opens a span for the same interval.
+
+    This is the timer→span bridge: when the collector carries a
+    tracer, every ``collector.time(name)`` block in the engines and
+    the storage layer becomes both a timer observation *and* a span
+    named ``name`` under the caller's current span.
+    """
+
+    __slots__ = ("_collector", "_name", "_started", "_ctx")
+
+    def __init__(self, collector: "MetricsCollector", name: str):
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self) -> "_TimedSpan":
+        self._ctx = self._collector.tracer.span(self._name)
+        self._ctx.__enter__()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._collector.observe_time(
+            self._name, time.perf_counter() - self._started)
+        self._ctx.__exit__(exc_type, exc, tb)
+
+
 class _NullTimed:
     """Reusable do-nothing context manager for the no-op collector."""
 
@@ -160,6 +224,7 @@ class NullCollector:
 
     enabled = False
     trace: Optional[TraceRecorder] = None
+    tracer = None
 
     __slots__ = ()
 
@@ -176,6 +241,15 @@ class NullCollector:
         return _NULL_TIMED
 
     def event(self, name: str, **fields: object) -> None:
+        pass
+
+    def mark(self, key: str, value: float = 1) -> None:
+        pass
+
+    def merge(self, other: "MetricsCollector") -> None:
+        pass
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
         pass
 
     def snapshot(self) -> Dict[str, Dict]:
@@ -199,19 +273,28 @@ class MetricsCollector:
         trace: also record a per-query event trace (bounded by
             ``max_trace_events``); engines emit events only when this
             is on.
+        tracer: a :class:`repro.obs.spans.SpanTracer`; when set, every
+            ``time(name)`` block is also recorded as a span (see
+            :class:`_TimedSpan`) and :meth:`mark` annotates the
+            current span.
     """
 
     enabled = True
 
-    __slots__ = ("counters", "histograms", "timers", "trace")
+    __slots__ = ("counters", "histograms", "timers", "trace", "tracer",
+                 "_merge_lock")
 
     def __init__(self, trace: bool = False,
-                 max_trace_events: int = DEFAULT_MAX_EVENTS):
+                 max_trace_events: int = DEFAULT_MAX_EVENTS,
+                 tracer=None):
         self.counters: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.timers: Dict[str, Histogram] = {}
         self.trace: Optional[TraceRecorder] = (
             TraceRecorder(max_trace_events) if trace else None)
+        self.tracer = tracer if tracer is not None \
+            and getattr(tracer, "enabled", False) else None
+        self._merge_lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
@@ -233,14 +316,74 @@ class MetricsCollector:
             timer = self.timers[name] = Histogram()
         timer.observe(seconds)
 
-    def time(self, name: str) -> _Timed:
-        """``with collector.time("index.lookup"): ...``"""
+    def time(self, name: str) -> Union[_Timed, _TimedSpan]:
+        """``with collector.time("index.lookup"): ...``
+
+        With a tracer attached, the block is also a span (the
+        timer→span bridge that gives the engines span coverage with
+        no signature changes).
+        """
+        if self.tracer is not None:
+            return _TimedSpan(self, name)
         return _Timed(self, name)
 
     def event(self, name: str, **fields: object) -> None:
         """Record a trace event (no-op unless tracing is on)."""
         if self.trace is not None:
             self.trace.record(name, **fields)
+
+    def mark(self, key: str, value: float = 1) -> None:
+        """Bump a numeric attribute on the tracer's current span.
+
+        A no-op without a tracer (or outside any span), so call sites
+        like the cache-hit path stay one attribute load when spans are
+        off.
+        """
+        if self.tracer is not None:
+            span = self.tracer.current()
+            if span is not None:
+                span.bump(key, value)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's accumulations into this one."""
+        with self._merge_lock:
+            for name, value in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for target, source in ((self.histograms, other.histograms),
+                                   (self.timers, other.timers)):
+                for name, histogram in source.items():
+                    mine = target.get(name)
+                    if mine is None:
+                        mine = target[name] = Histogram()
+                    mine.absorb(histogram.count, histogram.total,
+                                histogram.minimum, histogram.maximum)
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a serialized :meth:`snapshot` into this collector.
+
+        This is the cross-process path: a worker ships its snapshot
+        back with the result rows and the coordinator absorbs it here.
+        Timer summaries arrive in milliseconds (the snapshot unit) and
+        are scaled back to the seconds the live timers accumulate in.
+        """
+        if not snapshot:
+            return
+        with self._merge_lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for block, target, scale in (
+                    ("histograms", self.histograms, 1.0),
+                    ("timers", self.timers, 1.0 / 1000.0)):
+                for name, summary in snapshot.get(block, {}).items():
+                    mine = target.get(name)
+                    if mine is None:
+                        mine = target[name] = Histogram()
+                    mine.absorb(int(summary.get("count", 0)),
+                                float(summary.get("sum", 0.0)) * scale,
+                                float(summary.get("min", 0.0)) * scale,
+                                float(summary.get("max", 0.0)) * scale)
 
     # -- reading -----------------------------------------------------------
 

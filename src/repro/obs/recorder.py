@@ -1,0 +1,240 @@
+"""The flight recorder: a bounded ring buffer of recent telemetry.
+
+Spans and metrics answer "what happened over the whole run"; the
+flight recorder answers the harder operational question — *"what were
+the last things this service did before it misbehaved?"*.  It is an
+always-on, fixed-capacity ring of small records (span completions,
+resilience events, reload attempts, fsck findings).  Appending is a
+deque rotation under a lock — cheap enough to leave on in production —
+and the buffer is only ever materialized when something goes wrong:
+
+* a query lands in the error tier of the degradation chain,
+* a deadline expires and a partial answer is returned,
+* the circuit breaker opens (or skips the process tier while open),
+* the operator sends ``SIGUSR2`` to a running ``repro batch``.
+
+On any of those, :meth:`FlightRecorder.dump` writes the last N records
+as one ``repro.flight/v1`` JSON document into the trace directory, so
+a post-mortem starts from the exact event sequence that preceded the
+failure instead of from aggregate counters.  :data:`NULL_RECORDER`
+preserves the repo-wide null-object default: code paths test
+``recorder.enabled`` and pay one attribute load when recording is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+
+#: Schema identifier stamped into every dump.
+FLIGHT_SCHEMA = "repro.flight/v1"
+
+#: Default ring capacity — small enough that a dump is readable,
+#: large enough to span a whole degraded chunk's worth of events.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorderError(ReproError):
+    """A flight-recorder dump could not be written or parsed."""
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of ``(seq, offset_ms, kind, name,
+    fields)`` records.
+
+    Args:
+        capacity: maximum records retained; older records rotate out.
+            The global sequence number keeps counting, so a dump shows
+            how many records preceded the window (``first_seq``).
+
+    Thread-safe; shared by the coordinator, its thread-tier workers
+    and the signal handler.  Process-pool workers do *not* share it —
+    their span completions reach the ring when the coordinator adopts
+    the serialized spans.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(
+                f"flight recorder capacity must be positive, "
+                f"got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[Tuple[int, float, str, str,
+                                Optional[Dict[str, object]]]] = \
+            deque(maxlen=capacity)
+        self._seq = 0
+        self._dumps = 0
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, name: str, **fields: object) -> None:
+        """Append one record; constant-time, never raises."""
+        offset = (time.perf_counter() - self._epoch) * 1000.0
+        with self._lock:
+            self._seq += 1
+            self._ring.append((self._seq, offset, kind, name,
+                               fields or None))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """The ring's current contents, oldest first, as dicts."""
+        with self._lock:
+            entries = list(self._ring)
+        records: List[Dict[str, object]] = []
+        for seq, offset, kind, name, fields in entries:
+            record: Dict[str, object] = {
+                "seq": seq,
+                "offset_ms": round(offset, 3),
+                "kind": kind,
+                "name": name,
+            }
+            if fields:
+                record.update(fields)
+            records.append(record)
+        return records
+
+    def dump(self, directory: str, reason: str,
+             extra: Optional[Dict[str, object]] = None) -> str:
+        """Write the ring to ``directory`` as one flight document.
+
+        File names are deterministic and collision-free within the
+        directory — ``flight-001-<reason>.json``, ``flight-002-...`` —
+        numbered by how many dumps this recorder has produced, so a
+        batch that trips twice leaves two ordered dumps.  Returns the
+        path written.
+        """
+        records = self.snapshot()
+        with self._lock:
+            self._dumps += 1
+            ordinal = self._dumps
+        slug = "".join(char if char.isalnum() or char in "-_"
+                       else "-" for char in reason) or "dump"
+        path = os.path.join(directory,
+                            f"flight-{ordinal:03d}-{slug}.json")
+        document: Dict[str, object] = {
+            "schema": FLIGHT_SCHEMA,
+            "reason": reason,
+            "capacity": self.capacity,
+            "first_seq": records[0]["seq"] if records else 0,
+            "last_seq": records[-1]["seq"] if records else 0,
+            "records": records,
+        }
+        if extra:
+            document["context"] = extra
+        try:
+            os.makedirs(directory, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as sink:
+                json.dump(document, sink, indent=2, ensure_ascii=False)
+                sink.write("\n")
+        except OSError as error:
+            raise FlightRecorderError(
+                f"cannot write flight dump {path}: {error}") from error
+        return path
+
+    @property
+    def dumps(self) -> int:
+        """How many dumps this recorder has written."""
+        return self._dumps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlightRecorder(capacity={self.capacity}, "
+                f"len={len(self)}, dumps={self._dumps})")
+
+
+class NullFlightRecorder:
+    """The do-nothing recorder: the default on every execution path."""
+
+    enabled = False
+    capacity = 0
+    dumps = 0
+
+    __slots__ = ()
+
+    def record(self, kind: str, name: str, **fields: object) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return []
+
+    def dump(self, directory: str, reason: str,
+             extra: Optional[Dict[str, object]] = None) -> str:
+        raise FlightRecorderError(
+            "the null flight recorder has nothing to dump; construct "
+            "a FlightRecorder (or pass --trace-dir) to enable it")
+
+
+#: Shared no-op instance.
+NULL_RECORDER = NullFlightRecorder()
+
+#: What recorder-aware signatures accept: a live recorder or the no-op.
+RecorderLike = Union[FlightRecorder, NullFlightRecorder]
+
+
+def load_flight_dump(path: str) -> Dict[str, object]:
+    """Read and structurally validate one flight dump document."""
+    try:
+        with open(path, "r", encoding="utf-8") as source:
+            document = json.load(source)
+    except OSError as error:
+        raise FlightRecorderError(
+            f"cannot read flight dump {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise FlightRecorderError(
+            f"flight dump {path} is not JSON: {error}") from error
+    if not isinstance(document, dict) \
+            or document.get("schema") != FLIGHT_SCHEMA:
+        raise FlightRecorderError(
+            f"flight dump {path} is not a {FLIGHT_SCHEMA} document")
+    records = document.get("records")
+    if not isinstance(records, list):
+        raise FlightRecorderError(
+            f"flight dump {path} has no records list")
+    for position, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise FlightRecorderError(
+                f"flight dump {path}: records[{position}] is not an "
+                f"object")
+        for key in ("seq", "offset_ms", "kind", "name"):
+            if key not in record:
+                raise FlightRecorderError(
+                    f"flight dump {path}: records[{position}] is "
+                    f"missing {key!r}")
+    return document
+
+
+def render_flight_dump(document: Dict[str, object],
+                       limit: int = 100) -> List[str]:
+    """Human-readable lines for a flight dump (``repro trace``)."""
+    records = document.get("records", [])
+    lines = [f"  reason: {document.get('reason', '?')}  "
+             f"records: {len(records)}  "
+             f"window: #{document.get('first_seq', 0)}.."
+             f"#{document.get('last_seq', 0)}"]
+    shown = records[-limit:] if limit else records
+    hidden = len(records) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} older record(s) not shown")
+    for record in shown:
+        detail = " ".join(
+            f"{key}={value}" for key, value in sorted(record.items())
+            if key not in ("seq", "offset_ms", "kind", "name"))
+        lines.append(
+            f"  #{record.get('seq', 0):<6} "
+            f"{record.get('offset_ms', 0.0):10.3f} ms  "
+            f"{record.get('kind', '?'):<10} {record.get('name', '?')}"
+            + (f"  {detail}" if detail else ""))
+    return lines

@@ -22,6 +22,16 @@ Top-level shape (``repro.metrics/v1``)::
     }
 
 ``trace`` is present only when the query ran with tracing on.
+
+``repro.metrics/v2`` (built by :func:`repro.obs.export
+.build_report_v2`) is the same shape with three optional extra
+blocks — ``spans`` (exported span tree, validated by
+:func:`repro.obs.spans.validate_spans`), ``workers`` (process-worker
+merge provenance) and ``resilience`` (retry/breaker/fault stats) —
+and, crucially, a ``metrics`` block that has been *merged* across the
+coordinator and every process worker.  :func:`validate_report`
+accepts both versions; v1 consumers can read a v2 report by ignoring
+the extra blocks.
 """
 
 from __future__ import annotations
@@ -33,6 +43,12 @@ from repro.exceptions import ReproError
 
 #: Version tag written into (and required from) every report.
 SCHEMA_ID = "repro.metrics/v1"
+
+#: The merged/cross-process report version (see repro.obs.export).
+SCHEMA_ID_V2 = "repro.metrics/v2"
+
+#: Every schema version :func:`validate_report` accepts.
+KNOWN_SCHEMAS = (SCHEMA_ID, SCHEMA_ID_V2)
 
 #: Keys every report must carry.
 REQUIRED_KEYS = ("schema", "query", "elapsed_ms", "result_count",
@@ -81,11 +97,12 @@ def build_report(keywords: List[str], k: int, algorithm: str,
 
 
 def validate_report(report: object) -> Dict[str, object]:
-    """Check a parsed report against the v1 schema.
+    """Check a parsed report against its declared schema (v1 or v2).
 
     Returns the report (for chaining) or raises :class:`ReportError`
-    naming the first violation.  Deliberately dependency-free — this is
-    the library's own contract check, also run by the CI smoke job.
+    naming the first violation.  Deliberately dependency-free below
+    the obs package — this is the library's own contract check, also
+    run by the CI smoke job.
     """
     if not isinstance(report, dict):
         raise ReportError(f"report must be an object, got "
@@ -93,9 +110,10 @@ def validate_report(report: object) -> Dict[str, object]:
     for key in REQUIRED_KEYS:
         if key not in report:
             raise ReportError(f"report is missing required key {key!r}")
-    if report["schema"] != SCHEMA_ID:
+    if report["schema"] not in KNOWN_SCHEMAS:
+        choices = ", ".join(repr(schema) for schema in KNOWN_SCHEMAS)
         raise ReportError(f"unknown schema {report['schema']!r}; "
-                          f"expected {SCHEMA_ID!r}")
+                          f"expected one of: {choices}")
 
     query = report["query"]
     if not isinstance(query, dict):
@@ -138,7 +156,44 @@ def validate_report(report: object) -> Dict[str, object]:
                 raise ReportError(
                     f"trace[{position}] must be an object with a "
                     "'name' string and an 'offset_ms' number")
+
+    if report["schema"] == SCHEMA_ID_V2:
+        _validate_v2_blocks(report)
+    else:
+        for block in ("spans", "workers"):
+            if block in report:
+                raise ReportError(
+                    f"{block!r} is a {SCHEMA_ID_V2} block; a "
+                    f"{SCHEMA_ID} report must not carry it")
     return report
+
+
+def _validate_v2_blocks(report: Dict[str, object]) -> None:
+    """The v2-only optional blocks: spans, workers, resilience."""
+    spans = report.get("spans")
+    if spans is not None:
+        from repro.obs.spans import SpanError, validate_spans
+        try:
+            validate_spans(spans)
+        except SpanError as error:
+            raise ReportError(f"spans block invalid: {error}") \
+                from error
+    workers = report.get("workers")
+    if workers is not None:
+        if not isinstance(workers, dict):
+            raise ReportError("workers must be an object")
+        if not _is_number(workers.get("count")):
+            raise ReportError("workers.count must be a number")
+        pids = workers.get("pids", [])
+        if not isinstance(pids, list) or not all(
+                _is_number(pid) for pid in pids):
+            raise ReportError("workers.pids must be a list of numbers")
+        if not _is_number(workers.get("merged_snapshots")):
+            raise ReportError(
+                "workers.merged_snapshots must be a number")
+    resilience = report.get("resilience")
+    if resilience is not None and not isinstance(resilience, dict):
+        raise ReportError("resilience must be an object")
 
 
 def _validate_metrics(metrics: object) -> None:

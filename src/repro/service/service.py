@@ -56,8 +56,10 @@ from __future__ import annotations
 import copy
 import os
 import threading
+import time
 from concurrent.futures import (BrokenExecutor, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor)
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
                     Union)
@@ -76,6 +78,9 @@ from repro.index.tokenizer import normalize_query
 from repro.obs.logging import get_logger
 from repro.obs.metrics import (Collector, MetricsCollector,
                                NULL_COLLECTOR, Stopwatch)
+from repro.obs.recorder import NULL_RECORDER, RecorderLike
+from repro.obs.spans import (Span, SpanTracer, STATUS_ERROR,
+                             STATUS_PARTIAL, TracerLike)
 from repro.resilience.deadline import (Deadline, DeadlineLike,
                                        REASON_DEADLINE,
                                        REASON_STEP_BUDGET)
@@ -132,21 +137,25 @@ class _ResilienceTracker:
     """Thread-safe counters for one batch's failure handling.
 
     Every bump is mirrored to the service collector as a
-    ``resilience.<name>`` counter, so a metrics report shows the same
-    numbers the batch stats block does.
+    ``resilience.<name>`` counter *and* trace event, so a metrics
+    report shows the same numbers the batch stats block does, and is
+    appended to the flight recorder's ring so a post-failure dump
+    replays the exact retry/degradation sequence.
     """
 
     FIELDS = ("retries", "recovered_queries", "query_errors",
               "deadline_expired", "worker_crashes", "chunk_failures",
               "chunk_failure_queries", "pool_spawn_failures",
               "degraded_to_thread", "degraded_to_serial",
-              "circuit_open_skips")
+              "circuit_open_skips", "backoff_waits")
 
-    __slots__ = ("counts", "collector", "_lock")
+    __slots__ = ("counts", "collector", "recorder", "_lock")
 
-    def __init__(self, collector: Collector):
+    def __init__(self, collector: Collector,
+                 recorder: RecorderLike = NULL_RECORDER):
         self.counts: Dict[str, int] = {name: 0 for name in self.FIELDS}
         self.collector = collector
+        self.recorder = recorder
         self._lock = threading.Lock()
 
     def bump(self, name: str, value: int = 1) -> None:
@@ -154,6 +163,23 @@ class _ResilienceTracker:
             self.counts[name] += value
         if self.collector.enabled:
             self.collector.count(f"resilience.{name}", value)
+            self.collector.event(f"resilience.{name}", value=value)
+        if self.recorder.enabled:
+            self.recorder.record("resilience", name, value=value)
+
+    def backoff(self, policy: RetryPolicy, attempt: int) -> None:
+        """Apply the policy's backoff for ``attempt``, counted and
+        timed as ``resilience.backoff_waits`` / ``resilience.backoff``
+        so retry pacing is visible in the merged report, not only in
+        the wall clock."""
+        delay = policy.delay_ms(attempt)
+        if delay <= 0:
+            return
+        self.bump("backoff_waits")
+        if self.collector.enabled:
+            self.collector.observe_time("resilience.backoff",
+                                        delay / 1000.0)
+        time.sleep(delay / 1000.0)
 
     def note_partial(self, reason: str) -> None:
         """Count a deadline-cut outcome (not error outcomes)."""
@@ -234,15 +260,22 @@ class QueryService:
             process-pool respawns across this service's batches; the
             default opens after 2 consecutive pool breakages and
             half-opens after 30 s.
+        recorder: a :class:`repro.obs.FlightRecorder` ring buffer fed
+            by reloads and every ``resilience.*`` event; the CLI dumps
+            it on error / partial / breaker-open / ``SIGUSR2``
+            (docs/OBSERVABILITY.md).  Defaults to the no-op recorder.
     """
 
     def __init__(self, source: ServiceSource,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  collector: Optional[Collector] = None,
                  breaker: Optional[CircuitBreaker] = None,
-                 verify: bool = True):
+                 verify: bool = True,
+                 recorder: Optional[RecorderLike] = None):
         self.collector = collector if collector is not None \
             else NULL_COLLECTOR
+        self.recorder = recorder if recorder is not None \
+            else NULL_RECORDER
         self._cache_size = cache_size
         self._breaker = breaker if breaker is not None \
             else CircuitBreaker()
@@ -324,8 +357,10 @@ class QueryService:
             try:
                 if injector.enabled:
                     injector.before_reload()
-                state = self._build_state(source, epoch=old.epoch + 1,
-                                          verify=verify)
+                with self.collector.time("service.reload"):
+                    state = self._build_state(source,
+                                              epoch=old.epoch + 1,
+                                              verify=verify)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as error:
@@ -338,6 +373,10 @@ class QueryService:
             self._reload_counts["successes"] += 1
             if self.collector.enabled:
                 self.collector.count("service.reload.successes")
+            if self.recorder.enabled:
+                self.recorder.record("event", "service.reload",
+                                     generation=state.generation,
+                                     epoch=state.epoch)
             _log.info("reload: now serving generation %s (epoch %d) "
                       "from %s", state.generation, state.epoch,
                       state.directory)
@@ -348,6 +387,9 @@ class QueryService:
         self._reload_last_error = message
         if self.collector.enabled:
             self.collector.count("service.reload.rejected")
+        if self.recorder.enabled:
+            self.recorder.record("event", "service.reload.rejected",
+                                 error=message)
         _log.error("reload rejected: %s", message)
 
     def storage_stats(self) -> Dict[str, object]:
@@ -409,12 +451,23 @@ class QueryService:
                       algorithm: Union[Algorithm, str], semantics: str,
                       collector: Optional[MetricsCollector],
                       trace: bool, sanitize: Optional[bool],
-                      deadline: object = None) -> SearchOutcome:
+                      deadline: object = None,
+                      tracer: Optional[TracerLike] = None,
+                      aggregate: bool = False) -> SearchOutcome:
         """Run one canonicalised query (terms already sorted/validated).
 
         The service state is dereferenced exactly once, so the whole
         query — index, caches and result LRU — runs against a single
         generation even if a reload swaps the state mid-flight.
+
+        ``tracer``/``aggregate`` are the batch path's observability
+        hooks: with either set (and no caller collector), the query
+        runs under an ephemeral :class:`MetricsCollector` — carrying
+        the tracer, so every engine timer becomes a span under this
+        query's span — which is merged into the service collector
+        afterwards.  Result-cache replayability is unchanged (it keys
+        off the *caller's* instrumentation): a replayed query shows up
+        as a zero-work ``query`` span marked ``cache=result_cache``.
         """
         state = self._state
         algorithm = _coerce_algorithm(algorithm)
@@ -425,17 +478,40 @@ class QueryService:
         replayable = (collector is None and not trace
                       and not effective_sanitize and deadline is None)
         key = (tuple(terms), k, algorithm.value, semantics)
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         if replayable:
             cached = state.results.get(key)
             if cached is not None:
+                if tracer is not None:
+                    tracer.finish(tracer.begin(
+                        "query", terms=" ".join(terms),
+                        cache="result_cache"))
                 return _replay(cached)
-        with self.collector.time("service.search"):
-            outcome = topk_search(state.index, terms, k, algorithm,
-                                  semantics=semantics,
-                                  collector=collector, trace=trace,
-                                  sanitize=sanitize,
-                                  caches=state.caches,
-                                  deadline=deadline)
+        run_collector = collector
+        if run_collector is None and (tracer is not None or aggregate):
+            run_collector = MetricsCollector(tracer=tracer)
+        query_ctx = tracer.span("query", terms=" ".join(terms),
+                                algorithm=algorithm.value, k=k) \
+            if tracer is not None else nullcontext()
+        with query_ctx as query_span:
+            with self.collector.time("service.search"):
+                outcome = topk_search(state.index, terms, k, algorithm,
+                                      semantics=semantics,
+                                      collector=run_collector,
+                                      trace=trace,
+                                      sanitize=sanitize,
+                                      caches=state.caches,
+                                      deadline=deadline)
+            if query_span is not None:
+                if outcome.partial:
+                    query_span.status = STATUS_PARTIAL
+                    query_span.annotate(
+                        reason=outcome.termination_reason)
+                query_span.annotate(results=len(outcome.results))
+        if run_collector is not None and run_collector is not collector \
+                and self.collector.enabled:
+            self.collector.merge(run_collector)
         if replayable and not outcome.partial:
             state.results.put(key, outcome)
         return outcome
@@ -451,7 +527,8 @@ class QueryService:
                      deadline_ms: Optional[float] = None,
                      max_retries: int = DEFAULT_MAX_RETRIES,
                      backoff_ms: float = DEFAULT_BACKOFF_MS,
-                     faults: Optional[FaultsLike] = None
+                     faults: Optional[FaultsLike] = None,
+                     tracer: Optional[TracerLike] = None
                      ) -> BatchOutcome:
         """Execute many queries against the shared caches.
 
@@ -492,6 +569,14 @@ class QueryService:
                 deterministic failure testing; the default consults
                 the ``REPRO_FAULTS`` environment variable and injects
                 nothing when it is unset.
+            tracer: a :class:`repro.obs.SpanTracer`; when given, the
+                batch records an end-to-end span tree — batch → chunk
+                → query → engine phases, including spans recorded
+                *inside* process workers (serialized back with the
+                rows and re-parented under their chunk span) and the
+                degradation tiers a failed chunk walked
+                (docs/OBSERVABILITY.md).  The trace id lands in
+                ``stats["trace_id"]``.
 
         Returns:
             A :class:`BatchOutcome`; ``outcome.outcomes[i]`` answers
@@ -524,27 +609,38 @@ class QueryService:
         width = min(workers or 1, len(order)) if order else 0
         serial = executor == "serial" or width <= 1
         outcomes: List[Optional[SearchOutcome]] = [None] * len(prepared)
-        tracker = _ResilienceTracker(self.collector)
+        tracker = _ResilienceTracker(self.collector, self.recorder)
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        worker_meta: Dict[str, object] = {"pids": [], "merges": 0}
         if self.collector.enabled:
             self.collector.count("service.batches")
             self.collector.count("service.batch_queries", len(prepared))
         with Stopwatch() as watch:
-            if serial:
-                for position in order:
-                    outcomes[position] = self._resilient_query(
-                        prepared[position], k, algorithm, semantics,
-                        sanitize, deadline_ms, injector, policy,
-                        tracker)
-            elif executor == "thread":
-                self._run_threads(outcomes, order, prepared, k,
-                                  algorithm, semantics, sanitize, width,
-                                  deadline_ms, injector, policy,
-                                  tracker)
-            else:
-                self._run_processes(outcomes, order, prepared, k,
-                                    algorithm, semantics, sanitize,
-                                    width, deadline_ms, injector,
-                                    policy, tracker)
+            batch_ctx = tracer.span(
+                "batch", queries=len(prepared),
+                executor="serial" if serial else executor,
+                workers=1 if serial else width, k=k) \
+                if tracer is not None else nullcontext()
+            with batch_ctx as batch_span:
+                if serial:
+                    for position in order:
+                        outcomes[position] = self._resilient_query(
+                            prepared[position], k, algorithm,
+                            semantics, sanitize, deadline_ms, injector,
+                            policy, tracker, tracer)
+                elif executor == "thread":
+                    self._run_threads(outcomes, order, prepared, k,
+                                      algorithm, semantics, sanitize,
+                                      width, deadline_ms, injector,
+                                      policy, tracker, tracer,
+                                      batch_span)
+                else:
+                    self._run_processes(outcomes, order, prepared, k,
+                                        algorithm, semantics, sanitize,
+                                        width, deadline_ms, injector,
+                                        policy, tracker, tracer,
+                                        batch_span, worker_meta)
         stats: Dict[str, object] = {
             "queries": len(prepared),
             "distinct_term_sets":
@@ -559,6 +655,12 @@ class QueryService:
             "resilience": tracker.summary(policy, deadline_ms,
                                           self._breaker, injector),
         }
+        if tracer is not None:
+            stats["trace_id"] = tracer.trace_id
+        if worker_meta["merges"]:
+            stats["workers_merged"] = {
+                "pids": sorted(set(worker_meta["pids"])),
+                "merged_snapshots": worker_meta["merges"]}
         _log.debug("batch: %d queries (%s distinct term sets) via %s "
                    "x%s in %.1f ms", stats["queries"],
                    stats["distinct_term_sets"], stats["executor"],
@@ -578,7 +680,8 @@ class QueryService:
                        sanitize: Optional[bool],
                        deadline_ms: Optional[float],
                        injector: FaultsLike,
-                       tracker: _ResilienceTracker
+                       tracker: _ResilienceTracker,
+                       tracer: Optional[TracerLike] = None
                        ) -> Tuple[Optional[SearchOutcome],
                                   Optional[BaseException]]:
         """One attempt at one query: ``(outcome, None)`` on success
@@ -586,15 +689,21 @@ class QueryService:
         ``(None, error)`` on a runtime failure.  The per-query deadline
         starts here, *before* the fault hook, so an injected stall eats
         its own query's budget and nobody else's.
+
+        Batch queries aggregate their engine counters into the service
+        collector (``aggregate=`` below) — that is what makes a batch
+        report's engine totals executor-independent instead of
+        coordinator-only.
         """
         deadline = (Deadline(budget_ms=deadline_ms)
                     if deadline_ms is not None else None)
         try:
             if injector.enabled:
                 injector.before_query(terms)
-            outcome = self._search_terms(terms, k, algorithm, semantics,
-                                         None, False, sanitize,
-                                         deadline)
+            outcome = self._search_terms(
+                terms, k, algorithm, semantics, None, False, sanitize,
+                deadline, tracer=tracer,
+                aggregate=self.collector.enabled)
             if outcome.partial:
                 tracker.note_partial(outcome.termination_reason)
             return outcome, None
@@ -608,7 +717,9 @@ class QueryService:
                          sanitize: Optional[bool],
                          deadline_ms: Optional[float],
                          injector: FaultsLike, policy: RetryPolicy,
-                         tracker: _ResilienceTracker) -> SearchOutcome:
+                         tracker: _ResilienceTracker,
+                         tracer: Optional[TracerLike] = None
+                         ) -> SearchOutcome:
         """One query with in-place retries: the serial/thread path.
 
         Retries the same execution tier with backoff up to
@@ -619,7 +730,7 @@ class QueryService:
         while True:
             outcome, error = self._guarded_query(
                 terms, k, algorithm, semantics, sanitize, deadline_ms,
-                injector, tracker)
+                injector, tracker, tracer)
             if outcome is not None:
                 if attempt:
                     tracker.bump("recovered_queries")
@@ -632,7 +743,7 @@ class QueryService:
             _log.warning("query %r failed (%s); retry %d/%d",
                          " ".join(terms), error, attempt,
                          policy.max_retries)
-            policy.sleep(attempt)
+            tracker.backoff(policy, attempt)
 
     def _error_outcome(self, terms: List[str],
                        error: Optional[BaseException],
@@ -642,6 +753,10 @@ class QueryService:
         tracker.bump("query_errors")
         message = (f"{type(error).__name__}: {error}"
                    if error is not None else "unknown failure")
+        if tracker.recorder.enabled:
+            tracker.recorder.record("event", "query.error",
+                                    terms=" ".join(terms),
+                                    error=message)
         _log.error("query %r exhausted its retries: %s",
                    " ".join(terms), message)
         return SearchOutcome(
@@ -658,7 +773,9 @@ class QueryService:
                      sanitize: Optional[bool], width: int,
                      deadline_ms: Optional[float], injector: FaultsLike,
                      policy: RetryPolicy,
-                     tracker: _ResilienceTracker) -> None:
+                     tracker: _ResilienceTracker,
+                     tracer: Optional[TracerLike] = None,
+                     batch_span: Optional[Span] = None) -> None:
         """Contiguous chunks of the sorted order across a thread pool.
 
         Chunking (instead of one task per query) keeps each thread on
@@ -667,16 +784,23 @@ class QueryService:
         service across the pool is safe.  Each query runs through the
         resilient wrapper, so a chunk never raises; an interrupt shuts
         the pool down with its queued work cancelled instead of
-        orphaning threads.
+        orphaning threads.  Chunk spans open *inside* the worker
+        thread (the tracer's current-span context is per thread), with
+        the batch span as their explicit parent.
         """
         chunks = _chunked(order, width)
 
         def run(chunk: List[int]) -> List[SearchOutcome]:
-            return [self._resilient_query(prepared[position], k,
-                                          algorithm, semantics,
-                                          sanitize, deadline_ms,
-                                          injector, policy, tracker)
-                    for position in chunk]
+            ctx = tracer.span("chunk", parent=batch_span,
+                              tier="thread", queries=len(chunk)) \
+                if tracer is not None else nullcontext()
+            with ctx:
+                return [self._resilient_query(prepared[position], k,
+                                              algorithm, semantics,
+                                              sanitize, deadline_ms,
+                                              injector, policy,
+                                              tracker, tracer)
+                        for position in chunk]
 
         # The pool is sized to the narrower of the user's cap and the
         # actual chunk count — never to len(chunks) alone, which would
@@ -700,7 +824,11 @@ class QueryService:
                        sanitize: Optional[bool], width: int,
                        deadline_ms: Optional[float],
                        injector: FaultsLike, policy: RetryPolicy,
-                       tracker: _ResilienceTracker) -> None:
+                       tracker: _ResilienceTracker,
+                       tracer: Optional[TracerLike] = None,
+                       batch_span: Optional[Span] = None,
+                       worker_meta: Optional[Dict[str, object]] = None
+                       ) -> None:
         """Contiguous chunks across a process pool, with degradation.
 
         Each worker parses the serialised document once (pool
@@ -721,8 +849,14 @@ class QueryService:
         """
         chunks = _chunked(order, width)
         errors: Dict[int, BaseException] = {}
+        if worker_meta is None:
+            worker_meta = {"pids": [], "merges": 0}
         if not self._breaker.allow():
             tracker.bump("circuit_open_skips")
+            if self.recorder.enabled:
+                self.recorder.record("resilience", "breaker_open_skip",
+                                     state=self._breaker.state,
+                                     queries=len(order))
             _log.warning("process-pool circuit breaker is %s; degrading "
                          "%d queries without spawning a pool",
                          self._breaker.state, len(order))
@@ -732,11 +866,13 @@ class QueryService:
             failed = self._run_pool(outcomes, chunks, prepared, k,
                                     algorithm, semantics, sanitize,
                                     deadline_ms, injector, tracker,
-                                    errors)
+                                    errors, tracer, batch_span,
+                                    worker_meta)
         if failed:
             self._degrade(failed, outcomes, prepared, k, algorithm,
                           semantics, sanitize, deadline_ms, injector,
-                          policy, tracker, width, errors)
+                          policy, tracker, width, errors, tracer,
+                          batch_span)
 
     def _run_pool(self, outcomes: List[Optional[SearchOutcome]],
                   chunks: List[List[int]], prepared: List[List[str]],
@@ -744,7 +880,11 @@ class QueryService:
                   sanitize: Optional[bool],
                   deadline_ms: Optional[float], injector: FaultsLike,
                   tracker: _ResilienceTracker,
-                  errors: Dict[int, BaseException]) -> List[int]:
+                  errors: Dict[int, BaseException],
+                  tracer: Optional[TracerLike] = None,
+                  batch_span: Optional[Span] = None,
+                  worker_meta: Optional[Dict[str, object]] = None
+                  ) -> List[int]:
         """One process-pool round; returns the failed positions.
 
         Completed chunks are always harvested — a ``BrokenProcessPool``
@@ -753,18 +893,39 @@ class QueryService:
         chunk's exception is recorded against its queries in
         ``errors``, so a query that later exhausts the degradation
         chain names the failure that actually took it down.
+
+        Observability: every chunk gets a span opened at submit time
+        and closed at harvest (its duration therefore includes queue
+        wait); each worker ships back ``(rows, meta)`` where ``meta``
+        carries its pid, its collector snapshot — merged into the
+        service collector, which is what makes ``--metrics-json``
+        totals include worker-side counters — and its serialized
+        spans, re-parented under the chunk span with the worker clock
+        shifted onto the coordinator's.
         """
         from repro.prxml.serializer import serialize_pxml
         # One state capture for the whole pool round: the payload the
         # workers parse and the encoding the parent hydrates results
         # from must describe the same generation.
         state = self._state
+        if worker_meta is None:
+            worker_meta = {"pids": [], "merges": 0}
         payload = serialize_pxml(state.index.encoded.document)
         if injector.enabled:
             payload = injector.corrupt(payload)
-        jobs = [([prepared[position] for position in chunk], k,
-                 algorithm.value, semantics, sanitize, deadline_ms)
-                for chunk in chunks]
+        chunk_spans: List[Optional[Span]] = []
+        jobs: List[_Job] = []
+        instrument = self.collector.enabled
+        for chunk in chunks:
+            span = tracer.begin("chunk", parent=batch_span,
+                                tier="process", queries=len(chunk)) \
+                if tracer is not None else None
+            chunk_spans.append(span)
+            trace_ctx = (tracer.trace_id, span.span_id) \
+                if span is not None else None
+            jobs.append(([prepared[position] for position in chunk],
+                         k, algorithm.value, semantics, sanitize,
+                         deadline_ms, instrument, trace_ctx))
         capacity = state.caches.match_entries.capacity
         failed: List[int] = []
         try:
@@ -777,6 +938,10 @@ class QueryService:
             self._breaker.record_failure()
             _log.error("cannot spawn a process pool (%s); degrading "
                        "the whole batch", error)
+            if tracer is not None:
+                for span in chunk_spans:
+                    tracer.finish(span, status=STATUS_ERROR,
+                                  error="pool_spawn")
             for chunk in chunks:
                 for position in chunk:
                     errors[position] = error
@@ -793,27 +958,40 @@ class QueryService:
                     submit_error = error
                     futures.append(None)
             encoded = state.index.encoded
-            for chunk, future in zip(chunks, futures):
+            for chunk, chunk_span, future in zip(chunks, chunk_spans,
+                                                 futures):
                 if future is None:
                     self._fail_chunk(chunk, submit_error, failed,
-                                     errors, tracker)
+                                     errors, tracker, tracer,
+                                     chunk_span)
                     continue
                 try:
-                    rows = future.result()
+                    rows, meta = future.result()
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except BrokenExecutor as error:
                     broken = True
                     self._fail_chunk(chunk, error, failed, errors,
-                                     tracker)
+                                     tracker, tracer, chunk_span)
                     _log.warning("process chunk of %d queries lost to "
                                  "a broken pool: %s", len(chunk), error)
                 except Exception as error:
                     self._fail_chunk(chunk, error, failed, errors,
-                                     tracker)
+                                     tracker, tracer, chunk_span)
                     _log.warning("process chunk of %d queries failed: "
                                  "%s", len(chunk), error)
                 else:
+                    if self.collector.enabled and meta.get("metrics"):
+                        self.collector.merge_snapshot(meta["metrics"])
+                        worker_meta["pids"].append(meta.get("pid", 0))
+                        worker_meta["merges"] = \
+                            worker_meta.get("merges", 0) + 1
+                    if tracer is not None and chunk_span is not None:
+                        tracer.adopt(meta.get("spans", ()),
+                                     parent=chunk_span,
+                                     shift_ms=chunk_span.start_ms)
+                        tracer.finish(chunk_span,
+                                      pid=meta.get("pid", 0))
                     for position, row in zip(chunk, rows):
                         codes, probs, stats, partial, reason = row
                         results = []
@@ -837,6 +1015,10 @@ class QueryService:
         if broken:
             tracker.bump("worker_crashes")
             self._breaker.record_failure()
+            if self.recorder.enabled:
+                self.recorder.record("resilience", "breaker",
+                                     state=self._breaker.state,
+                                     failures=self._breaker.failures)
         else:
             self._breaker.record_success()
         return failed
@@ -845,12 +1027,19 @@ class QueryService:
     def _fail_chunk(chunk: List[int],
                     error: Optional[BaseException], failed: List[int],
                     errors: Dict[int, BaseException],
-                    tracker: _ResilienceTracker) -> None:
-        """Record one failed chunk: positions, attribution, counters."""
+                    tracker: _ResilienceTracker,
+                    tracer: Optional[TracerLike] = None,
+                    chunk_span: Optional[Span] = None) -> None:
+        """Record one failed chunk: positions, attribution, counters,
+        and an error-status close of its span."""
         failed.extend(chunk)
         if error is not None:
             for position in chunk:
                 errors[position] = error
+        if tracer is not None and chunk_span is not None:
+            tracer.finish(chunk_span, status=STATUS_ERROR,
+                          error=type(error).__name__
+                          if error is not None else "unknown")
         tracker.bump("chunk_failures")
         tracker.bump("chunk_failure_queries", len(chunk))
 
@@ -862,8 +1051,9 @@ class QueryService:
                  deadline_ms: Optional[float], injector: FaultsLike,
                  policy: RetryPolicy, tracker: _ResilienceTracker,
                  width: int,
-                 errors: Optional[Dict[int, BaseException]] = None
-                 ) -> None:
+                 errors: Optional[Dict[int, BaseException]] = None,
+                 tracer: Optional[TracerLike] = None,
+                 batch_span: Optional[Span] = None) -> None:
         """Walk failed queries down the chain: thread, serial, error.
 
         Each tier consumes one retry from the policy's budget and is
@@ -871,7 +1061,9 @@ class QueryService:
         end as error outcomes, so every position is filled no matter
         what.  ``errors`` carries each position's last known failure
         (seeded by the process round) so the terminal error outcome
-        names the real cause.
+        names the real cause.  Each tier is a ``degrade`` span under
+        the batch span, so a trace shows exactly which recovery hop
+        answered which query.
         """
         remaining = list(positions)
         errors = errors if errors is not None else {}
@@ -883,28 +1075,40 @@ class QueryService:
             tracker.bump("degraded_to_thread", len(remaining))
             _log.warning("retrying %d queries on the thread executor",
                          len(remaining))
-            policy.sleep(tier)
-            remaining = self._retry_on_threads(
-                remaining, outcomes, prepared, k, algorithm, semantics,
-                sanitize, deadline_ms, injector, tracker, width, errors)
+            tracker.backoff(policy, tier)
+            tier_ctx = tracer.span("degrade", parent=batch_span,
+                                   tier="thread",
+                                   queries=len(remaining)) \
+                if tracer is not None else nullcontext()
+            with tier_ctx as tier_span:
+                remaining = self._retry_on_threads(
+                    remaining, outcomes, prepared, k, algorithm,
+                    semantics, sanitize, deadline_ms, injector,
+                    tracker, width, errors, tracer, tier_span)
         if remaining and policy.max_retries >= tier + 1:
             tier += 1
             tracker.bump("retries", len(remaining))
             tracker.bump("degraded_to_serial", len(remaining))
             _log.warning("retrying %d queries serially", len(remaining))
-            policy.sleep(tier)
-            still: List[int] = []
-            for position in remaining:
-                outcome, error = self._guarded_query(
-                    prepared[position], k, algorithm, semantics,
-                    sanitize, deadline_ms, injector, tracker)
-                if outcome is None:
-                    still.append(position)
-                    if error is not None:
-                        errors[position] = error
-                else:
-                    outcomes[position] = outcome
-            remaining = still
+            tracker.backoff(policy, tier)
+            tier_ctx = tracer.span("degrade", parent=batch_span,
+                                   tier="serial",
+                                   queries=len(remaining)) \
+                if tracer is not None else nullcontext()
+            with tier_ctx:
+                still: List[int] = []
+                for position in remaining:
+                    outcome, error = self._guarded_query(
+                        prepared[position], k, algorithm, semantics,
+                        sanitize, deadline_ms, injector, tracker,
+                        tracer)
+                    if outcome is None:
+                        still.append(position)
+                        if error is not None:
+                            errors[position] = error
+                    else:
+                        outcomes[position] = outcome
+                remaining = still
         recovered = len(positions) - len(remaining)
         if recovered:
             tracker.bump("recovered_queries", recovered)
@@ -921,7 +1125,9 @@ class QueryService:
                           deadline_ms: Optional[float],
                           injector: FaultsLike,
                           tracker: _ResilienceTracker, width: int,
-                          errors: Dict[int, BaseException]
+                          errors: Dict[int, BaseException],
+                          tracer: Optional[TracerLike] = None,
+                          tier_span: Optional[Span] = None
                           ) -> List[int]:
         """The thread tier of the degradation chain: one attempt per
         query, failures reported back (not retried here)."""
@@ -930,10 +1136,16 @@ class QueryService:
         def run(chunk: List[int]
                 ) -> List[Tuple[Optional[SearchOutcome],
                                 Optional[BaseException]]]:
-            return [self._guarded_query(prepared[position], k,
-                                        algorithm, semantics, sanitize,
-                                        deadline_ms, injector, tracker)
-                    for position in chunk]
+            ctx = tracer.span("chunk", parent=tier_span,
+                              tier="thread-retry",
+                              queries=len(chunk)) \
+                if tracer is not None else nullcontext()
+            with ctx:
+                return [self._guarded_query(prepared[position], k,
+                                            algorithm, semantics,
+                                            sanitize, deadline_ms,
+                                            injector, tracker, tracer)
+                        for position in chunk]
 
         still: List[int] = []
         pool = ThreadPoolExecutor(max_workers=min(width, len(chunks)))
@@ -1033,14 +1245,21 @@ def load_query_file(path: str) -> List[List[str]]:
 #: Per-worker state installed by :func:`_process_init`.
 _WORKER_STATE: Dict[str, object] = {}
 
-#: A worker's chunk: its term lists plus the fixed query shape and the
-#: per-query deadline budget.
+#: A worker's chunk: its term lists plus the fixed query shape, the
+#: per-query deadline budget, whether to run an instrumenting
+#: collector, and the span-propagation context — ``(trace_id,
+#: chunk_span_id)`` — or ``None`` when the batch is untraced.
 _Job = Tuple[List[List[str]], int, str, str, Optional[bool],
-             Optional[float]]
+             Optional[float], bool, Optional[Tuple[str, str]]]
 
 #: What a worker returns per query: result code strings, their
 #: probabilities, JSON-safe stats, and the partial marker + reason.
 _Row = Tuple[List[str], List[float], Dict[str, object], bool, str]
+
+#: The second element of a worker's return value: its pid, its
+#: collector snapshot (merged into the coordinator's collector), and
+#: its serialized spans (adopted under the chunk span).
+_Meta = Dict[str, object]
 
 
 def _process_init(payload: str, cache_size: int,
@@ -1059,27 +1278,71 @@ def _process_init(payload: str, cache_size: int,
     _WORKER_STATE["faults"] = parse_faults(fault_spec, seed=fault_seed)
 
 
-def _process_chunk(job: _Job) -> List[_Row]:
-    """Serve one contiguous chunk inside a pool worker."""
-    term_lists, k, algorithm, semantics, sanitize, deadline_ms = job
+def _process_chunk(job: _Job) -> Tuple[List[_Row], _Meta]:
+    """Serve one contiguous chunk inside a pool worker.
+
+    Observability crosses the process boundary here: when the
+    coordinator instruments or traces the batch, the worker runs its
+    queries under its *own* collector/tracer and ships the snapshot
+    and serialized spans back with the rows.  The worker tracer's
+    root span is pre-addressed — id ``<chunk_span_id>.w``, parent
+    ``<chunk_span_id>`` — so adopted spans slot under the right chunk
+    with ids no other worker can collide with, and stay deterministic
+    (structural ids, content-derived trace id, no randomness).
+    """
+    (term_lists, k, algorithm, semantics, sanitize, deadline_ms,
+     instrument, trace_ctx) = job
     index = _WORKER_STATE["index"]
     caches = _WORKER_STATE["caches"]
     injector = _WORKER_STATE.get("faults", NULL_FAULTS)
     if injector.enabled:
         injector.on_worker_chunk(term_lists)
+    tracer: Optional[SpanTracer] = None
+    if trace_ctx is not None:
+        trace_id, chunk_span_id = trace_ctx
+        tracer = SpanTracer(trace_id=trace_id,
+                            root_id=f"{chunk_span_id}.w",
+                            root_parent=chunk_span_id)
+    collector = MetricsCollector(tracer=tracer) \
+        if (instrument or tracer is not None) else None
     rows: List[_Row] = []
-    for terms in term_lists:
-        deadline = (Deadline(budget_ms=deadline_ms)
-                    if deadline_ms is not None else None)
-        if injector.enabled:
-            injector.before_query(terms)
-        outcome = topk_search(index, terms, k, algorithm,
-                              semantics=semantics, sanitize=sanitize,
-                              caches=caches, deadline=deadline)
-        stats = {key: value for key, value in outcome.stats.items()
-                 if key not in ("trace", "estimates")}
-        rows.append(([str(result.code) for result in outcome.results],
-                     [result.probability for result in outcome.results],
-                     stats, outcome.partial,
-                     outcome.termination_reason))
-    return rows
+    worker_ctx = tracer.span("worker", pid=os.getpid()) \
+        if tracer is not None else nullcontext()
+    with worker_ctx:
+        for terms in term_lists:
+            deadline = (Deadline(budget_ms=deadline_ms)
+                        if deadline_ms is not None else None)
+            if injector.enabled:
+                injector.before_query(terms)
+            query_ctx = tracer.span("query", terms=" ".join(terms),
+                                    algorithm=algorithm, k=k) \
+                if tracer is not None else nullcontext()
+            with query_ctx as query_span:
+                outcome = topk_search(index, terms, k, algorithm,
+                                      semantics=semantics,
+                                      sanitize=sanitize,
+                                      collector=collector,
+                                      caches=caches, deadline=deadline)
+                if query_span is not None:
+                    if outcome.partial:
+                        query_span.status = STATUS_PARTIAL
+                        query_span.annotate(
+                            reason=outcome.termination_reason)
+                    query_span.annotate(results=len(outcome.results))
+            # The worker collector accumulates across the chunk, so
+            # the per-row copy of its snapshot would be cumulative and
+            # redundant with meta["metrics"]; strip it.
+            stats = {key: value for key, value in outcome.stats.items()
+                     if key not in ("trace", "estimates", "metrics")}
+            rows.append(([str(result.code)
+                          for result in outcome.results],
+                         [result.probability
+                          for result in outcome.results],
+                         stats, outcome.partial,
+                         outcome.termination_reason))
+    meta: _Meta = {"pid": os.getpid(),
+                   "metrics": collector.snapshot()
+                   if collector is not None else {},
+                   "spans": tracer.export()
+                   if tracer is not None else []}
+    return rows, meta

@@ -202,13 +202,13 @@ class TestBatchCommand:
         real_run_batch = cli_module._run_batch
 
         def signal_then_run(options, batch_queries, service, collector,
-                            faults):
+                            faults, *observability):
             # The service has loaded generation 1; commit generation 2
             # now so the reload is a genuine hot swap.
             assert main(["snapshot", database_dir]) == 0
             signal.raise_signal(signal.SIGHUP)
             return real_run_batch(options, batch_queries, service,
-                                  collector, faults)
+                                  collector, faults, *observability)
 
         monkeypatch.setattr(cli_module, "_run_batch", signal_then_run)
         code = main(["batch", database_dir, str(queries),

@@ -1,0 +1,108 @@
+"""Unit tests for the flight recorder ring buffer and its dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (FLIGHT_SCHEMA, FlightRecorder,
+                                FlightRecorderError, NULL_RECORDER,
+                                load_flight_dump, render_flight_dump)
+
+
+class TestRing:
+    def test_records_in_order(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record("event", "first", value=1)
+        recorder.record("event", "second")
+        records = recorder.snapshot()
+        assert [r["name"] for r in records] == ["first", "second"]
+        assert records[0]["seq"] == 1
+        assert records[0]["value"] == 1
+        assert records[0]["offset_ms"] <= records[1]["offset_ms"]
+
+    def test_rotation_keeps_global_seq(self):
+        recorder = FlightRecorder(capacity=3)
+        for index in range(10):
+            recorder.record("event", f"e{index}")
+        assert len(recorder) == 3
+        records = recorder.snapshot()
+        assert [r["seq"] for r in records] == [8, 9, 10]
+        assert [r["name"] for r in records] == ["e7", "e8", "e9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_dump_roundtrip(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("resilience", "worker_crashes", value=1)
+        path = recorder.dump(str(tmp_path), "worker_crash",
+                             extra={"trace_id": "abc"})
+        document = load_flight_dump(path)
+        assert document["schema"] == FLIGHT_SCHEMA
+        assert document["reason"] == "worker_crash"
+        assert document["context"] == {"trace_id": "abc"}
+        assert document["first_seq"] == document["last_seq"] == 1
+        assert document["records"][0]["name"] == "worker_crashes"
+
+    def test_dumps_are_ordinally_named(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        first = recorder.dump(str(tmp_path), "one")
+        second = recorder.dump(str(tmp_path), "two!")
+        assert first.endswith("flight-001-one.json")
+        # non-alphanumerics in the reason are slugged, not escaped
+        assert second.endswith("flight-002-two-.json")
+        assert recorder.dumps == 2
+
+    def test_dump_creates_directory(self, tmp_path):
+        recorder = FlightRecorder()
+        path = recorder.dump(str(tmp_path / "deep" / "trace"), "r")
+        assert load_flight_dump(path)["records"] == []
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": "other/v1",
+                                    "records": []}))
+        with pytest.raises(FlightRecorderError, match="not a"):
+            load_flight_dump(str(path))
+
+    def test_load_rejects_malformed_records(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps(
+            {"schema": FLIGHT_SCHEMA, "records": [{"seq": 1}]}))
+        with pytest.raises(FlightRecorderError, match="missing"):
+            load_flight_dump(str(path))
+
+
+class TestRendering:
+    def test_render_lists_window_and_fields(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record("resilience", "retries", value=2)
+        path = recorder.dump(str(tmp_path), "r")
+        lines = render_flight_dump(load_flight_dump(path))
+        assert "reason: r" in lines[0]
+        assert any("retries" in line and "value=2" in line
+                   for line in lines)
+
+    def test_render_limit_elides_oldest(self):
+        document = {"reason": "r", "first_seq": 1, "last_seq": 5,
+                    "records": [{"seq": i, "offset_ms": float(i),
+                                 "kind": "event", "name": f"e{i}"}
+                                for i in range(1, 6)]}
+        lines = render_flight_dump(document, limit=2)
+        assert "... 3 older record(s) not shown" in lines[1]
+        assert "e5" in lines[-1]
+
+
+class TestNullRecorder:
+    def test_record_is_inert(self):
+        NULL_RECORDER.record("event", "x", value=1)
+        assert len(NULL_RECORDER) == 0
+        assert NULL_RECORDER.snapshot() == []
+        assert not NULL_RECORDER.enabled
+
+    def test_dump_refuses(self, tmp_path):
+        with pytest.raises(FlightRecorderError, match="nothing to dump"):
+            NULL_RECORDER.dump(str(tmp_path), "r")

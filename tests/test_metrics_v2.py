@@ -1,0 +1,198 @@
+"""The repro.metrics/v2 report, cross-process metric merging and the
+Prometheus exporter (satellites S1/S4 of the observability issue)."""
+
+import pytest
+
+from repro.core.result import SearchOutcome
+from repro.obs import (MetricsCollector, build_report, build_report_v2,
+                       parse_prometheus, prometheus_lines,
+                       render_prometheus, validate_report,
+                       workers_block)
+from repro.obs.export import ExportError
+from repro.obs.metrics import Histogram
+from repro.obs.report import ReportError, SCHEMA_ID, SCHEMA_ID_V2
+from repro.obs.spans import Span, SpanTracer
+
+
+def outcome_with_metrics():
+    collector = MetricsCollector()
+    collector.count("engine.items_fed", 7)
+    collector.observe("posting.length", 12)
+    collector.observe_time("index.lookup", 0.002)
+    outcome = SearchOutcome(stats={"algorithm": "eager"})
+    outcome.stats["metrics"] = collector.snapshot()
+    return outcome
+
+
+class TestSchemaCompat:
+    def test_v1_report_still_validates(self):
+        report = build_report(["k1"], 3, "eager", "slca",
+                              outcome_with_metrics(), 1.5)
+        assert report["schema"] == SCHEMA_ID
+        assert validate_report(report) is report
+
+    def test_v2_without_blocks_is_v1_plus_tag(self):
+        outcome = outcome_with_metrics()
+        v1 = build_report(["k1"], 3, "eager", "slca", outcome, 1.5)
+        v2 = build_report_v2(["k1"], 3, "eager", "slca", outcome, 1.5)
+        assert v2.pop("schema") == SCHEMA_ID_V2
+        v1.pop("schema")
+        assert v1 == v2
+
+    def test_v2_with_all_blocks_validates(self):
+        tracer = SpanTracer(trace_id="t")
+        with tracer.span("batch"):
+            pass
+        report = build_report_v2(
+            ["k1"], 3, "eager", "slca", outcome_with_metrics(), 1.5,
+            spans=tracer.export(),
+            workers=workers_block([41, 42, 42], 3),
+            resilience={"retries": 1, "query_errors": 0})
+        validated = validate_report(report)
+        assert validated["workers"] == {"count": 2, "pids": [41, 42],
+                                        "merged_snapshots": 3}
+
+    def test_v1_must_not_carry_v2_blocks(self):
+        report = build_report(["k1"], 3, "eager", "slca",
+                              outcome_with_metrics(), 1.5)
+        report["workers"] = workers_block([1], 1)
+        with pytest.raises(ReportError, match="must not carry"):
+            validate_report(report)
+
+    def test_v2_rejects_invalid_spans_block(self):
+        report = build_report_v2(
+            ["k1"], 3, "eager", "slca", outcome_with_metrics(), 1.5,
+            spans=[{"span_id": "s0"}])
+        with pytest.raises(ReportError, match="spans block invalid"):
+            validate_report(report)
+
+    def test_v2_rejects_malformed_workers_block(self):
+        report = build_report_v2(
+            ["k1"], 3, "eager", "slca", outcome_with_metrics(), 1.5,
+            workers={"pids": ["not-a-pid"]})
+        with pytest.raises(ReportError, match="workers.count"):
+            validate_report(report)
+
+    def test_unknown_schema_names_both_versions(self):
+        report = build_report(["k1"], 3, "eager", "slca",
+                              outcome_with_metrics(), 1.5)
+        report["schema"] = "repro.metrics/v9"
+        with pytest.raises(ReportError, match="v1.*v2"):
+            validate_report(report)
+
+
+class TestMerging:
+    def test_histogram_absorb(self):
+        left = Histogram()
+        left.observe(2.0)
+        left.observe(4.0)
+        right = Histogram()
+        right.absorb(left.count, left.total, left.minimum, left.maximum)
+        right.absorb(0, 0.0, 0.0, 0.0)  # empty summary is a no-op
+        assert right.count == 2
+        assert right.total == 6.0
+        assert right.minimum == 2.0
+        assert right.maximum == 4.0
+
+    def test_merge_collectors(self):
+        left, right = MetricsCollector(), MetricsCollector()
+        left.count("c", 2)
+        right.count("c", 3)
+        right.observe_time("t", 0.5)
+        left.merge(right)
+        assert left.counter("c") == 5
+        assert left.timers["t"].count == 1
+
+    def test_merge_snapshot_scales_timers_back_to_seconds(self):
+        worker = MetricsCollector()
+        worker.count("eager.seeds", 4)
+        worker.observe_time("index.lookup", 0.25)  # snapshot -> 250 ms
+        coordinator = MetricsCollector()
+        coordinator.merge_snapshot(worker.snapshot())
+        assert coordinator.counter("eager.seeds") == 4
+        merged = coordinator.snapshot()["timers"]["index.lookup"]
+        assert merged["sum"] == pytest.approx(250.0)
+        assert coordinator.timers["index.lookup"].total == \
+            pytest.approx(0.25)
+
+    def test_merge_snapshot_of_empty_is_noop(self):
+        collector = MetricsCollector()
+        collector.merge_snapshot({})
+        assert collector.snapshot()["counters"] == {}
+
+
+class TestTimerSpanBridge:
+    def test_time_opens_a_span_under_current(self):
+        tracer = SpanTracer(trace_id="t")
+        collector = MetricsCollector(tracer=tracer)
+        with tracer.span("query"):
+            with collector.time("index.lookup"):
+                pass
+        names = {s.name: s for s in tracer.finished}
+        assert names["index.lookup"].parent_id == \
+            names["query"].span_id
+        assert collector.timers["index.lookup"].count == 1
+
+    def test_mark_annotates_current_span(self):
+        tracer = SpanTracer(trace_id="t")
+        collector = MetricsCollector(tracer=tracer)
+        with tracer.span("query") as span:
+            collector.mark("cache.hits")
+            collector.mark("cache.hits")
+        assert span.attrs["cache.hits"] == 2
+
+    def test_mark_without_tracer_is_noop(self):
+        collector = MetricsCollector()
+        collector.mark("cache.hits")  # must not raise or record
+        assert collector.snapshot()["counters"] == {}
+
+    def test_disabled_tracer_is_not_attached(self):
+        from repro.obs.spans import NULL_TRACER
+        collector = MetricsCollector(tracer=NULL_TRACER)
+        assert collector.tracer is None
+
+
+class TestPrometheus:
+    def snapshot(self):
+        collector = MetricsCollector()
+        collector.count("engine.items_fed", 7)
+        collector.count("service.cache.match_entries.hits", 3)
+        collector.observe("posting.length", 12)
+        collector.observe("posting.length", 4)
+        collector.observe_time("index.lookup", 0.002)
+        return collector.snapshot()
+
+    def test_round_trip(self):
+        text = render_prometheus(self.snapshot())
+        samples = parse_prometheus(text)
+        assert samples["repro_engine_items_fed"] == 7
+        assert samples["repro_service_cache_match_entries_hits"] == 3
+        assert samples["repro_posting_length_count"] == 2
+        assert samples["repro_posting_length_sum"] == 16
+        assert samples["repro_posting_length_min"] == 4
+        assert samples["repro_posting_length_max"] == 12
+        assert samples["repro_posting_length_mean"] == 8
+        # timers are exported in milliseconds, suffixed _ms
+        assert samples["repro_index_lookup_ms_count"] == 1
+        assert samples["repro_index_lookup_ms_sum"] == \
+            pytest.approx(2.0)
+
+    def test_type_lines_declare_counters_and_gauges(self):
+        lines = prometheus_lines(self.snapshot())
+        assert "# TYPE repro_engine_items_fed counter" in lines
+        assert "# TYPE repro_posting_length_count gauge" in lines
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsCollector().snapshot()) == ""
+        assert render_prometheus({}) == ""
+
+    def test_parse_rejects_malformed_line(self):
+        with pytest.raises(ExportError, match="malformed"):
+            parse_prometheus("repro_x 1 2 3\n")
+        with pytest.raises(ExportError, match="non-numeric"):
+            parse_prometheus("repro_x abc\n")
+        with pytest.raises(ExportError, match="repeats"):
+            parse_prometheus("repro_x 1\nrepro_x 2\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        assert parse_prometheus("# HELP x\n\n# TYPE x counter\n") == {}

@@ -1,0 +1,235 @@
+"""Service-level observability: cross-executor metric parity (S1),
+resilience events through the collector and flight recorder (S2), and
+span propagation through worker crashes and degradation (S3)."""
+
+import pytest
+
+from repro.obs import FlightRecorder, MetricsCollector
+from repro.obs.spans import SpanTracer, derive_trace_id, validate_spans
+from repro.resilience import (CircuitBreaker, Fault, FaultInjector,
+                              parse_faults)
+from repro.service import QueryService
+
+# Distinct term sets so neither the result cache nor the match-entry
+# cache short-circuits real engine work in any executor.
+QUERIES = [["k1"], ["k2"], ["k1", "k2"]]
+
+#: Counters that measure algorithm work — cache- and executor-
+#: independent by design, so they must agree across executors.
+ENGINE_PREFIXES = ("eager.", "engine.", "heap.", "prstack.")
+
+
+def engine_counters(collector):
+    return {name: value
+            for name, value in collector.snapshot()["counters"].items()
+            if name.startswith(ENGINE_PREFIXES)}
+
+
+def signature(outcome):
+    return [(str(result.code), result.probability)
+            for result in outcome.results]
+
+
+class TestCounterParity:
+    """S1: one merged report regardless of the executor."""
+
+    def run_batch(self, db, **kwargs):
+        collector = MetricsCollector()
+        service = QueryService(db, collector=collector)
+        batch = service.batch_search(QUERIES, k=3, **kwargs)
+        return batch, engine_counters(collector)
+
+    @pytest.mark.parametrize("algorithm", ["eager", "prstack"])
+    def test_process_counters_match_serial(self, figure1_db, algorithm):
+        serial_batch, serial = self.run_batch(
+            figure1_db, algorithm=algorithm)
+        process_batch, process = self.run_batch(
+            figure1_db, algorithm=algorithm, workers=2,
+            executor="process")
+        assert serial  # the parity check must not be vacuous
+        assert process == serial
+        assert [signature(o) for o in process_batch] == \
+            [signature(o) for o in serial_batch]
+        merged = process_batch.stats["workers_merged"]
+        assert merged["merged_snapshots"] >= 1
+        assert merged["pids"]
+
+    def test_thread_counters_match_serial(self, figure1_db):
+        _, serial = self.run_batch(figure1_db)
+        _, threaded = self.run_batch(figure1_db, workers=3,
+                                     executor="thread")
+        assert threaded == serial
+
+    def test_uninstrumented_process_batch_skips_merging(self, figure1_db):
+        service = QueryService(figure1_db)
+        batch = service.batch_search(QUERIES, k=3, workers=2,
+                                     executor="process")
+        assert "workers_merged" not in batch.stats
+
+
+class TestResilienceEvents:
+    """S2: every resilience bump is mirrored to the collector and the
+    flight recorder."""
+
+    def test_retries_reach_collector_and_recorder(self, figure1_db):
+        collector = MetricsCollector()
+        recorder = FlightRecorder()
+        service = QueryService(figure1_db, collector=collector,
+                               recorder=recorder)
+        faults = parse_faults("query_error:times=2", seed=3)
+        batch = service.batch_search(QUERIES, k=3, faults=faults,
+                                     max_retries=2)
+        res = batch.stats["resilience"]
+        assert res["retries"] >= 1
+        assert res["query_errors"] == 0
+        counters = collector.snapshot()["counters"]
+        assert counters["resilience.retries"] == res["retries"]
+        assert counters["resilience.recovered_queries"] == \
+            res["recovered_queries"]
+        names = {(r["kind"], r["name"]) for r in recorder.snapshot()}
+        assert ("resilience", "retries") in names
+
+    def test_backoff_waits_are_counted_and_timed(self, figure1_db):
+        collector = MetricsCollector()
+        service = QueryService(figure1_db, collector=collector)
+        faults = parse_faults("query_error:times=2", seed=3)
+        batch = service.batch_search(QUERIES, k=3, faults=faults,
+                                     max_retries=2)
+        res = batch.stats["resilience"]
+        if res["backoff_waits"]:  # policy-dependent: zero-delay skips
+            snapshot = collector.snapshot()
+            assert snapshot["counters"]["resilience.backoff_waits"] == \
+                res["backoff_waits"]
+            assert snapshot["timers"]["resilience.backoff"]["count"] == \
+                res["backoff_waits"]
+
+    def test_open_breaker_skip_hits_the_recorder(self, figure1_db):
+        recorder = FlightRecorder()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=3600.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        service = QueryService(figure1_db, breaker=breaker,
+                               collector=MetricsCollector(),
+                               recorder=recorder)
+        batch = service.batch_search(QUERIES, k=3, workers=2,
+                                     executor="process")
+        assert batch.stats["resilience"]["circuit_open_skips"] == 1
+        names = {(r["kind"], r["name"]) for r in recorder.snapshot()}
+        assert ("resilience", "breaker_open_skip") in names
+        assert ("resilience", "circuit_open_skips") in names
+
+    def test_error_outcome_reaches_the_recorder(self, figure1_db):
+        recorder = FlightRecorder()
+        service = QueryService(figure1_db,
+                               collector=MetricsCollector(),
+                               recorder=recorder)
+        faults = parse_faults("query_error:times=9", seed=3)
+        batch = service.batch_search(QUERIES, k=3, faults=faults,
+                                     max_retries=0)
+        assert batch.stats["resilience"]["query_errors"] == len(QUERIES)
+        errors = [r for r in recorder.snapshot()
+                  if r["name"] == "query.error"]
+        assert len(errors) == len(QUERIES)
+        assert all("InjectedFaultError" in r["error"] for r in errors)
+
+
+class TestSpanPropagation:
+    """S3: the span tree reconstructs chunk -> worker -> engine scan,
+    survives worker crashes, and is deterministic under seeded faults."""
+
+    def test_clean_process_batch_adopts_worker_spans(self, figure1_db):
+        collector = MetricsCollector()
+        service = QueryService(figure1_db, collector=collector)
+        tracer = SpanTracer(trace_id=derive_trace_id("clean", 0))
+        batch = service.batch_search(QUERIES, k=3, workers=2,
+                                     executor="process", tracer=tracer)
+        assert batch.stats["trace_id"] == tracer.trace_id
+        spans = validate_spans(tracer.export())
+        by_id = {s["span_id"]: s for s in spans}
+        chunks = [s for s in spans if s["name"] == "chunk"]
+        workers = [s for s in spans if s["name"] == "worker"]
+        assert all(c["attrs"]["tier"] == "process" for c in chunks)
+        assert workers
+        for worker in workers:
+            assert worker["span_id"].endswith(".w")
+            parent = by_id[worker["parent_id"]]
+            assert parent["name"] == "chunk"
+            assert "pid" in worker["attrs"]
+        queries = [s for s in spans if s["name"] == "query"]
+        assert sorted(q["attrs"]["terms"] for q in queries) == \
+            ["k1", "k1 k2", "k2"]
+        # engine phases arrive via the timer->span bridge
+        assert any(s["name"] == "search.total" for s in spans)
+        assert {s["name"] for s in spans if "." in s["name"]} >= \
+            {"search.total", "index.lookup"}
+
+    def test_spans_survive_worker_crash_and_degradation(self, figure1_db):
+        # The crash targets 'zzz' and fires late, so the healthy
+        # chunk's worker spans are harvested while the crashed chunk's
+        # queries re-run (and re-trace) on the thread tier.
+        queries = [["k1"], ["k1", "k2"], ["k2"], ["zzz"]]
+        collector = MetricsCollector()
+        service = QueryService(figure1_db, collector=collector)
+        faults = FaultInjector(
+            [Fault(kind="worker_crash", terms=("zzz",),
+                   delay_ms=400.0)], seed=7)
+        tracer = SpanTracer(trace_id=derive_trace_id("crash", 7))
+        batch = service.batch_search(queries, k=3, workers=2,
+                                     executor="process", faults=faults,
+                                     max_retries=2, tracer=tracer)
+        assert batch.stats["resilience"]["query_errors"] == 0
+        spans = validate_spans(tracer.export())
+        chunks = {s["span_id"]: s for s in spans
+                  if s["name"] == "chunk"}
+        crashed = [s for s in chunks.values()
+                   if s.get("status") == "error"]
+        assert len(crashed) == 1
+        retried = [s for s in chunks.values()
+                   if s["attrs"]["tier"] == "thread-retry"]
+        assert retried
+        degrades = [s for s in spans if s["name"] == "degrade"]
+        assert degrades and degrades[0]["attrs"]["tier"] == "thread"
+        workers = [s for s in spans if s["name"] == "worker"]
+        assert workers  # the healthy chunk's spans were adopted
+        assert all(s["parent_id"] not in
+                   {c["span_id"] for c in crashed} for s in workers)
+        # every query got traced at *some* tier
+        traced_terms = {s["attrs"]["terms"] for s in spans
+                        if s["name"] == "query"}
+        assert traced_terms == {"k1", "k1 k2", "k2", "zzz"}
+
+    def test_serial_fault_runs_are_deterministic(self, figure1_db):
+        def run():
+            service = QueryService(figure1_db,
+                                   collector=MetricsCollector())
+            faults = parse_faults("query_error:rate=0.5", seed=13)
+            tracer = SpanTracer(
+                trace_id=derive_trace_id(QUERIES, "query_error", 13))
+            service.batch_search(QUERIES, k=3, faults=faults,
+                                 max_retries=2, tracer=tracer)
+            return tracer.trace_id, [
+                (s["span_id"], s["name"], s["parent_id"],
+                 s.get("status", "ok"))
+                for s in sorted(tracer.export(),
+                                key=lambda s: s["span_id"])]
+
+        first_id, first = run()
+        second_id, second = run()
+        assert first_id == second_id
+        assert first == second
+
+    def test_result_cache_replay_appears_as_span(self, figure1_db):
+        service = QueryService(figure1_db,
+                               collector=MetricsCollector())
+        service.batch_search([["k1"]], k=3)
+        tracer = SpanTracer(trace_id=derive_trace_id("replay"))
+        service.batch_search([["k1"]], k=3, tracer=tracer)
+        replays = [s for s in tracer.export()
+                   if s["name"] == "query"
+                   and s.get("attrs", {}).get("cache") == "result_cache"]
+        assert len(replays) == 1
+
+    def test_untraced_batch_records_no_trace_id(self, figure1_db):
+        service = QueryService(figure1_db)
+        batch = service.batch_search(QUERIES, k=3)
+        assert "trace_id" not in batch.stats
