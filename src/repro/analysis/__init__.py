@@ -14,6 +14,13 @@ sound Property 1-5 bounds):
   sanitize=True)``) asserting the same invariants live inside the
   engines, raising :class:`SanitizerError` with trace context.
 
+A third half (:mod:`repro.analysis.concurrency`) guards the *locking*
+invariants: rules R008-R012 lint lock discipline (guarded-by
+annotations, lock order, blocking under locks, signal and fork
+safety), while the opt-in :class:`LockWitness` /
+:class:`InstrumentedLock` pair asserts the same discipline at runtime
+(``repro check --concurrency`` stresses the service under it).
+
 :mod:`repro.analysis.numeric` holds the shared float-tolerance helpers
 (``is_one`` / ``is_zero`` / ``is_close`` / ``clamp01``) the R001 rule
 steers probability comparisons through.
@@ -21,6 +28,12 @@ steers probability comparisons through.
 Everything is documented in docs/ANALYSIS.md.
 """
 
+from repro.analysis.concurrency import (DEFAULT_LOCK_ORDER,
+                                        ConcurrencyWitnessError,
+                                        InstrumentedLock, LockWitness,
+                                        NULL_WITNESS, NullWitness,
+                                        WitnessLike, derive_lock_order,
+                                        wrap_lock)
 from repro.analysis.linter import (Finding, LintError, LintResult,
                                    lint_paths, lint_source)
 from repro.analysis.numeric import (PROB_ATOL, clamp01, is_close, is_one,
@@ -33,6 +46,9 @@ from repro.analysis.sanitizer import (NULL_SANITIZER, NullSanitizer,
                                       SanitizerLike, sanitize_from_env)
 
 __all__ = [
+    "DEFAULT_LOCK_ORDER", "ConcurrencyWitnessError", "InstrumentedLock",
+    "LockWitness", "NULL_WITNESS", "NullWitness", "WitnessLike",
+    "derive_lock_order", "wrap_lock",
     "Finding", "LintError", "LintResult", "lint_paths", "lint_source",
     "PROB_ATOL", "clamp01", "is_close", "is_one", "is_zero",
     "LINT_SCHEMA_ID", "LintReportError", "build_lint_report",

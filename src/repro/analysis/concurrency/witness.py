@@ -1,0 +1,363 @@
+"""The runtime lock witness: dynamic checking of static lock discipline.
+
+The static rules (R008–R012) prove lock discipline about the *code*;
+this module watches the same discipline hold at *runtime* while real
+threads hammer the service.  It extends the PR-2 sanitizer pattern —
+an opt-in checker behind a zero-overhead null object — from
+probability arithmetic to locking:
+
+* :class:`InstrumentedLock` wraps a ``threading.Lock``/``RLock`` and
+  reports every acquire/release to a witness, by name;
+* :class:`LockWitness` keeps a per-thread stack of held locks (with
+  the acquisition site), maintains the observed lock-order graph,
+  checks every acquisition against the statically-derived order
+  (:data:`DEFAULT_LOCK_ORDER` plus everything observed so far), and
+  flags same-thread re-acquisition of non-reentrant locks — the exact
+  self-deadlock shape R011 warns about in signal handlers;
+* ``assert_holding`` lets guarded objects (e.g.
+  :class:`repro.index.cache.LRUCache`) verify at their access points
+  that the declared guarding lock really is held by the current
+  thread, catching unguarded access the moment a refactor introduces
+  it;
+* :data:`NULL_WITNESS` is the library default: every hook is a pass
+  behind an ``enabled`` class attribute, exactly like
+  ``NULL_COLLECTOR`` — production code pays one attribute load.
+
+Lock names are hierarchical: ``ClassName._lock`` identifies the
+discipline role, an optional ``:suffix`` (``LRUCache._lock:results``)
+distinguishes instances.  Order checking works on the base name, so
+the three per-service caches share one role in the order graph while
+their acquisitions stay individually attributable in dumps.
+
+Only the standard library and :mod:`repro.exceptions` may be imported
+here — core modules (``index.cache``, ``obs.recorder``) import this
+module, so anything heavier would be an import cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import ReproError
+
+#: The statically-derived lock order of the service stack: every
+#: ``(outer, inner)`` pair that the R009 lock-order analysis finds in
+#: the source tree (``derive_lock_order`` in
+#: :mod:`repro.analysis.concurrency.model`; a test asserts the two
+#: stay in sync).  The witness seeds its order graph with these edges,
+#: so an inversion against the *declared* order trips even if the
+#: stress run never happens to interleave the two acquisition paths.
+DEFAULT_LOCK_ORDER: Tuple[Tuple[str, str], ...] = (
+    ("QueryService._reload_lock", "QueryService._stats_lock"),
+    ("QueryService._reload_lock", "MetricsCollector._lock"),
+    ("QueryService._reload_lock", "FlightRecorder._lock"),
+    ("LRUCache._lock", "MetricsCollector._lock"),
+)
+
+
+class ConcurrencyWitnessError(ReproError):
+    """The runtime witness observed a lock-discipline violation."""
+
+
+def base_name(name: str) -> str:
+    """The discipline role of a lock name (instance suffix dropped)."""
+    return name.split(":", 1)[0]
+
+
+class LockWitness:
+    """Records per-thread held-lock stacks and checks lock discipline.
+
+    Args:
+        order: declared ``(outer, inner)`` lock-order edges (base
+            names); defaults to :data:`DEFAULT_LOCK_ORDER`.
+        strict: raise :class:`ConcurrencyWitnessError` at the point of
+            violation (the default — a stress test should fail at the
+            guilty acquisition, with its stack).  When False,
+            violations only accumulate in :attr:`violations`.
+        capture_stacks: record the acquisition stack of every held
+            lock so violation messages show both sites.  Costs a
+            ``traceback.format_stack`` per acquisition; leave off for
+            overhead-sensitive runs.
+
+    The witness itself is thread-safe: per-thread state lives in a
+    ``threading.local``; the shared order graph and counters are
+    guarded by an internal meta-lock (never held while a client lock
+    is being acquired, so the witness cannot deadlock its subject).
+    """
+
+    enabled = True
+
+    def __init__(self, order: Optional[Sequence[Tuple[str, str]]] = None,
+                 strict: bool = True, capture_stacks: bool = False) -> None:
+        self.strict = strict
+        self.capture_stacks = capture_stacks
+        self._local = threading.local()
+        self._meta = threading.Lock()
+        # base name -> base names that must come strictly *after* it.
+        self._after: Dict[str, Set[str]] = {}
+        edges = DEFAULT_LOCK_ORDER if order is None else tuple(order)
+        for outer, inner in edges:
+            self._after.setdefault(outer, set()).add(inner)
+        self._declared = {(outer, inner) for outer, inner in edges}
+        self.acquisitions: Dict[str, int] = {}
+        self.violations: List[str] = []
+
+    # -- per-thread state --------------------------------------------------
+
+    def _stack(self) -> List[Tuple[str, int, str]]:
+        """This thread's held stack: ``(name, depth, acquire_site)``."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def held(self) -> Tuple[str, ...]:
+        """Names of the locks the current thread holds, outer first."""
+        return tuple(name for name, _, _ in self._stack())
+
+    def holds(self, name: str) -> bool:
+        """Whether the current thread holds ``name`` (by base name)."""
+        want = base_name(name)
+        return any(base_name(held) == want for held, _, _ in self._stack())
+
+    # -- violation plumbing ------------------------------------------------
+
+    def _site(self) -> str:
+        if not self.capture_stacks:
+            return ""
+        return "".join(traceback.format_stack(limit=12)[:-3])
+
+    def _flag(self, message: str, fatal: bool = False) -> None:
+        with self._meta:
+            self.violations.append(message)
+        if fatal or self.strict:
+            raise ConcurrencyWitnessError(message)
+
+    def _reachable(self, start: str, goal: str) -> bool:  # repro: holds[_meta]
+        """Is there a declared/observed order path ``start -> goal``?"""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for nxt in self._after.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    # -- lock hooks (called by InstrumentedLock) ---------------------------
+
+    def before_acquire(self, name: str, reentrant: bool = False) -> None:
+        """Check ``name`` may be acquired now; called *before* the real
+        acquire so a certain deadlock raises instead of hanging.
+
+        A same-thread re-acquisition of a non-reentrant lock is always
+        fatal (the real acquire would self-deadlock, e.g. a signal
+        handler re-entering a critical section), regardless of
+        ``strict``.
+        """
+        stack = self._stack()
+        mine = base_name(name)
+        for held_name, _, site in stack:
+            if held_name == name:
+                if reentrant:
+                    return
+                self._flag(
+                    f"same-thread re-acquisition of non-reentrant lock "
+                    f"{name} (self-deadlock; e.g. a signal handler "
+                    f"re-entering a held critical section)"
+                    + (f"\nfirst acquired at:\n{site}" if site else ""),
+                    fatal=True)
+                return
+        if not stack:
+            return
+        inversion: Optional[str] = None
+        with self._meta:
+            for held_name, _, _ in stack:
+                outer = base_name(held_name)
+                if outer == mine:
+                    continue
+                if self._reachable(mine, outer):
+                    inversion = (
+                        f"lock-order inversion: acquiring {name} while "
+                        f"holding {held_name}, but the order "
+                        f"{mine} -> {outer} is already "
+                        f"declared or was observed (held: "
+                        f"{', '.join(h for h, _, _ in stack)})")
+                    break
+                self._after.setdefault(outer, set()).add(mine)
+        if inversion is not None:
+            self._flag(inversion)
+
+    def on_acquired(self, name: str, reentrant: bool = False) -> None:
+        """Record a successful acquire of ``name`` by this thread."""
+        stack = self._stack()
+        if reentrant:
+            for position, (held_name, depth, site) in enumerate(stack):
+                if held_name == name:
+                    stack[position] = (held_name, depth + 1, site)
+                    return
+        stack.append((name, 1, self._site()))
+        with self._meta:
+            self.acquisitions[name] = self.acquisitions.get(name, 0) + 1
+
+    def on_release(self, name: str) -> None:
+        """Record a release of ``name`` by this thread."""
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            held_name, depth, site = stack[position]
+            if held_name == name:
+                if depth > 1:
+                    stack[position] = (held_name, depth - 1, site)
+                else:
+                    del stack[position]
+                return
+        self._flag(f"release of {name}, which this thread does not hold")
+
+    # -- guarded-object hook -----------------------------------------------
+
+    def assert_holding(self, name: str, what: str = "") -> None:
+        """Fail unless the current thread holds lock ``name``.
+
+        Guarded objects call this at their access points (e.g.
+        ``LRUCache`` before touching ``_data``), so an access that a
+        refactor moved out of its ``with self._lock:`` block trips the
+        witness the first time any stress thread runs it.
+        """
+        if not self.holds(name):
+            held = self.held()
+            self._flag(
+                f"unguarded access: {what or name} touched without "
+                f"holding {name} (thread "
+                f"{threading.current_thread().name} holds: "
+                f"{', '.join(held) if held else 'no locks'})")
+
+    # -- reporting ---------------------------------------------------------
+
+    def order_edges(self) -> List[Tuple[str, str]]:
+        """Every ``(outer, inner)`` edge declared or observed so far."""
+        with self._meta:
+            return sorted((outer, inner)
+                          for outer, inners in self._after.items()
+                          for inner in inners)
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict report for stress harness output."""
+        with self._meta:
+            acquisitions = dict(sorted(self.acquisitions.items()))
+            violations = list(self.violations)
+        return {
+            "acquisitions": acquisitions,
+            "total_acquisitions": sum(acquisitions.values()),
+            "order_edges": [f"{outer} -> {inner}"
+                            for outer, inner in self.order_edges()],
+            "violations": violations,
+        }
+
+
+class NullWitness:
+    """The do-nothing witness: the default on every locking path."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def before_acquire(self, name: str, reentrant: bool = False) -> None:
+        pass
+
+    def on_acquired(self, name: str, reentrant: bool = False) -> None:
+        pass
+
+    def on_release(self, name: str) -> None:
+        pass
+
+    def assert_holding(self, name: str, what: str = "") -> None:
+        pass
+
+    def holds(self, name: str) -> bool:
+        return True
+
+    def held(self) -> Tuple[str, ...]:
+        return ()
+
+    def summary(self) -> Dict[str, object]:
+        return {}
+
+
+#: Shared no-op instance; lock-owning classes default to this.
+NULL_WITNESS = NullWitness()
+
+#: What witness-aware signatures accept: a live witness or the no-op.
+WitnessLike = Union[LockWitness, NullWitness]
+
+_RLOCK_TYPES = (type(threading.RLock()),)
+
+
+class InstrumentedLock:
+    """A named lock that reports acquire/release to a witness.
+
+    Drop-in for the ``threading.Lock``/``RLock`` subset the codebase
+    uses (context manager plus explicit ``acquire``/``release``).
+    Constructed only when a witness is attached — the production path
+    keeps plain ``threading.Lock`` objects and pays nothing.
+
+    Args:
+        name: hierarchical lock name (``ClassName._lock`` or
+            ``ClassName._lock:instance``).
+        witness: where acquire/release events go.
+        inner: the real lock to wrap; a fresh ``threading.Lock`` by
+            default.  Reentrancy is detected from the inner lock's
+            type so an ``RLock`` keeps its semantics under the witness.
+    """
+
+    def __init__(self, name: str, witness: WitnessLike = NULL_WITNESS,
+                 inner: Optional[object] = None) -> None:
+        self.name = name
+        self.witness = witness
+        self._inner = threading.Lock() if inner is None else inner
+        self.reentrant = isinstance(self._inner, _RLOCK_TYPES)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self.witness.enabled:
+            self.witness.before_acquire(self.name, self.reentrant)
+        acquired = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if acquired and self.witness.enabled:
+            self.witness.on_acquired(self.name, self.reentrant)
+        return bool(acquired)
+
+    def release(self) -> None:
+        self._inner.release()  # type: ignore[attr-defined]
+        if self.witness.enabled:
+            self.witness.on_release(self.name)
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InstrumentedLock({self.name!r}, "
+                f"reentrant={self.reentrant})")
+
+
+def wrap_lock(owner: object, attribute: str, name: str,
+              witness: WitnessLike) -> None:
+    """Replace ``owner.<attribute>`` with an instrumented wrapper.
+
+    The escape hatch for objects constructed before the witness exists
+    (a shared :class:`~repro.obs.metrics.MetricsCollector`, a
+    :class:`~repro.obs.recorder.FlightRecorder`): the existing lock
+    becomes the wrapper's inner lock, preserving reentrancy, and every
+    later acquisition is witnessed.  Only safe while no thread holds
+    the lock (call it during setup).
+    """
+    inner = getattr(owner, attribute)
+    if isinstance(inner, InstrumentedLock):  # already wrapped
+        return
+    setattr(owner, attribute, InstrumentedLock(name, witness, inner))

@@ -80,7 +80,7 @@ class SourceModule:
             blanket ``# repro: ignore``).
     """
 
-    def __init__(self, path: str, source: str):
+    def __init__(self, path: str, source: str) -> None:
         self.path = path.replace(os.sep, "/")
         self.source = source
         self.tree = ast.parse(source, filename=path)

@@ -22,6 +22,13 @@ from repro.analysis.rules.r005_mutable_default import MutableDefaultRule
 from repro.analysis.rules.r006_swallowed_exception import \
     SwallowedExceptionRule
 from repro.analysis.rules.r007_nonatomic_write import NonAtomicWriteRule
+from repro.analysis.rules.r008_unguarded_state import \
+    UnguardedSharedStateRule
+from repro.analysis.rules.r009_lock_order import LockOrderRule
+from repro.analysis.rules.r010_blocking_under_lock import \
+    BlockingUnderLockRule
+from repro.analysis.rules.r011_signal_safety import SignalSafetyRule
+from repro.analysis.rules.r012_fork_safety import ForkSafetyRule
 
 #: Every registered rule class, in rule-id order.
 ALL_RULES = (
@@ -32,6 +39,11 @@ ALL_RULES = (
     MutableDefaultRule,
     SwallowedExceptionRule,
     NonAtomicWriteRule,
+    UnguardedSharedStateRule,
+    LockOrderRule,
+    BlockingUnderLockRule,
+    SignalSafetyRule,
+    ForkSafetyRule,
 )
 
 RULES_BY_ID: Dict[str, Type] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -1,0 +1,70 @@
+"""R008: shared state accessed outside its guarding lock.
+
+The service stack shares mutable objects across threads — caches,
+collectors, the flight-recorder ring, reload bookkeeping — and each of
+them nominates one lock that guards its mutable attributes.  This rule
+checks the discipline statically, per class that owns at least one
+lock attribute:
+
+* an attribute annotated ``# repro: guarded-by[_lock]`` (on its
+  ``__init__`` assignment) must only be touched with ``_lock`` held;
+* ``# repro: guarded-by[_lock, writes]`` is the single-writer pattern
+  (atomic reference swap): writes need the lock, lock-free reads are
+  part of the design;
+* ``# repro: guarded-by[lockfree]`` opts an attribute out entirely;
+* an *unannotated* attribute whose writes (outside ``__init__``) all
+  happen under exactly one lock is inferred guarded by it — reads and
+  writes elsewhere without that lock are flagged, catching the classic
+  "stats() reads the counters the hot path mutates under the lock"
+  race.
+
+Methods annotated ``# repro: holds[_lock]`` on the ``def`` line are
+treated as running with the lock held (private helpers documented as
+called under the lock).  Accesses inside construction methods are
+exempt — the object is not shared yet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.concurrency.model import (CONSTRUCTION_METHODS,
+                                              build_class_models)
+from repro.analysis.linter import Finding, SourceModule
+
+
+class UnguardedSharedStateRule:
+    """Flag guarded-attribute accesses without the guarding lock."""
+
+    rule_id = "R008"
+    title = "shared state accessed outside its guarding lock"
+    hint = ("take the guarding lock around the access, annotate the "
+            "attribute's intent (`# repro: guarded-by[lock]`, "
+            "`[lock, writes]` or `[lockfree]`), or mark the helper "
+            "`# repro: holds[lock]` (docs/ANALYSIS.md)")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for cls in build_class_models(module).classes:
+            if not cls.locks:
+                continue
+            guards = cls.guard_map()
+            if not guards:
+                continue
+            for method in cls.methods:
+                if method.name in CONSTRUCTION_METHODS:
+                    continue
+                for access in method.accesses:
+                    spec = guards.get(access.attr)
+                    if spec is None:
+                        continue
+                    if spec.writes_only and not access.write:
+                        continue
+                    if spec.lock in access.held:
+                        continue
+                    flavour = "declared" if spec.declared else "inferred"
+                    kind = "write to" if access.write else "read of"
+                    yield module.finding(
+                        access.node, self,
+                        f"{kind} {cls.name}.{access.attr} without "
+                        f"holding {spec.lock} ({flavour} guard; in "
+                        f"{method.name})")

@@ -1,0 +1,62 @@
+"""R009: inconsistent lock-acquisition order (deadlock shape).
+
+Two locks acquired in opposite orders on two code paths deadlock the
+first time the paths interleave.  This rule builds the module's
+lock-order graph — a ``Class.lockA -> Class.lockB`` edge for every
+``with self.lockB:`` entered while ``self.lockA`` is held — and flags
+every acquisition that closes a cycle.
+
+The graph is intraprocedural (direct ``with`` nesting); edges that
+pass through calls are the runtime witness's job
+(:class:`repro.analysis.concurrency.witness.LockWitness` checks the
+declared order, :data:`~repro.analysis.concurrency.witness.DEFAULT_LOCK_ORDER`,
+which a test keeps a superset of the statically derived edges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.concurrency.model import build_class_models
+from repro.analysis.linter import Finding, SourceModule
+
+
+class LockOrderRule:
+    """Flag lock acquisitions that create an order cycle."""
+
+    rule_id = "R009"
+    title = "inconsistent lock-acquisition order"
+    hint = ("pick one global order for the two locks and acquire them "
+            "in that order on every path (docs/ANALYSIS.md lists the "
+            "declared service lock order)")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        edges = build_class_models(module).order_edges()
+        graph: Dict[str, Set[str]] = {}
+        # Insert edges one at a time; an edge whose reverse direction
+        # is already reachable closes a cycle and is flagged at its
+        # acquisition site.
+        for outer, inner, node in edges:
+            if self._reachable(graph, inner, outer):
+                yield module.finding(
+                    node, self,
+                    f"acquiring {inner} while holding {outer}, but the "
+                    f"opposite order {inner} -> {outer} exists on "
+                    f"another path")
+                continue
+            graph.setdefault(outer, set()).add(inner)
+
+    @staticmethod
+    def _reachable(graph: Dict[str, Set[str]], start: str,
+                   goal: str) -> bool:
+        seen = {start}
+        frontier: List[str] = [start]
+        while frontier:
+            node = frontier.pop()
+            if node == goal:
+                return True
+            for nxt in graph.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False

@@ -1,0 +1,94 @@
+"""R010: blocking call while holding a lock.
+
+A lock held across a blocking operation — a sleep, a ``Condition``
+wait, a pool submit that can stall on a saturated executor, a
+``Future.result``, file I/O — turns every other thread that needs the
+lock into a convoy, and in the worst case (the blocked operation needs
+another thread that needs the lock) into a deadlock.  Critical
+sections in this codebase are deliberately tiny: counter bumps, dict
+rotations, reference swaps.
+
+This rule walks each lock-owning class with the held-lock tracking of
+:mod:`repro.analysis.concurrency.model` and flags recognisably
+blocking calls made with any ``self`` lock held.  ``.join()`` is only
+flagged when the receiver looks like a thread or pool (string
+``sep.join`` is ubiquitous and harmless).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.concurrency.model import build_class_models
+from repro.analysis.linter import Finding, SourceModule
+
+#: Receiver-name fragments that make ``.join()`` look thread-like.
+_JOINABLE_FRAGMENTS = ("thread", "worker", "pool", "proc", "future")
+
+#: Constructors that spawn worker machinery (blocking + heavyweight).
+_EXECUTOR_FACTORIES = frozenset({"ThreadPoolExecutor",
+                                 "ProcessPoolExecutor", "Pool",
+                                 "Process", "Popen"})
+
+
+class BlockingUnderLockRule:
+    """Flag blocking operations inside a ``with self._lock:`` block."""
+
+    rule_id = "R010"
+    title = "blocking call while holding a lock"
+    hint = ("shrink the critical section: compute/copy under the lock, "
+            "then block after releasing it (see FlightRecorder.dump — "
+            "snapshot under the lock, file I/O outside)")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        for cls in build_class_models(module).classes:
+            if not cls.locks:
+                continue
+            for method in cls.methods:
+                for call, held in method.calls:
+                    if not held:
+                        continue
+                    reason = _blocking_reason(call)
+                    if reason is not None:
+                        yield module.finding(
+                            call, self,
+                            f"{reason} while holding "
+                            f"{', '.join(sorted(held))} (in "
+                            f"{cls.name}.{method.name})")
+
+
+def _blocking_reason(call: ast.Call) -> Optional[str]:
+    """Why ``call`` counts as blocking, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open() performs file I/O"
+        if func.id in _EXECUTOR_FACTORIES:
+            return f"{func.id}() spawns worker machinery"
+        if func.id == "sleep":
+            return "sleep() parks the holding thread"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr == "sleep":
+        return "sleep() parks the holding thread"
+    if attr == "wait":
+        return ".wait() blocks until another thread notifies"
+    if attr == "submit":
+        return "executor .submit() can block on a saturated pool"
+    if attr == "result":
+        return "Future.result() blocks until the worker finishes"
+    if attr in _EXECUTOR_FACTORIES:
+        return f"{attr}() spawns worker machinery"
+    if attr == "join":
+        receiver = func.value
+        if isinstance(receiver, ast.Constant):
+            return None  # "sep".join(...) — string join
+        name = receiver.attr if isinstance(receiver, ast.Attribute) \
+            else receiver.id if isinstance(receiver, ast.Name) else ""
+        if any(fragment in name.lower()
+               for fragment in _JOINABLE_FRAGMENTS):
+            return ".join() waits for another thread to finish"
+    return None

@@ -1,0 +1,183 @@
+"""R011: unsafe signal handling.
+
+CPython runs Python-level signal handlers on the *main thread*, at an
+arbitrary bytecode boundary of whatever the main thread was doing.
+Two discipline points follow:
+
+* **Registration** must go through
+  :func:`repro.service.signals.safe_signal`.  Raw ``signal.signal``
+  raises ``ValueError`` when the registering code happens to run off
+  the main thread (an embedding server constructing a
+  ``QueryService`` in a worker), and scattering ad-hoc try/except
+  around registrations hides that the handler silently did not
+  install.  ``safe_signal`` centralises the main-thread check and the
+  logged skip.
+* **Handler bodies** must not do non-reentrant or blocking work.  A
+  handler that takes a plain ``threading.Lock`` deadlocks the process
+  the first time the signal interrupts the very critical section that
+  holds it (the ``FlightRecorder`` dump path fixed in this PR);
+  sleeping, waiting or joining inside a handler stalls the main
+  thread at an unpredictable point.
+
+The rule flags raw ``signal.signal``/``signal.sigaction`` calls
+outside the blessed helper, and hazardous statements inside any
+function it can see being registered as a handler (by name or lambda).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.analysis.linter import Finding, SourceModule
+
+#: The one function allowed to call ``signal.signal`` directly.
+BLESSED_REGISTRAR = "safe_signal"
+
+#: Module whose job *is* raw registration.
+BLESSED_PATHS = ("repro/service/signals.py",)
+
+#: Registration entry points we recognise.
+_REGISTRATION_ATTRS = frozenset({"signal", "sigaction"})
+
+#: Handler-body calls that block or spawn.
+_HAZARD_CALL_ATTRS = frozenset({"acquire", "wait", "sleep", "fork"})
+
+
+class SignalSafetyRule:
+    """Flag raw handler registration and non-reentrant handler work."""
+
+    rule_id = "R011"
+    title = "unsafe signal registration or handler body"
+    hint = ("register through repro.service.signals.safe_signal (skips "
+            "with a warning off the main thread) and keep handler "
+            "bodies reentrant: no plain-Lock acquisition, no "
+            "sleeping/waiting/joining (docs/ANALYSIS.md)")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if any(fragment in module.path for fragment in BLESSED_PATHS):
+            return
+        functions: Dict[str, ast.AST] = {
+            node.name: node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        handlers: List[ast.AST] = []
+        yield from self._visit_registrations(module, module.tree, False,
+                                             functions, handlers)
+        reported: List[int] = []
+        for handler in handlers:
+            if id(handler) in reported:
+                continue
+            reported.append(id(handler))
+            yield from self._check_handler(module, handler)
+
+    def _visit_registrations(self, module: SourceModule, node: ast.AST,
+                             blessed: bool, functions: Dict[str, ast.AST],
+                             handlers: List[ast.AST]
+                             ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            inside = blessed
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                inside = blessed or child.name == BLESSED_REGISTRAR
+            if isinstance(child, ast.Call):
+                kind = _registration_kind(child)
+                if kind == "raw" and not inside:
+                    yield module.finding(
+                        child, self,
+                        "raw signal.signal registration; ValueError "
+                        "off the main thread and no logged skip")
+                if kind is not None:
+                    handler = _handler_argument(child, functions)
+                    if handler is not None:
+                        handlers.append(handler)
+            yield from self._visit_registrations(module, child, inside,
+                                                 functions, handlers)
+
+    def _check_handler(self, module: SourceModule,
+                       handler: ast.AST) -> Iterator[Finding]:
+        name = getattr(handler, "name", "<lambda>")
+        body = getattr(handler, "body", [])
+        statements = body if isinstance(body, list) else [body]
+        stack: List[ast.AST] = list(statements)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            hazard = _handler_hazard(node)
+            if hazard is not None:
+                yield module.finding(
+                    node, self,
+                    f"signal handler {name} {hazard}; handlers run on "
+                    f"the main thread at arbitrary bytecode "
+                    f"boundaries and must stay reentrant")
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _registration_kind(call: ast.Call) -> Optional[str]:
+    """``"raw"`` for ``signal.signal(...)``, ``"safe"`` for
+    ``safe_signal(...)``, else ``None``."""
+    func = call.func
+    if isinstance(func, ast.Attribute) \
+            and func.attr in _REGISTRATION_ATTRS \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == "signal":
+        return "raw"
+    name = func.id if isinstance(func, ast.Name) else \
+        func.attr if isinstance(func, ast.Attribute) else None
+    if name == BLESSED_REGISTRAR:
+        return "safe"
+    return None
+
+
+def _handler_argument(call: ast.Call,
+                      functions: Dict[str, ast.AST]
+                      ) -> Optional[ast.AST]:
+    """The handler function being registered, when resolvable."""
+    if len(call.args) < 2:
+        return None
+    handler = call.args[1]
+    if isinstance(handler, ast.Lambda):
+        return handler
+    if isinstance(handler, ast.Name):
+        return functions.get(handler.id)
+    return None
+
+
+def _handler_hazard(node: ast.AST) -> Optional[str]:
+    """Why ``node`` is hazardous inside a handler, or ``None``."""
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            name = _rightmost_name(item.context_expr)
+            if name is not None and "lock" in name.lower():
+                return (f"acquires {name} with a with-block "
+                        f"(self-deadlock if the signal interrupted "
+                        f"the holder)")
+    if isinstance(node, ast.Call):
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else \
+            func.id if isinstance(func, ast.Name) else None
+        if attr in _HAZARD_CALL_ATTRS:
+            return f"calls .{attr}()"
+        if attr == "join":
+            receiver = func.value if isinstance(func, ast.Attribute) \
+                else None
+            if not isinstance(receiver, ast.Constant):
+                name = _rightmost_name(receiver) or ""
+                if any(tok in name.lower()
+                       for tok in ("thread", "worker", "pool", "proc")):
+                    return "joins a thread"
+        if attr in ("Thread", "ThreadPoolExecutor",
+                    "ProcessPoolExecutor"):
+            return f"spawns {attr} machinery"
+    return None
+
+
+def _rightmost_name(node: Optional[ast.AST]) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _rightmost_name(node.func)
+    return None

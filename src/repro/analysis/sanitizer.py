@@ -102,7 +102,7 @@ class Sanitizer:
     __slots__ = ("epsilon", "collector", "checks", "bounds_recorded")
 
     def __init__(self, epsilon: float = DEFAULT_EPSILON,
-                 collector: Any = NULL_COLLECTOR):
+                 collector: Any = NULL_COLLECTOR) -> None:
         if epsilon < 0.0:
             raise ReproError(f"epsilon must be >= 0, got {epsilon!r}")
         self.epsilon = epsilon

@@ -241,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--sanitize", action="store_true",
                        help="run the query under the runtime invariant "
                             "sanitizer (docs/ANALYSIS.md)")
+    check.add_argument("--concurrency", action="store_true",
+                       help="stress the service from many threads under "
+                            "the instrumented-lock witness "
+                            "(docs/ANALYSIS.md, rules R008-R012)")
+    check.add_argument("--threads", type=int, default=None,
+                       help="worker threads for --concurrency "
+                            "(default 6)")
+    check.add_argument("--iterations", type=int, default=None,
+                       help="operations per worker for --concurrency "
+                            "(default 40)")
 
     fsck = commands.add_parser(
         "fsck", help="verify a database directory against its "
@@ -542,6 +552,7 @@ def _install_dump_handler(options, recorder):
     if not options.trace_dir or recorder is None:
         return lambda: None
     import signal
+    from repro.service.signals import safe_signal
     if not hasattr(signal, "SIGUSR2"):  # pragma: no cover - windows
         return lambda: None
 
@@ -553,8 +564,7 @@ def _install_dump_handler(options, recorder):
         else:
             print(f"flight recorder dumped to {path}", file=sys.stderr)
 
-    previous = signal.signal(signal.SIGUSR2, handle)
-    return lambda: signal.signal(signal.SIGUSR2, previous)
+    return safe_signal(signal.SIGUSR2, handle, "SIGUSR2 flight dump")
 
 
 def _cmd_trace(options) -> int:
@@ -586,6 +596,7 @@ def _install_reload_handler(options, service_cell):
     if options.reload_on is None:
         return lambda: None
     import signal
+    from repro.service.signals import safe_signal
     if options.source.endswith(".pxml"):
         raise ReproError("--reload-on needs a database directory "
                          "source (a .pxml file has no snapshot "
@@ -607,8 +618,7 @@ def _install_reload_handler(options, service_cell):
                   f"{state.generation} (epoch {state.epoch})",
                   file=sys.stderr)
 
-    previous = signal.signal(signal.SIGHUP, handle)
-    return lambda: signal.signal(signal.SIGHUP, previous)
+    return safe_signal(signal.SIGHUP, handle, "SIGHUP hot reload")
 
 
 def _cmd_fsck(options) -> int:
@@ -712,10 +722,46 @@ def _cmd_lint(options) -> int:
     return 0 if result.clean else 1
 
 
+def _run_concurrency_check(database, options) -> int:
+    """``check --concurrency``: stress the service under the witness."""
+    import tempfile
+
+    from repro.analysis.concurrency.stress import (DEFAULT_ITERATIONS,
+                                                   DEFAULT_THREADS,
+                                                   run_stress)
+    threads = options.threads or DEFAULT_THREADS
+    iterations = options.iterations or DEFAULT_ITERATIONS
+    with tempfile.TemporaryDirectory(prefix="repro-stress-") as dumps:
+        summary = run_stress(database, threads=threads,
+                             iterations=iterations, dump_dir=dumps)
+    ops = summary["ops"]
+    witness = summary["witness"]
+    print(f"concurrency: {threads} threads x {iterations} ops over "
+          f"{summary['queries']} queries — "
+          f"{ops['searches']} searches, {ops['batches']} batches, "
+          f"{ops['reloads']} reloads, {ops['dumps']} signal dumps")
+    print(f"witness: {witness['total_acquisitions']} lock "
+          f"acquisitions, {len(witness['order_edges'])} order "
+          f"edge(s), {len(witness['violations'])} violation(s)")
+    for violation in witness["violations"]:
+        print(f"  violation: {violation}", file=sys.stderr)
+    for error in summary["errors"]:
+        print(f"  error: {error}", file=sys.stderr)
+    if not summary["ok"]:
+        print("concurrency check FAILED", file=sys.stderr)
+        return 1
+    print("concurrency check ok: answers stable, lock order respected")
+    return 0
+
+
 def _cmd_check(options) -> int:
     database = _open_database(options.source)
     validate_document(database.document)
     print(f"document ok: {len(database.document)} nodes validate")
+    if options.concurrency:
+        status = _run_concurrency_check(database, options)
+        if status != 0:
+            return status
     if not options.keywords:
         return 0
     sanitize = True if options.sanitize else None

@@ -36,6 +36,8 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Union
 
+from repro.analysis.concurrency.witness import (InstrumentedLock,
+                                                NULL_WITNESS, WitnessLike)
 from repro.encoding.dewey import DeweyCode
 from repro.obs.metrics import Collector, NULL_COLLECTOR
 
@@ -53,10 +55,11 @@ class LRUCache:
     """
 
     __slots__ = ("name", "capacity", "collector", "hits", "misses",
-                 "evictions", "_data", "_lock")
+                 "evictions", "_data", "_lock", "_witness", "_lock_name")
 
     def __init__(self, name: str, capacity: int = DEFAULT_CACHE_SIZE,
-                 collector: Collector = NULL_COLLECTOR):
+                 collector: Collector = NULL_COLLECTOR,
+                 witness: WitnessLike = NULL_WITNESS):
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, "
                              f"got {capacity}")
@@ -67,11 +70,22 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._witness = witness
+        self._lock_name = f"LRUCache._lock:{name}"
+        # With a witness attached the lock is the instrumented wrapper
+        # and every _data touch asserts the lock is held; the default
+        # is a plain lock and one enabled-attribute load per method.
+        if witness.enabled:
+            self._lock: Any = InstrumentedLock(self._lock_name, witness)
+        else:
+            self._lock = threading.Lock()
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value (refreshed as most recent), or ``None``."""
         with self._lock:
+            if self._witness.enabled:
+                self._witness.assert_holding(
+                    self._lock_name, f"LRUCache[{self.name}]._data")
             value = self._data.get(key)
             if value is None:
                 self.misses += 1
@@ -95,6 +109,9 @@ class LRUCache:
         if value is None:
             raise ValueError("cannot cache None")
         with self._lock:
+            if self._witness.enabled:
+                self._witness.assert_holding(
+                    self._lock_name, f"LRUCache[{self.name}]._data")
             if key in self._data:
                 self._data.move_to_end(key)
                 self._data[key] = value
@@ -108,7 +125,8 @@ class LRUCache:
                         f"service.cache.{self.name}.evictions")
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
@@ -117,13 +135,23 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are cumulative)."""
         with self._lock:
+            if self._witness.enabled:
+                self._witness.assert_holding(
+                    self._lock_name, f"LRUCache[{self.name}]._data")
             self._data.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Cumulative counters plus the current occupancy."""
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "size": len(self._data),
-                "capacity": self.capacity}
+        """Cumulative counters plus the current occupancy.
+
+        Reads under the lock: the hot path mutates the counters and
+        the map together, and a stats row must not pair a pre-eviction
+        size with a post-eviction counter (R008).
+        """
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._data),
+                    "capacity": self.capacity}
 
 
 class QueryCaches:
@@ -152,12 +180,16 @@ class QueryCaches:
     __slots__ = ("match_entries", "code_lists", "path_probs")
 
     def __init__(self, capacity: int = DEFAULT_CACHE_SIZE,
-                 collector: Collector = NULL_COLLECTOR):
+                 collector: Collector = NULL_COLLECTOR,
+                 witness: WitnessLike = NULL_WITNESS):
         self.match_entries = LRUCache("match_entries", capacity,
-                                      collector)
+                                      collector, witness)
         self.code_lists = LRUCache("code_lists",
                                    capacity * self.PER_TERM_FACTOR,
-                                   collector)
+                                   collector, witness)
+        # Deliberately lock-free: a GIL-atomic idempotent memo — every
+        # writer stores the same value for a key, so a lost update
+        # costs one recomputation, never a wrong answer.
         self.path_probs: Dict[DeweyCode, float] = {}
 
     def clear(self) -> None:

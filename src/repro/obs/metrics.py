@@ -282,7 +282,7 @@ class MetricsCollector:
     enabled = True
 
     __slots__ = ("counters", "histograms", "timers", "trace", "tracer",
-                 "_merge_lock")
+                 "_lock")
 
     def __init__(self, trace: bool = False,
                  max_trace_events: int = DEFAULT_MAX_EVENTS,
@@ -294,27 +294,37 @@ class MetricsCollector:
             TraceRecorder(max_trace_events) if trace else None)
         self.tracer = tracer if tracer is not None \
             and getattr(tracer, "enabled", False) else None
-        self._merge_lock = threading.Lock()
+        self._lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
+    #
+    # One collector is shared by the coordinator and its thread-tier
+    # workers (and by `_ResilienceTracker`), so every mutation takes
+    # the lock: `d[k] = d.get(k, 0) + v` is two bytecodes apart and
+    # loses updates under a thread switch (R008).  The null collector
+    # keeps the zero-cost path; an *attached* collector pays one
+    # uncontended lock per hook.
 
     def count(self, name: str, value: int = 1) -> None:
         """Add ``value`` to the counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def observe(self, name: str, value: float) -> None:
         """Feed one value into the histogram ``name``."""
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram()
-        histogram.observe(value)
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(value)
 
     def observe_time(self, name: str, seconds: float) -> None:
         """Feed one duration (seconds) into the timer ``name``."""
-        timer = self.timers.get(name)
-        if timer is None:
-            timer = self.timers[name] = Histogram()
-        timer.observe(seconds)
+        with self._lock:
+            timer = self.timers.get(name)
+            if timer is None:
+                timer = self.timers[name] = Histogram()
+            timer.observe(seconds)
 
     def time(self, name: str) -> Union[_Timed, _TimedSpan]:
         """``with collector.time("index.lookup"): ...``
@@ -348,7 +358,7 @@ class MetricsCollector:
 
     def merge(self, other: "MetricsCollector") -> None:
         """Fold another collector's accumulations into this one."""
-        with self._merge_lock:
+        with self._lock:
             for name, value in other.counters.items():
                 self.counters[name] = self.counters.get(name, 0) + value
             for target, source in ((self.histograms, other.histograms),
@@ -370,7 +380,7 @@ class MetricsCollector:
         """
         if not snapshot:
             return
-        with self._merge_lock:
+        with self._lock:
             for name, value in snapshot.get("counters", {}).items():
                 self.counters[name] = self.counters.get(name, 0) + value
             for block, target, scale in (
@@ -389,16 +399,19 @@ class MetricsCollector:
 
     def counter(self, name: str) -> float:
         """Current value of a counter (0 if never incremented)."""
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict rendering: the ``metrics`` block of the report
         schema (timers in milliseconds; see docs/OBSERVABILITY.md)."""
-        return {
-            "counters": dict(sorted(self.counters.items())),
-            "histograms": {name: histogram.snapshot()
-                           for name, histogram
-                           in sorted(self.histograms.items())},
-            "timers": {name: timer.snapshot(scale=1000.0)
-                       for name, timer in sorted(self.timers.items())},
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "histograms": {name: histogram.snapshot()
+                               for name, histogram
+                               in sorted(self.histograms.items())},
+                "timers": {name: timer.snapshot(scale=1000.0)
+                           for name, timer
+                           in sorted(self.timers.items())},
+            }

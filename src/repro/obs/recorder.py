@@ -73,7 +73,13 @@ class FlightRecorder:
         self._seq = 0
         self._dumps = 0
         self._epoch = time.perf_counter()
-        self._lock = threading.Lock()
+        # Reentrant on purpose: the SIGUSR2 dump handler runs on the
+        # main thread at an arbitrary bytecode boundary, so it may
+        # interrupt this very thread inside ``record``'s critical
+        # section and call ``snapshot``.  With a plain Lock that is a
+        # guaranteed self-deadlock (found by R011 in this PR); an
+        # RLock lets the same thread reenter.
+        self._lock = threading.RLock()
 
     def record(self, kind: str, name: str, **fields: object) -> None:
         """Append one record; constant-time, never raises."""
@@ -145,11 +151,12 @@ class FlightRecorder:
     @property
     def dumps(self) -> int:
         """How many dumps this recorder has written."""
-        return self._dumps
+        with self._lock:
+            return self._dumps
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FlightRecorder(capacity={self.capacity}, "
-                f"len={len(self)}, dumps={self._dumps})")
+                f"len={len(self)}, dumps={self.dumps})")
 
 
 class NullFlightRecorder:

@@ -16,6 +16,7 @@ Two small policies keep the service's degradation chain
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Optional
 
@@ -105,7 +106,7 @@ class CircuitBreaker:
     """
 
     __slots__ = ("threshold", "cooldown_s", "failures", "opens",
-                 "_open_watch")
+                 "_open_watch", "_lock")
 
     def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
                  cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S):
@@ -118,18 +119,28 @@ class CircuitBreaker:
                 f"got {cooldown_s}")
         self.threshold = threshold
         self.cooldown_s = cooldown_s
+        # One breaker is shared by every batch the service runs, and
+        # batches may run on different threads: all state transitions
+        # happen under the lock (R008 — failures += 1 and the
+        # open-at-threshold check are a classic lost-update /
+        # check-then-act pair).
         self.failures = 0
         self.opens = 0
         self._open_watch: Optional[Stopwatch] = None
+        self._lock = threading.Lock()
 
-    @property
-    def state(self) -> str:
-        """``closed``, ``open`` or ``half-open``."""
+    def _state_locked(self) -> str:  # repro: holds[_lock]
         if self._open_watch is None:
             return "closed"
         if self._open_watch.elapsed >= self.cooldown_s:
             return "half-open"
         return "open"
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half-open``."""
+        with self._lock:
+            return self._state_locked()
 
     def allow(self) -> bool:
         """Whether the guarded operation may be attempted now."""
@@ -138,22 +149,27 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """Count one pool breakage; open at ``threshold`` and restart
         the cooldown on every failure while open/half-open."""
-        self.failures += 1
-        if self.failures >= self.threshold:
-            if self._open_watch is None:
-                self.opens += 1
-            self._open_watch = Stopwatch().start()
+        with self._lock:
+            self.failures += 1
+            if self.failures >= self.threshold:
+                if self._open_watch is None:
+                    self.opens += 1
+                self._open_watch = Stopwatch().start()
 
     def record_success(self) -> None:
         """A healthy attempt closes the breaker and clears the count."""
-        self.failures = 0
-        self._open_watch = None
+        with self._lock:
+            self.failures = 0
+            self._open_watch = None
 
     def summary(self) -> Dict[str, object]:
         """JSON-safe state for ``resilience`` stats blocks."""
-        return {"state": self.state, "failures": self.failures,
-                "opens": self.opens, "threshold": self.threshold}
+        with self._lock:
+            return {"state": self._state_locked(),
+                    "failures": self.failures,
+                    "opens": self.opens, "threshold": self.threshold}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"CircuitBreaker(state={self.state!r}, "
-                f"failures={self.failures}/{self.threshold})")
+        block = self.summary()
+        return (f"CircuitBreaker(state={block['state']!r}, "
+                f"failures={block['failures']}/{self.threshold})")

@@ -13,6 +13,7 @@ cache keys, and the worker model.
 
 from repro.service.service import (BatchOutcome, QueryService,
                                    ServiceSource, load_query_file)
+from repro.service.signals import on_main_thread, safe_signal
 
 __all__ = ["QueryService", "BatchOutcome", "ServiceSource",
-           "load_query_file"]
+           "load_query_file", "on_main_thread", "safe_signal"]

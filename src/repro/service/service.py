@@ -61,9 +61,12 @@ from concurrent.futures import (BrokenExecutor, Future,
                                 ProcessPoolExecutor, ThreadPoolExecutor)
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import (Dict, Iterable, List, Optional, Sequence, Tuple,
-                    Union)
+from typing import (Any, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
+from repro.analysis.concurrency.witness import (InstrumentedLock,
+                                                NULL_WITNESS,
+                                                WitnessLike)
 from repro.analysis.sanitizer import sanitize_from_env
 from repro.core.api import (Algorithm, Source, _as_index,
                             _coerce_algorithm, topk_search,
@@ -126,7 +129,7 @@ class BatchOutcome:
     elapsed_ms: float
     stats: Dict[str, object] = field(default_factory=dict)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SearchOutcome]:
         return iter(self.outcomes)
 
     def __len__(self) -> int:
@@ -152,7 +155,7 @@ class _ResilienceTracker:
     __slots__ = ("counts", "collector", "recorder", "_lock")
 
     def __init__(self, collector: Collector,
-                 recorder: RecorderLike = NULL_RECORDER):
+                 recorder: RecorderLike = NULL_RECORDER) -> None:
         self.counts: Dict[str, int] = {name: 0 for name in self.FIELDS}
         self.collector = collector
         self.recorder = recorder
@@ -189,7 +192,8 @@ class _ResilienceTracker:
     def summary(self, policy: RetryPolicy,
                 deadline_ms: Optional[float], breaker: CircuitBreaker,
                 injector: FaultsLike) -> Dict[str, object]:
-        block: Dict[str, object] = dict(self.counts)
+        with self._lock:
+            block: Dict[str, object] = dict(self.counts)
         block["max_retries"] = policy.max_retries
         block["deadline_ms"] = deadline_ms
         block["circuit_breaker"] = breaker.summary()
@@ -264,6 +268,14 @@ class QueryService:
             by reloads and every ``resilience.*`` event; the CLI dumps
             it on error / partial / breaker-open / ``SIGUSR2``
             (docs/OBSERVABILITY.md).  Defaults to the no-op recorder.
+        witness: an opt-in
+            :class:`repro.analysis.concurrency.LockWitness`; when
+            enabled the reload/stats locks and every per-state cache
+            lock become named :class:`InstrumentedLock` wrappers, so
+            stress tests can assert the declared lock order and the
+            guarded-access discipline at runtime (docs/ANALYSIS.md).
+            Defaults to :data:`~repro.analysis.concurrency.NULL_WITNESS`
+            — plain locks, zero overhead.
     """
 
     def __init__(self, source: ServiceSource,
@@ -271,19 +283,32 @@ class QueryService:
                  collector: Optional[Collector] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  verify: bool = True,
-                 recorder: Optional[RecorderLike] = None):
+                 recorder: Optional[RecorderLike] = None,
+                 witness: Optional[WitnessLike] = None) -> None:
         self.collector = collector if collector is not None \
             else NULL_COLLECTOR
         self.recorder = recorder if recorder is not None \
             else NULL_RECORDER
+        self._witness = witness if witness is not None else NULL_WITNESS
         self._cache_size = cache_size
         self._breaker = breaker if breaker is not None \
             else CircuitBreaker()
-        self._reload_lock = threading.Lock()
-        self._reload_counts = {"attempts": 0, "successes": 0,
-                               "rejected": 0}
-        self._reload_last_error: Optional[str] = None
-        self._state = self._build_state(source, epoch=1, verify=verify)
+        if self._witness.enabled:
+            self._reload_lock: Any = InstrumentedLock(
+                "QueryService._reload_lock", self._witness)
+            self._stats_lock: Any = InstrumentedLock(
+                "QueryService._stats_lock", self._witness)
+        else:
+            self._reload_lock = threading.Lock()
+            self._stats_lock = threading.Lock()
+        self._reload_counts = {  # repro: guarded-by[_stats_lock]
+            "attempts": 0, "successes": 0, "rejected": 0}
+        self._reload_last_error: Optional[str] = None  # repro: guarded-by[_stats_lock]
+        # Single-writer atomic-reference swap: writes happen under
+        # _reload_lock, reads are deliberately lock-free (a query
+        # captures one immutable generation and drains on it).
+        self._state = self._build_state(  # repro: guarded-by[_reload_lock, writes]
+            source, epoch=1, verify=verify)
 
     # -- state construction / hot reload --------------------------------------
 
@@ -301,9 +326,10 @@ class QueryService:
         return _ServiceState(
             index=_as_index(source),
             caches=QueryCaches(self._cache_size,
-                               collector=self.collector),
+                               collector=self.collector,
+                               witness=self._witness),
             results=LRUCache("results", self._cache_size,
-                             self.collector),
+                             self.collector, self._witness),
             generation=generation, directory=directory, epoch=epoch)
 
     def reload(self, source: Optional[ServiceSource] = None,
@@ -340,7 +366,8 @@ class QueryService:
         injector = faults if faults is not None else faults_from_env()
         with self._reload_lock:
             old = self._state
-            self._reload_counts["attempts"] += 1
+            with self._stats_lock:
+                self._reload_counts["attempts"] += 1
             if self.collector.enabled:
                 self.collector.count("service.reload.attempts")
             if source is None:
@@ -370,7 +397,8 @@ class QueryService:
                     f"reload rejected ({message}); the previous "
                     f"generation keeps serving") from error
             self._state = state
-            self._reload_counts["successes"] += 1
+            with self._stats_lock:
+                self._reload_counts["successes"] += 1
             if self.collector.enabled:
                 self.collector.count("service.reload.successes")
             if self.recorder.enabled:
@@ -383,8 +411,11 @@ class QueryService:
             return state
 
     def _note_reload_rejected(self, message: str) -> None:
-        self._reload_counts["rejected"] += 1
-        self._reload_last_error = message
+        # Takes _stats_lock itself (callers hold _reload_lock, which
+        # orders before _stats_lock in the declared lock order).
+        with self._stats_lock:
+            self._reload_counts["rejected"] += 1
+            self._reload_last_error = message
         if self.collector.enabled:
             self.collector.count("service.reload.rejected")
         if self.recorder.enabled:
@@ -397,8 +428,9 @@ class QueryService:
         the served generation/directory, the state epoch, and the
         cumulative reload counters (docs/STORAGE.md)."""
         state = self._state
-        reloads: Dict[str, object] = dict(self._reload_counts)
-        reloads["last_error"] = self._reload_last_error
+        with self._stats_lock:
+            reloads: Dict[str, object] = dict(self._reload_counts)
+            reloads["last_error"] = self._reload_last_error
         return {"generation": state.generation,
                 "directory": state.directory,
                 "epoch": state.epoch,

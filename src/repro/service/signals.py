@@ -1,0 +1,70 @@
+"""Main-thread-safe signal registration.
+
+CPython only allows ``signal.signal`` from the main thread — anywhere
+else it raises ``ValueError``.  A ``QueryService`` embedded in a
+server (the ROADMAP's HTTP front door) is routinely constructed on a
+worker thread, where "install a SIGHUP reload handler" must degrade to
+a logged no-op, not an exception that takes the server down.
+
+:func:`safe_signal` is the repo's one blessed registration point (lint
+rule R011 flags raw ``signal.signal`` calls anywhere else): on the
+main thread it registers and returns a restore callback; off the main
+thread it logs a warning and returns a no-op restore.
+"""
+
+from __future__ import annotations
+
+import signal as _signal
+import threading
+from typing import Any, Callable, Optional
+
+from repro.obs.logging import get_logger
+
+_log = get_logger("service.signals")
+
+#: What ``safe_signal`` returns: call it to restore the previous
+#: handler (a no-op when nothing was registered).
+RestoreCallback = Callable[[], None]
+
+HandlerCallback = Callable[[int, Optional[Any]], None]
+
+
+def on_main_thread() -> bool:
+    """Whether the caller runs on the main thread (the only thread
+    CPython delivers Python-level signals to, and the only one allowed
+    to register handlers)."""
+    return threading.current_thread() is threading.main_thread()
+
+
+def safe_signal(signum: int, handler: HandlerCallback,
+                what: str = "") -> RestoreCallback:
+    """Register ``handler`` for ``signum`` when legal, else warn.
+
+    Args:
+        signum: the signal number (e.g. ``signal.SIGHUP``).
+        handler: the Python-level handler ``(signum, frame) -> None``.
+            Keep it reentrant — it runs on the main thread at an
+            arbitrary bytecode boundary (R011: no plain-Lock
+            acquisition, no sleeping/joining).
+        what: short description for the skip warning
+            (``"SIGHUP hot reload"``).
+
+    Returns:
+        A callback restoring the previous handler.  Off the main
+        thread nothing is registered: the skip is logged at WARNING
+        and the returned callback is a no-op, so embedding servers
+        that build services on worker threads keep working.
+    """
+    if not on_main_thread():
+        _log.warning(
+            "signal handler %s not installed: registration for signal "
+            "%s attempted off the main thread (%s); continuing "
+            "without it",
+            what or handler, signum, threading.current_thread().name)
+        return lambda: None
+    previous = _signal.signal(signum, handler)
+
+    def restore() -> None:
+        _signal.signal(signum, previous)
+
+    return restore

@@ -1,0 +1,116 @@
+"""Negative fixtures for the concurrency rules R008-R012.
+
+Each class/function below violates exactly the discipline its rule
+enforces, plus one suppressed occurrence per rule proving the
+``# repro: ignore[R00x]`` escape hatch works.  This file is linted by
+the test suite and the CI negative-fixture gate — it must always FAIL
+``repro lint``.
+"""
+
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+
+class UnguardedCounters:
+    """R008: readers race the writers that hold the lock."""
+
+    def __init__(self):
+        self.hits = 0
+        self.log = []  # repro: guarded-by[_lock]
+        self._lock = threading.Lock()
+
+    def record(self):
+        with self._lock:
+            self.hits += 1
+            self.log.append("hit")
+
+    def peek(self):
+        return self.hits  # fires R008: inferred guard not held
+
+    def tail(self):
+        return self.log[-1]  # fires R008: declared guard not held
+
+    def peek_suppressed(self):
+        return self.hits  # repro: ignore[R008] monitoring approximation
+
+
+class DeadlockShape:
+    """R009: the same two locks nest in both directions."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forwards(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backwards(self):
+        with self._b:
+            with self._a:  # fires R009: closes the a/b order cycle
+                pass
+
+
+class SuppressedDeadlockShape:
+    """R009 suppression: documented single-threaded helper."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forwards(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backwards(self):
+        with self._b:
+            with self._a:  # repro: ignore[R009] init-time only, single thread
+                pass
+
+
+class SlowCriticalSection:
+    """R010: the lock is held across blocking work."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def nap_while_holding(self):
+        with self._lock:
+            time.sleep(0.1)  # fires R010: sleep under the lock
+
+    def nap_suppressed(self):
+        with self._lock:
+            time.sleep(0.0)  # repro: ignore[R010] test pacing shim
+
+
+_handler_lock = threading.Lock()
+
+
+def _locking_handler(signum, frame):
+    with _handler_lock:  # fires R011: lock in a signal handler
+        pass
+
+
+def _quiet_handler(signum, frame):
+    pass
+
+
+def install_handlers():
+    signal.signal(signal.SIGUSR2, _locking_handler)  # fires R011: raw registration
+    signal.signal(signal.SIGHUP, _quiet_handler)  # repro: ignore[R011] restored in teardown
+
+
+def _square(value):
+    return value * value
+
+
+def ship_unsafe_payloads(collector):
+    lock = threading.Lock()
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        pool.submit(_square, lock)  # fires R012: a lock crosses the fork
+        pool.submit(_square, collector)  # repro: ignore[R012] fixture peer
+        return pool.submit(lambda v: v, 2)  # fires R012: lambda target

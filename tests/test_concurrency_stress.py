@@ -1,0 +1,294 @@
+"""Runtime concurrency coverage: witness unit tests, thread-safety
+regression tests for the races R008 found (and this PR fixed), signal
+registration guards, static/runtime lock-order consistency, and the
+full stress harness under the instrumented-lock witness."""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import (DEFAULT_LOCK_ORDER,
+                                        ConcurrencyWitnessError,
+                                        InstrumentedLock, LockWitness,
+                                        NULL_WITNESS, derive_lock_order,
+                                        wrap_lock)
+from repro.analysis.concurrency.stress import run_stress
+from repro.index.cache import LRUCache
+from repro.obs.metrics import MetricsCollector
+from repro.obs.recorder import FlightRecorder
+from repro.resilience.retry import CircuitBreaker
+from repro.service.signals import on_main_thread, safe_signal
+
+
+# -- LockWitness / InstrumentedLock units ---------------------------------
+
+
+class TestLockWitness:
+    def test_nested_acquire_records_order_edge(self):
+        witness = LockWitness(order=())
+        outer = InstrumentedLock("A._lock", witness)
+        inner = InstrumentedLock("B._lock", witness)
+        with outer:
+            with inner:
+                assert witness.held() == ("A._lock", "B._lock")
+        assert witness.held() == ()
+        assert ("A._lock", "B._lock") in witness.order_edges()
+
+    def test_order_inversion_raises_in_strict_mode(self):
+        witness = LockWitness(order=[("A._lock", "B._lock")])
+        a = InstrumentedLock("A._lock", witness)
+        b = InstrumentedLock("B._lock", witness)
+        with b:
+            with pytest.raises(ConcurrencyWitnessError,
+                               match="order"):
+                a.acquire()
+
+    def test_observed_edge_closes_cycles_too(self):
+        witness = LockWitness(order=())
+        a = InstrumentedLock("A._lock", witness)
+        b = InstrumentedLock("B._lock", witness)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(ConcurrencyWitnessError):
+                a.acquire()
+
+    def test_non_strict_accumulates_instead_of_raising(self):
+        witness = LockWitness(order=[("A._lock", "B._lock")],
+                              strict=False)
+        a = InstrumentedLock("A._lock", witness)
+        b = InstrumentedLock("B._lock", witness)
+        with b:
+            with a:
+                pass
+        assert len(witness.violations) == 1
+
+    def test_nonreentrant_reacquire_is_fatal_even_when_lenient(self):
+        # The real acquire would self-deadlock (the SIGUSR2 bug this
+        # PR fixed in FlightRecorder), so the witness raises *before*
+        # acquiring, strict or not.
+        witness = LockWitness(order=(), strict=False)
+        lock = InstrumentedLock("A._lock", witness)
+        with lock:
+            with pytest.raises(ConcurrencyWitnessError,
+                               match="re-acqui"):
+                lock.acquire()
+
+    def test_rlock_reentry_is_allowed(self):
+        witness = LockWitness(order=())
+        lock = InstrumentedLock("A._lock", witness,
+                                inner=threading.RLock())
+        with lock:
+            with lock:
+                assert witness.holds("A._lock")
+        assert witness.held() == ()
+
+    def test_assert_holding(self):
+        witness = LockWitness(order=())
+        lock = InstrumentedLock("C._lock:x", witness)
+        with pytest.raises(ConcurrencyWitnessError, match="without"):
+            witness.assert_holding("C._lock:x", "C._data")
+        with lock:
+            witness.assert_holding("C._lock:x", "C._data")
+
+    def test_instance_suffix_shares_one_order_role(self):
+        # Two LRUCache instances must not fabricate a cache->cache
+        # order edge between distinct roles.
+        witness = LockWitness(order=())
+        first = InstrumentedLock("LRUCache._lock:a", witness)
+        second = InstrumentedLock("LRUCache._lock:b", witness)
+        with first:
+            with second:
+                pass
+        assert ("LRUCache._lock", "LRUCache._lock") \
+            not in witness.order_edges()
+
+    def test_wrap_lock_is_idempotent(self):
+        witness = LockWitness(order=())
+        recorder = FlightRecorder(capacity=8)
+        wrapped = wrap_lock(recorder, "_lock",
+                            "FlightRecorder._lock", witness)
+        again = wrap_lock(recorder, "_lock",
+                          "FlightRecorder._lock", witness)
+        assert wrapped is again
+        recorder.record("test", "ping")
+        assert witness.acquisitions.get("FlightRecorder._lock")
+
+    def test_null_witness_is_disabled(self):
+        assert not NULL_WITNESS.enabled
+        NULL_WITNESS.before_acquire("X._lock")
+        NULL_WITNESS.assert_holding("X._lock")  # never raises
+
+
+# -- static order derivation vs the declared runtime order ----------------
+
+
+def test_derived_lock_order_is_declared():
+    """Every statically-derivable nesting edge in src/repro must be a
+    declared DEFAULT_LOCK_ORDER edge — the static analyzer and the
+    runtime witness may never disagree about the discipline."""
+    derived = derive_lock_order(["src/repro"])
+    declared = set(DEFAULT_LOCK_ORDER)
+    missing = [edge for edge in derived if edge not in declared]
+    assert not missing, (
+        f"nesting edges found in source but absent from "
+        f"DEFAULT_LOCK_ORDER: {missing}")
+
+
+# -- regression tests for the races the static pass found -----------------
+
+
+def _hammer(n_threads, target):
+    threads = [threading.Thread(target=target, args=(i,))
+               for i in range(n_threads)]
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)  # force frequent preemption
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    finally:
+        sys.setswitchinterval(old)
+    assert not any(t.is_alive() for t in threads)
+
+
+class TestSharedStateRegressions:
+    def test_metrics_collector_count_is_atomic(self):
+        # Pre-fix, count() did d[k] = d.get(k, 0) + v outside any lock
+        # while merge() wrote under one — lost updates under load.
+        collector = MetricsCollector()
+        per_thread, n_threads = 400, 8
+
+        def work(_):
+            for _ in range(per_thread):
+                collector.count("race.hits")
+                collector.observe("race.size", 1.0)
+
+        _hammer(n_threads, work)
+        assert collector.counter("race.hits") == per_thread * n_threads
+        snapshot = collector.snapshot()
+        assert snapshot["counters"]["race.hits"] == \
+            per_thread * n_threads
+
+    def test_lru_cache_counters_stay_consistent(self):
+        # Pre-fix, __len__/stats read _data and the hit/miss counters
+        # without the lock; hits+misses must equal total gets exactly.
+        cache = LRUCache("race", capacity=32)
+        per_thread, n_threads = 300, 6
+
+        def work(wid):
+            for i in range(per_thread):
+                key = (wid * per_thread + i) % 48
+                if cache.get(key) is None:
+                    cache.put(key, key)
+                len(cache)
+                cache.stats()
+
+        _hammer(n_threads, work)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == \
+            per_thread * n_threads
+        assert len(cache) <= 32
+
+    def test_circuit_breaker_failures_count_exactly(self):
+        breaker = CircuitBreaker(threshold=10_000, cooldown_s=0.0)
+        per_thread, n_threads = 250, 8
+
+        def work(_):
+            for _ in range(per_thread):
+                breaker.record_failure()
+                breaker.summary()
+
+        _hammer(n_threads, work)
+        assert breaker.failures == per_thread * n_threads
+
+    def test_flight_recorder_dump_reentrant_from_handler_shape(self):
+        # The R011 worked example: dumps/record share an RLock so a
+        # handler interrupting record() can still dump.  Simulate the
+        # re-entry directly.
+        recorder = FlightRecorder(capacity=8)
+        with recorder._lock:
+            assert recorder.dumps == 0  # would deadlock on plain Lock
+
+
+# -- safe_signal ----------------------------------------------------------
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGUSR2"),
+                    reason="platform without SIGUSR2")
+class TestSafeSignal:
+    def test_registers_and_restores_on_main_thread(self):
+        assert on_main_thread()
+        seen = []
+        previous = signal.getsignal(signal.SIGUSR2)
+        restore = safe_signal(signal.SIGUSR2,
+                              lambda s, f: seen.append(s), "test hook")
+        try:
+            signal.raise_signal(signal.SIGUSR2)
+            assert seen == [signal.SIGUSR2]
+        finally:
+            restore()
+        assert signal.getsignal(signal.SIGUSR2) is previous
+
+    def test_off_main_thread_warns_and_noops(self, caplog):
+        previous = signal.getsignal(signal.SIGUSR2)
+        results = []
+
+        def off_main():
+            assert not on_main_thread()
+            results.append(safe_signal(
+                signal.SIGUSR2, lambda s, f: None, "worker hook"))
+
+        with caplog.at_level("WARNING", logger="repro.service.signals"):
+            worker = threading.Thread(target=off_main)
+            worker.start()
+            worker.join(timeout=30)
+        assert len(results) == 1
+        results[0]()  # the no-op restore must not raise
+        assert signal.getsignal(signal.SIGUSR2) is previous
+        assert any("off the main thread" in record.message
+                   for record in caplog.records)
+
+
+# -- the stress harness ---------------------------------------------------
+
+
+@pytest.fixture
+def stress_summary(fragment_db, tmp_path):
+    return run_stress(fragment_db, threads=4, iterations=16,
+                      seed=673, dump_dir=str(tmp_path))
+
+
+class TestStressHarness:
+    def test_service_survives_the_storm(self, stress_summary):
+        assert stress_summary["errors"] == []
+        assert stress_summary["witness"]["violations"] == []
+        assert stress_summary["ok"] is True
+
+    def test_storm_actually_exercised_everything(self, stress_summary):
+        ops = stress_summary["ops"]
+        assert ops["searches"] > 0
+        assert ops["batches"] > 0
+        assert ops["reloads"] > 0
+        if hasattr(signal, "SIGUSR2"):
+            assert ops["dumps"] == 2
+        assert stress_summary["witness"]["total_acquisitions"] > 0
+
+    def test_witness_saw_the_declared_nesting(self, stress_summary):
+        # Reloads bump stats under the reload lock: that declared edge
+        # must have been observed live at least once.
+        edges = stress_summary["witness"]["order_edges"]
+        assert "QueryService._reload_lock -> " \
+               "QueryService._stats_lock" in edges
+
+    def test_stress_runs_without_dump_dir(self, fragment_db):
+        summary = run_stress(fragment_db, threads=2, iterations=6,
+                             seed=11, dump_dir=None)
+        assert summary["ok"] is True
+        assert summary["ops"]["dumps"] == 0
