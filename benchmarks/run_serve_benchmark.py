@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Record the HTTP serving benchmark as ``BENCH_serve.json``.
+
+Starts a real :class:`repro.serve.ServeServer` on an ephemeral port,
+drives it with concurrent keep-alive clients on a shared-keyword
+workload, and records sustained QPS plus p50/p99 tail latency; a
+second overloaded server (``max_inflight=1`` + an injected
+``slow_query`` fault) must shed the burst with 429s and stay healthy.
+Served answers are verified bit-identical to in-process
+``topk_search``.
+
+Run:  python benchmarks/run_serve_benchmark.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.bench.serve import run_serve_benchmark
+from repro.datagen import make_dataset
+
+_DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_serve.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="doc1",
+                        help="Table II dataset name (default doc1)")
+    parser.add_argument("--queries", type=int, default=10,
+                        help="distinct sampled queries (default 10)")
+    parser.add_argument("--requests", type=int, default=30,
+                        help="requests per client thread (default 30)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent client threads (default 4)")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for smoke runs: 5 "
+                             "distinct queries, 2 clients x 8 "
+                             "requests")
+    parser.add_argument("-o", "--output", default=_DEFAULT_OUTPUT)
+    options = parser.parse_args(argv)
+
+    if options.quick:
+        options.queries, options.clients, options.requests = 5, 2, 8
+
+    database = make_dataset(options.dataset)
+    report = run_serve_benchmark(
+        database, distinct_queries=options.queries,
+        requests_per_client=options.requests,
+        clients=options.clients, k=options.k)
+    report["dataset"] = options.dataset
+
+    with open(options.output, "w", encoding="utf-8") as sink:
+        json.dump(report, sink, indent=2)
+        sink.write("\n")
+
+    sustained = report["sustained"]
+    latency = sustained["latency_ms"]
+    overload = report["overload"]
+    print(f"{sustained['requests']} requests on {options.dataset} "
+          f"({report['workload']['clients']} clients): "
+          f"{sustained['qps']} qps, p50 {latency['p50']} ms, "
+          f"p99 {latency['p99']} ms, {sustained['errors']} errors")
+    print(f"overload (cap 1, {overload['clients']} clients): "
+          f"{overload['accepted_200']}x200 "
+          f"{overload['rejected_429']}x429, "
+          f"healthy_after={overload['healthy_after']}")
+    print(f"identical_results={report['identical_results']}")
+    print(f"report written to {options.output}")
+    ok = (report["identical_results"] and not sustained["errors"]
+          and sustained["server_exit"] == 0
+          and overload["server_exit"] == 0
+          and overload["healthy_after"]
+          and not overload["other_statuses"]
+          and overload["rejected_429"] > 0)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -271,6 +271,43 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot.add_argument("--list", action="store_true", dest="list_",
                           help="list generations instead of writing "
                                "a new one")
+
+    serve = commands.add_parser(
+        "serve", help="serve top-k search over HTTP: POST /search, "
+                      "POST /batch, GET /health, GET /metrics, "
+                      "POST /reload (docs/SERVING.md)")
+    serve.add_argument("source", help="database directory or .pxml file")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port; 0 picks an ephemeral port "
+                            "(printed on startup)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       metavar="N", dest="max_inflight",
+                       help="global in-flight request cap; overflow "
+                            "answers 429 with Retry-After (default 8)")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="per-client token-bucket rate in "
+                            "requests/second (0 disables limiting)")
+    serve.add_argument("--burst", type=float, default=20.0,
+                       help="token-bucket depth (default 20)")
+    serve.add_argument("--client-header", default="x-client-id",
+                       metavar="NAME", dest="client_header",
+                       help="header naming the rate-limit client "
+                            "(falls back to the peer address)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       metavar="M", dest="cache_size",
+                       help="entries per service cache (default 256)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="S", dest="drain_timeout",
+                       help="seconds shutdown waits for in-flight "
+                            "requests (default 30)")
+    serve.add_argument("--faults", metavar="SPEC", default=None,
+                       help="deterministic fault injection spec "
+                            "(docs/RESILIENCE.md); also via "
+                            "REPRO_FAULTS")
+    serve.add_argument("--faults-seed", type=int, default=0,
+                       metavar="N", dest="faults_seed",
+                       help="seed for probabilistic (rate=) faults")
     return parser
 
 
@@ -791,6 +828,37 @@ def _cmd_check(options) -> int:
     return 0
 
 
+def _cmd_serve(options) -> int:
+    import asyncio
+    from repro.resilience import parse_faults
+    from repro.resilience.faults import faults_from_env
+    from repro.serve import ServeConfig, ServeServer
+    from repro.service import QueryService
+
+    database = _open_database(options.source)
+    collector = MetricsCollector()
+    service = QueryService(database, cache_size=options.cache_size,
+                           collector=collector)
+    faults = (parse_faults(options.faults, seed=options.faults_seed)
+              if options.faults else faults_from_env())
+    config = ServeConfig(host=options.host, port=options.port,
+                         max_inflight=options.max_inflight,
+                         rate=options.rate, burst=options.burst,
+                         client_header=options.client_header.lower(),
+                         drain_timeout_s=options.drain_timeout)
+    server = ServeServer(service, config, collector=collector,
+                         faults=faults)
+
+    def announce(port):
+        # Flushed eagerly so a parent process polling stdout (the CI
+        # smoke job, the e2e tests) can discover an ephemeral port.
+        print(f"serving on http://{options.host}:{port} "
+              f"(max_inflight={options.max_inflight})", flush=True)
+
+    return asyncio.run(server.run_async(install_signals=True,
+                                        on_ready=announce))
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "index": _cmd_index,
@@ -805,6 +873,7 @@ _HANDLERS = {
     "check": _cmd_check,
     "fsck": _cmd_fsck,
     "snapshot": _cmd_snapshot,
+    "serve": _cmd_serve,
 }
 
 

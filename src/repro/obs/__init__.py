@@ -27,7 +27,9 @@ docs/OBSERVABILITY.md.
 """
 
 from repro.obs.export import (ExportError, build_report_v2,
-                              parse_prometheus, prometheus_lines,
+                              escape_label_value, format_labels,
+                              format_sample, parse_prometheus,
+                              prometheus_lines, quantile_lines,
                               render_prometheus, workers_block)
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.metrics import (Collector, Histogram, MetricsCollector,
@@ -59,4 +61,6 @@ __all__ = [
     "SCHEMA_ID_V2",
     "build_report_v2", "workers_block", "prometheus_lines",
     "render_prometheus", "parse_prometheus", "ExportError",
+    "escape_label_value", "format_labels", "format_sample",
+    "quantile_lines",
 ]

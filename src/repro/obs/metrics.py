@@ -54,17 +54,32 @@ from repro.obs.trace import DEFAULT_MAX_EVENTS, TraceRecorder
 class Histogram:
     """Streaming summary statistics of observed values.
 
-    Keeps count / sum / min / max (constant memory); enough for the
-    mean and range columns the experiment tables report.
+    Keeps count / sum / min / max plus a bounded, deterministically
+    thinned sample reservoir: when the reservoir fills, every other
+    retained sample is dropped and the retention stride doubles, so
+    memory stays constant while :meth:`percentile` keeps answering
+    from an evenly spaced subsample of the whole stream.  A histogram
+    shared across threads (one owned by a :class:`MetricsCollector`)
+    is mutated and read only under the collector's ``_lock``; use the
+    collector's :meth:`MetricsCollector.percentile` accessor rather
+    than reaching for the histogram directly.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    #: Reservoir capacity; reaching it halves the samples and doubles
+    #: the stride (retention stays deterministic — no RNG).
+    MAX_SAMPLES = 4096
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_samples",
+                 "_stride", "_tick")
 
     def __init__(self):
         self.count = 0
         self.total = 0.0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._samples: list = []
+        self._stride = 1
+        self._tick = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -73,6 +88,42 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self._tick += 1
+        if self._tick >= self._stride:
+            self._tick = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.MAX_SAMPLES:
+                del self._samples[::2]
+                self._stride *= 2
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``q`` in ``[0, 1]``) of the retained
+        samples, linearly interpolated between neighbours.
+
+        Exact until the reservoir first fills (:data:`MAX_SAMPLES`
+        observations), an evenly strided estimate after.  Returns 0.0
+        when nothing was observed, mirroring :attr:`mean`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be within [0, 1], "
+                             f"got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = q * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        return ordered[low] + (ordered[high] - ordered[low]) \
+            * (rank - low)
+
+    def quantiles(self, qs: "tuple" = (0.5, 0.99), scale: float = 1.0,
+                  digits: int = 6) -> Dict[str, float]:
+        """Several percentiles at once, keyed by the quantile rendered
+        as a short string (``{"0.5": ..., "0.99": ...}``); ``scale``
+        converts units like :meth:`snapshot` does."""
+        return {_quantile_key(q): round(self.percentile(q) * scale,
+                                        digits)
+                for q in qs}
 
     @property
     def mean(self) -> float:
@@ -92,12 +143,16 @@ class Histogram:
                 "mean": round(self.mean * scale, digits)}
 
     def absorb(self, count: int, total: float, minimum: float,
-               maximum: float) -> None:
+               maximum: float,
+               samples: "Optional[list]" = None) -> None:
         """Fold another histogram's summary into this one.
 
         The combining step behind cross-process merging: count/sum
-        add, min/max extend.  A zero-count summary is a no-op so
-        absorbing an empty snapshot cannot corrupt min/max.
+        add, min/max extend, and (when the source is in-process and
+        can hand them over) retained samples pool into this reservoir
+        so merged percentiles stay meaningful.  A zero-count summary
+        is a no-op so absorbing an empty snapshot cannot corrupt
+        min/max.
         """
         if count <= 0:
             return
@@ -107,6 +162,18 @@ class Histogram:
             self.minimum = minimum
         if maximum > self.maximum:
             self.maximum = maximum
+        if samples:
+            self._samples.extend(samples)
+            while len(self._samples) >= self.MAX_SAMPLES:
+                del self._samples[::2]
+                self._stride *= 2
+
+
+def _quantile_key(q: float) -> str:
+    """``0.5 -> "0.5"`` — a stable short label for report keys and the
+    Prometheus ``quantile`` label."""
+    text = repr(float(q))
+    return text[:-2] if text.endswith(".0") else text
 
 
 class Stopwatch:
@@ -368,7 +435,8 @@ class MetricsCollector:
                     if mine is None:
                         mine = target[name] = Histogram()
                     mine.absorb(histogram.count, histogram.total,
-                                histogram.minimum, histogram.maximum)
+                                histogram.minimum, histogram.maximum,
+                                samples=histogram._samples)
 
     def merge_snapshot(self, snapshot: Dict[str, Dict]) -> None:
         """Fold a serialized :meth:`snapshot` into this collector.
@@ -401,6 +469,41 @@ class MetricsCollector:
         """Current value of a counter (0 if never incremented)."""
         with self._lock:
             return self.counters.get(name, 0)
+
+    def percentile(self, name: str, q: float,
+                   kind: str = "timers") -> float:
+        """The ``q``-quantile of the timer (seconds) or histogram
+        ``name``, read under the collector lock — the one sanctioned
+        way to get p50/p99 out of a live collector (R008: histogram
+        internals are guarded by this ``_lock``).  0.0 when the metric
+        was never observed.
+        """
+        if kind not in ("timers", "histograms"):
+            raise ValueError(f"kind must be 'timers' or 'histograms', "
+                             f"got {kind!r}")
+        with self._lock:
+            block = self.timers if kind == "timers" else self.histograms
+            histogram = block.get(name)
+            return histogram.percentile(q) if histogram is not None \
+                else 0.0
+
+    def quantile_snapshot(self, qs: "tuple" = (0.5, 0.9, 0.99)
+                          ) -> Dict[str, Dict]:
+        """Per-metric quantiles, shaped like :meth:`snapshot` (timers
+        scaled to milliseconds) — the block
+        :func:`repro.obs.export.quantile_lines` renders as
+        ``{quantile="..."}``-labelled Prometheus samples."""
+        with self._lock:
+            return {
+                "histograms": {name: histogram.quantiles(qs)
+                               for name, histogram
+                               in sorted(self.histograms.items())
+                               if histogram.count},
+                "timers": {name: timer.quantiles(qs, scale=1000.0)
+                           for name, timer
+                           in sorted(self.timers.items())
+                           if timer.count},
+            }
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict rendering: the ``metrics`` block of the report

@@ -1,0 +1,128 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+Each client — identified by the configured header (``X-Client-Id`` by
+default) or, failing that, the peer address — owns one token bucket:
+``burst`` tokens deep, refilled at ``rate`` tokens per second.  A
+request costs one token; an empty bucket means 429 with the exact
+``Retry-After`` until the next token lands.  Buckets live in a bounded
+LRU so an adversarial client-id churn cannot grow memory without
+bound (evicting a bucket forgives at most ``burst`` requests — the
+global :class:`~repro.serve.admission.AdmissionController` still caps
+actual work).
+
+Time comes from an injectable monotonic clock (a
+:class:`repro.obs.Stopwatch` by default — the library's one sanctioned
+clock, R002), so tests drive the refill deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Union
+
+from repro.obs import Stopwatch
+
+#: Client buckets kept before the least-recently-seen is evicted.
+DEFAULT_MAX_CLIENTS = 4096
+
+
+class TokenBucket:
+    """One client's bucket (not thread-safe; the limiter locks)."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def try_take(self, now: float) -> Optional[float]:
+        """Take one token; None on success, else seconds until one
+        is available (the ``Retry-After`` value)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return None
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Bounded LRU of per-client :class:`TokenBucket` s."""
+
+    enabled = True
+
+    def __init__(self, rate: float, burst: float,
+                 max_clients: int = DEFAULT_MAX_CLIENTS,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError(f"rate must be positive and burst >= 1, "
+                             f"got rate={rate} burst={burst}")
+        if max_clients <= 0:
+            raise ValueError(f"max_clients must be positive, "
+                             f"got {max_clients}")
+        self.rate = rate
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        if clock is None:
+            watch = Stopwatch().start()
+            clock = lambda: watch.elapsed  # noqa: E731
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()  # repro: guarded-by[_lock]
+        self._allowed = 0  # repro: guarded-by[_lock]
+        self._limited = 0  # repro: guarded-by[_lock]
+        self._evicted = 0  # repro: guarded-by[_lock]
+
+    def check(self, client: str) -> Optional[float]:
+        """One request from ``client``: None when admitted, else the
+        retry-after delay in seconds."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+                    self._evicted += 1
+            else:
+                self._buckets.move_to_end(client)
+            delay = bucket.try_take(now)
+            if delay is None:
+                self._allowed += 1
+            else:
+                self._limited += 1
+            return delay
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"clients": len(self._buckets),
+                    "allowed": self._allowed,
+                    "limited": self._limited,
+                    "evicted": self._evicted}
+
+
+class NullRateLimiter:
+    """No limiting (the default when no rate is configured)."""
+
+    enabled = False
+
+    def check(self, client: str) -> Optional[float]:
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        return {"clients": 0, "allowed": 0, "limited": 0, "evicted": 0}
+
+
+#: Shared no-op instance.
+NULL_RATE_LIMITER = NullRateLimiter()
+
+#: What the server accepts wherever a limiter is expected.
+RateLimiterLike = Union[RateLimiter, NullRateLimiter]

@@ -1,0 +1,598 @@
+"""The asyncio HTTP server around one :class:`QueryService`.
+
+Stdlib only: ``asyncio.start_server`` accepts connections, request
+heads are framed with ``readuntil(b"\\r\\n\\r\\n")``, bodies by
+``Content-Length``, and connections are keep-alive until the client
+opts out.  The event loop never runs a query: every admitted request
+is handed to a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+(as many workers as admission slots, so an admitted request never
+queues behind another), keeping ``/health`` and ``/metrics``
+responsive while searches run.
+
+Request lifecycle (the admission order is deliberate)::
+
+    rate limit (429 per client) -> parse/validate (400, structured)
+        -> admission slot (429 overloaded / 503 draining)
+        -> executor thread: fault hook, span, QueryService -> 200
+
+Draining (SIGTERM or :meth:`ServeServer.request_stop`) closes the
+listener and flips the admission latch; in-flight requests finish on
+the generation they captured (`stats["service_state"]` proves it) and
+the process exits 0.  ``POST /reload`` delegates to the same
+:meth:`QueryService.reload` hot-swap path the SIGHUP handler uses,
+answering 409 while one is already in flight.
+
+Every ``/search`` and ``/batch`` request runs under its own
+:class:`~repro.obs.spans.SpanTracer` with a deterministic
+content-derived trace id, so a served query produces the same span
+tree (``http.request`` -> ``query`` -> engine timer spans) as a CLI
+query; the response carries ``trace_id`` and, on request, the
+exported spans.
+
+Single-writer loop-thread state: ``_reload_inflight`` and
+``_sequence`` are only ever touched from the event-loop thread
+(executor threads receive them as call arguments), so they need no
+lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import QueryError, ReproError, StorageError
+from repro.obs import (MetricsCollector, SpanTracer, Stopwatch,
+                       build_report_v2, derive_trace_id,
+                       format_sample, prometheus_lines, quantile_lines)
+from repro.obs.logging import get_logger
+from repro.resilience.faults import NULL_FAULTS, FaultsLike
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import (DEFAULT_MAX_BODY, ApiError,
+                                  BatchRequest, HttpRequest,
+                                  ProtocolError, SearchRequest,
+                                  error_response, json_response,
+                                  outcome_payload, parse_batch_request,
+                                  parse_head, parse_search_request,
+                                  query_error_to_api, render_response)
+from repro.serve.ratelimit import (NULL_RATE_LIMITER, RateLimiter,
+                                   RateLimiterLike)
+
+_log = get_logger("serve")
+
+#: Default Retry-After (seconds) for an overloaded 429 — long enough
+#: to shed herd retries, short enough that a draining peer recovers.
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+@dataclass
+class ServeConfig:
+    """Knobs of one server instance (docs/SERVING.md).
+
+    Attributes:
+        host/port: bind address; port 0 picks an ephemeral port
+            (read it back from :attr:`ServeServer.port`).
+        max_inflight: global admission cap — requests running at
+            once; overflow answers 429 with ``Retry-After``.
+        rate/burst: per-client token bucket (requests/second and
+            bucket depth); ``rate <= 0`` disables rate limiting.
+        client_header: header naming the client for rate limiting
+            (falls back to the peer address).
+        max_body: request body byte cap (413 beyond it).
+        drain_timeout_s: how long shutdown waits for in-flight
+            requests before giving up on the stragglers.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 8
+    rate: float = 0.0
+    burst: float = 20.0
+    client_header: str = "x-client-id"
+    max_body: int = DEFAULT_MAX_BODY
+    drain_timeout_s: float = 30.0
+
+
+class ServeServer:
+    """One HTTP front door over one :class:`QueryService`."""
+
+    def __init__(self, service: Any,
+                 config: Optional[ServeConfig] = None,
+                 collector: Optional[MetricsCollector] = None,
+                 faults: Optional[FaultsLike] = None,
+                 ratelimiter: Optional[RateLimiterLike] = None) -> None:
+        self._service = service
+        self._config = config if config is not None else ServeConfig()
+        if collector is not None:
+            self._collector = collector
+        elif getattr(service.collector, "enabled", False):
+            self._collector = service.collector
+        else:
+            self._collector = MetricsCollector()
+        self._faults = faults if faults is not None else NULL_FAULTS
+        self._admission = AdmissionController(self._config.max_inflight)
+        if ratelimiter is not None:
+            self._ratelimit: RateLimiterLike = ratelimiter
+        elif self._config.rate > 0:
+            self._ratelimit = RateLimiter(self._config.rate,
+                                          self._config.burst)
+        else:
+            self._ratelimit = NULL_RATE_LIMITER
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.max_inflight,
+            thread_name_prefix="repro-serve")
+        self._watch = Stopwatch().start()
+        # Loop-thread-only state (see the module docstring).
+        self._reload_inflight = False
+        self._sequence = 0
+        self._connections: "set[asyncio.Task]" = set()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def run_async(self, ready: Optional[threading.Event] = None,
+                        install_signals: bool = False,
+                        on_ready: Optional[Any] = None) -> int:
+        """Serve until stopped, then drain; returns the exit code (0).
+
+        ``ready`` is set once the listener is bound (and
+        :attr:`port` is readable); ``on_ready`` is called with the
+        bound port at the same moment (the CLI prints the serving
+        line from it).  ``install_signals`` arms SIGTERM / SIGINT as
+        graceful-drain triggers and SIGHUP as a hot reload via
+        ``loop.add_signal_handler`` (main thread only).
+        """
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop = asyncio.Event()
+        # A bind failure propagates to the caller; start_in_thread's
+        # runner records it *before* its finally sets the ready event,
+        # so the spawning thread always observes the error.
+        server = await asyncio.start_server(
+            self._on_connection, self._config.host, self._config.port,
+            limit=self._config.max_body + (1 << 16))
+        self.port = server.sockets[0].getsockname()[1]
+        restored: List[int] = []
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self._stop.set)
+                restored.append(signum)
+            if hasattr(signal, "SIGHUP"):
+                loop.add_signal_handler(signal.SIGHUP,
+                                        self._hup_reload)
+                restored.append(signal.SIGHUP)
+        if ready is not None:
+            ready.set()
+        if on_ready is not None:
+            on_ready(self.port)
+        _log.info("serving on http://%s:%d (max_inflight=%d)",
+                  self._config.host, self.port,
+                  self._config.max_inflight)
+        try:
+            async with server:
+                await self._stop.wait()
+                self._admission.begin_drain()
+                server.close()
+                await server.wait_closed()
+        finally:
+            for signum in restored:
+                loop.remove_signal_handler(signum)
+        _log.info("draining %d in-flight request(s)",
+                  self._admission.inflight())
+        if self._connections:
+            await asyncio.wait(set(self._connections),
+                               timeout=self._config.drain_timeout_s)
+        self._executor.shutdown(wait=True)
+        _log.info("drained; exiting")
+        return 0
+
+    def request_stop(self) -> None:
+        """Trigger graceful drain from any thread (idempotent)."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            loop.call_soon_threadsafe(stop.set)
+
+    # -- connection handling --------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._handle_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
+            and len(peer) >= 2 else "unknown"
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # client went away between requests
+                except asyncio.LimitOverrunError:
+                    writer.write(error_response(
+                        ApiError(400, "bad_request",
+                                 "request head too large"),
+                        keep_alive=False))
+                    await writer.drain()
+                    return
+                try:
+                    request = parse_head(head, client=client)
+                except ProtocolError as error:
+                    writer.write(error_response(
+                        ApiError(400, "bad_request", str(error)),
+                        keep_alive=False))
+                    await writer.drain()
+                    return
+                raw_length = request.headers.get("content-length", "0")
+                try:
+                    length = int(raw_length)
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    writer.write(error_response(
+                        ApiError(400, "bad_request",
+                                 f"malformed Content-Length: "
+                                 f"{raw_length!r}"), keep_alive=False))
+                    await writer.drain()
+                    return
+                if length > self._config.max_body:
+                    # The body is not read, so the framing is lost —
+                    # answer and close rather than desync.
+                    writer.write(error_response(
+                        ApiError(413, "payload_too_large",
+                                 f"request body of {length} bytes "
+                                 f"exceeds the {self._config.max_body}"
+                                 f"-byte cap"), keep_alive=False))
+                    await writer.drain()
+                    return
+                if length:
+                    try:
+                        request.body = await reader.readexactly(length)
+                    except (asyncio.IncompleteReadError,
+                            ConnectionError):
+                        return
+                response = await self._dispatch(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # repro: ignore[R006] peer already gone on close
+                pass
+
+    # -- routing --------------------------------------------------------------
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        """Route one request; every failure becomes a structured
+        JSON error (the second satellite bugfix: a QueryError is the
+        *client's* 400, never this server's 500)."""
+        keep = request.keep_alive
+        if self._collector.enabled:
+            self._collector.count("serve.requests")
+        try:
+            if request.path == "/health":
+                self._require_method(request, "GET")
+                return json_response(200, self._health_payload(),
+                                     keep_alive=keep)
+            if request.path == "/metrics":
+                self._require_method(request, "GET")
+                return self._metrics_response(request)
+            if request.path == "/search":
+                self._require_method(request, "POST")
+                return await self._search(request)
+            if request.path == "/batch":
+                self._require_method(request, "POST")
+                return await self._batch(request)
+            if request.path == "/reload":
+                self._require_method(request, "POST")
+                return await self._reload(request)
+            raise ApiError(404, "not_found",
+                           f"unknown path {request.path!r}")
+        except ApiError as error:
+            self._count_error(error.code)
+            return error_response(error, keep_alive=keep)
+        except QueryError as error:
+            api = query_error_to_api(error)
+            self._count_error(api.code)
+            return error_response(api, keep_alive=keep)
+        except Exception as error:  # noqa: BLE001 - boundary backstop
+            _log.exception("unhandled error serving %s %s",
+                           request.method, request.path)
+            self._count_error("internal")
+            return error_response(
+                ApiError(500, "internal",
+                         f"{type(error).__name__}: {error}"),
+                keep_alive=keep)
+
+    def _require_method(self, request: HttpRequest,
+                        method: str) -> None:
+        if request.method != method:
+            raise ApiError(405, "method_not_allowed",
+                           f"{request.path} only accepts {method}")
+
+    def _count_error(self, code: str) -> None:
+        if self._collector.enabled:
+            self._collector.count(f"serve.errors.{code}")
+
+    # -- admission ------------------------------------------------------------
+
+    def _admit(self, request: HttpRequest) -> None:
+        """Rate limit then claim a slot (raises the 429/503 family)."""
+        client = request.headers.get(self._config.client_header,
+                                     "") or request.client
+        delay = self._ratelimit.check(client)
+        if delay is not None:
+            raise ApiError(429, "rate_limited",
+                           f"client {client!r} is over its request "
+                           f"rate", retry_after=delay)
+        if not self._admission.try_acquire():
+            if self._admission.draining:
+                raise ApiError(503, "draining",
+                               "server is draining for shutdown")
+            raise ApiError(429, "overloaded",
+                           f"server is at its in-flight cap of "
+                           f"{self._config.max_inflight}",
+                           retry_after=DEFAULT_RETRY_AFTER_S)
+
+    # -- /search and /batch ---------------------------------------------------
+
+    async def _search(self, request: HttpRequest) -> bytes:
+        params = parse_search_request(request.json())
+        self._admit(request)
+        try:
+            self._sequence += 1
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self._executor, self._run_search, params,
+                self._sequence, request.client)
+        finally:
+            self._admission.release()
+        return json_response(200, payload,
+                             keep_alive=request.keep_alive)
+
+    def _run_search(self, params: SearchRequest, sequence: int,
+                    client: str) -> Dict[str, Any]:
+        """Executor-thread body of one /search request."""
+        tracer = SpanTracer(trace_id=derive_trace_id(
+            "serve", sequence, " ".join(params.keywords), params.k,
+            params.algorithm, params.semantics))
+        watch = Stopwatch().start()
+        with self._collector.time("serve.search"):
+            with tracer.span("http.request", method="POST",
+                             path="/search", client=client):
+                self._faults.before_query(params.keywords)
+                outcome = self._service.search(
+                    params.keywords, k=params.k,
+                    algorithm=params.algorithm,
+                    semantics=params.semantics,
+                    deadline=params.deadline_ms, tracer=tracer)
+        spans = tracer.export() if params.spans else None
+        payload = outcome_payload(outcome, watch.elapsed * 1000.0,
+                                  spans=spans)
+        payload["trace_id"] = tracer.trace_id
+        return payload
+
+    async def _batch(self, request: HttpRequest) -> bytes:
+        params = parse_batch_request(request.json())
+        self._admit(request)
+        try:
+            self._sequence += 1
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(
+                self._executor, self._run_batch, params,
+                self._sequence, request.client)
+        finally:
+            self._admission.release()
+        return json_response(200, payload,
+                             keep_alive=request.keep_alive)
+
+    def _run_batch(self, params: BatchRequest, sequence: int,
+                   client: str) -> Dict[str, Any]:
+        """Executor-thread body of one /batch request."""
+        tracer = SpanTracer(trace_id=derive_trace_id(
+            "serve.batch", sequence, params.k, params.algorithm,
+            params.semantics,
+            *(" ".join(query) for query in params.queries)))
+        with self._collector.time("serve.batch"):
+            with tracer.span("http.request", method="POST",
+                             path="/batch", client=client):
+                for query in params.queries:
+                    self._faults.before_query(query)
+                batch = self._service.batch_search(
+                    params.queries, k=params.k,
+                    algorithm=params.algorithm,
+                    semantics=params.semantics,
+                    workers=params.workers, executor=params.executor,
+                    deadline_ms=params.deadline_ms, tracer=tracer)
+        outcomes = [outcome_payload(outcome, None)
+                    for outcome in batch.outcomes]
+        return {"outcomes": outcomes,
+                "elapsed_ms": round(batch.elapsed_ms, 3),
+                "trace_id": tracer.trace_id,
+                "stats": {
+                    "queries": len(batch.outcomes),
+                    "partial": sum(1 for outcome in batch.outcomes
+                                   if outcome.partial),
+                    "errors": sum(
+                        1 for outcome in batch.outcomes
+                        if outcome.termination_reason == "error"),
+                }}
+
+    # -- /health, /metrics, /reload -------------------------------------------
+
+    def _health_payload(self) -> Dict[str, Any]:
+        storage = self._service.storage_stats()
+        return {"status": ("draining" if self._admission.draining
+                           else "ok"),
+                "generation": storage["generation"],
+                "epoch": storage["epoch"],
+                "breaker": self._service.breaker_stats(),
+                "admission": self._admission.stats(),
+                "ratelimit": self._ratelimit.stats(),
+                "reload_in_flight": self._reload_inflight,
+                "uptime_ms": round(self._watch.elapsed * 1000.0, 3)}
+
+    def _serve_sample_lines(self) -> List[str]:
+        """Serve-layer gauges, incl. a labelled generation info sample
+        (label values are escaped — the first satellite bugfix)."""
+        storage = self._service.storage_stats()
+        lines = [format_sample(
+            "serve.generation.info", 1,
+            {"generation": storage["generation"] or "adhoc",
+             "directory": storage["directory"] or ""})]
+        for name, value in sorted(self._admission.stats().items()):
+            lines.append(format_sample(f"serve.admission.{name}",
+                                       value))
+        for name, value in sorted(self._ratelimit.stats().items()):
+            lines.append(format_sample(f"serve.ratelimit.{name}",
+                                       value))
+        return lines
+
+    def _metrics_response(self, request: HttpRequest) -> bytes:
+        collector = self._collector
+        if request.query.get("format") == "json":
+            from repro.core.result import SearchOutcome
+            outcome = SearchOutcome(stats={
+                "metrics": collector.snapshot(),
+                "quantiles": collector.quantile_snapshot(),
+                "serve": {"admission": self._admission.stats(),
+                          "ratelimit": self._ratelimit.stats()},
+            })
+            report = build_report_v2(
+                [], 0, "serve", "slca", outcome,
+                elapsed_ms=self._watch.elapsed * 1000.0)
+            return json_response(200, report,
+                                 keep_alive=request.keep_alive)
+        lines = prometheus_lines(collector.snapshot())
+        lines.extend(quantile_lines(collector.quantile_snapshot()))
+        lines.extend(self._serve_sample_lines())
+        body = ("\n".join(lines) + "\n").encode("utf-8")
+        return render_response(
+            200, body,
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            keep_alive=request.keep_alive)
+
+    def _hup_reload(self) -> None:
+        """The SIGHUP handler: same hot-swap path as ``POST /reload``
+        (a signal while one is in flight is logged and dropped)."""
+        if self._reload_inflight or self._loop is None:
+            _log.warning("SIGHUP reload skipped: one is in flight")
+            return
+        self._reload_inflight = True
+        future = self._loop.run_in_executor(None, self._service.reload)
+
+        def finished(fut: "asyncio.Future[Any]") -> None:
+            self._reload_inflight = False
+            try:
+                state = fut.result()
+            except ReproError as error:
+                _log.error("SIGHUP reload rejected: %s", error)
+            else:
+                _log.info("SIGHUP reload: now serving generation %s "
+                          "(epoch %d)", state.generation, state.epoch)
+
+        future.add_done_callback(finished)
+
+    async def _reload(self, request: HttpRequest) -> bytes:
+        if self._reload_inflight:
+            raise ApiError(409, "reload_in_flight",
+                           "a reload is already in flight")
+        self._reload_inflight = True
+        try:
+            loop = asyncio.get_running_loop()
+            # The default executor, not the request pool: a reload
+            # must not queue behind slow admitted queries.
+            state = await loop.run_in_executor(None,
+                                               self._service.reload)
+        except StorageError as error:
+            raise ApiError(500, "reload_failed", str(error)) from error
+        except ReproError as error:
+            raise ApiError(500, "reload_failed", str(error)) from error
+        finally:
+            self._reload_inflight = False
+        return json_response(200,
+                             {"generation": state.generation,
+                              "epoch": state.epoch},
+                             keep_alive=request.keep_alive)
+
+
+# -- embedding helpers --------------------------------------------------------
+
+
+class ServeHandle:
+    """A server running on a background thread (tests, benchmark)."""
+
+    def __init__(self, server: ServeServer, thread: threading.Thread,
+                 outcome: Dict[str, Any]) -> None:
+        self.server = server
+        self._thread = thread
+        self._outcome = outcome
+
+    @property
+    def port(self) -> int:
+        port = self.server.port
+        if port is None:
+            raise ReproError("server is not listening")
+        return port
+
+    def stop(self, timeout_s: float = 30.0) -> int:
+        """Graceful drain; returns the server's exit code."""
+        self.server.request_stop()
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            raise ReproError("server did not drain within "
+                             f"{timeout_s}s")
+        error = self._outcome.get("error")
+        if error is not None:
+            raise error
+        return int(self._outcome.get("exit", 1))
+
+
+def start_in_thread(service: Any,
+                    config: Optional[ServeConfig] = None,
+                    collector: Optional[MetricsCollector] = None,
+                    faults: Optional[FaultsLike] = None,
+                    ratelimiter: Optional[RateLimiterLike] = None
+                    ) -> ServeHandle:
+    """Run a :class:`ServeServer` on a daemon thread; returns once the
+    listener is bound (``handle.port`` is the ephemeral port)."""
+    server = ServeServer(service, config, collector=collector,
+                         faults=faults, ratelimiter=ratelimiter)
+    ready = threading.Event()
+    outcome: Dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            outcome["exit"] = asyncio.run(server.run_async(ready=ready))
+        except BaseException as error:  # noqa: BLE001 - reported via stop()
+            outcome["error"] = error
+        finally:
+            ready.set()
+
+    thread = threading.Thread(target=runner, daemon=True,
+                              name="repro-serve")
+    thread.start()
+    if not ready.wait(30.0):
+        raise ReproError("server failed to start within 30s")
+    if "error" in outcome:
+        raise ReproError(f"server failed to start: "
+                         f"{outcome['error']}")
+    if server.port is None:
+        raise ReproError("server thread exited before binding")
+    return ServeHandle(server, thread, outcome)

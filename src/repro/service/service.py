@@ -436,6 +436,14 @@ class QueryService:
                 "epoch": state.epoch,
                 "reloads": reloads}
 
+    def breaker_stats(self) -> Dict[str, object]:
+        """The process-pool circuit breaker's summary block
+        (``state``/``failures``/... — see
+        :meth:`repro.resilience.CircuitBreaker.summary`).  Served on
+        ``GET /health`` by the HTTP layer."""
+        summary: Dict[str, object] = dict(self._breaker.summary())
+        return summary
+
     # -- state accessors (single-generation views) ----------------------------
 
     @property
@@ -458,8 +466,8 @@ class QueryService:
                collector: Optional[MetricsCollector] = None,
                trace: bool = False,
                sanitize: Optional[bool] = None,
-               deadline: "Optional[Union[Deadline, DeadlineLike, float, int]]" = None
-               ) -> SearchOutcome:
+               deadline: "Optional[Union[Deadline, DeadlineLike, float, int]]" = None,
+               tracer: Optional[TracerLike] = None) -> SearchOutcome:
         """One query through the shared caches.
 
         Same contract as :func:`repro.core.api.topk_search` (which
@@ -473,11 +481,20 @@ class QueryService:
         ``deadline`` bypasses the result cache so the instrumentation
         (or the budget) really applies; a partial outcome is never
         cached — a replay must not masquerade as complete.
+
+        ``tracer`` hangs the query's span tree under the caller's
+        tracer (the HTTP serving layer passes a per-request
+        :class:`~repro.obs.spans.SpanTracer` here, so a served query
+        produces the same spans as a CLI query); a cache replay shows
+        up as a zero-work ``query`` span marked ``cache=result_cache``.
+        Every outcome's ``stats["service_state"]`` records the
+        generation/epoch it ran against.
         """
         keywords = validate_query(keywords, k)
         terms = sorted(normalize_query(keywords))
         return self._search_terms(terms, k, algorithm, semantics,
-                                  collector, trace, sanitize, deadline)
+                                  collector, trace, sanitize, deadline,
+                                  tracer=tracer)
 
     def _search_terms(self, terms: List[str], k: int,
                       algorithm: Union[Algorithm, str], semantics: str,
@@ -519,7 +536,9 @@ class QueryService:
                     tracer.finish(tracer.begin(
                         "query", terms=" ".join(terms),
                         cache="result_cache"))
-                return _replay(cached)
+                replayed = _replay(cached)
+                _annotate_state(replayed, state)
+                return replayed
         run_collector = collector
         if run_collector is None and (tracer is not None or aggregate):
             run_collector = MetricsCollector(tracer=tracer)
@@ -546,6 +565,7 @@ class QueryService:
             self.collector.merge(run_collector)
         if replayable and not outcome.partial:
             state.results.put(key, outcome)
+        _annotate_state(outcome, state)
         return outcome
 
     # -- batches --------------------------------------------------------------
@@ -1219,6 +1239,16 @@ class QueryService:
             if state.generation else ""
         return (f"QueryService(terms={len(state.index)}, "
                 f"cache_size={state.results.capacity}{extra})")
+
+
+def _annotate_state(outcome: SearchOutcome, state: _ServiceState) -> None:
+    """Stamp the generation/epoch the query actually ran against.
+
+    The serving layer's drain/reload tests read this back to prove an
+    in-flight request finished on the state it captured.
+    """
+    outcome.stats["service_state"] = {"generation": state.generation,
+                                      "epoch": state.epoch}
 
 
 def _replay(outcome: SearchOutcome) -> SearchOutcome:

@@ -196,3 +196,152 @@ class TestPrometheus:
 
     def test_parse_skips_comments_and_blanks(self):
         assert parse_prometheus("# HELP x\n\n# TYPE x counter\n") == {}
+
+
+class TestLabelsAndNonFinite:
+    """Regressions for the exposition-format bugfix: label values must
+    be escaped and non-finite samples spelled ``+Inf``/``-Inf``/``NaN``
+    (previously ``repr(float('inf')) == 'inf'`` produced unscrapable
+    output and a label value containing ``\"`` broke the line)."""
+
+    def test_escape_label_value(self):
+        from repro.obs import escape_label_value
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("plain") == "plain"
+
+    def test_format_sample_with_labels_sorted(self):
+        from repro.obs import format_sample
+        line = format_sample("gen.info", 1, {"b": "2", "a": "1"})
+        assert line == 'repro_gen_info{a="1",b="2"} 1'
+
+    def test_non_finite_values_render_per_spec(self):
+        from repro.obs import format_sample
+        assert format_sample("x", float("inf")).endswith(" +Inf")
+        assert format_sample("x", float("-inf")).endswith(" -Inf")
+        assert format_sample("x", float("nan")).endswith(" NaN")
+
+    def test_non_finite_round_trip(self):
+        import math
+        from repro.obs import format_sample
+        text = "\n".join([format_sample("pos", float("inf")),
+                          format_sample("neg", float("-inf")),
+                          format_sample("nan", float("nan"))]) + "\n"
+        samples = parse_prometheus(text)
+        assert samples["repro_pos"] == float("inf")
+        assert samples["repro_neg"] == float("-inf")
+        assert math.isnan(samples["repro_nan"])
+
+    def test_labelled_sample_round_trips_hostile_values(self):
+        from repro.obs import format_sample
+        hostile = 'quo"te\\slash\nnewline}brace and space'
+        line = format_sample("gen.info", 1,
+                             {"generation": hostile, "n": "2"})
+        samples = parse_prometheus(line + "\n")
+        # Canonical key: sorted labels, re-escaped exactly as rendered.
+        assert samples == {line.rsplit(" ", 1)[0]: 1.0}
+
+    def test_parse_rejects_unterminated_label_block(self):
+        with pytest.raises(ExportError, match="unterminated"):
+            parse_prometheus('repro_x{a="1" 1\n')
+
+    def test_parse_rejects_malformed_label_block(self):
+        with pytest.raises(ExportError, match="malformed label"):
+            parse_prometheus("repro_x{nonsense} 1\n")
+
+    def test_parse_rejects_duplicate_labelled_sample(self):
+        text = 'repro_x{a="1"} 1\nrepro_x{a="1"} 2\n'
+        with pytest.raises(ExportError, match="repeats"):
+            parse_prometheus(text)
+
+    def test_distinct_labels_are_distinct_samples(self):
+        text = 'repro_x{q="0.5"} 1\nrepro_x{q="0.99"} 2\n'
+        samples = parse_prometheus(text)
+        assert samples['repro_x{q="0.5"}'] == 1
+        assert samples['repro_x{q="0.99"}'] == 2
+
+    def test_unlabelled_lines_keep_strict_two_token_contract(self):
+        with pytest.raises(ExportError, match="malformed"):
+            parse_prometheus("repro_x 1 1700000000\n")
+
+
+class TestHistogramPercentile:
+    """The locked percentile accessor (third satellite bugfix)."""
+
+    def test_percentile_interpolates(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.percentile(0.0) == 1.0
+        assert histogram.percentile(1.0) == 100.0
+        assert histogram.percentile(0.5) == pytest.approx(50.5)
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+        with pytest.raises(ValueError):
+            histogram.percentile(-0.1)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(0.99) == 0.0
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        left, right = Histogram(), Histogram()
+        for value in range(20000):
+            left.observe(float(value))
+            right.observe(float(value))
+        assert len(left._samples) < Histogram.MAX_SAMPLES
+        assert left._samples == right._samples
+        # Decimation keeps the percentile honest within a stride.
+        assert left.percentile(0.5) == pytest.approx(10000, rel=0.01)
+
+    def test_collector_percentile_accessor(self):
+        collector = MetricsCollector()
+        for value in range(10):
+            collector.observe("lat", float(value))
+        assert collector.percentile("lat", 0.5,
+                                    kind="histograms") == 4.5
+        assert collector.percentile("missing", 0.5,
+                                    kind="histograms") == 0.0
+        with pytest.raises(ValueError):
+            collector.percentile("lat", 0.5, kind="bogus")
+
+    def test_quantile_snapshot_and_lines(self):
+        from repro.obs import quantile_lines
+        collector = MetricsCollector()
+        for value in range(10):
+            collector.observe("lat", float(value))
+        collector.observe_time("t", 0.1)
+        block = collector.quantile_snapshot(qs=(0.5,))
+        assert block["histograms"]["lat"]["0.5"] == 4.5
+        assert block["timers"]["t"]["0.5"] == pytest.approx(100.0)
+        lines = quantile_lines(block)
+        assert 'repro_lat{quantile="0.5"} 4.5' in lines
+        # timers keep the _ms suffix of prometheus_lines
+        assert any(line.startswith('repro_t_ms{quantile="0.5"}')
+                   for line in lines)
+        parsed = parse_prometheus("\n".join(lines) + "\n")
+        assert parsed['repro_lat{quantile="0.5"}'] == 4.5
+
+    def test_absorb_pools_samples_for_percentiles(self):
+        left, right = Histogram(), Histogram()
+        for value in (1.0, 2.0):
+            left.observe(value)
+        for value in (3.0, 4.0):
+            right.observe(value)
+        right.absorb(left.count, left.total, left.minimum,
+                     left.maximum, samples=left._samples)
+        assert right.count == 4
+        assert right.percentile(1.0) == 4.0
+        assert right.percentile(0.0) == 1.0
+
+    def test_snapshot_shape_unchanged(self):
+        # The exact-equality contract in test_obs.py: percentiles are
+        # a separate accessor, never new snapshot keys.
+        histogram = Histogram()
+        histogram.observe(2.0)
+        assert set(histogram.snapshot()) == {"count", "sum", "min",
+                                             "max", "mean"}

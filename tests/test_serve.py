@@ -1,0 +1,534 @@
+"""The HTTP serving layer: protocol, admission, rate limiting, and the
+in-process server (docs/SERVING.md)."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.api import topk_search
+from repro.exceptions import QueryError, ReproError
+from repro.obs import MetricsCollector, parse_prometheus, validate_report
+from repro.resilience import parse_faults
+from repro.serve import (ApiError, AdmissionController, NullRateLimiter,
+                         ProtocolError, RateLimiter, ServeConfig,
+                         classify_query_error, error_response,
+                         parse_batch_request, parse_head,
+                         parse_search_request, start_in_thread)
+from repro.service import QueryService
+
+
+# -- protocol -----------------------------------------------------------------
+
+
+class TestParseHead:
+    def test_request_line_and_headers(self):
+        head = (b"POST /search?format=json&x HTTP/1.1\r\n"
+                b"Content-Length: 12\r\n"
+                b"X-Client-Id: alice\r\n\r\n")
+        request = parse_head(head, client="1.2.3.4:5")
+        assert request.method == "POST"
+        assert request.path == "/search"
+        assert request.query == {"format": "json", "x": ""}
+        assert request.headers["content-length"] == "12"
+        assert request.headers["x-client-id"] == "alice"
+        assert request.client == "1.2.3.4:5"
+        assert request.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        head = b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n"
+        assert not parse_head(head).keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError, match="request line"):
+            parse_head(b"NONSENSE\r\n\r\n")
+        with pytest.raises(ProtocolError, match="request line"):
+            parse_head(b"GET /x SPDY/99\r\n\r\n")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError, match="header line"):
+            parse_head(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    def test_body_json_errors_are_structured(self):
+        request = parse_head(b"POST /search HTTP/1.1\r\n\r\n")
+        with pytest.raises(ApiError) as caught:
+            request.json()
+        assert caught.value.status == 400
+        assert caught.value.code == "bad_request"
+        request.body = b"not json"
+        with pytest.raises(ApiError, match="not valid JSON"):
+            request.json()
+        request.body = b"[1, 2]"
+        with pytest.raises(ApiError, match="JSON object"):
+            request.json()
+
+
+class TestSearchRequest:
+    def test_defaults(self):
+        params = parse_search_request({"keywords": ["a", "b"]})
+        assert params.keywords == ["a", "b"]
+        assert params.k == 10
+        assert params.algorithm == "eager"
+        assert params.semantics == "slca"
+        assert params.deadline_ms is None
+        assert not params.spans
+
+    def test_keyword_string_splits(self):
+        assert parse_search_request(
+            {"keywords": "a b"}).keywords == ["a", "b"]
+
+    def test_unknown_field_is_named(self):
+        with pytest.raises(ApiError) as caught:
+            parse_search_request({"keywords": ["a"], "bogus": 1})
+        assert caught.value.code == "bad_request"
+        assert caught.value.field == "bogus"
+
+    def test_missing_keywords(self):
+        with pytest.raises(ApiError) as caught:
+            parse_search_request({})
+        assert caught.value.field == "keywords"
+
+    @pytest.mark.parametrize("payload,field", [
+        ({"keywords": []}, "keywords"),
+        ({"keywords": [1]}, "keywords"),
+        ({"keywords": ["a"], "k": "ten"}, "k"),
+        ({"keywords": ["a"], "k": True}, "k"),
+        ({"keywords": ["a"], "algorithm": "magic"}, "algorithm"),
+        ({"keywords": ["a"], "semantics": "both"}, "semantics"),
+        ({"keywords": ["a"], "deadline_ms": -5}, "deadline_ms"),
+        ({"keywords": ["a"], "deadline_ms": "soon"}, "deadline_ms"),
+        ({"keywords": ["a"], "spans": "yes"}, "spans"),
+    ])
+    def test_invalid_fields_are_attributed(self, payload, field):
+        with pytest.raises(ApiError) as caught:
+            parse_search_request(payload)
+        assert caught.value.status == 400
+        assert caught.value.field == field
+
+
+class TestBatchRequest:
+    def test_mixed_query_shapes(self):
+        params = parse_batch_request(
+            {"queries": [["a", "b"], "c d"], "executor": "serial"})
+        assert params.queries == [["a", "b"], ["c", "d"]]
+        assert params.executor == "serial"
+        assert params.workers is None
+
+    @pytest.mark.parametrize("payload,field", [
+        ({}, "queries"),
+        ({"queries": []}, "queries"),
+        ({"queries": "not-a-list"}, "queries"),
+        ({"queries": [["a"]], "executor": "gpu"}, "executor"),
+        ({"queries": [["a"]], "workers": 0}, "workers"),
+    ])
+    def test_invalid_fields(self, payload, field):
+        with pytest.raises(ApiError) as caught:
+            parse_batch_request(payload)
+        assert caught.value.field == field
+
+
+class TestQueryErrorMapping:
+    def test_k_errors_map_to_k(self):
+        assert classify_query_error(
+            QueryError("k must be positive, got 0")) == "k"
+
+    def test_keyword_errors_map_to_keywords(self):
+        assert classify_query_error(
+            QueryError("duplicate query keyword 'A'")) == "keywords"
+
+    def test_retry_after_header_rounds_up(self):
+        raw = error_response(ApiError(429, "overloaded", "full",
+                                      retry_after=0.3))
+        head = raw.split(b"\r\n\r\n", 1)[0].decode()
+        assert "Retry-After: 1" in head
+
+
+# -- admission ----------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_cap_and_release(self):
+        admission = AdmissionController(2)
+        assert admission.try_acquire()
+        assert admission.try_acquire()
+        assert not admission.try_acquire()
+        admission.release()
+        assert admission.try_acquire()
+        stats = admission.stats()
+        assert stats["rejected"] == 1
+        assert stats["admitted"] == 3
+        assert stats["peak_inflight"] == 2
+
+    def test_drain_refuses_new_work(self):
+        admission = AdmissionController(2)
+        assert admission.try_acquire()
+        admission.begin_drain()
+        assert not admission.try_acquire()
+        assert admission.stats()["refused_draining"] == 1
+        assert admission.inflight() == 1  # the admitted one keeps its slot
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(RuntimeError):
+            AdmissionController(1).release()
+
+    def test_wait_idle(self):
+        admission = AdmissionController(1)
+        assert admission.wait_idle(timeout_s=0.1)
+        admission.try_acquire()
+        assert not admission.wait_idle(timeout_s=0.05, poll_s=0.01)
+        timer = threading.Timer(0.05, admission.release)
+        timer.start()
+        assert admission.wait_idle(timeout_s=2.0, poll_s=0.01)
+        timer.cancel()
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+# -- rate limiting ------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRateLimiter:
+    def test_burst_then_limited(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=2, clock=clock)
+        assert limiter.check("alice") is None
+        assert limiter.check("alice") is None
+        delay = limiter.check("alice")
+        assert delay == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=2.0, burst=1, clock=clock)
+        assert limiter.check("a") is None
+        assert limiter.check("a") == pytest.approx(0.5)
+        clock.now = 0.5
+        assert limiter.check("a") is None
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, clock=clock)
+        assert limiter.check("a") is None
+        assert limiter.check("b") is None
+        assert limiter.check("a") is not None
+
+    def test_lru_eviction_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1, max_clients=2,
+                              clock=clock)
+        for client in ("a", "b", "c"):
+            limiter.check(client)
+        stats = limiter.stats()
+        assert stats["clients"] == 2
+        assert stats["evicted"] == 1
+        # "a" was evicted; a fresh bucket admits it again.
+        assert limiter.check("a") is None
+
+    def test_null_limiter_admits_everything(self):
+        limiter = NullRateLimiter()
+        assert all(limiter.check("x") is None for _ in range(100))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=0)
+        with pytest.raises(ValueError):
+            RateLimiter(rate=1.0, burst=1, max_clients=0)
+
+
+# -- the in-process server ----------------------------------------------------
+
+
+class ServerClient:
+    """Tiny keep-alive test client over http.client."""
+
+    def __init__(self, port):
+        self.port = port
+
+    def request(self, method, path, payload=None, headers=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port,
+                                                timeout=30)
+        try:
+            body = json.dumps(payload).encode() \
+                if payload is not None else None
+            connection.request(method, path, body=body,
+                               headers=headers or {})
+            response = connection.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw and (
+                response.getheader("Content-Type", "")
+                .startswith("application/json")) else raw
+            return response.status, parsed, {
+                name.lower(): value
+                for name, value in response.getheaders()}
+        finally:
+            connection.close()
+
+    def post(self, path, payload, headers=None):
+        return self.request("POST", path, payload, headers)
+
+    def get(self, path):
+        return self.request("GET", path)
+
+
+@pytest.fixture()
+def server(figure1_db):
+    collector = MetricsCollector()
+    service = QueryService(figure1_db, collector=collector)
+    handle = start_in_thread(
+        service, ServeConfig(max_inflight=4),
+        collector=collector)
+    yield {"handle": handle, "service": service,
+           "db": figure1_db, "collector": collector,
+           "client": ServerClient(handle.port)}
+    assert handle.stop() == 0
+
+
+class TestServerEndpoints:
+    def test_search_is_bit_identical_to_topk_search(self, server):
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1", "k2"], "k": 5})
+        assert status == 200
+        local = topk_search(server["db"], ["k1", "k2"], 5)
+        assert [(r["code"], r["probability"])
+                for r in body["results"]] == \
+            [(str(r.code), r.probability) for r in local.results]
+        assert body["partial"] is False
+        assert body["termination_reason"] == "complete"
+        assert body["service_state"]["epoch"] == 1
+        assert "trace_id" in body
+
+    def test_search_maps_query_errors_to_structured_400(self, server):
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1"], "k": 0})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_query"
+        assert body["error"]["field"] == "k"
+        assert "k must be positive" in body["error"]["message"]
+
+    def test_duplicate_keyword_400(self, server):
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1", "K1"], "k": 3})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_query"
+        assert body["error"]["field"] == "keywords"
+
+    def test_unknown_field_400(self, server):
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1"], "bogus": 1})
+        assert status == 400
+        assert body["error"]["field"] == "bogus"
+
+    def test_malformed_json_400(self, server):
+        client = server["client"]
+        connection = http.client.HTTPConnection("127.0.0.1",
+                                                client.port, timeout=30)
+        try:
+            connection.request("POST", "/search", body=b"{nope")
+            response = connection.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            assert body["error"]["code"] == "bad_request"
+        finally:
+            connection.close()
+
+    def test_unknown_path_404(self, server):
+        status, body, _ = server["client"].get("/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, server):
+        status, body, _ = server["client"].post("/health", {})
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+
+    def test_health_shape(self, server):
+        status, body, _ = server["client"].get("/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["epoch"] == 1
+        assert body["breaker"]["state"] == "closed"
+        assert body["admission"]["max_inflight"] == 4
+        assert body["reload_in_flight"] is False
+
+    def test_batch_aligns_with_single_searches(self, server):
+        queries = [["k1"], ["k1", "k2"], ["k2"]]
+        status, body, _ = server["client"].post(
+            "/batch", {"queries": queries, "k": 4,
+                       "executor": "serial"})
+        assert status == 200
+        assert body["stats"] == {"queries": 3, "partial": 0,
+                                 "errors": 0}
+        for query, outcome in zip(queries, body["outcomes"]):
+            local = topk_search(server["db"], query, 4)
+            assert [(r["code"], r["probability"])
+                    for r in outcome["results"]] == \
+                [(str(r.code), r.probability) for r in local.results]
+
+    def test_metrics_prometheus_scrape(self, server):
+        # Prime at least one request so timer quantiles exist.
+        server["client"].post("/search", {"keywords": ["k1"]})
+        status, raw, headers = server["client"].get("/metrics")
+        assert status == 200
+        assert headers["content-type"].startswith("text/plain")
+        samples = parse_prometheus(raw.decode())
+        assert samples["repro_serve_admission_max_inflight"] == 4
+        assert any(name.startswith("repro_serve_generation_info{")
+                   for name in samples)
+        assert any('quantile="0.99"' in name for name in samples)
+
+    def test_metrics_json_is_valid_v2_report(self, server):
+        status, body, _ = server["client"].get("/metrics?format=json")
+        assert status == 200
+        report = validate_report(body)
+        assert report["schema"] == "repro.metrics/v2"
+        assert "admission" in report["stats"]["serve"]
+
+    def test_reload_of_adhoc_source_is_structured_500(self, server):
+        status, body, _ = server["client"].post("/reload", {})
+        assert status == 500
+        assert body["error"]["code"] == "reload_failed"
+        # The old generation keeps serving.
+        status, _, _ = server["client"].post(
+            "/search", {"keywords": ["k1"]})
+        assert status == 200
+
+    def test_reload_conflict_while_in_flight(self, server):
+        server["handle"].server._reload_inflight = True
+        try:
+            status, body, _ = server["client"].post("/reload", {})
+            assert status == 409
+            assert body["error"]["code"] == "reload_in_flight"
+        finally:
+            server["handle"].server._reload_inflight = False
+
+    def test_served_query_produces_cli_equivalent_span_tree(self, server):
+        from repro.obs import SpanTracer
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1", "k2"], "k": 3,
+                        "spans": True})
+        assert status == 200
+        served = {span["name"] for span in body["spans"]}
+        tracer = SpanTracer(trace_id="cli")
+        server["service"].search(["k1", "k2"], 3, tracer=tracer)
+        cli = {span.name for span in tracer.finished}
+        # The served tree is the CLI tree under one http.request root.
+        assert cli <= served
+        assert "http.request" in served
+        assert "query" in served
+
+    def test_responses_count_into_metrics(self, server):
+        before = server["collector"].counter("serve.requests")
+        server["client"].get("/health")
+        assert server["collector"].counter("serve.requests") == \
+            before + 1
+
+
+class TestOverloadAndRateLimit:
+    def test_overload_returns_429_with_retry_after(self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(
+            service, ServeConfig(max_inflight=1),
+            faults=parse_faults("slow_query:delay_ms=300"))
+        client = ServerClient(handle.port)
+        results = []
+
+        def one():
+            results.append(client.post("/search",
+                                       {"keywords": ["k1"]}))
+
+        threads = [threading.Thread(target=one) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses.count(200) >= 1
+        assert statuses.count(429) >= 1
+        assert set(statuses) <= {200, 429}
+        for status, body, headers in results:
+            if status == 429:
+                assert body["error"]["code"] == "overloaded"
+                assert int(headers["retry-after"]) >= 1
+        assert handle.stop() == 0
+
+    def test_rate_limit_keyed_by_header(self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(
+            service, ServeConfig(max_inflight=4, rate=0.001, burst=2))
+        client = ServerClient(handle.port)
+        try:
+            alice = {"X-Client-Id": "alice"}
+            bob = {"X-Client-Id": "bob"}
+            assert client.post("/search", {"keywords": ["k1"]},
+                               alice)[0] == 200
+            assert client.post("/search", {"keywords": ["k1"]},
+                               alice)[0] == 200
+            status, body, headers = client.post(
+                "/search", {"keywords": ["k1"]}, alice)
+            assert status == 429
+            assert body["error"]["code"] == "rate_limited"
+            assert "retry-after" in headers
+            # A different client id is a different bucket.
+            assert client.post("/search", {"keywords": ["k1"]},
+                               bob)[0] == 200
+        finally:
+            assert handle.stop() == 0
+
+
+class TestInProcessDrain:
+    def test_drain_completes_inflight_and_refuses_new(self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(
+            service, ServeConfig(max_inflight=2),
+            faults=parse_faults("slow_query:delay_ms=400"))
+        client = ServerClient(handle.port)
+        slow_result = {}
+
+        def slow():
+            slow_result["response"] = client.post(
+                "/search", {"keywords": ["k1"]})
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if handle.server._admission.inflight() > 0:
+                break
+            time.sleep(0.01)
+        assert handle.server._admission.inflight() > 0
+        handle.server.request_stop()
+        thread.join(timeout=10)
+        status, body, _ = slow_result["response"]
+        assert status == 200
+        assert body["service_state"]["epoch"] == 1
+        # The listener is gone: a new connection must be refused.
+        with pytest.raises(OSError):
+            http.client.HTTPConnection(
+                "127.0.0.1", client.port, timeout=2).request(
+                "GET", "/health")
+        assert handle.stop() == 0
+
+
+class TestStartInThread:
+    def test_port_conflict_surfaces_as_error(self, figure1_db):
+        service = QueryService(figure1_db)
+        first = start_in_thread(service, ServeConfig())
+        try:
+            with pytest.raises(ReproError, match="failed to start"):
+                start_in_thread(service,
+                                ServeConfig(port=first.port))
+        finally:
+            assert first.stop() == 0

@@ -1,0 +1,193 @@
+"""End-to-end serving tests: graceful SIGTERM drain and hot reload
+under load, against a real ``repro serve`` subprocess (the fourth
+satellite of the serving PR).
+
+Both scenarios hold a slow in-flight request open (the existing
+``slow_query`` fault via ``REPRO_FAULTS``) and assert it completes on
+the generation it captured while the disruption — shutdown or a
+``POST /reload`` hot swap — happens around it.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.prxml.serializer import write_pxml_file
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM"), reason="needs POSIX signals")
+
+#: k1 queries sleep this long in the engine; k2 queries are fast.
+_SLOW_MS = 1500
+_FAULTS = f"slow_query:terms=k1,delay_ms={_SLOW_MS}"
+
+
+@pytest.fixture()
+def served_database(tmp_path, figure1_doc):
+    """A snapshot-generation database directory for the server."""
+    document = tmp_path / "figure1.pxml"
+    write_pxml_file(figure1_doc, str(document))
+    database = tmp_path / "db"
+    env = dict(os.environ, PYTHONPATH=_src_path())
+    subprocess.run(
+        [sys.executable, "-m", "repro", "index", str(document),
+         str(database)],
+        check=True, env=env, capture_output=True)
+    return database
+
+
+def _src_path():
+    return os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+
+
+def _start_server(database, extra_env=None):
+    """``repro serve`` on an ephemeral port; returns (process, port)."""
+    env = dict(os.environ, PYTHONPATH=_src_path(), **(extra_env or {}))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(database),
+         "--port", "0", "--max-inflight", "4"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+    line = process.stdout.readline()
+    assert "serving on http://" in line, (line, process.stderr.read())
+    port = int(line.split(":")[-1].split(" ")[0].rstrip("/"))
+    return process, port
+
+
+def _request(port, method, path, payload=None, timeout=30):
+    connection = http.client.HTTPConnection("127.0.0.1", port,
+                                            timeout=timeout)
+    try:
+        body = json.dumps(payload).encode() \
+            if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def _wait_for_inflight(port, deadline_s=10.0):
+    """Poll /health until at least one request holds a slot."""
+    limit = time.time() + deadline_s
+    while time.time() < limit:
+        try:
+            _, health = _request(port, "GET", "/health", timeout=5)
+            if health["admission"]["inflight"] > 0:
+                return health
+        except OSError:
+            pass
+        time.sleep(0.02)
+    raise AssertionError("no request became in-flight in time")
+
+
+def _post_in_thread(port, payload, sink):
+    def run():
+        try:
+            sink["response"] = _request(port, "POST", "/search",
+                                        payload)
+        except Exception as error:  # noqa: BLE001 - reported below
+            sink["error"] = error
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    return thread
+
+
+class TestSigtermDrain:
+    def test_inflight_completes_on_its_generation_and_exit_0(
+            self, served_database):
+        process, port = _start_server(
+            served_database, {"REPRO_FAULTS": _FAULTS})
+        try:
+            slow: dict = {}
+            thread = _post_in_thread(port, {"keywords": ["k1"]}, slow)
+            _wait_for_inflight(port)
+
+            process.send_signal(signal.SIGTERM)
+
+            # The listener closes promptly: new connections are
+            # refused while the slow request is still draining.
+            refused = False
+            limit = time.time() + 10.0
+            while time.time() < limit and not refused:
+                try:
+                    _request(port, "GET", "/health", timeout=2)
+                    time.sleep(0.02)
+                except OSError:
+                    refused = True
+            assert refused, "listener stayed open after SIGTERM"
+
+            thread.join(timeout=30)
+            assert "error" not in slow, slow.get("error")
+            status, body = slow["response"]
+            assert status == 200
+            assert body["service_state"]["generation"] == "g00000001"
+            assert body["service_state"]["epoch"] == 1
+
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, (stdout, stderr)
+            assert "Traceback" not in stderr, stderr
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
+class TestReloadUnderLoad:
+    def test_reload_swaps_while_request_in_flight(
+            self, served_database):
+        process, port = _start_server(
+            served_database, {"REPRO_FAULTS": _FAULTS})
+        try:
+            slow: dict = {}
+            thread = _post_in_thread(port, {"keywords": ["k1"]}, slow)
+            health = _wait_for_inflight(port)
+            assert health["epoch"] == 1
+
+            # The reload runs on the event loop's default executor,
+            # not the request pool, so it lands while the slow query
+            # still holds an admission slot.
+            status, body = _request(port, "POST", "/reload", {})
+            assert status == 200, body
+            assert body["epoch"] == 2
+            assert thread.is_alive(), \
+                "reload queued behind the in-flight request"
+
+            # The swap never disrupts the in-flight request: it
+            # completes with a full answer on one consistent state.
+            # The injected stall sits before the service dereferences
+            # its generation (a stall eats its own query's budget), so
+            # the late dereference sees the post-swap state whole.
+            thread.join(timeout=30)
+            assert "error" not in slow, slow.get("error")
+            status, slow_body = slow["response"]
+            assert status == 200
+            assert slow_body["results"]
+            assert slow_body["service_state"]["epoch"] == 2
+
+            # New queries run on the swapped state.
+            status, fresh = _request(port, "POST", "/search",
+                                     {"keywords": ["k2"]})
+            assert status == 200
+            assert fresh["service_state"]["epoch"] == 2
+
+            _, health = _request(port, "GET", "/health")
+            assert health["epoch"] == 2
+            assert health["status"] == "ok"
+
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, (stdout, stderr)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
