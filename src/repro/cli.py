@@ -292,8 +292,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="token-bucket depth (default 20)")
     serve.add_argument("--client-header", default="x-client-id",
                        metavar="NAME", dest="client_header",
-                       help="header naming the rate-limit client "
-                            "(falls back to the peer address)")
+                       help="header naming the rate-limit client; "
+                            "only consulted with "
+                            "--trust-client-header (falls back to "
+                            "the peer address)")
+    serve.add_argument("--trust-client-header", action="store_true",
+                       dest="trust_client_header",
+                       help="key rate-limit buckets on the "
+                            "client-supplied header; only safe "
+                            "behind an authenticating proxy "
+                            "(default: key on the peer address)")
     serve.add_argument("--cache-size", type=int, default=256,
                        metavar="M", dest="cache_size",
                        help="entries per service cache (default 256)")
@@ -845,6 +853,7 @@ def _cmd_serve(options) -> int:
                          max_inflight=options.max_inflight,
                          rate=options.rate, burst=options.burst,
                          client_header=options.client_header.lower(),
+                         trust_client_header=options.trust_client_header,
                          drain_timeout_s=options.drain_timeout)
     server = ServeServer(service, config, collector=collector,
                          faults=faults)

@@ -1,7 +1,9 @@
 """Per-client token-bucket rate limiting for the serving layer.
 
-Each client — identified by the configured header (``X-Client-Id`` by
-default) or, failing that, the peer address — owns one token bucket:
+Each client — identified by the peer address by default, or by the
+configured header (``X-Client-Id``) when the server is told to trust
+it (``trust_client_header``, for deployments behind an authenticating
+proxy) — owns one token bucket:
 ``burst`` tokens deep, refilled at ``rate`` tokens per second.  A
 request costs one token; an empty bucket means 429 with the exact
 ``Retry-After`` until the next token lands.  Buckets live in a bounded

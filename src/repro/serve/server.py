@@ -11,14 +11,20 @@ responsive while searches run.
 
 Request lifecycle (the admission order is deliberate)::
 
-    rate limit (429 per client) -> parse/validate (400, structured)
-        -> admission slot (429 overloaded / 503 draining)
+    rate limit (429 per client) -> admission slot (429 overloaded /
+        503 draining) -> parse/validate (400, structured)
         -> executor thread: fault hook, span, QueryService -> 200
 
 Draining (SIGTERM or :meth:`ServeServer.request_stop`) closes the
-listener and flips the admission latch; in-flight requests finish on
-the generation they captured (`stats["service_state"]` proves it) and
-the process exits 0.  ``POST /reload`` delegates to the same
+listener, flips the admission latch, and proactively closes idle
+keep-alive connections — their handlers are parked in ``readuntil()``
+and would otherwise never observe the latch (on Python >= 3.12.1
+``Server.wait_closed()`` waits for every handler, so shutdown never
+awaits it).  In-flight requests finish on the generation they
+captured (`stats["service_state"]` proves it) with ``Connection:
+close`` on the response; connections still open after
+``drain_timeout_s`` are cancelled, and the process exits 0.
+``POST /reload`` delegates to the same
 :meth:`QueryService.reload` hot-swap path the SIGHUP handler uses,
 answering 409 while one is already in flight.
 
@@ -79,11 +85,18 @@ class ServeConfig:
             once; overflow answers 429 with ``Retry-After``.
         rate/burst: per-client token bucket (requests/second and
             bucket depth); ``rate <= 0`` disables rate limiting.
-        client_header: header naming the client for rate limiting
+        client_header: header naming the client for rate limiting —
+            only consulted when ``trust_client_header`` is set
             (falls back to the peer address).
+        trust_client_header: key rate-limit buckets on the
+            client-supplied ``client_header`` value.  Off by default:
+            an unauthenticated caller could rotate ids to dodge its
+            own bucket and churn the bounded LRU, so identity is the
+            peer address unless an authenticating proxy upstream
+            pins the header (docs/SERVING.md).
         max_body: request body byte cap (413 beyond it).
         drain_timeout_s: how long shutdown waits for in-flight
-            requests before giving up on the stragglers.
+            requests before cancelling the stragglers.
     """
 
     host: str = "127.0.0.1"
@@ -92,8 +105,20 @@ class ServeConfig:
     rate: float = 0.0
     burst: float = 20.0
     client_header: str = "x-client-id"
+    trust_client_header: bool = False
     max_body: int = DEFAULT_MAX_BODY
     drain_timeout_s: float = 30.0
+
+
+@dataclass
+class _Connection:
+    """Per-connection drain state (loop-thread-only, like the rest
+    of the single-writer server state)."""
+
+    writer: asyncio.StreamWriter
+    #: True from request-head read until the response is written —
+    #: drain closes only connections that are *not* busy.
+    busy: bool = False
 
 
 class ServeServer:
@@ -128,7 +153,7 @@ class ServeServer:
         # Loop-thread-only state (see the module docstring).
         self._reload_inflight = False
         self._sequence = 0
-        self._connections: "set[asyncio.Task]" = set()
+        self._connections: "Dict[asyncio.Task, _Connection]" = {}
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self.port: Optional[int] = None
@@ -174,20 +199,39 @@ class ServeServer:
                   self._config.host, self.port,
                   self._config.max_inflight)
         try:
-            async with server:
-                await self._stop.wait()
-                self._admission.begin_drain()
-                server.close()
-                await server.wait_closed()
+            await self._stop.wait()
         finally:
+            self._admission.begin_drain()
+            server.close()
             for signum in restored:
                 loop.remove_signal_handler(signum)
-        _log.info("draining %d in-flight request(s)",
-                  self._admission.inflight())
+        # The listener is closed but wait_closed() is deliberately
+        # never awaited: on Python >= 3.12.1 it blocks until every
+        # connection handler returns, and a handler parked in
+        # readuntil() on an idle keep-alive connection would park
+        # shutdown forever.  Closing idle connections wakes those
+        # handlers; the bounded wait below is the real drain barrier.
+        idle = self._close_idle_connections()
+        _log.info("draining %d in-flight request(s); closed %d idle "
+                  "connection(s)", self._admission.inflight(), idle)
+        timed_out = False
         if self._connections:
-            await asyncio.wait(set(self._connections),
-                               timeout=self._config.drain_timeout_s)
-        self._executor.shutdown(wait=True)
+            _done, pending = await asyncio.wait(
+                set(self._connections),
+                timeout=self._config.drain_timeout_s)
+            if pending:
+                timed_out = True
+                _log.warning(
+                    "cancelling %d connection(s) still open after the "
+                    "%.1fs drain timeout", len(pending),
+                    self._config.drain_timeout_s)
+                for task in pending:
+                    task.cancel()
+                await asyncio.wait(pending, timeout=1.0)
+        # A cancelled straggler's query thread cannot be interrupted;
+        # let it finish on its own rather than blocking the exit.
+        self._executor.shutdown(wait=not timed_out,
+                                cancel_futures=timed_out)
         _log.info("drained; exiting")
         return 0
 
@@ -195,28 +239,51 @@ class ServeServer:
         """Trigger graceful drain from any thread (idempotent)."""
         loop, stop = self._loop, self._stop
         if loop is not None and stop is not None:
-            loop.call_soon_threadsafe(stop.set)
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:  # repro: ignore[R006] loop already closed: drain is done
+                pass
 
     # -- connection handling --------------------------------------------------
+
+    def _close_idle_connections(self) -> int:
+        """Close every connection with no request mid-flight.
+
+        Runs on the loop thread during drain.  Closing the transport
+        wakes the handler out of its ``readuntil()`` with EOF; busy
+        connections are left alone — they finish their request,
+        observe the drain latch, and close themselves.
+        """
+        closed = 0
+        for state in list(self._connections.values()):
+            if not state.busy:
+                state.writer.close()
+                closed += 1
+        return closed
 
     async def _on_connection(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
+        state = _Connection(writer)
         if task is not None:
-            self._connections.add(task)
+            self._connections[task] = state
         try:
-            await self._handle_connection(reader, writer)
+            await self._handle_connection(reader, writer, state)
         finally:
             if task is not None:
-                self._connections.discard(task)
+                self._connections.pop(task, None)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
-                                 writer: asyncio.StreamWriter) -> None:
+                                 writer: asyncio.StreamWriter,
+                                 state: _Connection) -> None:
         peer = writer.get_extra_info("peername")
         client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
             and len(peer) >= 2 else "unknown"
         try:
             while True:
+                if self._admission.draining:
+                    return
+                state.busy = False
                 try:
                     head = await reader.readuntil(b"\r\n\r\n")
                 except (asyncio.IncompleteReadError, ConnectionError):
@@ -228,6 +295,7 @@ class ServeServer:
                         keep_alive=False))
                     await writer.drain()
                     return
+                state.busy = True
                 try:
                     request = parse_head(head, client=client)
                 except ProtocolError as error:
@@ -267,7 +335,7 @@ class ServeServer:
                 response = await self._dispatch(request)
                 writer.write(response)
                 await writer.drain()
-                if not request.keep_alive:
+                if not request.keep_alive or self._admission.draining:
                     return
         finally:
             writer.close()
@@ -278,18 +346,23 @@ class ServeServer:
 
     # -- routing --------------------------------------------------------------
 
+    def _keep(self, request: HttpRequest) -> bool:
+        """Keep-alive unless the client opts out or we are draining —
+        drain responses advertise ``Connection: close`` so the client
+        does not park an idle connection on a dying server."""
+        return request.keep_alive and not self._admission.draining
+
     async def _dispatch(self, request: HttpRequest) -> bytes:
         """Route one request; every failure becomes a structured
         JSON error (the second satellite bugfix: a QueryError is the
         *client's* 400, never this server's 500)."""
-        keep = request.keep_alive
         if self._collector.enabled:
             self._collector.count("serve.requests")
         try:
             if request.path == "/health":
                 self._require_method(request, "GET")
                 return json_response(200, self._health_payload(),
-                                     keep_alive=keep)
+                                     keep_alive=self._keep(request))
             if request.path == "/metrics":
                 self._require_method(request, "GET")
                 return self._metrics_response(request)
@@ -306,11 +379,11 @@ class ServeServer:
                            f"unknown path {request.path!r}")
         except ApiError as error:
             self._count_error(error.code)
-            return error_response(error, keep_alive=keep)
+            return error_response(error, keep_alive=self._keep(request))
         except QueryError as error:
             api = query_error_to_api(error)
             self._count_error(api.code)
-            return error_response(api, keep_alive=keep)
+            return error_response(api, keep_alive=self._keep(request))
         except Exception as error:  # noqa: BLE001 - boundary backstop
             _log.exception("unhandled error serving %s %s",
                            request.method, request.path)
@@ -318,7 +391,7 @@ class ServeServer:
             return error_response(
                 ApiError(500, "internal",
                          f"{type(error).__name__}: {error}"),
-                keep_alive=keep)
+                keep_alive=self._keep(request))
 
     def _require_method(self, request: HttpRequest,
                         method: str) -> None:
@@ -333,9 +406,20 @@ class ServeServer:
     # -- admission ------------------------------------------------------------
 
     def _admit(self, request: HttpRequest) -> None:
-        """Rate limit then claim a slot (raises the 429/503 family)."""
-        client = request.headers.get(self._config.client_header,
-                                     "") or request.client
+        """Rate limit then claim a slot (raises the 429/503 family).
+
+        Runs *before* the body is parsed, so a rejected client never
+        costs a JSON decode on the event-loop thread.  The rate-limit
+        identity is the peer address (port stripped — one bucket per
+        host, not per connection); the ``client_header`` value is
+        honoured only under ``trust_client_header``, because an
+        unauthenticated caller could rotate ids to dodge its bucket
+        and churn the LRU.
+        """
+        client = request.client.rsplit(":", 1)[0] or request.client
+        if self._config.trust_client_header:
+            client = request.headers.get(self._config.client_header,
+                                         "") or client
         delay = self._ratelimit.check(client)
         if delay is not None:
             raise ApiError(429, "rate_limited",
@@ -353,9 +437,9 @@ class ServeServer:
     # -- /search and /batch ---------------------------------------------------
 
     async def _search(self, request: HttpRequest) -> bytes:
-        params = parse_search_request(request.json())
         self._admit(request)
         try:
+            params = parse_search_request(request.json())
             self._sequence += 1
             loop = asyncio.get_running_loop()
             payload = await loop.run_in_executor(
@@ -364,7 +448,7 @@ class ServeServer:
         finally:
             self._admission.release()
         return json_response(200, payload,
-                             keep_alive=request.keep_alive)
+                             keep_alive=self._keep(request))
 
     def _run_search(self, params: SearchRequest, sequence: int,
                     client: str) -> Dict[str, Any]:
@@ -389,9 +473,9 @@ class ServeServer:
         return payload
 
     async def _batch(self, request: HttpRequest) -> bytes:
-        params = parse_batch_request(request.json())
         self._admit(request)
         try:
+            params = parse_batch_request(request.json())
             self._sequence += 1
             loop = asyncio.get_running_loop()
             payload = await loop.run_in_executor(
@@ -400,7 +484,7 @@ class ServeServer:
         finally:
             self._admission.release()
         return json_response(200, payload,
-                             keep_alive=request.keep_alive)
+                             keep_alive=self._keep(request))
 
     def _run_batch(self, params: BatchRequest, sequence: int,
                    client: str) -> Dict[str, Any]:
@@ -478,7 +562,7 @@ class ServeServer:
                 [], 0, "serve", "slca", outcome,
                 elapsed_ms=self._watch.elapsed * 1000.0)
             return json_response(200, report,
-                                 keep_alive=request.keep_alive)
+                                 keep_alive=self._keep(request))
         lines = prometheus_lines(collector.snapshot())
         lines.extend(quantile_lines(collector.quantile_snapshot()))
         lines.extend(self._serve_sample_lines())
@@ -486,7 +570,7 @@ class ServeServer:
         return render_response(
             200, body,
             content_type="text/plain; version=0.0.4; charset=utf-8",
-            keep_alive=request.keep_alive)
+            keep_alive=self._keep(request))
 
     def _hup_reload(self) -> None:
         """The SIGHUP handler: same hot-swap path as ``POST /reload``
@@ -529,7 +613,7 @@ class ServeServer:
         return json_response(200,
                              {"generation": state.generation,
                               "epoch": state.epoch},
-                             keep_alive=request.keep_alive)
+                             keep_alive=self._keep(request))
 
 
 # -- embedding helpers --------------------------------------------------------

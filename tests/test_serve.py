@@ -464,10 +464,11 @@ class TestOverloadAndRateLimit:
                 assert int(headers["retry-after"]) >= 1
         assert handle.stop() == 0
 
-    def test_rate_limit_keyed_by_header(self, figure1_db):
+    def test_rate_limit_keyed_by_trusted_header(self, figure1_db):
         service = QueryService(figure1_db)
         handle = start_in_thread(
-            service, ServeConfig(max_inflight=4, rate=0.001, burst=2))
+            service, ServeConfig(max_inflight=4, rate=0.001, burst=2,
+                                 trust_client_header=True))
         client = ServerClient(handle.port)
         try:
             alice = {"X-Client-Id": "alice"}
@@ -484,6 +485,23 @@ class TestOverloadAndRateLimit:
             # A different client id is a different bucket.
             assert client.post("/search", {"keywords": ["k1"]},
                                bob)[0] == 200
+        finally:
+            assert handle.stop() == 0
+
+    def test_header_is_ignored_without_trust(self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(
+            service, ServeConfig(max_inflight=4, rate=0.001, burst=2))
+        client = ServerClient(handle.port)
+        try:
+            # By default identity is the peer address, so rotating
+            # client ids cannot dodge the bucket or churn the LRU.
+            for index, expected in enumerate((200, 200, 429)):
+                status, _, _ = client.post(
+                    "/search", {"keywords": ["k1"]},
+                    {"X-Client-Id": f"sock-puppet-{index}"})
+                assert status == expected
+            assert handle.server._ratelimit.stats()["clients"] == 1
         finally:
             assert handle.stop() == 0
 
@@ -511,15 +529,70 @@ class TestInProcessDrain:
         assert handle.server._admission.inflight() > 0
         handle.server.request_stop()
         thread.join(timeout=10)
-        status, body, _ = slow_result["response"]
+        status, body, headers = slow_result["response"]
         assert status == 200
         assert body["service_state"]["epoch"] == 1
+        # A response written during drain tells the client to close.
+        assert headers["connection"] == "close"
         # The listener is gone: a new connection must be refused.
         with pytest.raises(OSError):
             http.client.HTTPConnection(
                 "127.0.0.1", client.port, timeout=2).request(
                 "GET", "/health")
         assert handle.stop() == 0
+
+    def test_idle_keep_alive_connection_does_not_block_drain(
+            self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(service, ServeConfig(max_inflight=2))
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", handle.port, timeout=10)
+        try:
+            connection.request("GET", "/health")
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            assert response.getheader("Connection") == "keep-alive"
+            # The connection stays open and idle; drain must close it
+            # rather than wait out the 30s drain timeout (or, on
+            # Python >= 3.12.1, hang in Server.wait_closed forever).
+            started = time.time()
+            assert handle.stop(timeout_s=5.0) == 0
+            assert time.time() - started < 5.0
+        finally:
+            connection.close()
+
+    def test_stragglers_are_cancelled_at_drain_timeout(
+            self, figure1_db):
+        service = QueryService(figure1_db)
+        handle = start_in_thread(
+            service, ServeConfig(max_inflight=2, drain_timeout_s=0.3),
+            faults=parse_faults("slow_query:delay_ms=3000"))
+        client = ServerClient(handle.port)
+        slow_result = {}
+
+        def slow():
+            try:
+                slow_result["response"] = client.post(
+                    "/search", {"keywords": ["k1"]})
+            except OSError as error:
+                slow_result["error"] = error
+
+        thread = threading.Thread(target=slow)
+        thread.start()
+        deadline = time.time() + 5.0
+        while time.time() < deadline:
+            if handle.server._admission.inflight() > 0:
+                break
+            time.sleep(0.01)
+        assert handle.server._admission.inflight() > 0
+        started = time.time()
+        # The 3s query outlives the 0.3s drain budget: its connection
+        # is cancelled and the server still exits 0, promptly.
+        assert handle.stop(timeout_s=10.0) == 0
+        assert time.time() - started < 2.5
+        thread.join(timeout=10)
+        assert "response" in slow_result or "error" in slow_result
 
 
 class TestStartInThread:

@@ -142,6 +142,36 @@ class TestSigtermDrain:
                 process.communicate()
 
 
+class TestSigtermWithIdleKeepAlive:
+    def test_idle_connection_does_not_block_exit(
+            self, served_database):
+        """An idle keep-alive connection must not stall SIGTERM: its
+        handler is parked in readuntil(), so the server has to close
+        it proactively instead of awaiting Server.wait_closed() (which
+        on Python >= 3.12.1 waits for every handler) or burning the
+        full 30s drain timeout."""
+        process, port = _start_server(served_database)
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=10)
+        try:
+            connection.request("GET", "/health")
+            response = connection.getresponse()
+            health = json.loads(response.read())
+            assert response.status == 200
+            assert health["status"] == "ok"
+
+            # The connection stays open and idle across the SIGTERM.
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=15)
+            assert process.returncode == 0, (stdout, stderr)
+            assert "Traceback" not in stderr, stderr
+        finally:
+            connection.close()
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+
+
 class TestReloadUnderLoad:
     def test_reload_swaps_while_request_in_flight(
             self, served_database):
