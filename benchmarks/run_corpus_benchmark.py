@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Record the corpus scatter-gather benchmark as ``BENCH_corpus.json``.
+
+Generates many distinct DBLP-style p-documents, shards them into a
+corpus, and measures the bound-driven scatter-gather search against
+single-document brute force over the concatenated corpus: wall-time
+speedup, per-shard prune/skip rates, and bit-identity of every
+answer list (serial, thread, and process executors).
+
+Run:  python benchmarks/run_corpus_benchmark.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.bench.corpus import run_corpus_benchmark
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.probabilistic import make_probabilistic
+
+_DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_corpus.json")
+
+
+def _make_documents(count: int, publications: int, seed: int):
+    documents = []
+    for position in range(count):
+        doc_seed = seed + 101 * position
+        plain = generate_dblp(publications=publications, seed=doc_seed)
+        documents.append((f"dblp-{position:02d}",
+                          make_probabilistic(plain, seed=doc_seed)))
+    return documents
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=12,
+                        help="distinct p-documents (default 12)")
+    parser.add_argument("--publications", type=int, default=400,
+                        help="DBLP records per document (default 400)")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="corpus shard count (default 4)")
+    parser.add_argument("--strategy", default="hash",
+                        choices=("hash", "size"))
+    parser.add_argument("--queries", type=int, default=10,
+                        help="distinct sampled queries (default 10)")
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread fan-out width (default 4)")
+    parser.add_argument("--seed", type=int, default=673)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for smoke runs: 6 "
+                             "documents x 120 records, 3 shards, "
+                             "6 queries")
+    parser.add_argument("-o", "--output", default=_DEFAULT_OUTPUT)
+    options = parser.parse_args(argv)
+
+    if options.quick:
+        options.documents, options.publications = 6, 120
+        options.shards, options.queries = 3, 6
+
+    documents = _make_documents(options.documents,
+                                options.publications, options.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-corpus-") \
+            as directory:
+        report = run_corpus_benchmark(
+            documents, directory, shards=options.shards,
+            strategy=options.strategy,
+            distinct_queries=options.queries, k=options.k,
+            workers=options.workers, seed=options.seed)
+
+    with open(options.output, "w", encoding="utf-8") as sink:
+        json.dump(report, sink, indent=2)
+        sink.write("\n")
+
+    corpus = report["corpus"]
+    print(f"corpus: {corpus['documents']} documents, "
+          f"{corpus['nodes']} nodes, {corpus['shards']} shards "
+          f"({corpus['strategy']}), built in {corpus['build_ms']} ms")
+    print(f"baseline brute force: {report['baseline']['total_ms']} ms "
+          f"over {report['workload']['distinct_queries']} queries")
+    for name, phase in report["executors"].items():
+        print(f"{name}: {phase['total_ms']} ms "
+              f"(speedup vs baseline {phase['speedup_vs_baseline']}x), "
+              f"{phase['shards_searched']} searched / "
+              f"{phase['shards_pruned']} pruned / "
+              f"{phase['shards_no_match']} no-match "
+              f"of {phase['shard_visits']} shard visits "
+              f"(prune rate {phase['prune_rate']})")
+    print(f"scatter-gather speedup (serial/thread): "
+          f"{report['scatter_gather_speedup']}x")
+    print(f"identical_results={report['identical_results']} "
+          f"prunes_fired={report['prunes_fired']}")
+    print(f"report written to {options.output}")
+    ok = report["identical_results"] and report["prunes_fired"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

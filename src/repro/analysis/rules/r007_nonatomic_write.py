@@ -9,8 +9,9 @@ the destination by :func:`repro.index.storage._atomic_write`, and the
 snapshot commit point is one atomic ``CURRENT`` rename.
 
 This rule guards that invariant where it matters: inside
-``repro/index/`` and ``repro/service/`` (the packages that own
-persistent state), any call that opens a file for writing — ``open``
+``repro/index/``, ``repro/service/`` and ``repro/corpus/`` (the
+packages that own persistent state), any call that opens a file for
+writing — ``open``
 with a ``w``/``a``/``x``/``+`` mode, ``os.open`` with ``O_WRONLY`` /
 ``O_RDWR``, or a ``.write_text()`` / ``.write_bytes()`` convenience
 call — is flagged unless it happens inside the blessed
@@ -26,7 +27,7 @@ from typing import Iterator
 from repro.analysis.linter import Finding, SourceModule
 
 #: Path fragments naming the packages that own persistent state.
-GUARDED_FRAGMENTS = ("repro/index/", "repro/service/")
+GUARDED_FRAGMENTS = ("repro/index/", "repro/service/", "repro/corpus/")
 
 #: The one function allowed to open files for writing in there.
 BLESSED_FUNCTION = "_atomic_write"

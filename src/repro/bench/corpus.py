@@ -1,0 +1,207 @@
+"""Corpus scatter-gather benchmark: speedup, prune rates, identity.
+
+Builds a sharded corpus from many p-documents, then runs one sampled
+keyword workload three ways:
+
+* **baseline** — single-document brute force: plain
+  :func:`topk_search` over the whole corpus concatenated under one
+  synthetic root (no shards, no bounds — the correctness oracle).
+* **serial** — :meth:`CorpusService.search` visiting shards one by
+  one in bound order, so the k-th-probability prune condition gets
+  its best shot (``shards_pruned`` counts how often it fired).
+* **thread** — the same search scattered across a thread pool and
+  merged; ``scatter_gather_speedup`` is serial wall time over thread
+  wall time.
+
+Every corpus answer list — serial, thread, and one process-executor
+probe per query — must be bit-identical to the baseline's (after
+dropping the synthetic root, the only candidate concatenation adds).
+``benchmarks/run_corpus_benchmark.py`` writes the report to
+``BENCH_corpus.json``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.api import topk_search
+from repro.corpus import CorpusService, build_corpus, concat_documents
+from repro.datagen.workload import WorkloadSpec, sample_workload
+from repro.index.storage import Database
+from repro.obs.metrics import MetricsCollector, Stopwatch
+from repro.prxml.model import PDocument
+
+#: Version tag of the emitted report.
+CORPUS_SCHEMA_ID = "repro.bench/corpus-v1"
+
+_LATENCY_METRIC = "bench.corpus"
+
+
+def oracle_signature(database: Database, keywords: Sequence[str],
+                     k: int) -> List[Tuple[str, float]]:
+    """The brute-force answer over the concatenated corpus.
+
+    Searches with ``k + 1`` and drops codes shorter than two
+    components — the synthetic concatenation root, which the corpus
+    merge filters the same way — then truncates back to ``k``.
+    """
+    outcome = topk_search(database, list(keywords), k + 1)
+    rows = [(str(result.code), result.probability)
+            for result in outcome.results
+            if len(result.code.positions) >= 2]
+    return rows[:k]
+
+
+def corpus_signature(outcome) -> List[Tuple[str, float]]:
+    return [(str(result.code), result.probability)
+            for result in outcome.results]
+
+
+def run_corpus_benchmark(documents: Sequence[Tuple[str, PDocument]],
+                         directory: str,
+                         shards: int = 4,
+                         strategy: str = "hash",
+                         distinct_queries: int = 10,
+                         k: int = 5,
+                         workers: int = 4,
+                         seed: int = 673) -> Dict[str, object]:
+    """One full corpus measurement; returns the JSON-ready report."""
+    rng = random.Random(seed)
+
+    build_watch = Stopwatch().start()
+    manifest = build_corpus(documents, directory, shards=shards,
+                            strategy=strategy)
+    build_ms = build_watch.elapsed * 1000.0
+
+    oracle = Database.from_document(concat_documents(documents))
+
+    # Two workload slices: *common* queries (mid-frequency terms,
+    # full k) measure scatter-gather throughput; *selective* queries
+    # (rare term pairs, k=1) are the regime where a shard's bound can
+    # fall below the k-th probability, so the prune condition
+    # demonstrably fires — with answers still bit-identical.
+    common_spec = WorkloadSpec(queries=distinct_queries,
+                               terms_per_query=2,
+                               min_frequency=5, max_frequency=400)
+    selective_spec = WorkloadSpec(queries=distinct_queries,
+                                  terms_per_query=2,
+                                  min_frequency=2, max_frequency=80)
+    workload: List[Tuple[List[str], int, str]] = \
+        [(list(query), k, "common")
+         for query in sample_workload(oracle.index, common_spec,
+                                      rng=rng)] + \
+        [(list(query), 1, "selective")
+         for query in sample_workload(oracle.index, selective_spec,
+                                      rng=rng)]
+
+    service = CorpusService(directory)
+    latencies = MetricsCollector()
+
+    report: Dict[str, object] = {
+        "schema": CORPUS_SCHEMA_ID,
+        "workload": {
+            "distinct_queries": len(workload),
+            "common_queries": distinct_queries,
+            "selective_queries": distinct_queries,
+            "k": k,
+            "seed": seed,
+        },
+        "corpus": {
+            "shards": manifest.shard_count,
+            "strategy": manifest.strategy,
+            "documents": len(manifest.documents),
+            "nodes": sum(doc.nodes for doc in manifest.documents),
+            "build_ms": round(build_ms, 3),
+        },
+    }
+
+    oracle_rows = {}
+    identical = True
+
+    # Baseline: brute force over the concatenation, once per query.
+    baseline_watch = Stopwatch().start()
+    for index, (keywords, query_k, _) in enumerate(workload):
+        watch = Stopwatch().start()
+        oracle_rows[index] = oracle_signature(oracle, keywords,
+                                              query_k)
+        latencies.observe(f"{_LATENCY_METRIC}.baseline",
+                          watch.elapsed * 1000.0)
+    baseline_ms = baseline_watch.elapsed * 1000.0
+    report["baseline"] = {
+        "total_ms": round(baseline_ms, 3),
+        "latency_ms": _quantiles(latencies,
+                                 f"{_LATENCY_METRIC}.baseline"),
+    }
+
+    executors: Dict[str, Dict[str, object]] = {}
+    totals: Dict[str, float] = {}
+    for executor in ("serial", "thread"):
+        counts = {"searched": 0, "pruned": 0, "no_match": 0,
+                  "failed": 0}
+        selective_pruned = 0
+        metric = f"{_LATENCY_METRIC}.{executor}"
+        phase_watch = Stopwatch().start()
+        for index, (keywords, query_k, slice_name) \
+                in enumerate(workload):
+            watch = Stopwatch().start()
+            outcome = service.search(keywords, k=query_k,
+                                     executor=executor,
+                                     workers=workers)
+            latencies.observe(metric, watch.elapsed * 1000.0)
+            stats = outcome.stats["corpus"]
+            for name in counts:
+                counts[name] += stats[name]
+            if slice_name == "selective":
+                selective_pruned += stats["pruned"]
+            if corpus_signature(outcome) != oracle_rows[index]:
+                identical = False
+        total_ms = phase_watch.elapsed * 1000.0
+        totals[executor] = total_ms
+        visits = len(workload) * manifest.shard_count
+        executors[executor] = {
+            "total_ms": round(total_ms, 3),
+            "latency_ms": _quantiles(latencies, metric),
+            "speedup_vs_baseline": _ratio(baseline_ms, total_ms),
+            "workers": 1 if executor == "serial" else workers,
+            "shards_searched": counts["searched"],
+            "shards_pruned": counts["pruned"],
+            "shards_pruned_selective": selective_pruned,
+            "shards_no_match": counts["no_match"],
+            "shards_failed": counts["failed"],
+            "shard_visits": visits,
+            "prune_rate": _ratio(counts["pruned"], visits),
+            "skip_rate": _ratio(counts["pruned"] + counts["no_match"],
+                                visits),
+        }
+    report["executors"] = executors
+    report["scatter_gather_speedup"] = _ratio(totals["serial"],
+                                              totals["thread"])
+
+    # One process-executor probe per query: identity only (a pool
+    # spawn per search would dominate any timing signal).
+    for index, (keywords, query_k, _) in enumerate(workload):
+        outcome = service.search(keywords, k=query_k,
+                                 executor="process",
+                                 workers=min(workers, 2))
+        if corpus_signature(outcome) != oracle_rows[index]:
+            identical = False
+
+    serial = executors["serial"]
+    report["identical_results"] = identical
+    # The serial executor's counts are deterministic (pool timing can
+    # legitimately search a shard the serial plan would have pruned).
+    report["prunes_fired"] = bool(serial["shards_pruned"])
+    return report
+
+
+def _quantiles(latencies: MetricsCollector,
+               metric: str) -> Dict[str, float]:
+    quantile = lambda q: round(  # noqa: E731
+        latencies.percentile(metric, q, kind="histograms"), 3)
+    return {"p50": quantile(0.5), "p99": quantile(0.99),
+            "max": quantile(1.0)}
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return round(numerator / denominator, 3) if denominator else 0.0

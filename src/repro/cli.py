@@ -22,6 +22,10 @@ Subcommands::
     repro fsck site.db --repair
     repro snapshot site.db --list
     repro batch site.db queries.txt --reload-on HUP
+    repro corpus build a.pxml b.pxml c.pxml -o corpus.db --shards 4
+    repro corpus search corpus.db united states -k 10 --executor thread
+    repro corpus fsck corpus.db --repair
+    repro serve corpus.db --port 8080
 
 ``python -m repro ...`` works identically.  The global ``-v/--verbose``
 flag (before the subcommand) enables DEBUG logging for the whole
@@ -316,6 +320,62 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--faults-seed", type=int, default=0,
                        metavar="N", dest="faults_seed",
                        help="seed for probabilistic (rate=) faults")
+
+    corpus = commands.add_parser(
+        "corpus", help="shard many p-documents into one searchable "
+                       "corpus; scatter-gather top-k with bound-driven "
+                       "shard pruning (docs/CORPUS.md)")
+    corpus_commands = corpus.add_subparsers(dest="corpus_command",
+                                            required=True)
+
+    corpus_build = corpus_commands.add_parser(
+        "build", help="shard .pxml documents into a corpus directory")
+    corpus_build.add_argument("documents", nargs="+",
+                              help=".pxml files; argument order is the "
+                                   "corpus's global document order")
+    corpus_build.add_argument("-o", "--out", required=True,
+                              help="corpus directory to create/overwrite")
+    corpus_build.add_argument("--shards", type=int, default=4,
+                              help="shard count (default 4)")
+    corpus_build.add_argument("--strategy", default="hash",
+                              choices=("hash", "size"),
+                              help="document placement: 'hash' is "
+                                   "stable under re-builds, 'size' "
+                                   "balances node counts (default hash)")
+
+    corpus_search = corpus_commands.add_parser(
+        "search", help="top-k search across all shards, merged into "
+                       "one global answer list")
+    corpus_search.add_argument("corpus", help="corpus directory")
+    corpus_search.add_argument("keywords", nargs="+")
+    corpus_search.add_argument("-k", type=int, default=10)
+    corpus_search.add_argument("--algorithm", default="eager",
+                               choices=[choice.value
+                                        for choice in Algorithm])
+    corpus_search.add_argument("--semantics", default="slca",
+                               choices=("slca", "elca"))
+    corpus_search.add_argument("--executor", default="serial",
+                               choices=("serial", "thread", "process"),
+                               help="shard fan-out model (default "
+                                    "serial)")
+    corpus_search.add_argument("--workers", type=int, default=None,
+                               help="concurrent shard searches "
+                                    "(default: min(4, shards))")
+    corpus_search.add_argument("--deadline-ms", type=float, default=None,
+                               metavar="MS", dest="deadline_ms",
+                               help="whole-query wall-clock budget "
+                                    "shared by every shard")
+    corpus_search.add_argument("--json", action="store_true",
+                               help="print the outcome as JSON (results "
+                                    "plus corpus scatter/prune stats)")
+
+    corpus_fsck = corpus_commands.add_parser(
+        "fsck", help="fsck every shard's database directory; damaged "
+                     "shards quarantine without taking the corpus down")
+    corpus_fsck.add_argument("corpus", help="corpus directory")
+    corpus_fsck.add_argument("--repair", action="store_true",
+                             help="repair/quarantine damaged shard "
+                                  "files (docs/STORAGE.md)")
     return parser
 
 
@@ -836,17 +896,107 @@ def _cmd_check(options) -> int:
     return 0
 
 
+def _cmd_corpus(options) -> int:
+    if options.corpus_command == "build":
+        return _cmd_corpus_build(options)
+    if options.corpus_command == "search":
+        return _cmd_corpus_search(options)
+    return _cmd_corpus_fsck(options)
+
+
+def _cmd_corpus_build(options) -> int:
+    from repro.corpus import build_corpus
+    documents = []
+    for path in options.documents:
+        documents.append((path, parse_pxml_file(path)))
+    with Stopwatch() as watch:
+        manifest = build_corpus(documents, options.out,
+                                shards=options.shards,
+                                strategy=options.strategy)
+    total_nodes = sum(doc.nodes for doc in manifest.documents)
+    print(f"built corpus {options.out}: {len(manifest.documents)} "
+          f"document(s), {total_nodes} nodes across "
+          f"{manifest.shard_count} shard(s) ({manifest.strategy}) "
+          f"in {watch.elapsed:.2f}s")
+    for shard in range(manifest.shard_count):
+        members = manifest.shard_documents(shard)
+        nodes = sum(doc.nodes for doc in members)
+        print(f"  {manifest.shard_names[shard]}: {len(members)} "
+              f"document(s), {nodes} nodes")
+    return 0
+
+
+def _cmd_corpus_search(options) -> int:
+    from repro.corpus import CorpusService
+    collector = MetricsCollector()
+    service = CorpusService(options.corpus, collector=collector)
+    with Stopwatch() as watch:
+        outcome = service.search(options.keywords, k=options.k,
+                                 algorithm=options.algorithm,
+                                 semantics=options.semantics,
+                                 executor=options.executor,
+                                 workers=options.workers,
+                                 deadline=options.deadline_ms)
+    corpus_stats = outcome.stats["corpus"]
+    if options.json:
+        payload = {
+            "results": [{"code": str(result.code),
+                         "label": result.label,
+                         "probability": result.probability}
+                        for result in outcome],
+            "partial": outcome.partial,
+            "termination_reason": outcome.termination_reason,
+            "corpus": corpus_stats,
+            "elapsed_ms": watch.elapsed_ms,
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    marker = (f" [PARTIAL: {outcome.termination_reason}]"
+              if outcome.partial else "")
+    print(f"{len(outcome)} answer(s) in {watch.elapsed_ms:.1f} ms "
+          f"({options.algorithm}, {options.semantics}, "
+          f"{corpus_stats['executor']}){marker}")
+    print(f"shards: {corpus_stats['searched']} searched, "
+          f"{corpus_stats['pruned']} pruned, "
+          f"{corpus_stats['no_match']} without matches, "
+          f"{corpus_stats['failed']} failed "
+          f"of {corpus_stats['shards']}")
+    for rank, result in enumerate(outcome, start=1):
+        print(f"{rank:3d}. Pr={result.probability:.6f}  "
+              f"<{result.label}> {result.code}")
+    return 0
+
+
+def _cmd_corpus_fsck(options) -> int:
+    from repro.corpus import corpus_fsck
+    status = 0
+    for shard, report in corpus_fsck(options.corpus,
+                                     repair=options.repair):
+        for line in report.lines():
+            print(f"[{shard}] {line}")
+        status = max(status, report.exit_code())
+    return status
+
+
 def _cmd_serve(options) -> int:
     import asyncio
+    from repro.corpus import CorpusService, is_corpus_directory
     from repro.resilience import parse_faults
     from repro.resilience.faults import faults_from_env
     from repro.serve import ServeConfig, ServeServer
     from repro.service import QueryService
 
-    database = _open_database(options.source)
     collector = MetricsCollector()
-    service = QueryService(database, cache_size=options.cache_size,
-                           collector=collector)
+    if (not options.source.endswith(".pxml")
+            and is_corpus_directory(options.source)):
+        service = CorpusService(options.source,
+                                cache_size=options.cache_size,
+                                collector=collector)
+    else:
+        database = _open_database(options.source)
+        service = QueryService(database, cache_size=options.cache_size,
+                               collector=collector)
     faults = (parse_faults(options.faults, seed=options.faults_seed)
               if options.faults else faults_from_env())
     config = ServeConfig(host=options.host, port=options.port,
@@ -883,6 +1033,7 @@ _HANDLERS = {
     "fsck": _cmd_fsck,
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
+    "corpus": _cmd_corpus,
 }
 
 

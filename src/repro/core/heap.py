@@ -19,6 +19,7 @@ import heapq
 from typing import Dict, List
 
 from repro.analysis.sanitizer import NULL_SANITIZER, SanitizerLike
+from repro.core.order import result_order_key
 from repro.core.result import SLCAResult
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError
@@ -36,14 +37,15 @@ class _Entry:
         self.code = code
 
     def __lt__(self, other: "_Entry") -> bool:
-        # Bitwise comparison is required here: a total order over heap
-        # entries must treat any two distinct floats as distinct, or
-        # the document-order tiebreak would kick in for nearly-equal
-        # probabilities and break the PrStack/EagerTopK answer-set
-        # identity that the tests pin down.
-        if self.probability != other.probability:  # repro: ignore[R001] exact comparator
-            return self.probability < other.probability
-        return self.code.positions > other.code.positions
+        # Worst-first is the exact reverse of the shared result order
+        # (repro.core.order): the entry the global order ranks *later*
+        # sits at the heap top.  The key compares probabilities
+        # bitwise — a total order over heap entries must treat any two
+        # distinct floats as distinct, or the document-order tiebreak
+        # would kick in for nearly-equal probabilities and break the
+        # PrStack/EagerTopK answer-set identity the tests pin down.
+        return (result_order_key(other.code, other.probability)
+                < result_order_key(self.code, self.probability))
 
 
 class TopKHeap:
@@ -162,6 +164,6 @@ class TopKHeap:
     def results(self) -> List[SLCAResult]:
         """Answers sorted by probability descending, document order on ties."""
         ordered = sorted(self._best.items(),
-                         key=lambda item: (-item[1], item[0].positions))
+                         key=lambda item: result_order_key(item[0], item[1]))
         return [SLCAResult(code=code, probability=probability)
                 for code, probability in ordered]

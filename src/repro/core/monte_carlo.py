@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.core import order
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.exceptions import QueryError
 from repro.index.inverted import InvertedIndex
@@ -91,8 +92,7 @@ def monte_carlo_search(index: InvertedIndex, keywords: Iterable[str],
                             node=document.node_by_id(node_id))
         estimates.append(EstimatedResult(result, stderr, hits, samples))
 
-    estimates.sort(key=lambda e: (-e.result.probability,
-                                  e.result.code.positions))
+    estimates.sort(key=lambda e: order.sort_key(e.result))
     top = estimates[:k]
     stats = {
         "algorithm": "monte_carlo",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+from repro.core import order
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.index.inverted import InvertedIndex
 from repro.obs.metrics import Collector, NULL_COLLECTOR
@@ -59,8 +60,7 @@ def possible_worlds_search(index: InvertedIndex, keywords: Iterable[str],
                    node=encoded.document.node_by_id(node_id))
         for node_id, probability in probability_of.items()
     ]
-    results.sort(key=lambda result: (-result.probability,
-                                     result.code.positions))
+    results.sort(key=order.sort_key)
     return SearchOutcome(
         results=results[:k],
         stats={

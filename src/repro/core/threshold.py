@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
+from repro.core import order
 from repro.core.engine import StackEngine, StackItem
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.encoding.dewey import DeweyCode
@@ -58,7 +59,6 @@ def threshold_search(index: InvertedIndex, keywords: Iterable[str],
         engine.feed(StackItem(entry.code, entry.link, entry.mask))
     engine.finish()
 
-    collected.sort(key=lambda result: (-result.probability,
-                                       result.code.positions))
+    collected.sort(key=order.sort_key)
     outcome.results = collected
     return outcome

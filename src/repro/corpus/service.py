@@ -1,0 +1,884 @@
+"""CorpusService: bound-driven scatter-gather over shard services.
+
+One :class:`CorpusService` wraps one :class:`~repro.service.QueryService`
+per shard and answers the same ``search``/``batch_search`` contract the
+single-document service does, so the HTTP serving layer (docs/SERVING.md)
+can sit in front of either without knowing which it got.
+
+A query runs as a *scatter* over the shards and a *gather* into one
+global :class:`~repro.core.heap.TopKHeap`:
+
+1. Every shard's query bound — the minimum over the query terms of its
+   persisted per-term probability bounds (``BOUNDS.json``,
+   :mod:`repro.corpus.builder`) — is computed up front, and shards are
+   visited most-promising-first.
+2. A shard whose bound is 0 has no world containing every term; it is
+   skipped outright (``no_match``).
+3. Once the global heap holds k results, a shard whose bound is
+   *strictly below* the current k-th probability cannot contribute —
+   an equal bound might still enter on the document-order tiebreak, so
+   the comparison is strict (see :meth:`TopKHeap.threshold`) — and is
+   pruned without being searched (``pruned``).  Prune decisions depend
+   on completion order, but the answer set never does: a pruned shard
+   provably cannot change it.
+4. Searched shards run on the serial, thread, or process executor; a
+   shard-local answer's Dewey code rewrites to the global code by
+   swapping its document-position component per the corpus manifest.
+
+Per-shard failures degrade instead of failing the query: a shard whose
+executor task dies is retried serially in the coordinator, and a shard
+that cannot be loaded at all (e.g. quarantined by fsck) is reported in
+``stats["corpus"]`` on a *partial* outcome while the healthy shards
+still answer.  ``corpus.*`` metrics count searches, prunes, skips,
+degradations, and failures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import threading
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, Future,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import (Any, Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple, Union)
+
+from repro.core import Algorithm
+from repro.core.api import validate_query
+from repro.core.heap import TopKHeap
+from repro.core.result import SearchOutcome, SLCAResult
+from repro.corpus.builder import (CorpusManifest, compute_bounds,
+                                  load_corpus_manifest, read_bounds)
+from repro.encoding.dewey import DeweyCode
+from repro.exceptions import QueryError, ReproError, StorageError
+from repro.index.fsck import FsckReport, fsck_database
+from repro.index.tokenizer import normalize_query
+from repro.obs.metrics import Collector, NULL_COLLECTOR, Stopwatch
+from repro.resilience.deadline import (Deadline, DeadlineLike,
+                                       REASON_DEADLINE, as_deadline)
+from repro.service.service import (BatchOutcome, DEFAULT_CACHE_SIZE,
+                                   EXECUTORS, QueryService)
+
+_log = logging.getLogger("repro.corpus")
+
+#: Termination reason when one or more shards could not contribute.
+REASON_SHARD_FAILURE = "shard_failure"
+
+#: Shard actions recorded per query in ``stats["corpus"]["detail"]``.
+ACTION_SEARCHED = "searched"
+ACTION_PRUNED = "pruned"
+ACTION_NO_MATCH = "no_match"
+ACTION_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CorpusState:
+    """What :meth:`CorpusService.reload` returns: the corpus-level
+    generation fingerprint and epoch the serving layer reports."""
+
+    generation: str
+    epoch: int
+
+
+@dataclass(frozen=True)
+class _ShardState:
+    """One shard's immutable view: its service, bounds, and code map.
+
+    A failed shard (``service is None``) keeps its slot so queries can
+    report it; ``error`` says why it is down.  Reload replaces whole
+    ``_ShardState`` values — never mutates them — so a running query's
+    snapshot stays coherent.
+    """
+
+    position: int
+    name: str
+    directory: str
+    service: Optional[QueryService]
+    error: Optional[str]
+    bounds: Dict[str, float]
+    max_path_probability: float
+    positions: Dict[int, int]
+
+    def query_bound(self, terms: Sequence[str]) -> float:
+        """Upper bound on any answer probability this shard can
+        contribute for ``terms`` (0 when any term is absent)."""
+        bound = 1.0
+        for term in terms:
+            term_bound = self.bounds.get(term, 0.0)
+            if term_bound < bound:
+                bound = term_bound
+            if bound <= 0.0:
+                return 0.0
+        return bound
+
+
+class CorpusService:
+    """Top-k keyword search over a sharded corpus directory.
+
+    Args:
+        directory: a corpus directory built by
+            :func:`repro.corpus.build_corpus`.
+        cache_size: per-shard query cache size (each shard's
+            :class:`QueryService` gets its own caches).
+        collector: shared metrics collector; receives the per-shard
+            services' counters *and* the ``corpus.*`` family.
+        verify: checksum-verify shard snapshots on load/reload.
+
+    A shard that fails to load does not fail construction: it is
+    recorded as down, queries answer partially without it, and a later
+    :meth:`reload` (say, after ``repro corpus fsck --repair``) revives
+    it.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 collector: Optional[Collector] = None,
+                 verify: bool = True) -> None:
+        self.collector = collector if collector is not None \
+            else NULL_COLLECTOR
+        self._directory = os.fspath(directory)
+        self._cache_size = cache_size
+        self._verify = verify
+        self._manifest = load_corpus_manifest(self._directory)
+        self._reload_lock = threading.Lock()
+        # Single-writer atomic-reference swap, same pattern as
+        # QueryService._state: reload() builds replacement shard
+        # states under _reload_lock and installs them in one
+        # assignment; queries read the tuple once, lock-free.
+        self._shards: Tuple[_ShardState, ...] = tuple(  # repro: guarded-by[_reload_lock, writes]
+            self._load_shard(position)
+            for position in range(self._manifest.shard_count))
+
+    # -- shard loading ---------------------------------------------------------
+
+    @property
+    def manifest(self) -> CorpusManifest:
+        return self._manifest
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    def _load_shard(self, position: int) -> _ShardState:
+        """Load one shard; a failure yields a down-but-present state."""
+        name = self._manifest.shard_names[position]
+        shard_dir = self._manifest.shard_dir(position)
+        positions = self._manifest.position_map(position)
+        try:
+            service = QueryService(shard_dir,
+                                   cache_size=self._cache_size,
+                                   collector=self.collector,
+                                   verify=self._verify)
+        except (ReproError, OSError, ValueError) as error:
+            message = f"{type(error).__name__}: {error}"
+            _log.error("corpus shard %s failed to load: %s", name,
+                       message)
+            if self.collector.enabled:
+                self.collector.count("corpus.shard_load_failures")
+            return _ShardState(position=position, name=name,
+                               directory=shard_dir, service=None,
+                               error=message, bounds={},
+                               max_path_probability=0.0,
+                               positions=positions)
+        bounds, best = self._resolve_bounds(shard_dir, service)
+        return _ShardState(position=position, name=name,
+                           directory=shard_dir, service=service,
+                           error=None, bounds=bounds,
+                           max_path_probability=best,
+                           positions=positions)
+
+    def _resolve_bounds(self, shard_dir: str, service: QueryService
+                        ) -> Tuple[Dict[str, float], float]:
+        """The shard's persisted bounds, or a recompute when the
+        persisted summary names a different snapshot generation."""
+        generation = service.storage_stats()["generation"]
+        payload = read_bounds(shard_dir)
+        if payload is not None and payload.get("generation") == generation:
+            terms = payload["terms"]
+            if isinstance(terms, dict):
+                bounds = {str(term): float(value)
+                          for term, value in terms.items()}
+                best = float(payload.get("max_path_probability", 1.0))
+                return bounds, best
+        if self.collector.enabled:
+            self.collector.count("corpus.bounds_recomputed")
+        return compute_bounds(service.current_index())
+
+    # -- search ----------------------------------------------------------------
+
+    def search(self, keywords: Iterable[str], k: int = 10,
+               algorithm: Union[Algorithm, str] = Algorithm.EAGER,
+               semantics: str = "slca",
+               executor: str = "serial",
+               workers: Optional[int] = None,
+               deadline: Optional[Union[Deadline, DeadlineLike,
+                                        float, int]] = None,
+               tracer: Optional[Any] = None) -> SearchOutcome:
+        """Global top-k over every shard, merged under the shared
+        result order (:mod:`repro.core.order`).
+
+        Same contract as :meth:`QueryService.search` plus the fan-out
+        controls: ``executor`` is one of ``serial``/``thread``/
+        ``process`` and ``workers`` bounds in-flight shards.  Answers
+        are bit-identical across executors, worker counts, and shard
+        completion orders; only ``stats["corpus"]`` (which shards were
+        searched vs pruned) varies with timing.
+        """
+        keywords = validate_query(keywords, k)
+        terms = sorted(normalize_query(keywords))
+        if not terms:
+            raise QueryError("keyword query contains no terms")
+        if executor not in EXECUTORS:
+            choices = ", ".join(EXECUTORS)
+            raise QueryError(f"unknown executor {executor!r}; "
+                             f"choose one of {choices}")
+        if workers is not None and workers <= 0:
+            raise QueryError(f"workers must be positive, got {workers}")
+        algorithm_name = algorithm.value \
+            if isinstance(algorithm, Algorithm) else str(algorithm)
+        budget = as_deadline(deadline)
+        shards = self._shards
+        traced = tracer is not None and getattr(tracer, "enabled", False)
+
+        with self.collector.time("corpus.search"):
+            merge = _Merge(k, self.collector)
+            plan: List[Tuple[_ShardState, float]] = []
+            for shard in shards:
+                if shard.service is None:
+                    merge.record_failure(shard, 0.0, shard.error)
+                    continue
+                plan.append((shard, shard.query_bound(terms)))
+            # Most-promising shard first: the sooner the heap holds k
+            # strong answers, the more later shards the bound prunes.
+            plan.sort(key=lambda entry: (-entry[1],
+                                         entry[0].position))
+            width = workers if workers is not None \
+                else min(4, max(1, len(plan)))
+
+            span_ctx = tracer.span(
+                "corpus.search", shards=len(shards),
+                terms=" ".join(terms), k=k,
+                executor=executor) if traced else nullcontext()
+            with span_ctx as corpus_span:
+                if executor == "serial" or width == 1 or len(plan) <= 1:
+                    self._scatter_serial(plan, merge, keywords, k,
+                                         algorithm, semantics, budget,
+                                         tracer if traced else None,
+                                         corpus_span)
+                else:
+                    self._scatter_pool(executor, width, plan, merge,
+                                       keywords, k, algorithm,
+                                       algorithm_name, semantics,
+                                       budget,
+                                       tracer if traced else None,
+                                       corpus_span)
+                if traced and corpus_span is not None:
+                    corpus_span.attrs.update(
+                        searched=merge.counts[ACTION_SEARCHED],
+                        pruned=merge.counts[ACTION_PRUNED],
+                        no_match=merge.counts[ACTION_NO_MATCH],
+                        failed=merge.counts[ACTION_FAILED])
+
+            outcome = merge.outcome(
+                shards_total=len(shards), executor=executor,
+                workers=width, algorithm=algorithm_name,
+                semantics=semantics, k=k, terms=terms,
+                service_state=self._state_block(shards))
+        if self.collector.enabled:
+            self.collector.count("corpus.searches")
+            for action, total in merge.counts.items():
+                if total:
+                    self.collector.count(f"corpus.shards_{action}",
+                                         total)
+            if merge.degraded:
+                self.collector.count("corpus.degraded", merge.degraded)
+            self.collector.observe("corpus.searched_per_query",
+                                   merge.counts[ACTION_SEARCHED])
+            self.collector.observe("corpus.pruned_per_query",
+                                   merge.counts[ACTION_PRUNED])
+        return outcome
+
+    # -- scatter strategies ----------------------------------------------------
+
+    def _scatter_serial(self, plan: List[Tuple[_ShardState, float]],
+                        merge: "_Merge", keywords: List[str], k: int,
+                        algorithm: Union[Algorithm, str],
+                        semantics: str, budget: DeadlineLike,
+                        tracer: Optional[Any],
+                        parent_span: Optional[Any]) -> None:
+        """One shard at a time, pruning between completions — the
+        tightest pruning the bounds allow (the benchmark's
+        ``bounded-serial`` configuration)."""
+        for shard, bound in plan:
+            action = merge.decide(bound)
+            if action is not None:
+                merge.record_skip(shard, bound, action)
+                continue
+            try:
+                outcome = self._search_shard(shard, bound, keywords, k,
+                                             algorithm, semantics,
+                                             budget, tracer,
+                                             parent_span)
+            except (ReproError, OSError, ValueError) as error:
+                merge.record_failure(shard, bound,
+                                     f"{type(error).__name__}: {error}")
+                continue
+            merge.absorb(shard, bound, outcome)
+
+    def _scatter_pool(self, executor: str, width: int,
+                      plan: List[Tuple[_ShardState, float]],
+                      merge: "_Merge", keywords: List[str], k: int,
+                      algorithm: Union[Algorithm, str],
+                      algorithm_name: str, semantics: str,
+                      budget: DeadlineLike, tracer: Optional[Any],
+                      parent_span: Optional[Any]) -> None:
+        """Completion-driven scatter on a thread or process pool.
+
+        Up to ``width`` shards are in flight; every completion merges
+        immediately and the *next* submission re-checks the prune
+        condition against the now-tighter global threshold, so late
+        shards still benefit from early strong answers.  A task that
+        dies (worker crash, broken pool) degrades to a serial retry in
+        the coordinator; only a shard that fails both ways is reported
+        failed.
+        """
+        queue = deque(plan)
+        pending: Dict[Future, Tuple[_ShardState, float,
+                                    Optional[Any]]] = {}
+        pool: Union[ThreadPoolExecutor, ProcessPoolExecutor]
+        if executor == "process":
+            pool = ProcessPoolExecutor(max_workers=width)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="corpus-scatter")
+        try:
+            while queue or pending:
+                while queue and len(pending) < width:
+                    shard, bound = queue.popleft()
+                    action = merge.decide(bound)
+                    if action is not None:
+                        merge.record_skip(shard, bound, action)
+                        continue
+                    future = self._submit(pool, executor, shard,
+                                          bound, keywords, k,
+                                          algorithm, algorithm_name,
+                                          semantics, budget, tracer,
+                                          parent_span)
+                    span = self._begin_span(tracer, parent_span,
+                                            shard, bound) \
+                        if executor == "process" else None
+                    pending[future] = (shard, bound, span)
+                if not pending:
+                    break
+                done, _ = wait(set(pending),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    shard, bound, span = pending.pop(future)
+                    self._gather_one(future, executor, shard, bound,
+                                     span, merge, keywords, k,
+                                     algorithm, semantics, budget,
+                                     tracer)
+        finally:
+            pool.shutdown(wait=True)
+
+    def _submit(self, pool: Any, executor: str, shard: _ShardState,
+                bound: float, keywords: List[str], k: int,
+                algorithm: Union[Algorithm, str], algorithm_name: str,
+                semantics: str, budget: DeadlineLike,
+                tracer: Optional[Any],
+                parent_span: Optional[Any]) -> Future:
+        if executor == "process":
+            remaining: Optional[float] = None
+            if budget.enabled and getattr(budget, "budget_ms",
+                                          None) is not None:
+                remaining = max(0.001, budget.remaining_ms)
+            return pool.submit(_process_shard,
+                               (shard.directory, tuple(keywords), k + 1,
+                                algorithm_name, semantics, remaining))
+        # Thread tasks open their corpus.shard span in the worker
+        # thread (explicit parent), so the shard's inner query spans
+        # nest under it via the tracer's per-thread context.
+        return pool.submit(self._search_shard, shard, bound, keywords,
+                           k, algorithm, semantics, budget, tracer,
+                           parent_span)
+
+    def _begin_span(self, tracer: Optional[Any],
+                    parent_span: Optional[Any], shard: _ShardState,
+                    bound: float) -> Optional[Any]:
+        """Coordinator-side shard span for process tasks (covers queue
+        wait + execution; serial/thread tasks open theirs in-line)."""
+        if tracer is None:
+            return None
+        return tracer.begin("corpus.shard", parent=parent_span,
+                            shard=shard.name, bound=round(bound, 9),
+                            executor="process")
+
+    def _gather_one(self, future: Future, executor: str,
+                    shard: _ShardState, bound: float,
+                    span: Optional[Any], merge: "_Merge",
+                    keywords: List[str], k: int,
+                    algorithm: Union[Algorithm, str], semantics: str,
+                    budget: DeadlineLike,
+                    tracer: Optional[Any]) -> None:
+        """Merge one completed future, degrading a dead task to a
+        serial in-coordinator retry."""
+        degraded = False
+        try:
+            payload = future.result()
+            outcome = _decode_rows(payload) if executor == "process" \
+                else payload
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:  # noqa: broad — any task death degrades
+            _log.warning("corpus shard %s task failed (%s: %s); "
+                         "retrying serially", shard.name,
+                         type(error).__name__, error)
+            degraded = True
+            try:
+                outcome = self._search_shard(shard, bound, keywords, k,
+                                             algorithm, semantics,
+                                             budget, None, None,
+                                             span=False)
+            except (ReproError, OSError, ValueError) as retry_error:
+                message = (f"{type(retry_error).__name__}: "
+                           f"{retry_error}")
+                merge.record_failure(shard, bound, message)
+                if tracer is not None and span is not None:
+                    tracer.finish(span, status="error", error=message)
+                return
+        if degraded:
+            merge.degraded += 1
+        merge.absorb(shard, bound, outcome)
+        if tracer is not None and span is not None:
+            tracer.finish(span, results=len(outcome.results),
+                          **({"degraded": True} if degraded else {}))
+
+    def _search_shard(self, shard: _ShardState, bound: float,
+                      keywords: List[str], k: int,
+                      algorithm: Union[Algorithm, str], semantics: str,
+                      budget: DeadlineLike, tracer: Optional[Any],
+                      parent_span: Optional[Any],
+                      span: bool = True) -> SearchOutcome:
+        """Run one shard's query in the current thread.
+
+        ``k + 1`` answers are requested because the shard's synthetic
+        root can occupy one slot; after the merge filters it, the
+        shard still contributes its full top-k.
+        """
+        assert shard.service is not None
+        ctx = tracer.span("corpus.shard", parent=parent_span,
+                          shard=shard.name, bound=round(bound, 9)) \
+            if span and tracer is not None else nullcontext()
+        with ctx:
+            return shard.service.search(
+                keywords, k=k + 1, algorithm=algorithm,
+                semantics=semantics,
+                deadline=budget if budget.enabled else None,
+                tracer=tracer)
+
+    # -- service-shaped surface ------------------------------------------------
+
+    def batch_search(self, queries: Sequence[Sequence[str]],
+                     k: int = 10,
+                     algorithm: Union[Algorithm, str] = Algorithm.EAGER,
+                     semantics: str = "slca",
+                     workers: Optional[int] = None,
+                     executor: str = "thread",
+                     deadline_ms: Optional[float] = None,
+                     tracer: Optional[Any] = None) -> BatchOutcome:
+        """Many queries, each scattered over the shards.
+
+        Queries run in submission order (the scatter inside each query
+        is where the parallelism pays); ``deadline_ms`` budgets each
+        query individually, and outcomes align with the input order.
+        """
+        watch = Stopwatch().start()
+        outcomes: List[SearchOutcome] = []
+        totals = {ACTION_SEARCHED: 0, ACTION_PRUNED: 0,
+                  ACTION_NO_MATCH: 0, ACTION_FAILED: 0}
+        for query in queries:
+            budget = Deadline.after_ms(deadline_ms) \
+                if deadline_ms is not None else None
+            outcome = self.search(query, k=k, algorithm=algorithm,
+                                  semantics=semantics,
+                                  executor=executor, workers=workers,
+                                  deadline=budget, tracer=tracer)
+            block = outcome.stats.get("corpus")
+            if isinstance(block, dict):
+                for action in totals:
+                    totals[action] += int(block.get(action, 0))
+            outcomes.append(outcome)
+        return BatchOutcome(
+            outcomes=outcomes, elapsed_ms=watch.elapsed * 1000.0,
+            stats={"queries": len(outcomes), "executor": executor,
+                   "workers": workers, "corpus": dict(totals)})
+
+    def storage_stats(self) -> Dict[str, object]:
+        """The corpus-level generation fingerprint/epoch plus every
+        shard's own storage block (docs/STORAGE.md shape per shard)."""
+        shards = self._shards
+        blocks: List[Dict[str, object]] = []
+        reloads: Dict[str, object] = {"attempts": 0, "successes": 0,
+                                      "rejected": 0}
+        last_error: Optional[str] = None
+        for shard in shards:
+            if shard.service is not None:
+                block = dict(shard.service.storage_stats())
+            else:
+                block = {"generation": None,
+                         "directory": shard.directory, "epoch": 0,
+                         "error": shard.error}
+                if last_error is None:
+                    last_error = shard.error
+            block["shard"] = shard.name
+            shard_reloads = block.get("reloads")
+            if isinstance(shard_reloads, dict):
+                for key in ("attempts", "successes", "rejected"):
+                    reloads[key] = int(reloads[key]) \
+                        + int(shard_reloads.get(key, 0))
+                if last_error is None:
+                    last_error = shard_reloads.get("last_error")
+            blocks.append(block)
+        reloads["last_error"] = last_error
+        state = _corpus_state_of(
+            [(shard.name, block.get("generation"),
+              int(block.get("epoch", 0) or 0))
+             for shard, block in zip(shards, blocks)])
+        return {"generation": state.generation,
+                "directory": self._directory, "epoch": state.epoch,
+                "reloads": reloads, "shards": blocks}
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """One coherent health view: every shard contributes its own
+        locked snapshot (:meth:`QueryService.health_snapshot`), and the
+        corpus generation/epoch derive from those same snapshots — not
+        from a second, possibly-torn read."""
+        shards = self._shards
+        blocks: List[Dict[str, object]] = []
+        parts: List[Tuple[str, Optional[str], int]] = []
+        reloads: Dict[str, object] = {"attempts": 0, "successes": 0,
+                                      "rejected": 0}
+        last_error: Optional[str] = None
+        for shard in shards:
+            if shard.service is not None:
+                snap = dict(shard.service.health_snapshot())
+                snap["ok"] = True
+            else:
+                snap = {"generation": None, "epoch": 0, "ok": False,
+                        "error": shard.error}
+                if last_error is None:
+                    last_error = shard.error
+            snap["shard"] = shard.name
+            shard_reloads = snap.get("reloads")
+            if isinstance(shard_reloads, dict):
+                for key in ("attempts", "successes", "rejected"):
+                    reloads[key] = int(reloads[key]) \
+                        + int(shard_reloads.get(key, 0))
+                if last_error is None:
+                    last_error = shard_reloads.get("last_error")
+            parts.append((shard.name, snap.get("generation"),
+                          int(snap.get("epoch", 0) or 0)))
+            blocks.append(snap)
+        reloads["last_error"] = last_error
+        state = _corpus_state_of(parts)
+        return {"generation": state.generation,
+                "directory": self._directory, "epoch": state.epoch,
+                "reloads": reloads, "breaker": self.breaker_stats(),
+                "shards": blocks}
+
+    def breaker_stats(self) -> Dict[str, object]:
+        """Aggregated breaker view: the worst shard state wins, and
+        the per-shard summaries ride along."""
+        shards = self._shards
+        severity = {"closed": 0, "half-open": 1, "open": 2}
+        worst = "closed"
+        failures = 0
+        opens = 0
+        per_shard: Dict[str, object] = {}
+        for shard in shards:
+            if shard.service is None:
+                continue
+            block = shard.service.breaker_stats()
+            per_shard[shard.name] = block
+            failures += int(block.get("failures", 0) or 0)
+            opens += int(block.get("opens", 0) or 0)
+            state = str(block.get("state", "closed"))
+            if severity.get(state, 0) > severity.get(worst, 0):
+                worst = state
+        return {"state": worst, "failures": failures, "opens": opens,
+                "shards": per_shard}
+
+    def reload(self) -> CorpusState:
+        """Reload every shard, reviving ones that were down.
+
+        Each healthy shard hot-swaps through its own
+        :meth:`QueryService.reload` (a per-shard rejection keeps that
+        shard's old generation serving); a down shard is re-loaded
+        from scratch.  Bounds are refreshed against the new
+        generations.  Raises :class:`StorageError` only when *no*
+        shard is serving afterwards.
+        """
+        with self._reload_lock:
+            failures: List[str] = []
+            rebuilt = tuple(self._reload_shard(shard, failures)
+                            for shard in self._shards)
+            self._shards = rebuilt
+        if rebuilt and all(shard.service is None for shard in rebuilt):
+            raise StorageError("corpus reload rejected: no shard is "
+                               "serving (" + "; ".join(failures) + ")")
+        if self.collector.enabled:
+            self.collector.count("corpus.reloads")
+            if failures:
+                self.collector.count("corpus.reload_shard_failures",
+                                     len(failures))
+        return _corpus_state_of(
+            [(shard.name,
+              shard.service.storage_stats()["generation"]
+              if shard.service is not None else None,
+              int(shard.service.storage_stats()["epoch"])
+              if shard.service is not None else 0)
+             for shard in rebuilt])
+
+    def _reload_shard(self, shard: _ShardState,
+                      failures: List[str]) -> _ShardState:
+        if shard.service is None:
+            fresh = self._load_shard(shard.position)
+            if fresh.error is not None:
+                failures.append(f"{shard.name}: {fresh.error}")
+            return fresh
+        try:
+            shard.service.reload(verify=self._verify)
+        except StorageError as error:
+            # The shard's previous generation keeps serving; its
+            # bounds still describe that generation, so keep them.
+            failures.append(f"{shard.name}: {error}")
+            return shard
+        bounds, best = self._resolve_bounds(shard.directory,
+                                            shard.service)
+        return replace(shard, bounds=bounds,
+                       max_path_probability=best, error=None)
+
+    def fsck(self, repair: bool = False) -> List[Tuple[str, FsckReport]]:
+        """Per-shard storage triage (docs/STORAGE.md); see
+        :func:`corpus_fsck`."""
+        return corpus_fsck(self._directory, repair=repair,
+                           collector=self.collector)
+
+    def _state_block(self, shards: Tuple[_ShardState, ...]
+                     ) -> Dict[str, object]:
+        state = _corpus_state_of(
+            [(shard.name,
+              shard.service.storage_stats()["generation"]
+              if shard.service is not None else None,
+              int(shard.service.storage_stats()["epoch"])
+              if shard.service is not None else 0)
+             for shard in shards])
+        return {"generation": state.generation, "epoch": state.epoch}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        healthy = sum(1 for shard in self._shards
+                      if shard.service is not None)
+        return (f"CorpusService(shards={len(self._shards)}, "
+                f"healthy={healthy}, dir={self._directory!r})")
+
+
+def corpus_fsck(directory: Union[str, os.PathLike],
+                repair: bool = False,
+                collector: Collector = NULL_COLLECTOR
+                ) -> List[Tuple[str, FsckReport]]:
+    """Run :func:`repro.index.fsck.fsck_database` over every shard.
+
+    Returns ``(shard_name, report)`` pairs in shard order.  Corruption
+    in one shard never hides another's report, and with ``repair=True``
+    each shard quarantines/recovers independently — a corpus query
+    after a repair answers from the healthy shards.
+    """
+    manifest = load_corpus_manifest(directory)
+    reports: List[Tuple[str, FsckReport]] = []
+    for position, name in enumerate(manifest.shard_names):
+        reports.append((name, fsck_database(manifest.shard_dir(position),
+                                            repair=repair,
+                                            collector=collector)))
+    return reports
+
+
+# -- merge bookkeeping ---------------------------------------------------------
+
+
+class _Merge:
+    """The gather side of one corpus query: the global heap, the
+    origin map for re-hydrating answers, and the per-shard ledger."""
+
+    def __init__(self, k: int, collector: Collector):
+        self.k = k
+        # The merge heap stays un-instrumented: heap.* counters keep
+        # meaning "per-shard algorithm heaps", and corpus.* covers the
+        # gather side.
+        self.heap = TopKHeap(k)
+        self.origins: Dict[Tuple[int, ...],
+                           Tuple[_ShardState, DeweyCode]] = {}
+        self.counts = {ACTION_SEARCHED: 0, ACTION_PRUNED: 0,
+                       ACTION_NO_MATCH: 0, ACTION_FAILED: 0}
+        self.detail: List[Dict[str, object]] = []
+        self.degraded = 0
+        self.partial = False
+        self.reasons: Set[str] = set()
+
+    def decide(self, bound: float) -> Optional[str]:
+        """Whether a shard with ``bound`` can be skipped right now.
+
+        Strictly-below comparison against the live k-th probability:
+        an equal bound might still yield an answer that enters on the
+        document-order tiebreak (:meth:`TopKHeap.threshold`), so only
+        ``bound < threshold`` — or an impossible query (bound 0) —
+        skips the shard.
+        """
+        if bound <= 0.0:
+            return ACTION_NO_MATCH
+        if bound < self.heap.threshold:
+            return ACTION_PRUNED
+        return None
+
+    def record_skip(self, shard: _ShardState, bound: float,
+                    action: str) -> None:
+        self.counts[action] += 1
+        self.detail.append({"shard": shard.name,
+                            "bound": round(bound, 9),
+                            "action": action})
+
+    def record_failure(self, shard: _ShardState, bound: float,
+                       error: Optional[str]) -> None:
+        self.counts[ACTION_FAILED] += 1
+        self.partial = True
+        self.detail.append({"shard": shard.name,
+                            "bound": round(bound, 9),
+                            "action": ACTION_FAILED, "error": error})
+
+    def absorb(self, shard: _ShardState, bound: float,
+               outcome: SearchOutcome) -> None:
+        """Merge one shard outcome: filter the synthetic root, rewrite
+        codes to the global document positions, offer into the heap."""
+        if outcome.partial:
+            self.partial = True
+            if outcome.termination_reason:
+                self.reasons.add(outcome.termination_reason)
+        merged = 0
+        for result in outcome.results:
+            positions = result.code.positions
+            if len(positions) < 2:
+                continue  # the shard's synthetic root
+            global_position = shard.positions.get(positions[1])
+            if global_position is None:
+                continue  # a child slot the manifest does not know
+            code = DeweyCode((positions[0], global_position)
+                             + positions[2:], result.code.kinds)
+            self.origins[code.positions] = (shard, result.code)
+            if self.heap.offer(code, result.probability):
+                merged += 1
+        self.counts[ACTION_SEARCHED] += 1
+        self.detail.append({"shard": shard.name,
+                            "bound": round(bound, 9),
+                            "action": ACTION_SEARCHED,
+                            "results": len(outcome.results),
+                            "merged": merged})
+
+    def outcome(self, shards_total: int, executor: str, workers: int,
+                algorithm: str, semantics: str, k: int,
+                terms: List[str],
+                service_state: Dict[str, object]) -> SearchOutcome:
+        results: List[SLCAResult] = []
+        for result in self.heap.results():
+            shard, local_code = self.origins[result.code.positions]
+            node = None
+            if shard.service is not None:
+                try:
+                    node = shard.service.current_index() \
+                        .encoded.node_at(local_code)
+                except ReproError:
+                    node = None  # shard swapped mid-query; label falls
+                    #              back to the code
+            results.append(SLCAResult(code=result.code,
+                                      probability=result.probability,
+                                      node=node))
+        reason: Optional[str] = None
+        if REASON_DEADLINE in self.reasons:
+            reason = REASON_DEADLINE
+        elif self.counts[ACTION_FAILED]:
+            reason = REASON_SHARD_FAILURE
+        elif self.reasons:
+            reason = sorted(self.reasons)[0]
+        corpus_block: Dict[str, object] = {
+            "shards": shards_total,
+            ACTION_SEARCHED: self.counts[ACTION_SEARCHED],
+            ACTION_PRUNED: self.counts[ACTION_PRUNED],
+            ACTION_NO_MATCH: self.counts[ACTION_NO_MATCH],
+            ACTION_FAILED: self.counts[ACTION_FAILED],
+            "degraded": self.degraded,
+            "executor": executor, "workers": workers,
+            "detail": self.detail,
+        }
+        return SearchOutcome(
+            results=results,
+            stats={"algorithm": algorithm, "semantics": semantics,
+                   "k": k, "terms": terms, "corpus": corpus_block,
+                   "service_state": service_state},
+            partial=self.partial, termination_reason=reason)
+
+
+# -- process-pool worker -------------------------------------------------------
+
+#: Per-worker-process cache of shard services, keyed by directory, so
+#: a pool reused across a query's shards loads each shard once.
+_SHARD_CACHE: Dict[str, QueryService] = {}
+
+_ShardJob = Tuple[str, Tuple[str, ...], int, str, str, Optional[float]]
+_ShardRows = Tuple[List[Tuple[str, float]], bool, Optional[str]]
+
+
+def _process_shard(job: _ShardJob) -> _ShardRows:
+    """Worker-process body: load (or reuse) the shard, search, and
+    return picklable rows — codes as strings, probabilities as the
+    exact floats the coordinator re-offers into the global heap."""
+    directory, keywords, k, algorithm, semantics, budget_ms = job
+    service = _SHARD_CACHE.get(directory)
+    if service is None:
+        # The coordinator verified checksums when it loaded the shard;
+        # workers skip re-hashing every file on every pool spin-up.
+        service = QueryService(directory, verify=False)
+        _SHARD_CACHE[directory] = service
+    budget = Deadline.after_ms(budget_ms) if budget_ms is not None \
+        else None
+    outcome = service.search(list(keywords), k=k, algorithm=algorithm,
+                             semantics=semantics, deadline=budget)
+    rows = [(str(result.code), result.probability)
+            for result in outcome.results]
+    return rows, outcome.partial, outcome.termination_reason
+
+
+def _decode_rows(payload: _ShardRows) -> SearchOutcome:
+    """Rebuild a shard-local outcome from worker rows (codes parse
+    back bit-identically; floats cross pickle exactly)."""
+    rows, partial, reason = payload
+    results = [SLCAResult(code=DeweyCode.parse(code),
+                          probability=probability)
+               for code, probability in rows]
+    return SearchOutcome(results=results, partial=partial,
+                         termination_reason=reason)
+
+
+def _corpus_state_of(parts: List[Tuple[str, Optional[object], int]]
+                     ) -> CorpusState:
+    """Fingerprint the per-shard generations into one corpus-level
+    generation string (stable, short, changes when any shard's
+    generation does) and take the maximum shard epoch."""
+    joined = "|".join(f"{name}:{generation or 'down'}"
+                      for name, generation, _ in parts)
+    digest = hashlib.sha256(joined.encode("utf-8")).hexdigest()[:12]
+    epoch = max([epoch for _, _, epoch in parts], default=1)
+    return CorpusState(generation=f"corpus-{len(parts)}x-{digest}",
+                       epoch=max(1, epoch))

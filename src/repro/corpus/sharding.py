@@ -1,0 +1,77 @@
+"""Document-to-shard assignment strategies.
+
+Assignment never affects answers — the corpus search merges shard
+heaps under the total result order, so any partition of the documents
+yields the same top-k.  What assignment *does* affect is balance
+(wall-clock of the slowest shard) and prune locality (documents that
+score high for a workload's terms ending up in few shards lets the
+bound skip the rest).  Two strategies cover the common cases:
+
+``hash``
+    Stable placement by document name: adding a document never moves
+    the others.  The right default for growing corpora.
+
+``size``
+    Greedy balanced placement by node count (largest first onto the
+    currently lightest shard).  Minimises the worst shard for static
+    corpora with skewed document sizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.exceptions import QueryError
+
+#: Supported assignment strategies, in documentation order.
+STRATEGIES = ("hash", "size")
+
+
+def assign_shards(names: Sequence[str], sizes: Sequence[int],
+                  shards: int, strategy: str = "hash") -> List[int]:
+    """Shard index (0-based) for each document, aligned with ``names``.
+
+    Args:
+        names: unique document names (hash keys for ``hash``).
+        sizes: node counts aligned with ``names`` (weights for
+            ``size``; ignored by ``hash``).
+        shards: number of shards (>= 1).
+        strategy: one of :data:`STRATEGIES`.
+
+    Raises:
+        QueryError: on an unknown strategy, a non-positive shard
+            count, duplicate names, or misaligned inputs.
+    """
+    if shards <= 0:
+        raise QueryError(f"shard count must be positive, got {shards}")
+    if len(names) != len(sizes):
+        raise QueryError(
+            f"names/sizes misaligned: {len(names)} != {len(sizes)}")
+    if len(set(names)) != len(names):
+        raise QueryError("document names must be unique within a corpus")
+    if strategy == "hash":
+        return [_stable_hash(name) % shards for name in names]
+    if strategy == "size":
+        return _assign_balanced(sizes, shards)
+    choices = ", ".join(STRATEGIES)
+    raise QueryError(
+        f"unknown sharding strategy {strategy!r}; choose one of {choices}")
+
+
+def _stable_hash(name: str) -> int:
+    """Process-independent hash (``hash()`` is salted per run)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _assign_balanced(sizes: Sequence[int], shards: int) -> List[int]:
+    """Largest-first greedy onto the lightest shard (ties: lowest id)."""
+    order = sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))
+    loads = [0] * shards
+    assignment = [0] * len(sizes)
+    for position in order:
+        shard = min(range(shards), key=lambda s: (loads[s], s))
+        assignment[position] = shard
+        loads[shard] += max(1, sizes[position])
+    return assignment

@@ -88,6 +88,12 @@ class HttpRequest:
     headers: Dict[str, str]
     body: bytes = b""
     client: str = ""
+    #: The host element of the peer's socket address tuple, verbatim.
+    #: ``client`` is a *display* string (``host:port``, with IPv6
+    #: hosts bracketed); anything keying on the peer — the rate
+    #: limiter's buckets — must use this field instead of parsing the
+    #: display string, which would truncate ``::1`` at its last colon.
+    client_host: str = ""
 
     @property
     def keep_alive(self) -> bool:
@@ -111,7 +117,8 @@ class HttpRequest:
         return payload
 
 
-def parse_head(head: bytes, client: str = "") -> HttpRequest:
+def parse_head(head: bytes, client: str = "",
+               client_host: str = "") -> HttpRequest:
     """Parse the request line + headers (everything before the body).
 
     ``head`` is the byte block up to and including the blank line.
@@ -143,7 +150,8 @@ def parse_head(head: bytes, client: str = "") -> HttpRequest:
             raise ProtocolError(f"malformed header line: {line!r}")
         headers[name.strip().lower()] = value.strip()
     return HttpRequest(method=method.upper(), path=path, query=query,
-                       headers=headers, client=client)
+                       headers=headers, client=client,
+                       client_host=client_host)
 
 
 # -- request body validation --------------------------------------------------
@@ -369,6 +377,10 @@ def outcome_payload(outcome: Any, elapsed_ms: Optional[float] = None,
         "termination_reason": outcome.termination_reason,
         "service_state": outcome.stats.get("service_state"),
     }
+    # A corpus-level outcome carries its scatter/prune accounting;
+    # exposing it keeps shard pruning observable over the wire.
+    if "corpus" in outcome.stats:
+        payload["corpus"] = outcome.stats["corpus"]
     if elapsed_ms is not None:
         payload["elapsed_ms"] = round(elapsed_ms, 3)
     if spans is not None:

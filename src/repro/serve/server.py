@@ -277,8 +277,19 @@ class ServeServer:
                                  writer: asyncio.StreamWriter,
                                  state: _Connection) -> None:
         peer = writer.get_extra_info("peername")
-        client = f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) \
-            and len(peer) >= 2 else "unknown"
+        # The host element of the address tuple is carried separately
+        # from the display string: an IPv6 host contains colons, so
+        # anything that string-parses ``host:port`` back apart (the
+        # rate limiter used to) would key ``::1:54321`` on ``::1:``'s
+        # prefix instead of the host.
+        if isinstance(peer, tuple) and len(peer) >= 2:
+            client_host = str(peer[0])
+            display_host = f"[{client_host}]" if ":" in client_host \
+                else client_host
+            client = f"{display_host}:{peer[1]}"
+        else:
+            client_host = ""
+            client = "unknown"
         try:
             while True:
                 if self._admission.draining:
@@ -297,7 +308,8 @@ class ServeServer:
                     return
                 state.busy = True
                 try:
-                    request = parse_head(head, client=client)
+                    request = parse_head(head, client=client,
+                                     client_host=client_host)
                 except ProtocolError as error:
                     writer.write(error_response(
                         ApiError(400, "bad_request", str(error)),
@@ -410,13 +422,15 @@ class ServeServer:
 
         Runs *before* the body is parsed, so a rejected client never
         costs a JSON decode on the event-loop thread.  The rate-limit
-        identity is the peer address (port stripped — one bucket per
-        host, not per connection); the ``client_header`` value is
-        honoured only under ``trust_client_header``, because an
-        unauthenticated caller could rotate ids to dodge its bucket
-        and churn the LRU.
+        identity is the host element of the peer's socket address
+        tuple (one bucket per host, not per connection) — taken from
+        ``client_host``, never parsed out of the display string, so an
+        IPv6 peer like ``::1`` keys one bucket instead of one per
+        source port.  The ``client_header`` value is honoured only
+        under ``trust_client_header``, because an unauthenticated
+        caller could rotate ids to dodge its bucket and churn the LRU.
         """
-        client = request.client.rsplit(":", 1)[0] or request.client
+        client = request.client_host or request.client
         if self._config.trust_client_header:
             client = request.headers.get(self._config.client_header,
                                          "") or client
@@ -520,17 +534,37 @@ class ServeServer:
 
     # -- /health, /metrics, /reload -------------------------------------------
 
+    def _service_snapshot(self) -> Dict[str, Any]:
+        """One coherent service view for ``/health`` and JSON
+        ``/metrics``: generation, epoch, reload counters and breaker
+        taken together under the service's locks
+        (:meth:`QueryService.health_snapshot`), so a concurrent reload
+        can never yield a payload mixing old and new generations.
+        Falls back to the field-by-field reads for service objects
+        that predate ``health_snapshot``."""
+        snapshot = getattr(self._service, "health_snapshot", None)
+        if callable(snapshot):
+            return dict(snapshot())
+        storage = dict(self._service.storage_stats())
+        storage["breaker"] = self._service.breaker_stats()
+        return storage
+
     def _health_payload(self) -> Dict[str, Any]:
-        storage = self._service.storage_stats()
-        return {"status": ("draining" if self._admission.draining
-                           else "ok"),
-                "generation": storage["generation"],
-                "epoch": storage["epoch"],
-                "breaker": self._service.breaker_stats(),
-                "admission": self._admission.stats(),
-                "ratelimit": self._ratelimit.stats(),
-                "reload_in_flight": self._reload_inflight,
-                "uptime_ms": round(self._watch.elapsed * 1000.0, 3)}
+        service = self._service_snapshot()
+        payload = {"status": ("draining" if self._admission.draining
+                              else "ok"),
+                   "generation": service["generation"],
+                   "epoch": service["epoch"],
+                   "reloads": service.get("reloads"),
+                   "breaker": service.get("breaker"),
+                   "admission": self._admission.stats(),
+                   "ratelimit": self._ratelimit.stats(),
+                   "reload_in_flight": self._reload_inflight,
+                   "uptime_ms": round(self._watch.elapsed * 1000.0, 3)}
+        # A corpus service reports its per-shard generations/epochs.
+        if "shards" in service:
+            payload["shards"] = service["shards"]
+        return payload
 
     def _serve_sample_lines(self) -> List[str]:
         """Serve-layer gauges, incl. a labelled generation info sample
@@ -556,7 +590,8 @@ class ServeServer:
                 "metrics": collector.snapshot(),
                 "quantiles": collector.quantile_snapshot(),
                 "serve": {"admission": self._admission.stats(),
-                          "ratelimit": self._ratelimit.stats()},
+                          "ratelimit": self._ratelimit.stats(),
+                          "service": self._service_snapshot()},
             })
             report = build_report_v2(
                 [], 0, "serve", "slca", outcome,

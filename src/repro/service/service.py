@@ -444,6 +444,37 @@ class QueryService:
         summary: Dict[str, object] = dict(self._breaker.summary())
         return summary
 
+    def health_snapshot(self) -> Dict[str, object]:
+        """One *coherent* health view: generation, epoch, reload
+        counters and breaker state captured together.
+
+        :meth:`storage_stats` reads the state reference and the reload
+        counters in two steps, which is fine for informational output
+        but lets a concurrent :meth:`reload` interleave — a ``/health``
+        probe could report the old generation with the new success
+        count.  This method holds ``_reload_lock`` (then
+        ``_stats_lock``, per the declared lock order) across both
+        reads, so the pair always satisfies
+        ``epoch == 1 + reloads["successes"]``.  The serving layer's
+        ``/health`` and JSON ``/metrics`` use this; a snapshot taken
+        while a reload is building simply waits for the swap.
+        """
+        with self._reload_lock:
+            state = self._state
+            with self._stats_lock:
+                reloads: Dict[str, object] = dict(self._reload_counts)
+                reloads["last_error"] = self._reload_last_error
+        return {"generation": state.generation,
+                "directory": state.directory,
+                "epoch": state.epoch,
+                "reloads": reloads,
+                "breaker": dict(self._breaker.summary())}
+
+    def current_index(self) -> InvertedIndex:
+        """The live generation's index — one atomic state read (the
+        corpus layer recomputes shard bounds from this)."""
+        return self._state.index
+
     # -- state accessors (single-generation views) ----------------------------
 
     @property

@@ -234,3 +234,103 @@ class TestSearchValidation:
     def test_unindexable_keyword_reported(self, pxml_file, capsys):
         assert main(["search", pxml_file, "..."]) == 1
         assert "no indexable terms" in capsys.readouterr().err
+
+
+class TestCorpusCommand:
+    @pytest.fixture
+    def corpus_sources(self, tmp_path):
+        from repro import DocumentBuilder, write_pxml_file
+        paths = []
+        for name, prob in (("strong", 1.0), ("weak1", 0.05),
+                           ("weak2", 0.05)):
+            builder = DocumentBuilder(name)
+            if prob >= 1.0:
+                builder.leaf("a", text="k1")
+                builder.leaf("b", text="k2")
+            else:
+                with builder.ind(prob=prob):
+                    builder.leaf("a", text="k1")
+                    builder.leaf("b", text="k2")
+            path = tmp_path / f"{name}.pxml"
+            write_pxml_file(builder.build(), path)
+            paths.append(str(path))
+        return paths
+
+    def test_build_search_fsck_roundtrip(self, tmp_path,
+                                         corpus_sources, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "build", *corpus_sources,
+                     "-o", corpus_dir, "--shards", "3",
+                     "--strategy", "size"]) == 0
+        out = capsys.readouterr().out
+        assert "3 document(s)" in out and "3 shard(s)" in out
+
+        assert main(["corpus", "search", corpus_dir, "k1", "k2",
+                     "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 answer(s)" in out
+        assert "2 pruned" in out  # the weak shards cannot beat Pr=1
+
+        assert main(["corpus", "fsck", corpus_dir]) == 0
+        out = capsys.readouterr().out
+        assert out.count("clean") == 3
+
+    def test_search_json_reports_prunes(self, tmp_path,
+                                        corpus_sources, capsys):
+        import json as json_mod
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "build", *corpus_sources,
+                     "-o", corpus_dir, "--shards", "3",
+                     "--strategy", "size"]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "search", corpus_dir, "k1", "k2",
+                     "-k", "1", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["results"][0]["probability"] == 1.0
+        assert payload["corpus"]["pruned"] == 2
+        assert not payload["partial"]
+
+    def test_corrupted_shard_quarantines_without_failing_search(
+            self, tmp_path, corpus_sources, capsys):
+        import os
+        from repro.corpus import load_corpus_manifest
+        from repro.index.storage import resolve_snapshot
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "build", *corpus_sources,
+                     "-o", corpus_dir, "--shards", "3",
+                     "--strategy", "size"]) == 0
+        manifest = load_corpus_manifest(corpus_dir)
+        weak_shard = next(doc.shard for doc in manifest.documents
+                          if "weak1" in doc.name)
+        snapshot_dir, _ = resolve_snapshot(
+            manifest.shard_dir(weak_shard))
+        with open(os.path.join(snapshot_dir, "postings.jsonl"), "a",
+                  encoding="utf-8") as handle:
+            handle.write("{torn-final-line")
+        capsys.readouterr()
+        # The damaged shard fails checksum verification and degrades;
+        # the healthy shards still answer (a partial outcome).
+        assert main(["corpus", "search", corpus_dir, "k1", "k2",
+                     "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL: shard_failure" in out
+        assert "1. Pr=1.000000" in out
+        # fsck flags the shard (exit 0: the document is recoverable)...
+        assert main(["corpus", "fsck", corpus_dir]) == 0
+        out = capsys.readouterr().out
+        assert "--repair" in out and out.count("clean") == 2
+        # ...and repair quarantines the damage and heals the corpus.
+        assert main(["corpus", "fsck", corpus_dir, "--repair"]) == 0
+        assert "quarantined" in capsys.readouterr().out
+        assert main(["corpus", "search", corpus_dir, "k1", "k2",
+                     "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL" not in out
+        assert "1. Pr=1.000000" in out
+
+    def test_build_rejects_bad_strategy_count(self, tmp_path,
+                                              corpus_sources, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(["corpus", "build", *corpus_sources,
+                     "-o", corpus_dir, "--shards", "0"]) == 1
+        assert "positive" in capsys.readouterr().err

@@ -605,3 +605,81 @@ class TestStartInThread:
                                 ServeConfig(port=first.port))
         finally:
             assert first.stop() == 0
+
+
+# -- rate-limit peer keying (the IPv6 satellite bugfix) -----------------------
+
+
+class RecordingLimiter:
+    """A rate limiter that admits everything and remembers the keys."""
+
+    def __init__(self):
+        self.keys = []
+
+    def check(self, client):
+        self.keys.append(client)
+        return None
+
+    def stats(self):
+        return {"buckets": 0}
+
+
+class TestRateLimitPeerKeying:
+    """Buckets must key on the host element of the socket address
+    tuple, never on string-parsing the display address — splitting
+    ``[::1]:51000`` at its last colon would shear an IPv6 peer into
+    one bucket per source port."""
+
+    def make_server(self, figure1_db):
+        from repro.serve import ServeServer
+        service = QueryService(figure1_db)
+        limiter = RecordingLimiter()
+        server = ServeServer(service, ServeConfig(rate=100.0),
+                             ratelimiter=limiter)
+        return server, limiter
+
+    def admit(self, server, client, client_host, headers=b""):
+        request = parse_head(b"POST /search HTTP/1.1\r\n" + headers
+                             + b"\r\n",
+                             client=client, client_host=client_host)
+        server._admit(request)
+        server._admission.release()
+
+    def test_ipv6_ports_share_one_bucket(self, figure1_db):
+        server, limiter = self.make_server(figure1_db)
+        self.admit(server, "[::1]:51000", "::1")
+        self.admit(server, "[::1]:51001", "::1")
+        assert limiter.keys == ["::1", "::1"]
+
+    def test_ipv4_mapped_peer_keys_whole_address(self, figure1_db):
+        server, limiter = self.make_server(figure1_db)
+        self.admit(server, "[::ffff:127.0.0.1]:4242",
+                   "::ffff:127.0.0.1")
+        assert limiter.keys == ["::ffff:127.0.0.1"]
+
+    def test_ipv4_peer_keys_on_host_not_port(self, figure1_db):
+        server, limiter = self.make_server(figure1_db)
+        self.admit(server, "1.2.3.4:5678", "1.2.3.4")
+        self.admit(server, "1.2.3.4:5679", "1.2.3.4")
+        assert limiter.keys == ["1.2.3.4", "1.2.3.4"]
+
+    def test_missing_host_falls_back_to_display_string(
+            self, figure1_db):
+        server, limiter = self.make_server(figure1_db)
+        self.admit(server, "unknown", "")
+        assert limiter.keys == ["unknown"]
+
+    def test_trusted_header_still_wins(self, figure1_db):
+        from repro.serve import ServeServer
+        service = QueryService(figure1_db)
+        limiter = RecordingLimiter()
+        server = ServeServer(
+            service, ServeConfig(rate=100.0,
+                                 trust_client_header=True),
+            ratelimiter=limiter)
+        request = parse_head(b"POST /search HTTP/1.1\r\n"
+                             b"X-Client-Id: alice\r\n\r\n",
+                             client="[::1]:51000", client_host="::1")
+        server._admit(request)
+        server._admission.release()
+        assert limiter.keys == ["alice"]

@@ -218,3 +218,69 @@ class TestReloadHammer:
         assert reloaded and reloaded[0].generation == "g00000002"
         for outcome in batch:
             assert tuple(observed(outcome)) in legal
+
+
+class TestHealthSnapshotCoherence:
+    def test_reload_storm_never_tears_the_health_view(
+            self, doc_a, tmp_path):
+        """The torn-snapshot regression (docs/SERVING.md): under a
+        storm of concurrent reloads, every ``health_snapshot()`` must
+        satisfy ``epoch == 1 + successful reloads`` — the invariant a
+        field-by-field read (state deref, then counter lock) breaks
+        when a reload lands between the two reads."""
+        directory = tmp_path / "db"
+        save_database(Database.from_document(doc_a), directory)
+        service = QueryService(str(directory))
+
+        stop = threading.Event()
+        torn = []
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snap = service.health_snapshot()
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+                if snap["epoch"] != 1 + snap["reloads"]["successes"]:
+                    torn.append(snap)  # pragma: no cover - fails test
+                    return
+
+        def reloader():
+            for _ in range(20):
+                try:
+                    service.reload()
+                except StorageError as error:  # pragma: no cover
+                    errors.append(error)
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        reloaders = [threading.Thread(target=reloader)
+                     for _ in range(3)]
+        for thread in readers + reloaders:
+            thread.start()
+        for thread in reloaders:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+
+        assert not errors
+        assert not torn
+        final = service.health_snapshot()
+        assert final["epoch"] == 61  # 1 + 3 threads x 20 reloads
+        assert final["reloads"]["attempts"] == 60
+        assert final["breaker"]["state"] == "closed"
+
+    def test_snapshot_matches_storage_stats_at_rest(self, doc_a,
+                                                    tmp_path):
+        directory = tmp_path / "db"
+        save_database(Database.from_document(doc_a), directory)
+        service = QueryService(str(directory))
+        service.reload()
+        snap = service.health_snapshot()
+        stats = service.storage_stats()
+        assert snap["generation"] == stats["generation"]
+        assert snap["epoch"] == stats["epoch"] == 2
+        assert snap["reloads"] == stats["reloads"]
