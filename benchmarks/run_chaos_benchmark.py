@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Record the hedged-scatter chaos benchmark as ``BENCH_chaos.json``.
+
+Builds a replicated corpus from distinct DBLP-style p-documents and
+measures the replication layer's two availability claims: with every
+primary replica straggling, a fixed-trigger hedge collapses the cold
+p99 from ``slow_ms`` to roughly ``hedge_ms``; with every primary
+replica *dead*, failover answers 100% of queries bit-identical with
+zero PARTIAL outcomes.  See ``repro.bench.chaos`` for the pass
+design (cold vs steady routers).
+
+Run:  python benchmarks/run_chaos_benchmark.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+from repro.bench.chaos import run_chaos_benchmark
+from repro.datagen.dblp import generate_dblp
+from repro.datagen.probabilistic import make_probabilistic
+
+_DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_chaos.json")
+
+
+def _make_documents(count: int, publications: int, seed: int):
+    documents = []
+    for position in range(count):
+        doc_seed = seed + 211 * position
+        plain = generate_dblp(publications=publications, seed=doc_seed)
+        documents.append((f"dblp-{position:02d}",
+                          make_probabilistic(plain, seed=doc_seed)))
+    return documents
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=9,
+                        help="distinct p-documents (default 9)")
+    parser.add_argument("--publications", type=int, default=300,
+                        help="DBLP records per document (default 300)")
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--replicas", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=10,
+                        help="distinct sampled queries (default 10)")
+    parser.add_argument("-k", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--slow-ms", type=float, default=120.0,
+                        help="injected primary straggle (default 120)")
+    parser.add_argument("--hedge-ms", type=float, default=25.0,
+                        help="fixed hedge trigger (default 25)")
+    parser.add_argument("--seed", type=int, default=673)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for smoke runs: 6 "
+                             "documents x 100 records, 2 shards, "
+                             "6 queries")
+    parser.add_argument("-o", "--output", default=_DEFAULT_OUTPUT)
+    options = parser.parse_args(argv)
+
+    if options.quick:
+        options.documents, options.publications = 6, 100
+        options.shards, options.queries = 2, 6
+
+    documents = _make_documents(options.documents,
+                                options.publications, options.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") \
+            as directory:
+        report = run_chaos_benchmark(
+            documents, directory, shards=options.shards,
+            replicas=options.replicas,
+            distinct_queries=options.queries, k=options.k,
+            workers=options.workers, slow_ms=options.slow_ms,
+            hedge_ms=options.hedge_ms, seed=options.seed)
+
+    with open(options.output, "w", encoding="utf-8") as sink:
+        json.dump(report, sink, indent=2)
+        sink.write("\n")
+
+    corpus = report["corpus"]
+    print(f"corpus: {corpus['documents']} documents, "
+          f"{corpus['nodes']} nodes, {corpus['shards']} shards x "
+          f"{corpus['replicas']} replicas")
+    cold = report["cold_unhedged"]["latency_ms"]
+    hedged = report["cold_hedged"]["latency_ms"]
+    print(f"cold unhedged: p50={cold['p50']}ms p99={cold['p99']}ms")
+    print(f"cold hedged:   p50={hedged['p50']}ms "
+          f"p99={hedged['p99']}ms "
+          f"(fired={report['cold_hedged']['hedge']['fired']})")
+    print(f"p99 speedup (unhedged/hedged): {report['p99_speedup']}x")
+    steady = report["steady_hedged"]
+    print(f"steady hedged: p50={steady['latency_ms']['p50']}ms, "
+          f"hedges {steady['hedge']['fired']}/"
+          f"{steady['hedge']['worst_case']} "
+          f"(fire rate {steady['hedge']['fire_rate']}; routing "
+          f"learned)")
+    loss = report["replica_loss"]
+    print(f"replica loss: {loss['answered']}/{loss['queries']} "
+          f"answered, {loss['partial']} partial, "
+          f"{loss['failovers']} failovers "
+          f"(available={loss['available']})")
+    print(f"identical_results={report['identical_results']} "
+          f"ok={report['ok']}")
+    print(f"report written to {options.output}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

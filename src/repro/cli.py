@@ -342,6 +342,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="document placement: 'hash' is "
                                    "stable under re-builds, 'size' "
                                    "balances node counts (default hash)")
+    corpus_build.add_argument("--replicas", type=int, default=1,
+                              help="bit-identical copies of every "
+                                   "shard; queries fail over and "
+                                   "hedge across them "
+                                   "(docs/CORPUS.md; default 1)")
 
     corpus_search = corpus_commands.add_parser(
         "search", help="top-k search across all shards, merged into "
@@ -376,6 +381,33 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_fsck.add_argument("--repair", action="store_true",
                              help="repair/quarantine damaged shard "
                                   "files (docs/STORAGE.md)")
+
+    chaos = commands.add_parser(
+        "chaos", help="seeded chaos suite against a live served "
+                      "replicated corpus: replica kills, stragglers "
+                      "with hedging, torn reads, clock skew; exits "
+                      "non-zero on any invariant violation "
+                      "(docs/RESILIENCE.md)")
+    chaos.add_argument("corpus", help="corpus directory built with "
+                                      "--replicas 2 or more")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="workload + fault RNG seed (default 7)")
+    chaos.add_argument("--queries", type=int, default=12,
+                       help="queries per phase (default 12)")
+    chaos.add_argument("-k", type=int, default=5)
+    chaos.add_argument("--deadline-ms", type=float, default=None,
+                       metavar="MS", dest="deadline_ms",
+                       help="per-request deadline each chaos query "
+                            "carries (default 1500)")
+    chaos.add_argument("--epsilon-ms", type=float, default=None,
+                       metavar="MS", dest="epsilon_ms",
+                       help="allowed overshoot past the deadline "
+                            "before it counts as a violation "
+                            "(default 750)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the full repro.chaos/v1 report")
+    chaos.add_argument("--out", metavar="FILE", default=None,
+                       help="also write the report JSON to FILE")
     return parser
 
 
@@ -912,12 +944,15 @@ def _cmd_corpus_build(options) -> int:
     with Stopwatch() as watch:
         manifest = build_corpus(documents, options.out,
                                 shards=options.shards,
-                                strategy=options.strategy)
+                                strategy=options.strategy,
+                                replicas=options.replicas)
     total_nodes = sum(doc.nodes for doc in manifest.documents)
+    replica_note = (f", {manifest.replicas} replica(s) each"
+                    if manifest.replicas > 1 else "")
     print(f"built corpus {options.out}: {len(manifest.documents)} "
           f"document(s), {total_nodes} nodes across "
-          f"{manifest.shard_count} shard(s) ({manifest.strategy}) "
-          f"in {watch.elapsed:.2f}s")
+          f"{manifest.shard_count} shard(s) ({manifest.strategy}"
+          f"{replica_note}) in {watch.elapsed:.2f}s")
     for shard in range(manifest.shard_count):
         members = manifest.shard_documents(shard)
         nodes = sum(doc.nodes for doc in members)
@@ -979,6 +1014,43 @@ def _cmd_corpus_fsck(options) -> int:
     return status
 
 
+def _cmd_chaos(options) -> int:
+    from repro.resilience.chaos import (DEFAULT_DEADLINE_MS,
+                                        DEFAULT_EPSILON_MS, run_chaos)
+    deadline_ms = options.deadline_ms if options.deadline_ms \
+        is not None else DEFAULT_DEADLINE_MS
+    epsilon_ms = options.epsilon_ms if options.epsilon_ms \
+        is not None else DEFAULT_EPSILON_MS
+    report = run_chaos(options.corpus, seed=options.seed,
+                       queries=options.queries, k=options.k,
+                       deadline_ms=deadline_ms,
+                       epsilon_ms=epsilon_ms)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if options.json:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for phase in report["phases"]:
+            hedges = phase["hedges"]
+            print(f"[{phase['phase']}] {phase['answered']}/"
+                  f"{phase['queries']} answered, "
+                  f"{phase['partial']} partial, "
+                  f"{phase['mismatches']} mismatched, "
+                  f"{phase['overshoots']} overshot "
+                  f"(max {phase['max_wall_ms']:.0f}ms); hedges "
+                  f"fired={hedges['fired']} won={hedges['won']} "
+                  f"lost={hedges['lost']}")
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}")
+        verdict = "OK" if report["ok"] else \
+            f"{len(report['violations'])} violation(s)"
+        print(f"chaos seed {report['seed']}: {verdict}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_serve(options) -> int:
     import asyncio
     from repro.corpus import CorpusService, is_corpus_directory
@@ -1034,6 +1106,7 @@ _HANDLERS = {
     "snapshot": _cmd_snapshot,
     "serve": _cmd_serve,
     "corpus": _cmd_corpus,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -26,14 +26,19 @@ from repro.corpus.builder import (BOUNDS_FILE, BOUNDS_FORMAT, CORPUS_FILE,
                                   compute_bounds, concat_documents,
                                   load_corpus_manifest, is_corpus_directory,
                                   read_bounds, write_bounds)
+from repro.corpus.replication import (HedgePolicy, LatencyTracker,
+                                      ReplicaHealth, ReplicaSelector,
+                                      replica_dir_name, replica_name)
 from repro.corpus.service import CorpusService, corpus_fsck
 from repro.corpus.sharding import STRATEGIES, assign_shards
 
 __all__ = [
     "CORPUS_FILE", "CORPUS_FORMAT", "BOUNDS_FILE", "BOUNDS_FORMAT",
     "CorpusDocument", "CorpusManifest", "CorpusService",
-    "assign_shards", "build_corpus", "compute_bounds",
-    "concat_documents", "corpus_fsck", "is_corpus_directory",
-    "load_corpus_manifest", "read_bounds", "write_bounds",
+    "HedgePolicy", "LatencyTracker", "ReplicaHealth",
+    "ReplicaSelector", "assign_shards", "build_corpus",
+    "compute_bounds", "concat_documents", "corpus_fsck",
+    "is_corpus_directory", "load_corpus_manifest", "read_bounds",
+    "replica_dir_name", "replica_name", "write_bounds",
     "STRATEGIES",
 ]

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,7 @@ from repro.index.inverted import InvertedIndex
 from repro.index.storage import Database, _atomic_write, save_database
 from repro.obs.metrics import Collector, NULL_COLLECTOR
 from repro.prxml.model import NodeType, PDocument, PNode
+from repro.corpus.replication import replica_dir_name
 from repro.corpus.sharding import assign_shards
 
 CORPUS_FILE = "CORPUS.json"
@@ -87,15 +89,30 @@ class CorpusManifest:
     root_label: str
     shard_names: Tuple[str, ...]
     documents: Tuple[CorpusDocument, ...]
+    #: Independent on-disk copies of each shard (1 = unreplicated;
+    #: manifests written before replication existed parse as 1).
+    replicas: int = 1
 
     @property
     def shard_count(self) -> int:
         return len(self.shard_names)
 
     def shard_dir(self, shard: int) -> str:
-        """Absolute path of shard ``shard``'s database directory."""
-        return os.path.join(self.directory, SHARDS_DIR,
-                            self.shard_names[shard])
+        """Absolute path of shard ``shard``'s *primary* replica (the
+        bare shard directory — identical to the pre-replication
+        layout, so every legacy reader keeps working)."""
+        return self.replica_dir(shard, 0)
+
+    def replica_dir(self, shard: int, replica: int) -> str:
+        """Absolute path of one replica's database directory."""
+        return os.path.join(
+            self.directory, SHARDS_DIR,
+            replica_dir_name(self.shard_names[shard], replica))
+
+    def replica_dirs(self, shard: int) -> List[str]:
+        """All replica directories of one shard, primary first."""
+        return [self.replica_dir(shard, replica)
+                for replica in range(self.replicas)]
 
     def shard_documents(self, shard: int) -> List[CorpusDocument]:
         """The shard's documents in local (= global) order."""
@@ -210,7 +227,7 @@ def read_bounds(shard_dir: str) -> Optional[Dict[str, object]]:
 
 def build_corpus(documents: Sequence[Tuple[str, PDocument]],
                  directory: str, shards: int = 4,
-                 strategy: str = "hash",
+                 strategy: str = "hash", replicas: int = 1,
                  collector: Collector = NULL_COLLECTOR) -> CorpusManifest:
     """Shard ``documents`` into a corpus directory.
 
@@ -219,18 +236,30 @@ def build_corpus(documents: Sequence[Tuple[str, PDocument]],
     and the manifest lands last (atomically), so a reader never sees a
     manifest naming a shard that is not fully on disk.
 
+    With ``replicas=N > 1``, each shard is written as N *independent
+    copies* in distinct directories (``s0000``, ``s0000.r1``, ...):
+    the primary is built once, then copied file-for-file, so every
+    replica shares the primary's content fingerprint (the same
+    snapshot generation, the same checksummed manifest, the same
+    ``BOUNDS.json``) while losing any single directory loses no data.
+    :class:`~repro.corpus.CorpusService` routes each shard visit to a
+    healthy replica and fails over on error (docs/CORPUS.md).
+
     Args:
         documents: ``(name, document)`` pairs; the sequence order *is*
             the corpus's global document order.
         directory: corpus directory (created if missing).
         shards: shard count.
         strategy: a :data:`repro.corpus.sharding.STRATEGIES` entry.
+        replicas: independent copies of each shard (default 1).
         collector: receives ``corpus.build.*`` counters/timers.
 
     Returns:
         The manifest that was written.
     """
     directory = os.fspath(directory)
+    if replicas < 1:
+        raise QueryError(f"replicas must be >= 1, got {replicas}")
     names = [name for name, _ in documents]
     sizes = [len(document) for _, document in documents]
     assignment = assign_shards(names, sizes, shards, strategy)
@@ -263,6 +292,19 @@ def build_corpus(documents: Sequence[Tuple[str, PDocument]],
                                        collector=collector)
             bounds, best = compute_bounds(database.index)
             write_bounds(shard_dir, generation, bounds, best)
+            for replica in range(1, replicas):
+                replica_dir = os.path.join(
+                    directory, SHARDS_DIR,
+                    replica_dir_name(label, replica))
+                # A rebuild over an existing corpus replaces the
+                # replica wholesale; copying file-for-file preserves
+                # the primary's generation and checksums, which is
+                # what makes the copies bit-substitutable.
+                if os.path.isdir(replica_dir):
+                    shutil.rmtree(replica_dir)
+                shutil.copytree(shard_dir, replica_dir)
+                if collector.enabled:
+                    collector.count("corpus.build.replicas")
             if collector.enabled:
                 collector.count("corpus.build.shards")
                 collector.count("corpus.build.nodes", len(combined))
@@ -271,6 +313,7 @@ def build_corpus(documents: Sequence[Tuple[str, PDocument]],
         "format": CORPUS_FORMAT,
         "strategy": strategy,
         "root_label": ROOT_LABEL,
+        "replicas": replicas,
         "shards": shard_names,
         "documents": [{
             "name": doc.name,
@@ -317,9 +360,14 @@ def load_corpus_manifest(directory: str) -> CorpusManifest:
         ) for entry in payload["documents"])
         strategy = str(payload.get("strategy", "hash"))
         root_label = str(payload.get("root_label", ROOT_LABEL))
+        replicas = int(payload.get("replicas", 1))
     except (KeyError, TypeError, ValueError) as error:
         raise StorageError(
             f"corrupt corpus manifest {path}: {error}") from error
+    if replicas < 1:
+        raise StorageError(
+            f"corrupt corpus manifest {path}: replicas must be >= 1, "
+            f"got {replicas}")
     for doc in documents:
         if not 0 <= doc.shard < len(shard_names):
             raise StorageError(
@@ -329,4 +377,4 @@ def load_corpus_manifest(directory: str) -> CorpusManifest:
     return CorpusManifest(directory=directory, strategy=strategy,
                           root_label=root_label,
                           shard_names=shard_names,
-                          documents=documents)
+                          documents=documents, replicas=replicas)

@@ -1,0 +1,315 @@
+"""Replica health, selection and hedging for the corpus layer.
+
+The paper's top-k bounds make every shard's contribution provably
+skippable or mergeable, which means a **replica** of a shard is a
+perfect substitute: two directories holding the same snapshot
+generation return bit-identical heaps for every query, so the scatter
+layer may route a shard visit to *any* healthy replica — or to two at
+once — without approximating the answer.  This module supplies the
+routing policy:
+
+* :class:`ReplicaHealth` — one replica's live view: an EWMA of its
+  visit latency, success/failure counts, and a per-replica
+  :class:`~repro.resilience.CircuitBreaker`.  A replica whose breaker
+  is open is *quarantined*: the selector routes around it until the
+  cooldown lets a half-open trial through.
+* :class:`ReplicaSelector` — per-shard, thread-safe choice of the next
+  replica to visit: healthy (breaker allows) first, lowest EWMA
+  latency first among those, index order as the tiebreak so the
+  primary wins until latencies say otherwise.
+* :class:`LatencyTracker` — a bounded reservoir of recent shard-visit
+  latencies with a percentile read, feeding percentile-triggered
+  hedges.
+* :class:`HedgePolicy` — when a straggling visit should be hedged to
+  another replica: after a fixed ``hedge_ms``, or after the tracked
+  latency ``percentile`` once enough samples exist.
+
+Selection is a *routing* concern only — correctness never depends on
+it.  The worst a bad pick costs is latency: the scatter fails over on
+error and hedges on delay, and a shard is PARTIAL only when every
+replica has failed (docs/CORPUS.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import QueryError
+from repro.resilience.retry import CircuitBreaker
+
+#: Separator between a shard label and a replica ordinal in replica
+#: directory names: ``s0003`` (primary) / ``s0003.r1`` / ``s0003.r2``.
+REPLICA_SEPARATOR = ".r"
+
+#: Default EWMA smoothing factor for replica latency.
+DEFAULT_EWMA_ALPHA = 0.3
+
+#: Default consecutive visit failures before a replica quarantines.
+DEFAULT_REPLICA_BREAKER_THRESHOLD = 3
+
+#: Default quarantine cooldown before a half-open trial, in seconds.
+DEFAULT_REPLICA_COOLDOWN_S = 5.0
+
+#: Default latency percentile that triggers a hedge.
+DEFAULT_HEDGE_PERCENTILE = 0.95
+
+#: Default samples required before percentile hedging activates.
+DEFAULT_HEDGE_MIN_SAMPLES = 8
+
+
+def replica_name(replica: int) -> str:
+    """Canonical replica label (``r0`` is the primary)."""
+    return f"r{replica}"
+
+
+def replica_dir_name(shard_label: str, replica: int) -> str:
+    """Directory name of one replica.
+
+    The primary keeps the bare shard label so a 1-replica corpus is
+    byte-identical on disk to a pre-replication one (and every legacy
+    reader keeps working); further replicas append ``.rN``.
+    """
+    if replica == 0:
+        return shard_label
+    return f"{shard_label}{REPLICA_SEPARATOR}{replica}"
+
+
+class LatencyTracker:
+    """A bounded window of recent latencies with a percentile read.
+
+    Thread-safe; the corpus scatter records every successful shard
+    visit here (one tracker per shard) and the hedge policy asks for
+    a high percentile to decide when a visit counts as straggling.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise QueryError(
+                f"latency tracker capacity must be positive, "
+                f"got {capacity}")
+        self._lock = threading.Lock()
+        self._samples: Deque[float] = deque(maxlen=capacity)  # repro: guarded-by[_lock]
+
+    def record(self, latency_ms: float) -> None:
+        with self._lock:
+            self._samples.append(float(latency_ms))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The ``q``-th latency percentile (``None`` with no samples);
+        nearest-rank over the retained window."""
+        if not 0.0 <= q <= 1.0:
+            raise QueryError(f"percentile must be in [0, 1], got {q}")
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return None
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+
+class ReplicaHealth:
+    """One replica's mutable health record (owned by a selector)."""
+
+    __slots__ = ("name", "directory", "breaker", "ewma_ms",
+                 "successes", "failures", "alpha")
+
+    def __init__(self, name: str, directory: str,
+                 breaker: CircuitBreaker,
+                 alpha: float = DEFAULT_EWMA_ALPHA) -> None:
+        self.name = name
+        self.directory = directory
+        self.breaker = breaker
+        self.alpha = alpha
+        self.ewma_ms: Optional[float] = None
+        self.successes = 0
+        self.failures = 0
+
+    def observe(self, latency_ms: float) -> None:
+        if self.ewma_ms is None:
+            self.ewma_ms = float(latency_ms)
+        else:
+            self.ewma_ms += self.alpha * (latency_ms - self.ewma_ms)
+
+    def summary(self) -> Dict[str, object]:
+        return {"name": self.name,
+                "ewma_ms": (round(self.ewma_ms, 3)
+                            if self.ewma_ms is not None else None),
+                "successes": self.successes,
+                "failures": self.failures,
+                "breaker": self.breaker.summary()}
+
+
+class ReplicaSelector:
+    """Health-aware replica choice for one shard.
+
+    ``pick`` prefers replicas whose breaker allows traffic, ordered by
+    EWMA latency (unknown latency sorts first at its index, so cold
+    replicas get probed), with the replica index as the final
+    tiebreak.  When *every* replica is quarantined, the least-recently
+    -failed one is returned anyway — an open breaker must never turn a
+    recoverable shard into a PARTIAL answer by itself; the visit is
+    the half-open trial.
+
+    All mutation happens under one lock; ``record_failure`` counts
+    toward the replica's breaker (quarantine at ``threshold``
+    consecutive failures), ``record_success`` closes it and feeds the
+    EWMA plus the shard-level latency tracker hedging reads.
+    """
+
+    def __init__(self, replicas: Sequence[ReplicaHealth],
+                 tracker: Optional[LatencyTracker] = None) -> None:
+        if not replicas:
+            raise QueryError("a replica selector needs at least one "
+                             "replica")
+        self._lock = threading.Lock()
+        self._replicas = tuple(replicas)
+        self.tracker = tracker if tracker is not None \
+            else LatencyTracker()
+
+    @property
+    def replicas(self) -> Sequence[ReplicaHealth]:
+        return self._replicas
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def pick(self, exclude: Iterable[int] = ()) -> Optional[int]:
+        """Index of the next replica to visit, or ``None`` when
+        ``exclude`` already names them all."""
+        excluded = set(exclude)
+        allowed: List[int] = []
+        blocked: List[int] = []
+        with self._lock:
+            for index, health in enumerate(self._replicas):
+                if index in excluded:
+                    continue
+                (allowed if health.breaker.allow()
+                 else blocked).append(index)
+
+            def rank(index: int):
+                ewma = self._replicas[index].ewma_ms
+                return (0 if ewma is None else 1,
+                        ewma if ewma is not None else 0.0, index)
+
+            if allowed:
+                return min(allowed, key=rank)
+            if blocked:
+                # Every candidate is quarantined: probe the one with
+                # the fewest consecutive failures rather than failing
+                # the shard outright.
+                return min(blocked, key=lambda index: (
+                    self._replicas[index].breaker.failures, index))
+        return None
+
+    def record_success(self, index: int, latency_ms: float) -> None:
+        with self._lock:
+            health = self._replicas[index]
+            health.successes += 1
+            health.observe(latency_ms)
+            health.breaker.record_success()
+        self.tracker.record(latency_ms)
+
+    def record_failure(self, index: int) -> None:
+        with self._lock:
+            health = self._replicas[index]
+            health.failures += 1
+            health.breaker.record_failure()
+
+    def record_straggler(self, index: int, pending_ms: float) -> None:
+        """An abandoned visit (hedged over, or still pending when the
+        scatter returned): feed the observed pending time into the
+        replica's EWMA so routing learns the slowness, without
+        touching its breaker — slow is not broken."""
+        with self._lock:
+            self._replicas[index].observe(pending_ms)
+
+    def quarantined(self) -> List[str]:
+        """Names of replicas whose breaker currently refuses traffic."""
+        with self._lock:
+            return [health.name for health in self._replicas
+                    if not health.breaker.allow()]
+
+    def stats(self) -> List[Dict[str, object]]:
+        """JSON-safe per-replica health (health endpoints, chaos)."""
+        with self._lock:
+            return [health.summary() for health in self._replicas]
+
+
+class HedgePolicy:
+    """When a straggling shard visit is speculatively re-issued.
+
+    Two triggers, first-match wins:
+
+    * ``hedge_ms`` — fixed: a visit pending longer than this is
+      hedged;
+    * ``percentile`` — adaptive: once the shard's latency tracker
+      holds ``min_samples`` observations, a visit pending longer than
+      that percentile of recent latencies is hedged.
+
+    ``delay_ms(tracker)`` returns ``None`` while neither trigger can
+    fire (hedging stays off rather than guessing).  Hedging trades
+    duplicate work for tail latency: both replicas hold identical
+    content, so whichever answer lands first is *the* answer —
+    bit-identical by construction — and the loser is discarded.
+    """
+
+    __slots__ = ("hedge_ms", "percentile", "min_samples")
+
+    def __init__(self, hedge_ms: Optional[float] = None,
+                 percentile: Optional[float] = None,
+                 min_samples: int = DEFAULT_HEDGE_MIN_SAMPLES) -> None:
+        if hedge_ms is not None and hedge_ms <= 0:
+            raise QueryError(
+                f"hedge_ms must be positive, got {hedge_ms}")
+        if percentile is not None and not 0.0 < percentile < 1.0:
+            raise QueryError(
+                f"hedge percentile must be in (0, 1), got {percentile}")
+        if min_samples <= 0:
+            raise QueryError(
+                f"hedge min_samples must be positive, got {min_samples}")
+        if hedge_ms is None and percentile is None:
+            raise QueryError("a hedge policy needs hedge_ms, a "
+                             "percentile, or both")
+        self.hedge_ms = hedge_ms
+        self.percentile = percentile
+        self.min_samples = min_samples
+
+    def delay_ms(self, tracker: LatencyTracker) -> Optional[float]:
+        """How long a visit may be pending before it is hedged
+        (``None`` = do not hedge yet)."""
+        if self.hedge_ms is not None:
+            return self.hedge_ms
+        if self.percentile is not None \
+                and len(tracker) >= self.min_samples:
+            return tracker.percentile(self.percentile)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HedgePolicy(hedge_ms={self.hedge_ms}, "
+                f"percentile={self.percentile})")
+
+
+#: What corpus-service signatures accept for ``hedge``: a policy, a
+#: fixed millisecond trigger, or ``None`` (hedging off).
+HedgeLike = Union[HedgePolicy, float, int, None]
+
+
+def as_hedge_policy(value: HedgeLike) -> Optional[HedgePolicy]:
+    """Coerce the public ``hedge=`` argument (``None`` = off)."""
+    if value is None:
+        return None
+    if isinstance(value, HedgePolicy):
+        return value
+    if isinstance(value, bool):
+        raise QueryError(f"hedge must be a HedgePolicy or a "
+                         f"millisecond trigger, got {value!r}")
+    if isinstance(value, (int, float)):
+        return HedgePolicy(hedge_ms=float(value))
+    raise QueryError(f"hedge must be a HedgePolicy or a millisecond "
+                     f"trigger, got {type(value).__name__}")

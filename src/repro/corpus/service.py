@@ -25,12 +25,35 @@ global :class:`~repro.core.heap.TopKHeap`:
    shard-local answer's Dewey code rewrites to the global code by
    swapping its document-position component per the corpus manifest.
 
+**Replication** (docs/CORPUS.md): a corpus built with ``replicas=N``
+holds N bit-identical copies of every shard, and each shard visit
+routes through a health-aware :class:`ReplicaSelector` — per-replica
+circuit breaker plus EWMA latency, quarantined replicas skipped — with
+failover: a replica failure (load error, injected fault, torn read)
+records against that replica's breaker and the visit moves to the
+next one.  A shard is PARTIAL only when *every* replica has failed.
+On the pooled executors, a visit pending longer than the
+:class:`HedgePolicy`'s trigger is **hedged**: the same visit is
+speculatively re-issued to another replica and the first answer wins —
+bit-identical by construction, since replicas share one content
+fingerprint — while the loser is discarded (``corpus.hedge.*``
+counters, ``corpus.hedge`` spans).
+
+**Deadline budgets**: one :class:`~repro.resilience.Deadline` is the
+whole query's budget.  Every shard visit draws a *child* budget from
+its remaining wall clock (``Deadline.child``), so later shards, serial
+failover retries and hedges can never collectively overshoot the
+caller's deadline; once the budget is out, unvisited shards are
+recorded ``deadline_skipped`` on an honestly-partial outcome instead
+of being searched past the deadline.
+
 Per-shard failures degrade instead of failing the query: a shard whose
-executor task dies is retried serially in the coordinator, and a shard
-that cannot be loaded at all (e.g. quarantined by fsck) is reported in
-``stats["corpus"]`` on a *partial* outcome while the healthy shards
-still answer.  ``corpus.*`` metrics count searches, prunes, skips,
-degradations, and failures.
+executor task dies fails over across its replicas (serially in the
+coordinator as the last resort), and a shard that cannot be loaded at
+all (e.g. quarantined by fsck) is reported in ``stats["corpus"]`` on a
+*partial* outcome while the healthy shards still answer.  ``corpus.*``
+metrics count searches, prunes, skips, degradations, failovers,
+hedges, and failures.
 """
 
 from __future__ import annotations
@@ -54,6 +77,12 @@ from repro.core.heap import TopKHeap
 from repro.core.result import SearchOutcome, SLCAResult
 from repro.corpus.builder import (CorpusManifest, compute_bounds,
                                   load_corpus_manifest, read_bounds)
+from repro.corpus.replication import (HedgeLike, HedgePolicy,
+                                      LatencyTracker, ReplicaHealth,
+                                      ReplicaSelector,
+                                      DEFAULT_REPLICA_BREAKER_THRESHOLD,
+                                      DEFAULT_REPLICA_COOLDOWN_S,
+                                      as_hedge_policy, replica_name)
 from repro.encoding.dewey import DeweyCode
 from repro.exceptions import QueryError, ReproError, StorageError
 from repro.index.fsck import FsckReport, fsck_database
@@ -61,6 +90,8 @@ from repro.index.tokenizer import normalize_query
 from repro.obs.metrics import Collector, NULL_COLLECTOR, Stopwatch
 from repro.resilience.deadline import (Deadline, DeadlineLike,
                                        REASON_DEADLINE, as_deadline)
+from repro.resilience.faults import NULL_FAULTS, FaultsLike
+from repro.resilience.retry import CircuitBreaker
 from repro.service.service import (BatchOutcome, DEFAULT_CACHE_SIZE,
                                    EXECUTORS, QueryService)
 
@@ -74,6 +105,8 @@ ACTION_SEARCHED = "searched"
 ACTION_PRUNED = "pruned"
 ACTION_NO_MATCH = "no_match"
 ACTION_FAILED = "failed"
+#: The query's deadline budget ran out before this shard was visited.
+ACTION_DEADLINE = "deadline_skipped"
 
 
 @dataclass(frozen=True)
@@ -86,23 +119,67 @@ class CorpusState:
 
 
 @dataclass(frozen=True)
-class _ShardState:
-    """One shard's immutable view: its service, bounds, and code map.
+class _ReplicaState:
+    """One replica of one shard: its directory and (maybe) service.
 
-    A failed shard (``service is None``) keeps its slot so queries can
-    report it; ``error`` says why it is down.  Reload replaces whole
-    ``_ShardState`` values — never mutates them — so a running query's
-    snapshot stays coherent.
+    A replica that failed to load keeps its slot (``service is
+    None``); ``error`` says why.  The selector routes around it and a
+    later reload can revive it.
     """
 
-    position: int
+    index: int
     name: str
     directory: str
     service: Optional[QueryService]
     error: Optional[str]
+
+
+@dataclass(frozen=True)
+class _ShardState:
+    """One shard's immutable view: its replicas, bounds, and code map.
+
+    Reload replaces whole ``_ShardState`` values — never mutates them
+    — so a running query's snapshot stays coherent.  The ``selector``
+    (per-replica breakers + EWMA latency) is the one mutable member:
+    it is *routing* state, deliberately carried across queries, and
+    thread-safe on its own lock.
+    """
+
+    position: int
+    name: str
+    replicas: Tuple[_ReplicaState, ...]
+    selector: ReplicaSelector
     bounds: Dict[str, float]
     max_path_probability: float
     positions: Dict[int, int]
+
+    @property
+    def service(self) -> Optional[QueryService]:
+        """The first healthy replica's service (None = shard down).
+
+        Read paths that need *a* coherent view of the shard's content
+        — bounds recomputes, result re-hydration, storage stats — use
+        this; the scatter itself goes through the selector.
+        """
+        for replica in self.replicas:
+            if replica.service is not None:
+                return replica.service
+        return None
+
+    @property
+    def directory(self) -> str:
+        """The primary replica's directory (legacy shard layout)."""
+        return self.replicas[0].directory
+
+    @property
+    def error(self) -> Optional[str]:
+        """Why the shard is down (None while any replica serves)."""
+        errors = []
+        for replica in self.replicas:
+            if replica.service is not None:
+                return None
+            errors.append(f"{replica.name}: {replica.error}")
+        return "; ".join(errors)
 
     def query_bound(self, terms: Sequence[str]) -> float:
         """Upper bound on any answer probability this shard can
@@ -128,22 +205,55 @@ class CorpusService:
         collector: shared metrics collector; receives the per-shard
             services' counters *and* the ``corpus.*`` family.
         verify: checksum-verify shard snapshots on load/reload.
+        faults: a :class:`~repro.resilience.FaultInjector` whose
+            replica-level faults (``replica_down``, ``slow_replica``,
+            ``torn_replica``, ``clock_skew_ms``) fire on shard visits;
+            defaults to the no-op injector.
+        hedge: hedging policy for the pooled executors — a
+            :class:`HedgePolicy`, a fixed millisecond trigger, or
+            ``None`` (hedging off, the default).
+        executor: the scatter model :meth:`search` uses when its call
+            site does not choose one — ``serial`` (default),
+            ``thread`` or ``process``.  The serving layer and the
+            chaos harness construct the service once and rely on this
+            default, since ``POST /search`` carries no executor field.
+        replica_breaker_threshold: consecutive visit failures before a
+            replica quarantines.
+        replica_cooldown_s: quarantine cooldown before a half-open
+            trial visit.
 
     A shard that fails to load does not fail construction: it is
     recorded as down, queries answer partially without it, and a later
     :meth:`reload` (say, after ``repro corpus fsck --repair``) revives
-    it.
+    it.  A *replica* that fails to load only narrows that shard's
+    routing choices — the shard stays up while any replica serves.
     """
 
     def __init__(self, directory: Union[str, os.PathLike],
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  collector: Optional[Collector] = None,
-                 verify: bool = True) -> None:
+                 verify: bool = True,
+                 faults: FaultsLike = NULL_FAULTS,
+                 hedge: HedgeLike = None,
+                 executor: str = "serial",
+                 replica_breaker_threshold: int =
+                 DEFAULT_REPLICA_BREAKER_THRESHOLD,
+                 replica_cooldown_s: float =
+                 DEFAULT_REPLICA_COOLDOWN_S) -> None:
+        if executor not in EXECUTORS:
+            choices = ", ".join(EXECUTORS)
+            raise QueryError(f"unknown executor {executor!r}; "
+                             f"choose one of {choices}")
         self.collector = collector if collector is not None \
             else NULL_COLLECTOR
         self._directory = os.fspath(directory)
         self._cache_size = cache_size
         self._verify = verify
+        self._faults = faults
+        self._hedge = as_hedge_policy(hedge)
+        self._default_executor = executor
+        self._replica_breaker_threshold = replica_breaker_threshold
+        self._replica_cooldown_s = replica_cooldown_s
         self._manifest = load_corpus_manifest(self._directory)
         self._reload_lock = threading.Lock()
         # Single-writer atomic-reference swap, same pattern as
@@ -164,33 +274,70 @@ class CorpusService:
     def directory(self) -> str:
         return self._directory
 
-    def _load_shard(self, position: int) -> _ShardState:
-        """Load one shard; a failure yields a down-but-present state."""
+    def _load_shard(self, position: int,
+                    selector: Optional[ReplicaSelector] = None
+                    ) -> _ShardState:
+        """Load one shard's replicas; every replica failing yields a
+        down-but-present shard state.  ``selector`` carries an existing
+        selector's health history across a reload (routing state is
+        deliberately *not* reset by a content swap)."""
         name = self._manifest.shard_names[position]
-        shard_dir = self._manifest.shard_dir(position)
         positions = self._manifest.position_map(position)
+        replicas: List[_ReplicaState] = []
+        for index, directory in enumerate(
+                self._manifest.replica_dirs(position)):
+            replicas.append(self._load_replica(name, index, directory))
+        if selector is None or len(selector) != len(replicas):
+            selector = ReplicaSelector([
+                ReplicaHealth(replica.name, replica.directory,
+                              CircuitBreaker(
+                                  threshold=self
+                                  ._replica_breaker_threshold,
+                                  cooldown_s=self._replica_cooldown_s))
+                for replica in replicas])
+        shard = _ShardState(position=position, name=name,
+                            replicas=tuple(replicas),
+                            selector=selector, bounds={},
+                            max_path_probability=0.0,
+                            positions=positions)
+        healthy = next((replica for replica in shard.replicas
+                        if replica.service is not None), None)
+        if healthy is None:
+            _log.error("corpus shard %s failed to load: %s", name,
+                       shard.error)
+            if self.collector.enabled:
+                self.collector.count("corpus.shard_load_failures")
+            return shard
+        # Bounds come from the same replica that provides the service
+        # view, so a down primary cannot pair stale BOUNDS.json with a
+        # different replica's generation.
+        bounds, best = self._resolve_bounds(healthy.directory,
+                                            healthy.service)
+        return replace(shard, bounds=bounds,
+                       max_path_probability=best)
+
+    def _load_replica(self, shard_name: str, index: int,
+                      directory: str) -> _ReplicaState:
+        """Load one replica; a failure yields a down-but-present slot
+        the selector routes around."""
+        rname = replica_name(index)
         try:
-            service = QueryService(shard_dir,
+            service = QueryService(directory,
                                    cache_size=self._cache_size,
                                    collector=self.collector,
                                    verify=self._verify)
         except (ReproError, OSError, ValueError) as error:
             message = f"{type(error).__name__}: {error}"
-            _log.error("corpus shard %s failed to load: %s", name,
-                       message)
+            _log.warning("corpus replica %s/%s failed to load: %s",
+                         shard_name, rname, message)
             if self.collector.enabled:
-                self.collector.count("corpus.shard_load_failures")
-            return _ShardState(position=position, name=name,
-                               directory=shard_dir, service=None,
-                               error=message, bounds={},
-                               max_path_probability=0.0,
-                               positions=positions)
-        bounds, best = self._resolve_bounds(shard_dir, service)
-        return _ShardState(position=position, name=name,
-                           directory=shard_dir, service=service,
-                           error=None, bounds=bounds,
-                           max_path_probability=best,
-                           positions=positions)
+                self.collector.count("corpus.replica_load_failures")
+            return _ReplicaState(index=index, name=rname,
+                                 directory=directory, service=None,
+                                 error=message)
+        return _ReplicaState(index=index, name=rname,
+                             directory=directory, service=service,
+                             error=None)
 
     def _resolve_bounds(self, shard_dir: str, service: QueryService
                         ) -> Tuple[Dict[str, float], float]:
@@ -214,7 +361,7 @@ class CorpusService:
     def search(self, keywords: Iterable[str], k: int = 10,
                algorithm: Union[Algorithm, str] = Algorithm.EAGER,
                semantics: str = "slca",
-               executor: str = "serial",
+               executor: Optional[str] = None,
                workers: Optional[int] = None,
                deadline: Optional[Union[Deadline, DeadlineLike,
                                         float, int]] = None,
@@ -233,6 +380,8 @@ class CorpusService:
         terms = sorted(normalize_query(keywords))
         if not terms:
             raise QueryError("keyword query contains no terms")
+        if executor is None:
+            executor = self._default_executor
         if executor not in EXECUTORS:
             choices = ", ".join(EXECUTORS)
             raise QueryError(f"unknown executor {executor!r}; "
@@ -282,7 +431,10 @@ class CorpusService:
                         searched=merge.counts[ACTION_SEARCHED],
                         pruned=merge.counts[ACTION_PRUNED],
                         no_match=merge.counts[ACTION_NO_MATCH],
-                        failed=merge.counts[ACTION_FAILED])
+                        failed=merge.counts[ACTION_FAILED],
+                        deadline_skipped=merge.counts[
+                            ACTION_DEADLINE],
+                        hedged=merge.hedges["fired"])
 
             outcome = merge.outcome(
                 shards_total=len(shards), executor=executor,
@@ -313,22 +465,30 @@ class CorpusService:
                         parent_span: Optional[Any]) -> None:
         """One shard at a time, pruning between completions — the
         tightest pruning the bounds allow (the benchmark's
-        ``bounded-serial`` configuration)."""
+        ``bounded-serial`` configuration).
+
+        The deadline budget is checked *before* every visit: once the
+        wall clock is out, the remaining shards are recorded
+        ``deadline_skipped`` on an honestly-partial outcome instead of
+        being searched past the caller's deadline.
+        """
         for shard, bound in plan:
+            if budget.enabled and budget.out_of_time():
+                merge.record_skip(shard, bound, ACTION_DEADLINE)
+                continue
             action = merge.decide(bound)
             if action is not None:
                 merge.record_skip(shard, bound, action)
                 continue
             try:
-                outcome = self._search_shard(shard, bound, keywords, k,
-                                             algorithm, semantics,
-                                             budget, tracer,
-                                             parent_span)
+                outcome, rname = self._visit_with_failover(
+                    shard, bound, keywords, k, algorithm, semantics,
+                    budget, tracer, parent_span, merge=merge)
             except (ReproError, OSError, ValueError) as error:
                 merge.record_failure(shard, bound,
                                      f"{type(error).__name__}: {error}")
                 continue
-            merge.absorb(shard, bound, outcome)
+            merge.absorb(shard, bound, outcome, replica=rname)
 
     def _scatter_pool(self, executor: str, width: int,
                       plan: List[Tuple[_ShardState, float]],
@@ -339,73 +499,234 @@ class CorpusService:
                       parent_span: Optional[Any]) -> None:
         """Completion-driven scatter on a thread or process pool.
 
-        Up to ``width`` shards are in flight; every completion merges
-        immediately and the *next* submission re-checks the prune
-        condition against the now-tighter global threshold, so late
-        shards still benefit from early strong answers.  A task that
-        dies (worker crash, broken pool) degrades to a serial retry in
-        the coordinator; only a shard that fails both ways is reported
-        failed.
+        Up to ``width`` shard visits are in flight; every completion
+        merges immediately and the *next* submission re-checks the
+        prune condition against the now-tighter global threshold, so
+        late shards still benefit from early strong answers.
+
+        A task that dies (worker crash, replica fault, broken pool)
+        **fails over**: the visit resubmits to the shard's next healthy
+        replica, degrading to one serial in-coordinator retry as the
+        last resort; only a shard that fails every way is reported
+        failed.  With a hedge policy configured, a visit pending past
+        the policy's trigger is speculatively re-issued on another
+        replica — ``wait`` timeouts below are the hedge clock — and
+        the first answer wins (bit-identical by construction).
         """
         queue = deque(plan)
-        pending: Dict[Future, Tuple[_ShardState, float,
-                                    Optional[Any]]] = {}
+        pending: Dict[Future, Tuple["_Visit", int, Stopwatch,
+                                    bool]] = {}
+        # With hedging on, the pool gets one spare lane per scatter
+        # slot: a hedge exists to race a straggler, so it must never
+        # queue behind the very stragglers it is hedging against.
+        # _active_visits still caps *visits* at `width`; the extra
+        # workers carry hedge twins only.
+        capacity = width * 2 if self._hedge is not None else width
         pool: Union[ThreadPoolExecutor, ProcessPoolExecutor]
         if executor == "process":
-            pool = ProcessPoolExecutor(max_workers=width)
+            pool = ProcessPoolExecutor(max_workers=capacity)
         else:
             pool = ThreadPoolExecutor(
-                max_workers=width, thread_name_prefix="corpus-scatter")
+                max_workers=capacity,
+                thread_name_prefix="corpus-scatter")
         try:
             while queue or pending:
-                while queue and len(pending) < width:
+                while queue and self._active_visits(pending) < width:
                     shard, bound = queue.popleft()
+                    if budget.enabled and budget.out_of_time():
+                        merge.record_skip(shard, bound,
+                                          ACTION_DEADLINE)
+                        continue
                     action = merge.decide(bound)
                     if action is not None:
                         merge.record_skip(shard, bound, action)
                         continue
-                    future = self._submit(pool, executor, shard,
-                                          bound, keywords, k,
-                                          algorithm, algorithm_name,
-                                          semantics, budget, tracer,
-                                          parent_span)
                     span = self._begin_span(tracer, parent_span,
                                             shard, bound) \
                         if executor == "process" else None
-                    pending[future] = (shard, bound, span)
+                    visit = _Visit(shard, bound, span)
+                    if not self._launch(pool, executor, visit,
+                                        pending, keywords, k,
+                                        algorithm, algorithm_name,
+                                        semantics, budget, tracer,
+                                        parent_span, hedge=False):
+                        message = visit.last_error \
+                            or f"no replica of {shard.name} is serving"
+                        merge.record_failure(shard, bound, message)
+                        if tracer is not None and span is not None:
+                            tracer.finish(span, status="error",
+                                          error=message)
                 if not pending:
+                    if queue:
+                        continue
+                    break
+                if all(entry[0].done for entry in pending.values()):
+                    # Only discarded hedge losers remain: the merge is
+                    # already complete, so the answer returns now and
+                    # the shutdown below leaves the stragglers to
+                    # finish in the background instead of blocking the
+                    # query's tail latency on them — the whole point
+                    # of hedging.
                     break
                 done, _ = wait(set(pending),
-                               return_when=FIRST_COMPLETED)
+                               return_when=FIRST_COMPLETED,
+                               timeout=self._hedge_timeout(pending))
                 for future in done:
-                    shard, bound, span = pending.pop(future)
-                    self._gather_one(future, executor, shard, bound,
-                                     span, merge, keywords, k,
-                                     algorithm, semantics, budget,
-                                     tracer)
+                    visit, index, watch, is_hedge = pending.pop(future)
+                    visit.outstanding -= 1
+                    self._gather_one(future, executor, pool, visit,
+                                     index, watch, is_hedge, pending,
+                                     merge, keywords, k, algorithm,
+                                     algorithm_name, semantics, budget,
+                                     tracer, parent_span)
+                self._fire_hedges(pool, executor, pending, merge,
+                                  keywords, k, algorithm,
+                                  algorithm_name, semantics, budget,
+                                  tracer, parent_span)
         finally:
-            pool.shutdown(wait=True)
+            # Abandoned futures (hedge losers, or stragglers on an
+            # exception path) only feed routing state; nothing
+            # correctness-bearing waits on them — but the time they
+            # were observed pending does teach the selector that the
+            # replica is slow.
+            for visit, index, watch, _ in pending.values():
+                visit.shard.selector.record_straggler(
+                    index, watch.elapsed_ms)
+            pool.shutdown(wait=not pending)
 
-    def _submit(self, pool: Any, executor: str, shard: _ShardState,
-                bound: float, keywords: List[str], k: int,
+    @staticmethod
+    def _active_visits(pending: Dict[Future, Tuple["_Visit", int,
+                                                   Stopwatch, bool]]
+                       ) -> int:
+        """Distinct unresolved visits in flight (a hedge's second
+        future does not consume a scatter slot)."""
+        return len({id(entry[0]) for entry in pending.values()
+                    if not entry[0].done})
+
+    def _launch(self, pool: Any, executor: str, visit: "_Visit",
+                pending: Dict[Future, Tuple["_Visit", int, Stopwatch,
+                                            bool]],
+                keywords: List[str], k: int,
                 algorithm: Union[Algorithm, str], algorithm_name: str,
                 semantics: str, budget: DeadlineLike,
-                tracer: Optional[Any],
-                parent_span: Optional[Any]) -> Future:
-        if executor == "process":
-            remaining: Optional[float] = None
-            if budget.enabled and getattr(budget, "budget_ms",
-                                          None) is not None:
-                remaining = max(0.001, budget.remaining_ms)
-            return pool.submit(_process_shard,
-                               (shard.directory, tuple(keywords), k + 1,
-                                algorithm_name, semantics, remaining))
-        # Thread tasks open their corpus.shard span in the worker
-        # thread (explicit parent), so the shard's inner query spans
-        # nest under it via the tracer's per-thread context.
-        return pool.submit(self._search_shard, shard, bound, keywords,
-                           k, algorithm, semantics, budget, tracer,
-                           parent_span)
+                tracer: Optional[Any], parent_span: Optional[Any],
+                hedge: bool) -> bool:
+        """Submit ``visit`` to its shard's next untried healthy
+        replica; False once every replica has been tried.
+
+        Replicas that are down (load failure) are charged to their
+        breaker and skipped in-line.  On the process executor the
+        replica-level faults fire here, in the coordinator — worker
+        processes do not share the injector — so an injected replica
+        failure still exercises the same failover path.
+        """
+        shard = visit.shard
+        while True:
+            index = shard.selector.pick(exclude=visit.tried)
+            if index is None:
+                return False
+            visit.tried.add(index)
+            replica = shard.replicas[index]
+            if replica.service is None:
+                shard.selector.record_failure(index)
+                visit.last_error = f"{replica.name}: {replica.error}"
+                continue
+            watch = Stopwatch().start()
+            if executor == "process":
+                visit_budget = self._visit_budget(budget, shard,
+                                                  replica)
+                try:
+                    self._faults.on_replica_visit(
+                        shard.name, replica.name, terms=keywords,
+                        deadline=visit_budget)
+                except Exception as error:  # noqa: broad — fault = crash
+                    shard.selector.record_failure(index)
+                    visit.last_error = (f"{replica.name}: "
+                                        f"{type(error).__name__}: "
+                                        f"{error}")
+                    if self.collector.enabled:
+                        self.collector.count("corpus.replica.failures")
+                    continue
+                remaining: Optional[float] = None
+                if visit_budget.enabled \
+                        and getattr(visit_budget, "budget_ms",
+                                    None) is not None:
+                    remaining = max(0.001, visit_budget.remaining_ms)
+                future = pool.submit(
+                    _process_shard,
+                    (replica.directory, tuple(keywords), k + 1,
+                     algorithm_name, semantics, remaining))
+            else:
+                # Thread tasks open their corpus.shard span in the
+                # worker thread (explicit parent), so the shard's inner
+                # query spans nest under it via the tracer's
+                # per-thread context.
+                future = pool.submit(self._search_replica, shard,
+                                     replica, visit.bound, keywords,
+                                     k, algorithm, semantics, budget,
+                                     tracer, parent_span)
+            visit.outstanding += 1
+            pending[future] = (visit, index, watch, hedge)
+            return True
+
+    def _hedge_timeout(self, pending: Dict[Future, Tuple["_Visit",
+                                                         int,
+                                                         Stopwatch,
+                                                         bool]]
+                       ) -> Optional[float]:
+        """Seconds until the earliest pending visit becomes hedge-
+        eligible (``None`` = no hedge can fire; wait on completions)."""
+        if self._hedge is None:
+            return None
+        soonest: Optional[float] = None
+        for visit, _, _, _ in pending.values():
+            if visit.done or visit.hedged:
+                continue
+            if len(visit.tried) >= len(visit.shard.selector):
+                continue  # no spare replica to hedge to
+            delay = self._hedge.delay_ms(visit.shard.selector.tracker)
+            if delay is None:
+                continue
+            due = (delay - visit.watch.elapsed_ms) / 1000.0
+            soonest = due if soonest is None else min(soonest, due)
+        if soonest is None:
+            return None
+        return max(0.0, soonest)
+
+    def _fire_hedges(self, pool: Any, executor: str,
+                     pending: Dict[Future, Tuple["_Visit", int,
+                                                 Stopwatch, bool]],
+                     merge: "_Merge", keywords: List[str], k: int,
+                     algorithm: Union[Algorithm, str],
+                     algorithm_name: str, semantics: str,
+                     budget: DeadlineLike, tracer: Optional[Any],
+                     parent_span: Optional[Any]) -> None:
+        """Hedge every straggling visit (at most once per visit)."""
+        if self._hedge is None:
+            return
+        for visit, _, _, _ in list(pending.values()):
+            if visit.done or visit.hedged or visit.outstanding == 0:
+                continue
+            if budget.enabled and budget.out_of_time():
+                return
+            delay = self._hedge.delay_ms(visit.shard.selector.tracker)
+            if delay is None or visit.watch.elapsed_ms < delay:
+                continue
+            visit.hedged = True  # one hedge per visit, win or lose
+            if not self._launch(pool, executor, visit, pending,
+                                keywords, k, algorithm,
+                                algorithm_name, semantics, budget,
+                                tracer, parent_span, hedge=True):
+                continue
+            merge.hedges["fired"] += 1
+            if self.collector.enabled:
+                self.collector.count("corpus.hedge.fired")
+            if tracer is not None:
+                hedge_span = tracer.begin(
+                    "corpus.hedge", parent=parent_span,
+                    shard=visit.shard.name,
+                    pending_ms=round(visit.watch.elapsed_ms, 3))
+                tracer.finish(hedge_span)
 
     def _begin_span(self, tracer: Optional[Any],
                     parent_span: Optional[Any], shard: _ShardState,
@@ -418,68 +739,199 @@ class CorpusService:
                             shard=shard.name, bound=round(bound, 9),
                             executor="process")
 
-    def _gather_one(self, future: Future, executor: str,
-                    shard: _ShardState, bound: float,
-                    span: Optional[Any], merge: "_Merge",
-                    keywords: List[str], k: int,
-                    algorithm: Union[Algorithm, str], semantics: str,
-                    budget: DeadlineLike,
-                    tracer: Optional[Any]) -> None:
-        """Merge one completed future, degrading a dead task to a
-        serial in-coordinator retry."""
-        degraded = False
+    def _gather_one(self, future: Future, executor: str, pool: Any,
+                    visit: "_Visit", index: int, watch: Stopwatch,
+                    is_hedge: bool,
+                    pending: Dict[Future, Tuple["_Visit", int,
+                                                Stopwatch, bool]],
+                    merge: "_Merge", keywords: List[str], k: int,
+                    algorithm: Union[Algorithm, str],
+                    algorithm_name: str, semantics: str,
+                    budget: DeadlineLike, tracer: Optional[Any],
+                    parent_span: Optional[Any]) -> None:
+        """Merge one completed future.
+
+        A failure charges the replica's breaker and fails over to the
+        next one (serial in-coordinator retry as the last resort); a
+        success resolves the visit, and any still-racing hedge twin is
+        discarded on arrival — its answer is bit-identical by
+        construction, so dropping it never changes the merge.
+        """
+        shard = visit.shard
+        replica = shard.replicas[index]
         try:
             payload = future.result()
             outcome = _decode_rows(payload) if executor == "process" \
                 else payload
         except (KeyboardInterrupt, SystemExit):
             raise
-        except Exception as error:  # noqa: broad — any task death degrades
-            _log.warning("corpus shard %s task failed (%s: %s); "
-                         "retrying serially", shard.name,
-                         type(error).__name__, error)
-            degraded = True
-            try:
-                outcome = self._search_shard(shard, bound, keywords, k,
-                                             algorithm, semantics,
-                                             budget, None, None,
-                                             span=False)
-            except (ReproError, OSError, ValueError) as retry_error:
-                message = (f"{type(retry_error).__name__}: "
-                           f"{retry_error}")
-                merge.record_failure(shard, bound, message)
-                if tracer is not None and span is not None:
-                    tracer.finish(span, status="error", error=message)
+        except Exception as error:  # noqa: broad — any task death fails over
+            shard.selector.record_failure(index)
+            visit.last_error = (f"{replica.name}: "
+                                f"{type(error).__name__}: {error}")
+            if self.collector.enabled:
+                self.collector.count("corpus.replica.failures")
+            if visit.done or visit.outstanding > 0:
+                return  # a sibling future already won / is still racing
+            _log.warning("corpus shard %s replica %s task failed "
+                         "(%s: %s); failing over", shard.name,
+                         replica.name, type(error).__name__, error)
+            if not (budget.enabled and budget.out_of_time()) \
+                    and self._launch(pool, executor, visit, pending,
+                                     keywords, k, algorithm,
+                                     algorithm_name, semantics,
+                                     budget, tracer, parent_span,
+                                     hedge=False):
+                merge.failovers += 1
+                if self.collector.enabled:
+                    self.collector.count("corpus.replica.failovers")
                 return
-        if degraded:
-            merge.degraded += 1
-        merge.absorb(shard, bound, outcome)
-        if tracer is not None and span is not None:
-            tracer.finish(span, results=len(outcome.results),
-                          **({"degraded": True} if degraded else {}))
+            self._finish_degraded(visit, merge, keywords, k,
+                                  algorithm, semantics, budget,
+                                  tracer)
+            return
+        latency = watch.elapsed_ms
+        shard.selector.record_success(index, latency)
+        if visit.done:
+            if self.collector.enabled:
+                self.collector.count("corpus.hedge.wasted")
+            return
+        visit.done = True
+        if visit.hedged:
+            key = "won" if is_hedge else "lost"
+            merge.hedges[key] += 1
+            if self.collector.enabled:
+                self.collector.count(f"corpus.hedge.{key}")
+        merge.absorb(shard, visit.bound, outcome,
+                     replica=replica.name)
+        if tracer is not None and visit.span is not None:
+            tracer.finish(visit.span, results=len(outcome.results),
+                          replica=replica.name)
 
-    def _search_shard(self, shard: _ShardState, bound: float,
-                      keywords: List[str], k: int,
-                      algorithm: Union[Algorithm, str], semantics: str,
-                      budget: DeadlineLike, tracer: Optional[Any],
-                      parent_span: Optional[Any],
-                      span: bool = True) -> SearchOutcome:
-        """Run one shard's query in the current thread.
+    def _finish_degraded(self, visit: "_Visit", merge: "_Merge",
+                         keywords: List[str], k: int,
+                         algorithm: Union[Algorithm, str],
+                         semantics: str, budget: DeadlineLike,
+                         tracer: Optional[Any]) -> None:
+        """Last-resort serial in-coordinator retry after every pool
+        attempt for a visit has failed (e.g. the pool itself broke)."""
+        shard = visit.shard
+        try:
+            outcome, rname = self._visit_with_failover(
+                shard, visit.bound, keywords, k, algorithm, semantics,
+                budget, None, None, span=False)
+        except (ReproError, OSError, ValueError) as error:
+            message = visit.last_error \
+                or f"{type(error).__name__}: {error}"
+            merge.record_failure(shard, visit.bound, message)
+            if tracer is not None and visit.span is not None:
+                tracer.finish(visit.span, status="error",
+                              error=message)
+            return
+        visit.done = True
+        merge.degraded += 1
+        merge.absorb(shard, visit.bound, outcome, replica=rname)
+        if tracer is not None and visit.span is not None:
+            tracer.finish(visit.span, results=len(outcome.results),
+                          degraded=True)
+
+    def _visit_with_failover(self, shard: _ShardState, bound: float,
+                             keywords: List[str], k: int,
+                             algorithm: Union[Algorithm, str],
+                             semantics: str, budget: DeadlineLike,
+                             tracer: Optional[Any],
+                             parent_span: Optional[Any],
+                             merge: Optional["_Merge"] = None,
+                             span: bool = True
+                             ) -> Tuple[SearchOutcome, str]:
+        """Visit one shard in the current thread, failing over across
+        its replicas; raises :class:`StorageError` only when every
+        replica has failed.  Returns the outcome and the name of the
+        replica that answered."""
+        tried: Set[int] = set()
+        last_error: Optional[str] = None
+        while True:
+            index = shard.selector.pick(exclude=tried)
+            if index is None:
+                raise StorageError(
+                    last_error
+                    or f"no replica of shard {shard.name} is serving")
+            tried.add(index)
+            replica = shard.replicas[index]
+            if replica.service is None:
+                shard.selector.record_failure(index)
+                last_error = f"{replica.name}: {replica.error}"
+                continue
+            watch = Stopwatch().start()
+            try:
+                outcome = self._search_replica(shard, replica, bound,
+                                               keywords, k, algorithm,
+                                               semantics, budget,
+                                               tracer, parent_span,
+                                               span=span)
+            except Exception as error:  # noqa: broad — any crash fails over
+                shard.selector.record_failure(index)
+                last_error = (f"{replica.name}: "
+                              f"{type(error).__name__}: {error}")
+                if self.collector.enabled:
+                    self.collector.count("corpus.replica.failures")
+                if budget.enabled and budget.out_of_time():
+                    raise StorageError(
+                        f"deadline exhausted failing over "
+                        f"{shard.name}: {last_error}")
+                if shard.selector.pick(exclude=tried) is not None:
+                    if merge is not None:
+                        merge.failovers += 1
+                    if self.collector.enabled:
+                        self.collector.count(
+                            "corpus.replica.failovers")
+                continue
+            shard.selector.record_success(index, watch.elapsed_ms)
+            return outcome, replica.name
+
+    def _search_replica(self, shard: _ShardState,
+                        replica: _ReplicaState, bound: float,
+                        keywords: List[str], k: int,
+                        algorithm: Union[Algorithm, str],
+                        semantics: str, budget: DeadlineLike,
+                        tracer: Optional[Any],
+                        parent_span: Optional[Any],
+                        span: bool = True) -> SearchOutcome:
+        """Run one replica's query in the current thread.
 
         ``k + 1`` answers are requested because the shard's synthetic
         root can occupy one slot; after the merge filters it, the
-        shard still contributes its full top-k.
+        shard still contributes its full top-k.  The visit draws a
+        *child* of the query's deadline (shrunk by any injected clock
+        skew), so a straggling or retried visit cannot overshoot the
+        caller's budget.
         """
-        assert shard.service is not None
+        assert replica.service is not None
+        visit_budget = self._visit_budget(budget, shard, replica)
+        self._faults.on_replica_visit(shard.name, replica.name,
+                                      terms=keywords,
+                                      deadline=visit_budget)
         ctx = tracer.span("corpus.shard", parent=parent_span,
-                          shard=shard.name, bound=round(bound, 9)) \
+                          shard=shard.name, replica=replica.name,
+                          bound=round(bound, 9)) \
             if span and tracer is not None else nullcontext()
         with ctx:
-            return shard.service.search(
+            return replica.service.search(
                 keywords, k=k + 1, algorithm=algorithm,
                 semantics=semantics,
-                deadline=budget if budget.enabled else None,
+                deadline=visit_budget if visit_budget.enabled
+                else None,
                 tracer=tracer)
+
+    def _visit_budget(self, budget: DeadlineLike, shard: _ShardState,
+                      replica: _ReplicaState) -> DeadlineLike:
+        """The child budget one replica visit runs on: the query
+        deadline's remaining wall clock, shrunk by any injected clock
+        skew for this replica (budgets only ever shrink)."""
+        if not budget.enabled:
+            return budget
+        skew = self._faults.replica_skew_ms(shard.name, replica.name)
+        return budget.child(skew_ms=skew)
 
     # -- service-shaped surface ------------------------------------------------
 
@@ -500,7 +952,8 @@ class CorpusService:
         watch = Stopwatch().start()
         outcomes: List[SearchOutcome] = []
         totals = {ACTION_SEARCHED: 0, ACTION_PRUNED: 0,
-                  ACTION_NO_MATCH: 0, ACTION_FAILED: 0}
+                  ACTION_NO_MATCH: 0, ACTION_FAILED: 0,
+                  ACTION_DEADLINE: 0}
         for query in queries:
             budget = Deadline.after_ms(deadline_ms) \
                 if deadline_ms is not None else None
@@ -574,6 +1027,10 @@ class CorpusService:
                 if last_error is None:
                     last_error = shard.error
             snap["shard"] = shard.name
+            snap["replicas"] = shard.selector.stats()
+            quarantined = shard.selector.quarantined()
+            if quarantined:
+                snap["quarantined"] = quarantined
             shard_reloads = snap.get("reloads")
             if isinstance(shard_reloads, dict):
                 for key in ("attempts", "successes", "rejected"):
@@ -613,6 +1070,15 @@ class CorpusService:
         return {"state": worst, "failures": failures, "opens": opens,
                 "shards": per_shard}
 
+    def replica_stats(self) -> Dict[str, List[Dict[str, object]]]:
+        """Per-shard replica health (EWMA latency, success/failure
+        counts, breaker state), keyed by shard name.  The chaos
+        harness and the per-shard-breaker-isolation tests read this;
+        it is deliberately *routing* state, so a content reload does
+        not reset it."""
+        return {shard.name: shard.selector.stats()
+                for shard in self._shards}
+
     def reload(self) -> CorpusState:
         """Reload every shard, reviving ones that were down.
 
@@ -647,21 +1113,41 @@ class CorpusService:
     def _reload_shard(self, shard: _ShardState,
                       failures: List[str]) -> _ShardState:
         if shard.service is None:
-            fresh = self._load_shard(shard.position)
+            # Every replica is down: load the shard from scratch,
+            # carrying the selector so breaker history survives.
+            fresh = self._load_shard(shard.position,
+                                     selector=shard.selector)
             if fresh.error is not None:
                 failures.append(f"{shard.name}: {fresh.error}")
             return fresh
-        try:
-            shard.service.reload(verify=self._verify)
-        except StorageError as error:
-            # The shard's previous generation keeps serving; its
-            # bounds still describe that generation, so keep them.
-            failures.append(f"{shard.name}: {error}")
-            return shard
-        bounds, best = self._resolve_bounds(shard.directory,
-                                            shard.service)
-        return replace(shard, bounds=bounds,
-                       max_path_probability=best, error=None)
+        replicas: List[_ReplicaState] = []
+        for replica in shard.replicas:
+            if replica.service is None:
+                # A down replica revives through a fresh load.
+                revived = self._load_replica(shard.name,
+                                             replica.index,
+                                             replica.directory)
+                if revived.error is not None:
+                    failures.append(f"{shard.name}/{replica.name}: "
+                                    f"{revived.error}")
+                replicas.append(revived)
+                continue
+            try:
+                replica.service.reload(verify=self._verify)
+            except StorageError as error:
+                # This replica's previous generation keeps serving.
+                failures.append(f"{shard.name}/{replica.name}: "
+                                f"{error}")
+            replicas.append(replica)
+        refreshed = replace(shard, replicas=tuple(replicas))
+        healthy = next((replica for replica in refreshed.replicas
+                        if replica.service is not None), None)
+        if healthy is None:
+            return refreshed
+        bounds, best = self._resolve_bounds(healthy.directory,
+                                            healthy.service)
+        return replace(refreshed, bounds=bounds,
+                       max_path_probability=best)
 
     def fsck(self, repair: bool = False) -> List[Tuple[str, FsckReport]]:
         """Per-shard storage triage (docs/STORAGE.md); see
@@ -710,6 +1196,34 @@ def corpus_fsck(directory: Union[str, os.PathLike],
 # -- merge bookkeeping ---------------------------------------------------------
 
 
+class _Visit:
+    """Coordinator bookkeeping for one pooled shard visit across its
+    replica attempts and hedge twin.
+
+    ``tried`` is the set of replica indexes ever submitted for this
+    visit (failover and hedging both exclude it), ``outstanding``
+    counts futures still in flight, ``done`` flips when the first
+    answer lands (later arrivals are discarded), and ``watch`` times
+    the visit from its first submission — the clock the hedge trigger
+    reads.
+    """
+
+    __slots__ = ("shard", "bound", "tried", "hedged", "done",
+                 "outstanding", "span", "watch", "last_error")
+
+    def __init__(self, shard: _ShardState, bound: float,
+                 span: Optional[Any]) -> None:
+        self.shard = shard
+        self.bound = bound
+        self.tried: Set[int] = set()
+        self.hedged = False
+        self.done = False
+        self.outstanding = 0
+        self.span = span
+        self.watch = Stopwatch().start()
+        self.last_error: Optional[str] = None
+
+
 class _Merge:
     """The gather side of one corpus query: the global heap, the
     origin map for re-hydrating answers, and the per-shard ledger."""
@@ -723,9 +1237,12 @@ class _Merge:
         self.origins: Dict[Tuple[int, ...],
                            Tuple[_ShardState, DeweyCode]] = {}
         self.counts = {ACTION_SEARCHED: 0, ACTION_PRUNED: 0,
-                       ACTION_NO_MATCH: 0, ACTION_FAILED: 0}
+                       ACTION_NO_MATCH: 0, ACTION_FAILED: 0,
+                       ACTION_DEADLINE: 0}
         self.detail: List[Dict[str, object]] = []
         self.degraded = 0
+        self.failovers = 0
+        self.hedges = {"fired": 0, "won": 0, "lost": 0}
         self.partial = False
         self.reasons: Set[str] = set()
 
@@ -747,6 +1264,11 @@ class _Merge:
     def record_skip(self, shard: _ShardState, bound: float,
                     action: str) -> None:
         self.counts[action] += 1
+        if action == ACTION_DEADLINE:
+            # An unvisited shard might have contributed: the answer is
+            # an honest partial cut short by the deadline budget.
+            self.partial = True
+            self.reasons.add(REASON_DEADLINE)
         self.detail.append({"shard": shard.name,
                             "bound": round(bound, 9),
                             "action": action})
@@ -760,7 +1282,8 @@ class _Merge:
                             "action": ACTION_FAILED, "error": error})
 
     def absorb(self, shard: _ShardState, bound: float,
-               outcome: SearchOutcome) -> None:
+               outcome: SearchOutcome,
+               replica: Optional[str] = None) -> None:
         """Merge one shard outcome: filter the synthetic root, rewrite
         codes to the global document positions, offer into the heap."""
         if outcome.partial:
@@ -781,11 +1304,14 @@ class _Merge:
             if self.heap.offer(code, result.probability):
                 merged += 1
         self.counts[ACTION_SEARCHED] += 1
-        self.detail.append({"shard": shard.name,
-                            "bound": round(bound, 9),
-                            "action": ACTION_SEARCHED,
-                            "results": len(outcome.results),
-                            "merged": merged})
+        entry: Dict[str, object] = {"shard": shard.name,
+                                    "bound": round(bound, 9),
+                                    "action": ACTION_SEARCHED,
+                                    "results": len(outcome.results),
+                                    "merged": merged}
+        if replica is not None:
+            entry["replica"] = replica
+        self.detail.append(entry)
 
     def outcome(self, shards_total: int, executor: str, workers: int,
                 algorithm: str, semantics: str, k: int,
@@ -818,7 +1344,10 @@ class _Merge:
             ACTION_PRUNED: self.counts[ACTION_PRUNED],
             ACTION_NO_MATCH: self.counts[ACTION_NO_MATCH],
             ACTION_FAILED: self.counts[ACTION_FAILED],
+            ACTION_DEADLINE: self.counts[ACTION_DEADLINE],
             "degraded": self.degraded,
+            "failovers": self.failovers,
+            "hedges": dict(self.hedges),
             "executor": executor, "workers": workers,
             "detail": self.detail,
         }

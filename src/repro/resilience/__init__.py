@@ -25,7 +25,8 @@ from repro.resilience.deadline import (Deadline, DeadlineLike,
 from repro.resilience.faults import (FAULT_KINDS, Fault, FaultInjector,
                                      FaultsLike, InjectedFaultError,
                                      NULL_FAULTS, NullFaultInjector,
-                                     faults_from_env, parse_faults)
+                                     REPLICA_KINDS, faults_from_env,
+                                     parse_faults)
 from repro.resilience.retry import (CircuitBreaker, DEFAULT_BACKOFF_MS,
                                     DEFAULT_MAX_RETRIES, RetryPolicy)
 
@@ -39,6 +40,6 @@ __all__ = [
     "DEFAULT_BACKOFF_MS",
     # fault injection
     "Fault", "FaultInjector", "NullFaultInjector", "NULL_FAULTS",
-    "FaultsLike", "InjectedFaultError", "FAULT_KINDS", "parse_faults",
-    "faults_from_env",
+    "FaultsLike", "InjectedFaultError", "FAULT_KINDS",
+    "REPLICA_KINDS", "parse_faults", "faults_from_env",
 ]

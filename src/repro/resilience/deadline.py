@@ -129,6 +129,45 @@ class Deadline:
             return float("inf")
         return max(0.0, self.budget_ms - self._watch.elapsed_ms)
 
+    def out_of_time(self) -> bool:
+        """Whether the wall-clock budget is spent, *without* consuming
+        a step.  Scatter coordinators use this between shard visits:
+        unlike :meth:`expired`, it never advances the deterministic
+        step budget, so polling it cannot change a ``max_steps``
+        outcome."""
+        if self._reason is not None:
+            return True
+        return self.budget_ms is not None \
+            and self._watch.elapsed_ms >= self.budget_ms
+
+    def child(self, max_ms: Optional[float] = None,
+              skew_ms: float = 0.0) -> "Deadline":
+        """A new budget drawing from this one's *remaining* wall clock.
+
+        The end-to-end budget rule (docs/RESILIENCE.md): every layer —
+        admission queue wait, corpus scatter, a per-shard search, a
+        retry, a hedge — runs on a child of the caller's deadline, so
+        the sum of the children can never overshoot the parent.  The
+        child's budget is ``remaining_ms`` at the moment of the call,
+        optionally capped at ``max_ms`` and shrunk by ``skew_ms`` (a
+        worker whose clock runs ``skew_ms`` ahead of the coordinator's
+        must budget as if that time were already spent — the
+        ``clock_skew_ms`` chaos fault drives this path).  An exhausted
+        parent yields a child that expires on its first poll; skew
+        only ever *shrinks* a budget, so a skewed child still cannot
+        overshoot.  A pure step-budget parent (no wall clock) has
+        nothing to subdivide and is returned as-is — steps are polled
+        on the shared object.
+        """
+        if self.budget_ms is None:
+            return self
+        remaining = self.remaining_ms - max(0.0, skew_ms)
+        if max_ms is not None:
+            remaining = min(remaining, max_ms)
+        # The constructor requires a positive budget; an exhausted
+        # parent becomes a child whose first poll reports expiry.
+        return Deadline(budget_ms=max(0.001, remaining))
+
     def summary(self) -> dict:
         """JSON-safe description for ``outcome.stats`` blocks."""
         return {"budget_ms": self.budget_ms,
@@ -155,6 +194,13 @@ class NullDeadline:
 
     def expired(self) -> bool:
         return False
+
+    def out_of_time(self) -> bool:
+        return False
+
+    def child(self, max_ms: Optional[float] = None,
+              skew_ms: float = 0.0) -> "NullDeadline":
+        return self
 
     @property
     def reason(self) -> str:

@@ -25,7 +25,31 @@ reload_corrupt   ``QueryService.reload``, before the new       raises
                                                                — the reload is rejected,
                                                                the old generation keeps
                                                                serving (docs/STORAGE.md)
+replica_down     a corpus replica visit                        raises
+                 (:meth:`CorpusService` scatter)               :class:`InjectedFaultError`
+                                                               — the visit fails over to
+                                                               another replica
+slow_replica     a corpus replica visit                        sleeps ``delay_ms``,
+                                                               capped at the visit's
+                                                               remaining deadline budget
+                                                               (a real straggler is
+                                                               abandoned at the
+                                                               deadline) — hedging's
+                                                               trigger
+torn_replica     a corpus replica visit                        raises
+                                                               :class:`StorageError`,
+                                                               playing a replica whose
+                                                               snapshot tore mid-read
+clock_skew_ms    child-budget derivation for a replica visit   the visit budgets as if
+                                                               ``delay_ms`` were already
+                                                               spent (a worker clock
+                                                               running ahead); budgets
+                                                               only ever shrink
 ===============  ============================================  =======================
+
+The replica kinds accept a ``target=`` option naming the shard
+(``s0000``), the replica (``r1``) or both (``s0000/r1``); no target
+matches every replica visit.
 
 Injectors serialise to a compact spec string (:meth:`FaultInjector.spec`
 / :func:`parse_faults`) so process-pool workers can rebuild their own
@@ -57,11 +81,16 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, StorageError
 
 #: The recognised fault kinds, in documentation order.
 FAULT_KINDS = ("worker_crash", "slow_query", "query_error",
-               "corrupt_payload", "reload_corrupt")
+               "corrupt_payload", "reload_corrupt", "replica_down",
+               "slow_replica", "torn_replica", "clock_skew_ms")
+
+#: The kinds struck at a corpus replica visit (honour ``target=``).
+REPLICA_KINDS = ("replica_down", "slow_replica", "torn_replica",
+                 "clock_skew_ms")
 
 #: Environment variable holding a fault spec string (empty = no faults).
 FAULTS_ENV = "REPRO_FAULTS"
@@ -97,10 +126,13 @@ class Fault:
         rate: firing probability in ``[0, 1]``; draws come from the
             injector's seeded RNG, so a given seed yields one
             deterministic firing sequence.
-        delay_ms: how long a ``slow_query`` (or a ``worker_crash``,
-            before dying) sleeps.
+        delay_ms: how long a ``slow_query`` / ``slow_replica`` (or a
+            ``worker_crash``, before dying) sleeps; for
+            ``clock_skew_ms``, the skew magnitude.
         message: the :class:`InjectedFaultError` text of a
-            ``query_error``.
+            ``query_error`` / ``replica_down``.
+        target: replica-kind scoping — the shard name, the replica
+            name, or ``shard/replica``; ``None`` matches every visit.
     """
 
     kind: str
@@ -109,6 +141,7 @@ class Fault:
     rate: float = 1.0
     delay_ms: float = 0.0
     message: str = "injected fault"
+    target: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -126,6 +159,12 @@ class Fault:
             raise QueryError(
                 f"fault times must be non-negative, got {self.times}")
 
+    def matches_target(self, shard: str, replica: str) -> bool:
+        """Whether this fault's ``target`` covers one replica visit."""
+        if self.target is None:
+            return True
+        return self.target in (shard, replica, f"{shard}/{replica}")
+
     def clause(self) -> str:
         """This fault as one spec-grammar clause."""
         options: List[str] = []
@@ -139,6 +178,8 @@ class Fault:
             options.append(f"delay_ms={self.delay_ms!r}")
         if self.message != "injected fault":
             options.append(f"message={self.message}")
+        if self.target is not None:
+            options.append(f"target={self.target}")
         return self.kind + (":" + ",".join(options) if options else "")
 
 
@@ -212,10 +253,63 @@ class FaultInjector:
         for armed in self._select("reload_corrupt", ()):
             raise InjectedFaultError(armed.fault.message)
 
+    def on_replica_visit(self, shard: str, replica: str,
+                         terms: Sequence[str] = (),
+                         deadline: object = None) -> None:
+        """Corpus replica-visit hook: strike the replica fault kinds.
+
+        Called by :class:`~repro.corpus.CorpusService` just before a
+        shard visit runs against a chosen replica.  A ``slow_replica``
+        sleeps, capped at the visit's remaining deadline budget when
+        one is given — a real straggler would be *abandoned* at the
+        deadline, and since a sleeping thread cannot be abandoned, the
+        cap models the caller's wall-clock view.  A ``replica_down``
+        raises :class:`InjectedFaultError`; a ``torn_replica`` raises
+        :class:`~repro.exceptions.StorageError` (the mid-read-tear
+        failure class), so both failover paths are exercised.
+        """
+        for armed in self._select("slow_replica", terms,
+                                  shard=shard, replica=replica):
+            delay_ms = armed.fault.delay_ms
+            remaining = getattr(deadline, "remaining_ms", None)
+            if remaining is not None and remaining != float("inf"):
+                delay_ms = min(delay_ms, max(0.0, remaining))
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1000.0)
+        for armed in self._select("replica_down", terms,
+                                  shard=shard, replica=replica):
+            raise InjectedFaultError(
+                f"{armed.fault.message} (replica {shard}/{replica})")
+        for armed in self._select("torn_replica", terms,
+                                  shard=shard, replica=replica):
+            raise StorageError(
+                f"injected torn replica {shard}/{replica}: "
+                f"{armed.fault.message}")
+
+    def replica_skew_ms(self, shard: str, replica: str) -> float:
+        """Total ``clock_skew_ms`` the visit must budget as already
+        spent (0 when no skew fault strikes)."""
+        skew = 0.0
+        for armed in self._select("clock_skew_ms", (),
+                                  shard=shard, replica=replica):
+            skew += armed.fault.delay_ms
+        return skew
+
+    def inject(self, fault: Fault) -> None:
+        """Arm one more fault on a *live* injector.
+
+        The chaos harness uses this to strike mid-run — e.g. killing a
+        replica after the workload is already flowing — without
+        rebuilding the service under test.  Appending is atomic under
+        CPython; firing counts for faults armed this way start at 0.
+        """
+        self._armed.append(_Armed(fault))
+
     # -- selection ------------------------------------------------------------
 
-    def _select(self, kind: str,
-                terms: Sequence[str]) -> List[_Armed]:
+    def _select(self, kind: str, terms: Sequence[str],
+                shard: Optional[str] = None,
+                replica: Optional[str] = None) -> List[_Armed]:
         struck: List[_Armed] = []
         for armed in self._armed:
             fault = armed.fault
@@ -223,6 +317,9 @@ class FaultInjector:
                 continue
             if fault.terms is not None and not any(
                     term in terms for term in fault.terms):
+                continue
+            if fault.target is not None and not fault.matches_target(
+                    shard or "", replica or ""):
                 continue
             if fault.rate < 1.0 and self._rng.random() >= fault.rate:
                 continue
@@ -269,6 +366,14 @@ class NullFaultInjector:
 
     def before_reload(self) -> None:
         pass
+
+    def on_replica_visit(self, shard: str, replica: str,
+                         terms: Sequence[str] = (),
+                         deadline: object = None) -> None:
+        pass
+
+    def replica_skew_ms(self, shard: str, replica: str) -> float:
+        return 0.0
 
     def spec(self) -> str:
         return ""
@@ -324,6 +429,8 @@ def parse_faults(spec: Optional[str], seed: int = 0) -> FaultsLike:
                             f"{clause!r} is not a number") from None
                 elif name == "message":
                     fields["message"] = value
+                elif name == "target":
+                    fields["target"] = value
                 else:
                     raise QueryError(
                         f"unknown fault option {name!r} in clause "

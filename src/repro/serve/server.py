@@ -55,6 +55,7 @@ from repro.obs import (MetricsCollector, SpanTracer, Stopwatch,
                        build_report_v2, derive_trace_id,
                        format_sample, prometheus_lines, quantile_lines)
 from repro.obs.logging import get_logger
+from repro.resilience.deadline import Deadline
 from repro.resilience.faults import NULL_FAULTS, FaultsLike
 from repro.serve.admission import AdmissionController
 from repro.serve.protocol import (DEFAULT_MAX_BODY, ApiError,
@@ -441,8 +442,12 @@ class ServeServer:
                            f"rate", retry_after=delay)
         if not self._admission.try_acquire():
             if self._admission.draining:
+                # A drain is transient: a retrying client will reach
+                # the restarted (or load-balanced sibling) server, so
+                # 503 carries Retry-After exactly like the 429s do.
                 raise ApiError(503, "draining",
-                               "server is draining for shutdown")
+                               "server is draining for shutdown",
+                               retry_after=DEFAULT_RETRY_AFTER_S)
             raise ApiError(429, "overloaded",
                            f"server is at its in-flight cap of "
                            f"{self._config.max_inflight}",
@@ -454,17 +459,26 @@ class ServeServer:
         self._admit(request)
         try:
             params = parse_search_request(request.json())
+            # The deadline is stamped *here*, at admission on the
+            # event-loop thread: the executor queue wait, the corpus
+            # scatter and every per-shard child budget all draw from
+            # this one shrinking wall clock, so the end-to-end request
+            # cannot overshoot what the client asked for no matter
+            # where the time goes.
+            deadline = Deadline.after_ms(params.deadline_ms) \
+                if params.deadline_ms is not None else None
             self._sequence += 1
             loop = asyncio.get_running_loop()
             payload = await loop.run_in_executor(
-                self._executor, self._run_search, params,
+                self._executor, self._run_search, params, deadline,
                 self._sequence, request.client)
         finally:
             self._admission.release()
         return json_response(200, payload,
                              keep_alive=self._keep(request))
 
-    def _run_search(self, params: SearchRequest, sequence: int,
+    def _run_search(self, params: SearchRequest,
+                    deadline: Optional[Deadline], sequence: int,
                     client: str) -> Dict[str, Any]:
         """Executor-thread body of one /search request."""
         tracer = SpanTracer(trace_id=derive_trace_id(
@@ -479,7 +493,7 @@ class ServeServer:
                     params.keywords, k=params.k,
                     algorithm=params.algorithm,
                     semantics=params.semantics,
-                    deadline=params.deadline_ms, tracer=tracer)
+                    deadline=deadline, tracer=tracer)
         spans = tracer.export() if params.spans else None
         payload = outcome_payload(outcome, watch.elapsed * 1000.0,
                                   spans=spans)

@@ -683,3 +683,48 @@ class TestRateLimitPeerKeying:
         server._admit(request)
         server._admission.release()
         assert limiter.keys == ["alice"]
+
+
+# -- draining Retry-After + deadline stamping (replication PR satellites) -----
+
+
+class TestDrainingRetryAfter:
+    def test_draining_503_carries_retry_after(self, figure1_db):
+        # Satellite bugfix: a request caught by the drain must get
+        # the same back-off signal a 429 carries.  (New connections
+        # are dropped at accept during drain; the 503 is for requests
+        # already in flight when drain begins, so the deterministic
+        # probe is the admission layer itself.)
+        from repro.serve import ServeServer
+        server = ServeServer(QueryService(figure1_db), ServeConfig())
+        server._admission.begin_drain()
+        request = parse_head(b"POST /search HTTP/1.1\r\n\r\n",
+                             client="1.2.3.4:5678",
+                             client_host="1.2.3.4")
+        with pytest.raises(ApiError) as caught:
+            server._admit(request)
+        error = caught.value
+        assert error.status == 503
+        assert error.code == "draining"
+        head = error_response(error).split(b"\r\n\r\n", 1)[0].decode()
+        assert "Retry-After: 1" in head
+
+
+class TestDeadlineStamping:
+    def test_deadline_ms_is_stamped_and_produces_honest_partials(
+            self, server):
+        # The server stamps one absolute Deadline at admission; a
+        # budget this small expires inside the engine, which must
+        # surface as an honest partial — never a 5xx.
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1", "k2"], "deadline_ms": 1e-4})
+        assert status == 200
+        assert body["partial"] is True
+        assert body["termination_reason"] == "deadline"
+
+    def test_generous_deadline_changes_nothing(self, server):
+        status, body, _ = server["client"].post(
+            "/search", {"keywords": ["k1", "k2"],
+                        "deadline_ms": 60000})
+        assert status == 200
+        assert body["partial"] is False
